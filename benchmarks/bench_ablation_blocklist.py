@@ -1,0 +1,89 @@
+"""Ablation — blocklist data structure: radix trie vs linear scan.
+
+ZMap-family scanners consult the blocklist once per generated target; at
+line rate that lookup must be sub-microsecond.  The bench compares the radix
+trie against a naive linear scan over the same entries.
+"""
+
+import random
+
+from repro.analysis.report import ComparisonTable
+from repro.core.blocklist import PrefixSet
+from repro.net.addr import IPv6Prefix
+
+from benchmarks.conftest import write_result
+
+N_PREFIXES = 512
+N_PROBES = 2000
+
+
+def _entries():
+    rng = random.Random(11)
+    prefixes = []
+    for _ in range(N_PREFIXES):
+        length = rng.choice([32, 40, 48, 56, 64])
+        network = rng.getrandbits(128) >> (128 - length) << (128 - length)
+        prefixes.append(IPv6Prefix(network, length))
+    probes = [rng.getrandbits(128) for _ in range(N_PROBES)]
+    return prefixes, probes
+
+
+def _linear_covering(prefixes, value):
+    best = None
+    for prefix in prefixes:
+        if prefix.contains(value):
+            if best is None or prefix.length > best.length:
+                best = prefix
+    return best
+
+
+def test_ablation_blocklist_trie(benchmark):
+    prefixes, probes = _entries()
+    ps = PrefixSet(prefixes)
+    benchmark(lambda: [ps.covering(v) for v in probes])
+
+
+def test_ablation_blocklist_linear(benchmark):
+    prefixes, probes = _entries()
+    benchmark.pedantic(
+        lambda: [_linear_covering(prefixes, v) for v in probes],
+        iterations=1, rounds=3,
+    )
+
+
+def test_ablation_blocklist_comparison(benchmark):
+    import time
+
+    prefixes, probes = _entries()
+    ps = PrefixSet(prefixes)
+
+    # Correctness first: both structures agree on every probe.
+    for value in probes[:500]:
+        trie_hit = ps.covering(value)
+        naive_hit = _linear_covering(prefixes, value)
+        assert (trie_hit is None) == (naive_hit is None)
+        if trie_hit is not None:
+            assert trie_hit.length == naive_hit.length
+
+    t0 = time.perf_counter()
+    for value in probes:
+        ps.covering(value)
+    trie_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for value in probes:
+        _linear_covering(prefixes, value)
+    linear_time = time.perf_counter() - t0
+
+    benchmark(lambda: ps.covering(probes[0]))
+
+    table = ComparisonTable(
+        f"Ablation — blocklist lookup over {N_PREFIXES} prefixes",
+        ("Structure", "total (s)", "per lookup (µs)"),
+    )
+    table.add("radix trie", f"{trie_time:.4f}",
+              f"{1e6 * trie_time / N_PROBES:.2f}")
+    table.add("linear scan", f"{linear_time:.4f}",
+              f"{1e6 * linear_time / N_PROBES:.2f}")
+    write_result("ablation_blocklist", table)
+
+    assert trie_time < linear_time

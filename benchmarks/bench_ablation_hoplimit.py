@@ -1,0 +1,55 @@
+"""Ablation — loop-probe hop limit (§VI-B's accuracy/impact trade-off).
+
+"A large Hop Limit will potentially result in many routing loop packets …
+a small Hop Limit will cause the missing of vulnerable devices": the bench
+sweeps h and measures both detection recall and the forwarding cost each
+probe inflicts on the looping links, reproducing why the paper settled on
+h=32 (h=33 here: the simulator's fixed 2-hop vantage parity).
+"""
+
+from repro.analysis.report import ComparisonTable
+from repro.loop.detector import find_loops
+
+from benchmarks.conftest import SEED, write_result
+
+
+def test_ablation_hoplimit(benchmark, deployment):
+    isp = deployment.isps["cn-unicom-broadband"]
+    truth_loops = sum(1 for t in isp.truths if t.loop_vulnerable)
+    network = deployment.network
+
+    rows = []
+    for hop_limit in (5, 17, 33, 65, 129, 253):
+        hops_before = network.total_hops
+        survey = find_loops(
+            network, deployment.vantage, isp.scan_spec,
+            hop_limit=hop_limit, seed=SEED,
+        )
+        cost = network.total_hops - hops_before
+        rows.append((hop_limit, survey.n_unique, cost, survey.stats.sent))
+
+    benchmark.pedantic(
+        lambda: find_loops(network, deployment.vantage, isp.scan_spec,
+                           hop_limit=33, seed=SEED),
+        iterations=1, rounds=1,
+    )
+
+    table = ComparisonTable(
+        "Ablation — loop-probe hop limit (China Unicom broadband block)",
+        ("hop limit", "loops found", f"truth ({truth_loops})",
+         "forwarding hops burned", "probes"),
+    )
+    for hop_limit, found, cost, sent in rows:
+        table.add(hop_limit, found, truth_loops, cost, sent)
+    table.note("small h misses nothing here only because the simulated "
+               "vantage is 2 hops out; cost grows linearly with h — the "
+               "paper's reason for picking h=32 over h=255")
+    write_result("ablation_hoplimit", table)
+
+    by_h = {h: (found, cost) for h, found, cost, _s in rows}
+    # Very small h cannot traverse even one loop round-trip at detection
+    # confirmation (h+2 still reports, so h=5 works; h below the vantage
+    # distance would find nothing — covered by unit tests).  Recall is flat
+    # in h here, while cost grows roughly linearly:
+    assert by_h[253][1] > 5 * by_h[17][1]
+    assert by_h[33][0] >= 0.8 * truth_loops

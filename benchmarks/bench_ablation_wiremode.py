@@ -1,0 +1,85 @@
+"""Ablation — object-passing fast path vs full wire-format round-tripping.
+
+The simulator normally hands packet objects to the engine; ``wire_mode``
+encodes and decodes every probe and reply through the byte-level codecs
+(IPv6 header + pseudo-header checksums).  The results must be identical —
+wire_mode exists to prove that — and this bench quantifies what the byte
+layer costs, which is the honest measure of how much of the pure-Python
+slowdown is packet serialisation versus simulation logic.
+"""
+
+from repro.analysis.report import ComparisonTable
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.scanner import ScanConfig, Scanner
+from repro.core.target import ScanRange
+from repro.core.validate import Validator
+from repro.net.testbed import build_mini
+
+from benchmarks.conftest import write_result
+
+#: Every /64 of the customer aggregate: 256 probes, mixing populated
+#: delegations (the correct CPE's /60) with empty space.
+SPEC = "2001:db8:1::/56-64"
+N_PROBES = 256
+
+
+def _run(topo, wire_mode):
+    probe = IcmpEchoProbe(Validator(bytes(range(16))), hop_limit=255)
+    config = ScanConfig(
+        scan_range=ScanRange.parse(SPEC), seed=5, wire_mode=wire_mode
+    )
+    return Scanner(topo.network, topo.vantage, probe, config).run()
+
+
+def test_ablation_wiremode_fast_path(benchmark):
+    topo = build_mini()
+    result = benchmark(lambda: _run(topo, wire_mode=False))
+    assert result.stats.sent == N_PROBES
+
+
+def test_ablation_wiremode_wire_path(benchmark):
+    topo = build_mini()
+    result = benchmark(lambda: _run(topo, wire_mode=True))
+    assert result.stats.sent == N_PROBES
+
+
+def test_ablation_wiremode_equivalence(benchmark):
+    import time
+
+    topo_fast = build_mini()
+    topo_wire = build_mini()
+
+    def timed(topo, wire_mode):
+        best, result = float("inf"), None
+        for _ in range(3):  # best-of-3 to shrug off scheduler noise
+            t0 = time.perf_counter()
+            result = _run(topo, wire_mode)
+            best = min(best, time.perf_counter() - t0)
+        return result, best
+
+    fast, fast_time = timed(topo_fast, wire_mode=False)
+    wired, wire_time = timed(topo_wire, wire_mode=True)
+
+    benchmark(lambda: _run(build_mini(), wire_mode=False))
+
+    table = ComparisonTable(
+        "Ablation — packet fast path vs wire-format round-tripping",
+        ("Mode", "probes", "validated", "seconds", "probes/s"),
+    )
+    for label, result, seconds in (
+        ("object fast path", fast, fast_time),
+        ("wire round-trip", wired, wire_time),
+    ):
+        table.add(label, result.stats.sent, result.stats.validated,
+                  f"{seconds:.3f}", f"{result.stats.sent / seconds:,.0f}")
+    table.note("identical results by construction; the delta is pure "
+               "serialisation cost (headers + checksums per packet)")
+    write_result("ablation_wiremode", table)
+
+    # Same discoveries either way.
+    assert {r.responder for r in fast.results} == {
+        r.responder for r in wired.results
+    }
+    assert fast.stats.validated == wired.stats.validated
+    # The wire path costs measurably more.
+    assert wire_time > fast_time

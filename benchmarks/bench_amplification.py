@@ -1,0 +1,66 @@
+"""§VI-A — the routing-loop amplification factor (>200x).
+
+Measures actual ISP↔CPE link crossings per attacker packet in the simulator:
+the unspoofed factor tracks 255−n exactly, the spoofed-source variant
+doubles it, and the amplification scales linearly with the attacker's chosen
+hop limit.
+"""
+
+import pytest
+
+from repro.analysis.report import ComparisonTable
+from repro.loop.attack import run_loop_attack
+from repro.net.packet import MAX_HOP_LIMIT
+
+from tests.topo import MiniTopology, build_mini
+
+from benchmarks.conftest import write_result
+
+
+def test_amplification_factor(benchmark):
+    topo = build_mini()
+    target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+
+    def attack():
+        # Advance virtual time so repeated benchmark rounds don't drain the
+        # CPE's ICMPv6 error token bucket (one Time Exceeded per packet).
+        topo.network.advance(1.0)
+        return run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln",
+            hop_limit=MAX_HOP_LIMIT,
+        )
+
+    report = benchmark(attack)
+
+    topo.network.advance(5.0)
+    spoofed = run_loop_attack(
+        topo.network, topo.vantage, target, "isp", "cpe-vuln",
+        spoofed_source=MiniTopology.LAN_VULN.subprefix(10, 64).address(0xF0),
+    )
+    sweep = []
+    for hop_limit in (32, 64, 128, 255):
+        topo.network.advance(5.0)
+        sweep.append(
+            (hop_limit,
+             run_loop_attack(
+                 topo.network, topo.vantage, target, "isp", "cpe-vuln",
+                 hop_limit=hop_limit,
+             ).amplification)
+        )
+
+    table = ComparisonTable(
+        "§VI-A routing-loop amplification (n=2 hops before the ISP router)",
+        ("Variant", "hop limit", "link crossings", "paper bound"),
+    )
+    table.add("single packet", 255, report.amplification, "255-n = 253")
+    table.add("spoofed source", 255, spoofed.amplification, "2x(255-n) = 506")
+    for hop_limit, crossings in sweep:
+        table.add("hop-limit sweep", hop_limit, crossings, f"~{hop_limit}-n")
+    write_result("amplification", table)
+
+    assert report.amplification > 200  # the paper's headline
+    assert abs(report.amplification - report.theoretical) <= 1
+    assert spoofed.amplification >= 1.8 * report.amplification
+    # Linear scaling in the attacker's hop limit.
+    for hop_limit, crossings in sweep:
+        assert abs(crossings - (hop_limit - 2)) <= 2

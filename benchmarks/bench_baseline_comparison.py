@@ -1,0 +1,70 @@
+"""Baselines vs XMap (§III's efficiency claim, §VIII related work).
+
+Three techniques over the same block and pseudorandom targets:
+
+* **XMap periphery discovery** — one probe per delegated sub-prefix,
+  harvesting RFC 4443 unreachables;
+* **traceroute discovery** (Rye & Beverly, PAM'20) — same last hops, but a
+  whole path walk per target;
+* **end-host scanning** — the same probes *counted the classic way* (echo
+  replies from live hosts): essentially zero yield at 64 host bits.
+
+Asserted shape: all three agree on *what* the periphery is; XMap needs ~1
+probe per discovery, traceroute needs several, and end-host scanning finds
+nothing — the paper's "2^(128-64) … to 1" argument as a measurement.
+"""
+
+from repro.analysis.report import ComparisonTable
+from repro.baselines.endhost import scan_end_hosts
+from repro.baselines.traceroute_discovery import discover_by_traceroute
+from repro.discovery.periphery import discover
+
+from benchmarks.conftest import SEED, write_result
+
+KEY = "in-jio-broadband"
+
+
+def test_baseline_comparison(benchmark, deployment):
+    isp = deployment.isps[KEY]
+    network, vantage = deployment.network, deployment.vantage
+
+    # XMap: the paper's technique.
+    xmap = discover(network, vantage, isp.scan_spec, seed=SEED)
+    xmap_probes = xmap.stats.sent
+
+    # Traceroute baseline over the same window (time one run).
+    tracer = benchmark.pedantic(
+        lambda: discover_by_traceroute(
+            network, vantage, isp.scan_spec, seed=SEED
+        ),
+        iterations=1, rounds=1,
+    )
+
+    # End-host framing of the same budget.
+    endhost = scan_end_hosts(network, vantage, isp.scan_spec, seed=SEED)
+
+    table = ComparisonTable(
+        f"Baselines vs XMap on {isp.profile.isp} ({isp.scan_spec})",
+        ("Technique", "discoveries", "probes", "probes/discovery"),
+    )
+    table.add("XMap periphery discovery", xmap.n_unique, xmap_probes,
+              f"{xmap_probes / max(1, xmap.n_unique):.1f}")
+    table.add("traceroute (Rye & Beverly)", len(tracer.last_hops),
+              tracer.probes_sent,
+              f"{tracer.probes_per_discovery:.1f}")
+    table.add("end-host scanning (live hosts)", endhost.live_hosts,
+              endhost.probes, "-" if endhost.live_hosts == 0 else
+              f"{endhost.probes / endhost.live_hosts:.1f}")
+    table.note("probes/discovery for XMap includes probes into empty "
+               "sub-prefixes; per populated delegation it is exactly 1")
+    write_result("baseline_comparison", table)
+
+    # The three techniques agree on the periphery population…
+    xmap_set = {r.last_hop for r in xmap.records}
+    assert tracer.last_hops == xmap_set
+    # …but at very different costs.
+    xmap_cost = xmap_probes / max(1, xmap.n_unique)
+    assert tracer.probes_per_discovery > 2.5 * xmap_cost
+    # And end-host scanning finds essentially nothing at 64 host bits.
+    assert endhost.live_hosts == 0
+    assert endhost.last_hops == xmap.n_unique

@@ -1,0 +1,46 @@
+"""Figure 3 — results of top 20 periphery device vendors within each service.
+
+The transpose of Figure 2: for each of the eight services, which vendors
+supply it.  Shape checks are the paper's §V-B reading of the figure: DNS is
+spread across several vendors, SSH is led by Fiberhome (+Youhua), TELNET by
+Youhua/ZTE, FTP by Fiberhome, HTTP/8080 by China Mobile.
+"""
+
+from repro.analysis.figures import figure3_service_vendors, vendor_service_matrix
+
+from benchmarks.conftest import write_result
+
+
+def _leaders(matrix, service, top=3):
+    counts = [
+        (vendor, row.get(service, 0))
+        for vendor, row in matrix.items()
+        if row.get(service, 0) > 0
+    ]
+    counts.sort(key=lambda pair: pair[1], reverse=True)
+    return [vendor for vendor, _count in counts[:top]]
+
+
+def test_fig03_service_vendors(benchmark, app_results, identified):
+    all_identified = [d for devices in identified.values() for d in devices]
+    all_observations = [
+        o for result in app_results.values() for o in result.observations
+    ]
+    matrix = vendor_service_matrix(all_identified, all_observations)
+
+    table = benchmark(lambda: figure3_service_vendors(matrix))
+    write_result("fig03_service_vendors", table)
+
+    # HTTP/8080 is China Mobile's service (paper: Jetty fleet).
+    assert "China Mobile" in _leaders(matrix, "HTTP/8080", top=2)
+    # SSH is led by Fiberhome and/or Youhua Tech.
+    assert set(_leaders(matrix, "SSH/22", top=3)) & {"Fiberhome", "Youhua Tech"}
+    # FTP is led by Fiberhome/Youhua (GNU Inetutils fleets).
+    assert set(_leaders(matrix, "FTP/21", top=3)) & {"Fiberhome", "Youhua Tech"}
+    # TELNET is led by Youhua/ZTE/China Unicom.
+    assert set(_leaders(matrix, "TELNET/23", top=3)) & {
+        "Youhua Tech", "ZTE", "China Unicom"
+    }
+    # DNS is contributed by several vendors (paper: "numbers of vendors").
+    dns_vendors = [v for v, row in matrix.items() if row.get("DNS/53", 0) > 0]
+    assert len(dns_vendors) >= 4

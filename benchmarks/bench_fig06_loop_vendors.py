@@ -1,0 +1,57 @@
+"""Figure 6 — top 5 routing-loop periphery device vendors within top 5 ASes.
+
+Joins the per-ISP loop surveys with vendor identification.  Shape: the loop
+vendor ranking is headed by the Chinese CPE fleet (China Mobile, ZTE,
+Skyworth, Youhua Tech, StarNet — the paper's top five), with the Chinese
+ASes (4134/4837/9808) supplying the bulk of each vendor's loop devices.
+"""
+
+from repro.analysis.figures import PAPER_FIG6_VENDORS, figure6_loop_vendors
+
+from benchmarks.conftest import write_result
+
+#: The paper's top loop ASes mapped onto our profile keys.
+AS_BLOCKS = {
+    "AS4134": "cn-telecom-broadband",
+    "AS4837": "cn-unicom-broadband",
+    "AS9808": "cn-mobile-broadband",
+}
+
+
+def test_fig06_loop_vendors(benchmark, loop_surveys, identified):
+    vendor_of = {
+        d.last_hop.value: d.vendor
+        for devices in identified.values()
+        for d in devices
+    }
+
+    def build_matrix():
+        per_as = {}
+        for as_label, key in AS_BLOCKS.items():
+            counts = {}
+            for record in loop_surveys[key].records:
+                vendor = vendor_of.get(record.last_hop.value)
+                if vendor is not None:
+                    counts[vendor] = counts.get(vendor, 0) + 1
+            per_as[as_label] = counts
+        return per_as
+
+    per_as = benchmark(build_matrix)
+
+    table = figure6_loop_vendors(per_as)
+    write_result("fig06_loop_vendors", table)
+
+    totals = {}
+    for counts in per_as.values():
+        for vendor, count in counts.items():
+            totals[vendor] = totals.get(vendor, 0) + count
+    ranking = sorted(totals, key=totals.get, reverse=True)
+
+    assert ranking, "no identified loop devices"
+    assert ranking[0] == "China Mobile"  # the paper's dominant loop vendor
+    overlap = len(set(ranking[:5]) & set(PAPER_FIG6_VENDORS))
+    assert overlap >= 3
+    # AS9808 (China Mobile's AS) supplies most China Mobile loop devices.
+    assert per_as["AS9808"].get("China Mobile", 0) >= per_as["AS4837"].get(
+        "China Mobile", 0
+    )

@@ -1,0 +1,61 @@
+"""Scanner performance + the §III-B/§IV-E feasibility arithmetic.
+
+Measures the reproduction's probe throughput against the simulator and
+regenerates the paper's wall-clock projections: a 1 Gbps scanner covers all
+/64s of a /24 (2^40) in ~8 days and all /60s (2^36) in ~14 hours; the
+paper's own 25 kpps budget covers a 32-bit window in ~48 hours.
+"""
+
+from repro.analysis.report import ComparisonTable
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.scanner import ScanConfig, Scanner
+from repro.core.stats import FeasibilityRow, probes_per_second
+from repro.core.target import ScanRange
+from repro.core.validate import Validator
+
+from benchmarks.conftest import SEED, write_result
+
+
+def test_perf_scanner_throughput(benchmark, deployment):
+    isp = deployment.isps["in-airtel-mobile"]
+    probe = IcmpEchoProbe(Validator(bytes(range(16))))
+    config = ScanConfig(
+        scan_range=ScanRange.parse(isp.scan_spec),
+        seed=SEED,
+        max_probes=2000,
+    )
+
+    def run_scan():
+        scanner = Scanner(deployment.network, deployment.vantage, probe, config)
+        return scanner.run()
+
+    result = benchmark.pedantic(run_scan, iterations=1, rounds=3)
+
+    feasibility = [
+        FeasibilityRow("all /64 of a /24 block at 1 Gbps (paper: ~8 days)",
+                       40, 1e9),
+        FeasibilityRow("all /60 of a /28 block at 1 Gbps (paper: ~14 hours)",
+                       36, 1e9),
+        FeasibilityRow("32-bit window at 25 kpps (paper: ~48 hours)",
+                       32, 25_000 * 94 * 8),
+    ]
+    table = ComparisonTable(
+        "Scanner performance and §III-B feasibility projections",
+        ("Projection", "window bits", "duration"),
+    )
+    for row in feasibility:
+        table.add(row.label, row.window_bits, row.human)
+    table.note(
+        f"measured simulator throughput: {result.stats.wall_pps:,.0f} probes/s "
+        f"(wall clock), {result.stats.virtual_pps:,.0f} pps virtual"
+    )
+    write_result("perf_scanner", table)
+
+    # §III-B numbers hold.
+    assert 6 <= feasibility[0].seconds / 86400 <= 13
+    assert 9 <= feasibility[1].seconds / 3600 <= 20
+    assert 40 <= feasibility[2].seconds / 3600 <= 55
+    # The paper's <15 Mbps budget sustains 25 kpps echo probes.
+    assert probes_per_second(15e6) >= 19_000
+    # The virtual pacer enforced the configured rate.
+    assert result.stats.virtual_pps <= 25_500

@@ -1,0 +1,37 @@
+"""Table III — IID analysis of all discovered peripheries.
+
+Merges the fifteen censuses and classifies every last hop with the
+addr6-equivalent classifier; the mix must match the paper's totals
+(Randomized ~75%, Byte-pattern ~10%, EUI-64 ~8%, Embed-IPv4 ~6%, Low-byte
+~1%).
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE3, table3_iid
+from repro.discovery.iid import IidClass, iid_breakdown
+
+from benchmarks.conftest import write_result
+
+
+def test_table3_iid_analysis(benchmark, censuses):
+    addrs = [
+        record.last_hop
+        for census in censuses.values()
+        for record in census.records
+    ]
+
+    counts = benchmark(lambda: iid_breakdown(addrs))
+
+    table = table3_iid(addrs)
+    write_result("table03_iid_analysis", table)
+
+    total = sum(counts.values())
+    assert total == len(addrs)
+    measured = {cls: 100 * counts[cls] / total for cls in IidClass}
+    for cls, paper_pct in PAPER_TABLE3.items():
+        assert measured[cls] == pytest.approx(paper_pct, abs=6), cls
+    # Ranking invariant: randomized dominates, low-byte is rarest.
+    ordered = sorted(measured, key=measured.get, reverse=True)
+    assert ordered[0] is IidClass.RANDOMIZED
+    assert measured[IidClass.LOW_BYTE] < 4

@@ -1,0 +1,82 @@
+"""Table VI — probing requests and valid responses of the 8 selected services.
+
+Builds one device running every service, issues each of Table VI's
+application-specific requests, and verifies the valid-response criteria:
+DNS answers, NTP version reply, FTP 220 greeting, SSH identification string,
+TELNET login prompt, HTTP header+body, TLS certificate+cipher.
+"""
+
+from repro.analysis.tables import table6_probe_matrix
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.device import Host, Router
+from repro.net.network import Network
+from repro.services.banner import FtpServer, SshServer, TelnetServer
+from repro.services.base import SERVICE_SPECS, Software
+from repro.services.dns import DnsForwarder
+from repro.services.http import HttpServer, TlsServer
+from repro.services.ntp import NtpServer
+from repro.services.zgrab import AppScanner
+
+from benchmarks.conftest import write_result
+
+
+def _make_everything_device():
+    network = Network(seed=1)
+    vantage = Host("vantage", IPv6Addr.from_string("2001:4860::100"))
+    core = Router("core", IPv6Addr.from_string("2001:4860::1"))
+    network.register(core)
+    network.attach_host(vantage, core)
+    core.table.add_connected(vantage.primary_address.prefix(128), "v")
+
+    target = Host("t", IPv6Addr.from_string("2001:db8::1"))
+    target.gateway = core  # type: ignore[attr-defined]
+    network.register(target)
+    core.table.add_connected(IPv6Prefix.from_string("2001:db8::/64"))
+
+    target.bind_service(DnsForwarder(Software("dnsmasq", "2.45")))
+    target.bind_service(NtpServer(Software("NTP", "4")))
+    target.bind_service(FtpServer(Software("GNU Inetutils", "1.4.1")))
+    target.bind_service(SshServer(Software("dropbear", "0.46")))
+    target.bind_service(
+        TelnetServer(Software("telnetd", ""), vendor_banner="ZTE")
+    )
+    target.bind_service(
+        HttpServer(Software("micro_httpd", "1.0"), vendor="ZTE", model="F660")
+    )
+    target.bind_service(
+        TlsServer(Software("GoAhead Embedded", "2.5.0"), vendor="ZTE",
+                  model="F660")
+    )
+    target.bind_service(
+        HttpServer(Software("Jetty", "6.1.26"),
+                   spec=SERVICE_SPECS["HTTP/8080"], vendor="ZTE", model="F660")
+    )
+    return network, vantage, target
+
+
+def test_table6_service_probes(benchmark):
+    network, vantage, target = _make_everything_device()
+    scanner = AppScanner(network, vantage)
+
+    def probe_all():
+        result = scanner.scan([target.primary_address])
+        return {obs.service: obs.alive for obs in result.observations}
+
+    observations = benchmark(probe_all)
+
+    table = table6_probe_matrix(observations)
+    write_result("table06_service_probes", table)
+
+    assert all(observations.values()), observations
+
+    # Validate the banner *content* criteria, not just liveness.
+    result = scanner.scan([target.primary_address])
+    by_service = {o.service: o for o in result.observations}
+    assert by_service["DNS/53"].software.name == "dnsmasq"
+    assert by_service["NTP/123"].banner == "NTP version 4"
+    assert by_service["FTP/21"].software.version == "1.4.1"
+    assert by_service["SSH/22"].banner.startswith("SSH-2.0-dropbear")
+    assert "login" in by_service["TELNET/23"].banner
+    assert by_service["HTTP/80"].login_page
+    assert by_service["TLS/443"].vendor_hint == "ZTE F660"
+    assert by_service["HTTP/8080"].software.name == "Jetty"

@@ -1,0 +1,51 @@
+"""Table VII — alive services on peripheries within each ISP.
+
+The §V sweep: 8 service probes against every discovered periphery.  The
+shape checks mirror the paper's headline observations — China Mobile
+broadband dominates (HTTP/8080 ~45% of its devices, total alive ~57%),
+Unicom broadband is the second hot spot, CenturyLink owns most exposed NTP,
+and mobile blocks are nearly service-silent.
+"""
+
+import pytest
+
+from repro.analysis.tables import table7_services
+
+from benchmarks.conftest import SCALE, write_result
+
+
+def test_table7_alive_services(benchmark, deployment, censuses, app_results):
+    sizes = {key: censuses[key].n_unique for key in censuses}
+
+    table = benchmark(lambda: table7_services(app_results, sizes, SCALE))
+    write_result("table07_alive_services", table)
+
+    def alive_pct(key):
+        return 100 * len(app_results[key].alive_targets()) / max(1, sizes[key])
+
+    def service_count(key, service):
+        return len(app_results[key].by_service().get(service, []))
+
+    # China Mobile broadband: the paper's hottest block (57.5% alive).
+    assert alive_pct("cn-mobile-broadband") == pytest.approx(57.5, abs=12)
+    assert service_count("cn-mobile-broadband", "HTTP/8080") > 0.3 * sizes[
+        "cn-mobile-broadband"
+    ]
+    # Unicom broadband second (24.6% alive).
+    assert alive_pct("cn-unicom-broadband") == pytest.approx(24.6, abs=10)
+    # Mobile networks are near-silent (paper: 0.0-0.1% rows).
+    for key in ("cn-unicom-mobile", "cn-mobile-mobile", "us-att-mobile"):
+        assert alive_pct(key) < 5
+
+    # NTP concentrates in CenturyLink (paper: 93% of all exposed NTP).
+    ntp_total = sum(service_count(k, "NTP/123") for k in app_results)
+    if ntp_total:
+        centurylink_share = service_count(
+            "us-centurylink-broadband", "NTP/123"
+        ) / ntp_total
+        assert centurylink_share > 0.5
+
+    # Grand total: ~9% of all peripheries expose something.
+    grand_alive = sum(len(r.alive_targets()) for r in app_results.values())
+    grand_devices = sum(sizes.values())
+    assert 100 * grand_alive / grand_devices == pytest.approx(9.0, abs=5)

@@ -1,0 +1,72 @@
+"""Table VIII — top software version families, device counts, and CVEs.
+
+Joins every banner harvested by the application sweep against the CVE
+database.  Shape checks: dnsmasq 2.4x is the dominant vulnerable DNS family
+(the paper's 142k Youhua devices), Jetty dominates HTTP, dropbear 0.4x
+dominates SSH with openssh 3.5 present, GNU Inetutils 1.4.1 dominates FTP,
+and the per-software CVE totals equal the paper's (16/24/10+74/1+2).
+"""
+
+from repro.analysis.tables import table8_software
+from repro.services.cve import DEFAULT_CVE_DB, family_of
+
+from benchmarks.conftest import SCALE, write_result
+
+
+def _family_counts(app_results):
+    merged = {}
+    for result in app_results.values():
+        for obs in result.observations:
+            if not obs.alive or obs.software is None:
+                continue
+            family = family_of(obs.software.name, obs.software.version)
+            key = (obs.service, obs.software.name, family)
+            merged[key] = merged.get(key, 0) + 1
+    return merged
+
+
+def test_table8_software_cves(benchmark, app_results):
+    merged = benchmark(lambda: _family_counts(app_results))
+
+    table = table8_software(app_results.values(), SCALE)
+    write_result("table08_software_cves", table)
+
+    def count(service, name, family):
+        return merged.get((service, name, family), 0)
+
+    # DNS: dnsmasq everywhere; 2.4x (Youhua's 8-year-old build) is a large
+    # contributor and maps to CVEs.
+    dns_families = {
+        fam: n for (svc, name, fam), n in merged.items()
+        if svc == "DNS/53" and name == "dnsmasq"
+    }
+    assert dns_families, "no dnsmasq observed"
+    assert count("DNS/53", "dnsmasq", "2.4x") > 0
+    assert DEFAULT_CVE_DB.cve_count_for_software("dnsmasq") == 16
+
+    # HTTP: Jetty dominates HTTP/8080 (the paper's 3.5M row).
+    jetty = count("HTTP/8080", "Jetty", "6.1x")
+    goahead = count("HTTP/8080", "GoAhead Embedded", "2.5x")
+    assert jetty > goahead
+
+    # SSH: dropbear outnumbers openssh; the 0.4x family exists.
+    dropbear = sum(
+        n for (svc, name, _f), n in merged.items()
+        if svc == "SSH/22" and name == "dropbear"
+    )
+    openssh = sum(
+        n for (svc, name, _f), n in merged.items()
+        if svc == "SSH/22" and name == "openssh"
+    )
+    assert dropbear > openssh
+    assert DEFAULT_CVE_DB.cve_count_for_software("openssh") == 74
+    assert DEFAULT_CVE_DB.cve_count_for_software("dropbear") == 10
+
+    # FTP: GNU Inetutils 1.4.1 is the dominant server (paper: 139.3k).
+    inetutils = count("FTP/21", "GNU Inetutils", "1.4x")
+    ftp_total = sum(n for (svc, _n, _f), n in merged.items() if svc == "FTP/21")
+    assert ftp_total and inetutils / ftp_total > 0.5
+
+    # Version lag: the dominant DNS family is 8 years old at scan time.
+    info = DEFAULT_CVE_DB.info("dnsmasq", "2.4x")
+    assert info.lag_years(2020) >= 8

@@ -1,0 +1,59 @@
+"""Table XI — peripheries with the routing loop within each sample ISP.
+
+The depth-first loop experiment on the fifteen sample blocks.  Shape: the
+three Chinese broadband blocks carry the overwhelming majority of loop
+devices (paper: 5.72M of 5.79M), overwhelmingly on delegated LAN space
+("diff"), while India/mobile loop devices answer from the probed /64
+("same").
+"""
+
+import pytest
+
+from repro.analysis.tables import table11_loops
+
+from benchmarks.conftest import SCALE, write_result
+
+
+def test_table11_loop_per_isp(benchmark, deployment, loop_surveys):
+    table = benchmark(lambda: table11_loops(loop_surveys, SCALE))
+    write_result("table11_loop_per_isp", table)
+
+    truth = {
+        key: sum(1 for t in isp.truths if t.loop_vulnerable)
+        for key, isp in deployment.isps.items()
+    }
+
+    for key, survey in loop_surveys.items():
+        # No false positives: every confirmed device is truly vulnerable.
+        truth_map = deployment.isps[key].truth_by_last_hop()
+        for record in survey.records:
+            assert truth_map[record.last_hop.value].loop_vulnerable, key
+        # High recall (random-IID probes miss a /60 loop with p=1/16).
+        if truth[key] >= 10:
+            assert survey.n_unique >= 0.8 * truth[key], key
+
+    # Chinese broadband dominates the loop population, as in the paper.
+    cn = sum(
+        loop_surveys[k].n_unique
+        for k in ("cn-telecom-broadband", "cn-unicom-broadband",
+                  "cn-mobile-broadband")
+    )
+    total = sum(s.n_unique for s in loop_surveys.values())
+    assert cn / total > 0.9
+
+    # Loop rates per block match the paper's ratios.
+    for key in ("cn-mobile-broadband", "cn-unicom-broadband"):
+        isp = deployment.isps[key]
+        measured_rate = loop_surveys[key].n_unique / isp.n_devices
+        assert measured_rate == pytest.approx(isp.profile.loop_frac, abs=0.12)
+
+    # Diff-dominance overall (paper: 95.1% diff).
+    records = [r for s in loop_surveys.values() for r in s.records]
+    diff = sum(1 for r in records if not r.same_slash64)
+    assert diff / len(records) > 0.80
+
+    # Same-/64 loops exist where the paper reports them (Jio/Airtel).
+    same_blocks = loop_surveys["in-jio-broadband"].records + loop_surveys[
+        "in-airtel-mobile"
+    ].records
+    assert any(r.same_slash64 for r in same_blocks)

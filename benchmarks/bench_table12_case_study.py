@@ -1,0 +1,51 @@
+"""Table XII — routing loop router bench testing (99 units).
+
+Re-runs the §VI-D testbench: each router model gets a /64 WAN + /60 LAN and
+two crafted hop-limit-255 packets.  Checks the paper's findings: all 99
+units loop on at least one prefix, the showcased verdict matrix matches,
+immune prefixes answer Destination Unreachable, and the capped firmware
+(Xiaomi/Gargoyle/librecmc/OpenWrt) forwards >10 but far fewer than
+(255−n)/2 times.
+"""
+
+from repro.analysis.tables import table12_case_study
+from repro.loop.casestudy import CASE_STUDY_ROUTERS, run_case_study
+
+from benchmarks.conftest import write_result
+
+
+def test_table12_case_study(benchmark):
+    results = benchmark.pedantic(run_case_study, iterations=1, rounds=1)
+
+    table = table12_case_study(results)
+    write_result("table12_case_study", table)
+
+    assert len(results) == 99
+    assert all(r.vulnerable for r in results)  # "all ... are vulnerable"
+    assert all(r.immune_prefix_unreachable for r in results)
+
+    by_model = {(r.router.brand, r.router.model): r for r in results}
+    showcased = {
+        ("ASUS", "GT-AC5300"): (True, False),
+        ("D-Link", "COVR-3902"): (True, False),
+        ("Huawei", "WS5100"): (True, True),
+        ("Linksys", "EA8100"): (True, True),
+        ("Netgear", "R6400v2"): (True, True),
+        ("Tenda", "AC23"): (True, False),
+        ("TP-Link", "TL-XDR3230"): (True, True),
+        ("Xiaomi", "AX5"): (True, False),
+        ("OpenWrt", "19.07.4"): (True, False),
+    }
+    for key, (wan, lan) in showcased.items():
+        result = by_model[key]
+        assert (result.wan_loops, result.lan_loops) == (wan, lan), key
+
+    # Loop magnitude: uncapped units burn the whole hop budget, capped
+    # firmware stops after ~10 forwards ("forward such a packet >10 times").
+    for result in results:
+        crossings = max(result.wan_crossings, result.lan_crossings)
+        if result.router.loop_forward_limit is None:
+            assert crossings > 200
+            assert abs(result.forwards_per_router - 253 / 2) < 2
+        else:
+            assert 10 <= crossings <= 30

@@ -1,0 +1,102 @@
+"""Shared state for the table/figure benchmarks.
+
+Every bench regenerates one table or figure of the paper.  The expensive
+pipeline stages (building the synthetic Internet, the fifteen discovery
+scans, the application-layer sweep, the loop surveys) run once per session
+and are shared; each bench then times its analysis/regeneration step and
+writes the paper-vs-measured table to ``benchmarks/results/<name>.txt``.
+
+Scaling: set ``REPRO_SCALE`` (default 20000) to trade fidelity for runtime.
+``REPRO_SCALE=1000`` gives device counts at exactly 1/1000 of the paper's but
+takes tens of minutes for the full suite.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.discovery.periphery import discover
+from repro.discovery.vendor_id import VendorIdentifier
+from repro.isp.builder import build_deployment
+from repro.loop.bgp import build_global_internet
+from repro.loop.detector import find_loops
+from repro.services.zgrab import AppScanner
+
+SCALE = float(os.environ.get("REPRO_SCALE", "20000"))
+AS_SCALE = 10.0  # the BGP survey scales AS counts by 10, devices by SCALE
+SEED = int(os.environ.get("REPRO_SEED", "7"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, *tables) -> None:
+    """Persist rendered tables; also echo them for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(t if isinstance(t, str) else t.render() for t in tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    return build_deployment(scale=SCALE, seed=SEED, min_devices=40)
+
+
+@pytest.fixture(scope="session")
+def censuses(deployment):
+    """One discovery scan per sample block (the Table II experiment)."""
+    out = {}
+    for key, isp in deployment.isps.items():
+        out[key] = discover(
+            deployment.network, deployment.vantage, isp.scan_spec, seed=SEED
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def app_results(deployment, censuses):
+    """The §V application-layer sweep over every discovered periphery."""
+    scanner = AppScanner(deployment.network, deployment.vantage)
+    return {
+        key: scanner.scan(census.last_hop_addresses())
+        for key, census in censuses.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def identified(deployment, censuses, app_results):
+    vid = VendorIdentifier(deployment.catalog)
+    out = {}
+    for key, census in censuses.items():
+        out[key] = vid.identify(census.records, app_results[key].observations)
+    return out
+
+
+@pytest.fixture(scope="session")
+def loop_surveys(deployment):
+    """The §VI loop scans of the fifteen sample blocks (Table XI)."""
+    out = {}
+    for key, isp in deployment.isps.items():
+        out[key] = find_loops(
+            deployment.network, deployment.vantage, isp.scan_spec, seed=SEED
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The BGP-advertised-prefix population (Table IX / Figure 5)."""
+    return build_global_internet(seed=SEED, scale=SCALE / 10, n_tail_ases=220)
+
+
+@pytest.fixture(scope="session")
+def world_loops(world):
+    surveys = {}
+    for as_truth in world.ases:
+        surveys[as_truth.asn] = find_loops(
+            world.network, world.vantage, as_truth.scan_spec, seed=SEED
+        )
+    return surveys

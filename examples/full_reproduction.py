@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's entire evaluation in one command.
+
+Runs every pipeline (Tables I-XII, Figures 2/3/5/6, the amplification
+attack) and writes the consolidated paper-vs-measured report to
+``reproduction_report.txt``.
+
+Run:  python examples/full_reproduction.py [scale]
+      (default scale 50000 keeps this example fast; 20000 matches the
+      benchmark suite, 1000 gives counts at 1/1000 of the paper's)
+"""
+
+import sys
+import time
+
+from repro.analysis.reproduce import reproduce_all
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 50_000.0
+    started = time.time()
+
+    def progress(message: str) -> None:
+        print(f"[{time.time() - started:6.1f}s] {message}", flush=True)
+
+    run = reproduce_all(scale=scale, seed=7, progress=progress)
+
+    out_path = "reproduction_report.txt"
+    with open(out_path, "w") as handle:
+        handle.write(run.report() + "\n")
+    progress(f"report written to {out_path} "
+             f"({len(run.report().splitlines())} lines)")
+
+    total_devices = sum(c.n_unique for c in run.censuses.values())
+    total_loops = sum(s.n_unique for s in run.loop_surveys.values())
+    alive = {
+        o.target
+        for r in run.app_results.values()
+        for o in r.observations
+        if o.alive
+    }
+    print(f"\nHeadlines at scale 1/{scale:g}:")
+    print(f"  peripheries discovered : {total_devices:,} (paper: 52.5M)")
+    print(f"  with exposed services  : {len(alive):,} (paper: 4.7M)")
+    print(f"  loop-vulnerable        : {total_loops:,} (paper: 5.8M)")
+
+
+if __name__ == "__main__":
+    main()

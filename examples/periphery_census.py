@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Reproduce Table II: the periphery census across all fifteen sample blocks.
+
+Builds the full twelve-ISP deployment, runs the Table I subnet-boundary
+inference and the Table II discovery sweep per block, and prints the
+paper-vs-measured comparison tables plus the Table III IID analysis.
+
+Run:  python examples/periphery_census.py [scale]
+      (scale defaults to 20000; smaller = more devices = slower + closer
+      absolute counts; the paper's counts correspond to scale=1)
+"""
+
+import sys
+
+from repro import build_deployment, discover, infer_subprefix_length
+from repro.analysis.tables import (
+    table1_subnet_inference,
+    table2_periphery,
+    table3_iid,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 20_000.0
+    print(f"Building the simulated IPv6 Internet at scale 1/{scale:g} ...")
+    deployment = build_deployment(scale=scale, seed=7)
+    total = sum(isp.n_devices for isp in deployment.isps.values())
+    print(f"  {len(deployment.isps)} blocks, {total:,} periphery devices\n")
+
+    # -- Table I: infer each block's delegation length --------------------
+    inferences = {}
+    for key, isp in deployment.isps.items():
+        inferences[key] = infer_subprefix_length(
+            deployment.network, deployment.vantage, isp.scan_base, seed=11
+        )
+    print(table1_subnet_inference(inferences).render())
+
+    # -- Table II: one sweep per block -------------------------------------
+    censuses = {}
+    for key, isp in deployment.isps.items():
+        censuses[key] = discover(
+            deployment.network, deployment.vantage, isp.scan_spec, seed=3
+        )
+        print(f"  scanned {key}: {censuses[key].n_unique} last hops "
+              f"({censuses[key].stats.sent:,} probes)")
+    print()
+    print(table2_periphery(censuses, scale).render())
+    print()
+
+    # -- Table III: IID mix over everything --------------------------------
+    addrs = [r.last_hop for c in censuses.values() for r in c.records]
+    print(table3_iid(addrs).render())
+
+
+if __name__ == "__main__":
+    main()

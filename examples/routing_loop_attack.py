@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Reproduce §VI: find routing loops, then mount the amplification attack.
+
+1. Detection — the hop-limit h / h+2 method locates loop-vulnerable CPEs on
+   a Chinese broadband block (the paper's 3.9M-device hot spot).
+2. Attack — one crafted packet into a victim's not-used prefix, counting how
+   many times the access link carries it (the >200x amplification), plus the
+   source-spoofing variant that doubles the traffic.
+3. Bench test — the Table XII firmware case study for the nine showcased
+   routers.
+
+Run:  python examples/routing_loop_attack.py
+"""
+
+from repro import build_deployment, profile_by_key, run_loop_attack
+from repro.loop.casestudy import CASE_STUDY_ROUTERS, test_router
+from repro.loop.detector import find_loops
+from repro.net.packet import MAX_HOP_LIMIT
+
+
+def main() -> None:
+    deployment = build_deployment(
+        profiles=[profile_by_key("cn-mobile-broadband")], scale=20_000, seed=7
+    )
+    isp = deployment.isps["cn-mobile-broadband"]
+
+    # -- 1. locate vulnerable devices ----------------------------------------
+    survey = find_loops(deployment.network, deployment.vantage,
+                        isp.scan_spec, seed=5)
+    print(f"Loop survey of {isp.profile.isp} ({isp.scan_spec}):")
+    print(f"  {survey.candidates} Time Exceeded responders, "
+          f"{survey.n_unique} confirmed loop devices "
+          f"({100 * survey.n_unique / isp.n_devices:.1f}% of customers; "
+          f"paper: 53%)")
+
+    # -- 2. attack one of them ------------------------------------------------
+    victim = survey.records[0]
+    truth = isp.truth_by_last_hop()[victim.last_hop.value]
+    device_name = truth.name
+    # Aim into the victim's delegated-but-unassigned space.
+    target = truth.delegated.subprefix(9, 64).address(0xBAD)
+    print(f"\nAttacking {victim.last_hop} ({truth.vendor}) "
+          f"via not-used prefix target {target}")
+
+    report = run_loop_attack(
+        deployment.network, deployment.vantage, target,
+        isp.router.name, device_name, hop_limit=MAX_HOP_LIMIT,
+    )
+    print(f"  hop limit 255, n={report.hops_before_isp} hops to the ISP")
+    print(f"  access link carried the packet {report.amplification} times "
+          f"(theory: 255-n = {report.theoretical})")
+    print(f"  each router forwarded it ~{report.per_router_forwards:.0f} "
+          f"times ((255-n)/2)")
+
+    spoof_src = truth.delegated.subprefix(10, 64).address(0xFACE)
+    spoofed = run_loop_attack(
+        deployment.network, deployment.vantage, target,
+        isp.router.name, device_name, spoofed_source=spoof_src,
+    )
+    print(f"  with a spoofed source inside another not-used prefix: "
+          f"{spoofed.amplification} crossings (~2x)")
+
+    # -- 3. the Table XII bench -------------------------------------------------
+    print("\nFirmware case study (paper Table XII, showcased rows):")
+    showcased = {"GT-AC5300", "COVR-3902", "WS5100", "EA8100", "R6400v2",
+                 "AC23", "TL-XDR3230", "AX5", "19.07.4"}
+    print(f"  {'brand':12s} {'model':12s} {'WAN':>4s} {'LAN':>4s} "
+          f"{'crossings':>10s}")
+    for unit in CASE_STUDY_ROUTERS:
+        if unit.model not in showcased:
+            continue
+        result = test_router(unit)
+        print(f"  {unit.brand:12s} {unit.model:12s} "
+              f"{'loop' if result.wan_loops else 'ok':>4s} "
+              f"{'loop' if result.lan_loops else 'ok':>4s} "
+              f"{max(result.wan_crossings, result.lan_crossings):>10d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Analysis layer: regenerates the paper's tables and figures.
+
+Every function takes *measured* pipeline outputs (censuses, app-scan
+observations, loop surveys) — never ground truth — and returns structured
+rows plus a formatted text block, so the benchmark per table/figure is a
+thin driver around one of these functions.
+"""
+
+from repro.analysis.report import ComparisonTable, fmt_count, fmt_pct
+from repro.analysis import tables, figures
+
+__all__ = ["ComparisonTable", "fmt_count", "fmt_pct", "tables", "figures"]

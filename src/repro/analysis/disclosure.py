@@ -1,0 +1,184 @@
+"""Responsible-disclosure reporting (§VII).
+
+The paper "responsibly disclose[s] all issues and vulnerabilities to
+involved vendors and ASes" — 24 vendors confirmed the routing loop and >131
+CNVD/CVE tracking numbers came back.  This module generates the per-vendor
+advisory material from measurement outputs: which of a vendor's devices
+loop, which expose what services on which outdated software (with the CVE
+counts that make the lag exploitable), and a deterministic tracking
+identifier per (vendor, finding-class) pair.
+
+Inputs are measured artefacts only (loop surveys, vendor identifications,
+app-scan observations); the generator never touches ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.discovery.vendor_id import IdentifiedDevice
+from repro.loop.detector import LoopSurvey
+from repro.services.cve import CveDatabase, DEFAULT_CVE_DB, family_of
+from repro.services.zgrab import ServiceObservation
+
+LOOP_FINDING = "routing-loop"
+SERVICE_FINDING = "exposed-service"
+
+
+@dataclass
+class Finding:
+    """One issue class affecting one vendor."""
+
+    vendor: str
+    kind: str  # LOOP_FINDING | SERVICE_FINDING
+    device_count: int
+    detail: str
+    cve_count: int = 0
+    tracking_id: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        digest = hashlib.sha256(
+            f"{self.vendor}|{self.kind}|{self.detail}".encode()
+        ).hexdigest()[:6].upper()
+        self.tracking_id = f"SIM-{digest}"
+
+
+@dataclass
+class DisclosureReport:
+    """All findings grouped per vendor, with advisory rendering."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def vendors(self) -> List[str]:
+        return sorted({f.vendor for f in self.findings})
+
+    def for_vendor(self, vendor: str) -> List[Finding]:
+        return [f for f in self.findings if f.vendor == vendor]
+
+    @property
+    def tracking_ids(self) -> List[str]:
+        return [f.tracking_id for f in self.findings]
+
+    def render_advisory(self, vendor: str) -> str:
+        lines = [
+            f"Security advisory — {vendor}",
+            "=" * (20 + len(vendor)),
+            "",
+            "Summary of issues identified during IPv6 periphery measurement:",
+            "",
+        ]
+        for finding in self.for_vendor(vendor):
+            lines.append(
+                f"  [{finding.tracking_id}] {finding.kind}: "
+                f"{finding.device_count} device(s) — {finding.detail}"
+            )
+            if finding.kind == LOOP_FINDING:
+                lines.append(
+                    "      remediation: install discard routes for delegated-"
+                    "but-unassigned prefixes (RFC 7084 WPD-5)"
+                )
+            elif finding.cve_count:
+                lines.append(
+                    f"      {finding.cve_count} published CVE(s) apply to "
+                    "the shipped software family; update and close the "
+                    "service to WAN traffic by default (RFC 6092)"
+                )
+        lines.append("")
+        return "\n".join(lines)
+
+    def render_summary(self) -> str:
+        lines = [
+            "Responsible disclosure summary",
+            "==============================",
+            f"vendors notified : {len(self.vendors())}",
+            f"tracking numbers : {len(self.tracking_ids)}",
+            "",
+        ]
+        for vendor in self.vendors():
+            findings = self.for_vendor(vendor)
+            loops = sum(
+                f.device_count for f in findings if f.kind == LOOP_FINDING
+            )
+            services = sum(
+                f.device_count for f in findings if f.kind == SERVICE_FINDING
+            )
+            lines.append(
+                f"  {vendor:20s} loop devices: {loops:6d}   "
+                f"exposed-service devices: {services:6d}"
+            )
+        return "\n".join(lines)
+
+
+def build_disclosure_report(
+    identified: Iterable[IdentifiedDevice],
+    loop_surveys: Mapping[str, LoopSurvey] = (),
+    observations: Iterable[ServiceObservation] = (),
+    cve_db: CveDatabase = DEFAULT_CVE_DB,
+    min_devices: int = 1,
+) -> DisclosureReport:
+    """Join measurements into per-vendor findings.
+
+    ``min_devices`` suppresses single-device noise when reporting at scale.
+    """
+    vendor_of: Dict[int, str] = {
+        device.last_hop.value: device.vendor for device in identified
+    }
+    report = DisclosureReport()
+
+    # Routing-loop findings: loop device counts per vendor.
+    loop_counts: Dict[str, int] = {}
+    if loop_surveys:
+        for survey in loop_surveys.values():
+            for record in survey.records:
+                vendor = vendor_of.get(record.last_hop.value)
+                if vendor is not None:
+                    loop_counts[vendor] = loop_counts.get(vendor, 0) + 1
+    for vendor, count in sorted(loop_counts.items()):
+        if count < min_devices:
+            continue
+        report.findings.append(
+            Finding(
+                vendor=vendor,
+                kind=LOOP_FINDING,
+                device_count=count,
+                detail="CPE forwards packets for delegated-but-unassigned "
+                       "prefixes back upstream (amplifiable forwarding loop)",
+            )
+        )
+
+    # Exposed-service findings: (vendor, service, software family) tuples.
+    exposure: Dict[tuple, int] = {}
+    for obs in observations:
+        if not obs.alive:
+            continue
+        vendor = vendor_of.get(obs.target.value)
+        if vendor is None:
+            continue
+        software = obs.software
+        family = (
+            family_of(software.name, software.version) if software else ""
+        )
+        key = (vendor, obs.service, software.name if software else "", family)
+        exposure[key] = exposure.get(key, 0) + 1
+    for (vendor, service, software_name, family), count in sorted(
+        exposure.items()
+    ):
+        if count < min_devices:
+            continue
+        cves = cve_db.cve_count(software_name, family) if software_name else 0
+        software_text = (
+            f" running {software_name} {family}" if software_name else ""
+        )
+        report.findings.append(
+            Finding(
+                vendor=vendor,
+                kind=SERVICE_FINDING,
+                device_count=count,
+                detail=f"{service} reachable from the IPv6 Internet"
+                       f"{software_text}",
+                cve_count=cves,
+            )
+        )
+    return report

@@ -1,0 +1,63 @@
+"""Plain-text report formatting for the table/figure benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def fmt_count(value: float) -> str:
+    """Humanise a device count the way the paper does (52.5M, 741.0k)."""
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}k"
+    return f"{value:,.0f}"
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}%"
+
+
+@dataclass
+class ComparisonTable:
+    """A paper-vs-measured table rendered as aligned plain text."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[str(h) for h in self.headers]] + [
+            [str(c) for c in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(cells[0])
+        )
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,496 @@
+"""Regeneration of every table in the paper's evaluation.
+
+Each ``tableN_*`` function consumes measured pipeline outputs and returns a
+:class:`repro.analysis.report.ComparisonTable` whose rows place the paper's
+published value next to the reproduction's measured value (with the scale
+factor recorded), so a bench run *is* the experiment record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.analysis.report import ComparisonTable, fmt_count, fmt_pct
+from repro.discovery.iid import IidClass, iid_breakdown
+from repro.discovery.periphery import PeripheryCensus
+from repro.discovery.subnet import SubnetInference
+from repro.discovery.vendor_id import IdentifiedDevice
+from repro.isp.profiles import PAPER_PROFILES, SERVICE_KEYS, IspProfile
+from repro.loop.casestudy import CaseStudyResult
+from repro.loop.detector import LoopSurvey
+from repro.net.addr import IPv6Addr
+from repro.services.cve import CveDatabase, DEFAULT_CVE_DB, family_of
+from repro.services.zgrab import AppScanResult
+
+#: Paper Table III — IID mix of all discovered peripheries (percent).
+PAPER_TABLE3 = {
+    IidClass.EUI64: 7.6,
+    IidClass.LOW_BYTE: 1.0,
+    IidClass.EMBED_IPV4: 5.5,
+    IidClass.BYTE_PATTERN: 10.4,
+    IidClass.RANDOMIZED: 75.5,
+}
+
+#: Paper Table V — IID mix of peripheries with alive services (percent).
+#: (The paper's Embed-IPv4 row repeats Table III's 5.5% — an editing
+#: artefact, since the five rows then exceed 100%; the reproduction treats
+#: the four consistent rows as the target.)
+PAPER_TABLE5 = {
+    IidClass.EUI64: 30.4,
+    IidClass.LOW_BYTE: 0.3,
+    IidClass.BYTE_PATTERN: 0.2,
+    IidClass.RANDOMIZED: 69.0,
+}
+
+#: Paper Table X — IID mix of loop-vulnerable last hops (percent).
+PAPER_TABLE10 = {
+    IidClass.EUI64: 18.0,
+    IidClass.LOW_BYTE: 31.7,
+    IidClass.EMBED_IPV4: 2.4,
+    IidClass.BYTE_PATTERN: 0.7,
+    IidClass.RANDOMIZED: 46.7,
+}
+
+#: Paper Table IV — top identified vendors and device counts.
+PAPER_TABLE4_CPE = {
+    "China Mobile": 2_000_000, "ZTE": 611_500, "Skyworth": 509_000,
+    "Fiberhome": 260_500, "Youhua Tech": 146_500, "China Unicom": 107_900,
+    "AVM GmbH": 97_900, "Technicolor": 46_300, "Huawei": 41_700,
+    "StarNet": 32_200, "TP-Link": 1_800, "D-Link": 1_500, "Xiaomi": 994,
+    "Hitron Tech": 914, "Netgear": 149, "Linksys": 147, "Asus": 145,
+    "Optilink": 127, "Tenda": 110, "MikroTik": 50,
+}
+PAPER_TABLE4_UE = {
+    "NTMore": 633, "HMD Global": 282, "Vivo": 194, "Oppo": 165,
+    "Apple": 162, "Samsung": 126, "Nokia": 107, "LG": 50, "Motorola": 30,
+    "Lenovo": 25, "Nubia": 21, "OnePlus": 5,
+}
+
+#: Paper Table VIII — headline software families, device counts, CVE counts.
+PAPER_TABLE8 = (
+    ("DNS/53", "dnsmasq", "2.4x", 142_000, 16),
+    ("DNS/53", "dnsmasq", "2.7x", 52_000, 16),
+    ("HTTP", "Jetty", "6.1x", 3_500_000, 24),
+    ("HTTP", "MiniWeb HTTP Server", "0.8x", 655_000, 24),
+    ("HTTP", "micro_httpd", "1.0x", 462_000, 24),
+    ("SSH/22", "dropbear", "0.4x", 112_000, 10),
+    ("SSH/22", "openssh", "3.5", 469, 74),
+    ("FTP/21", "GNU Inetutils", "1.4x", 139_300, 0),
+    ("FTP/21", "FreeBSD", "6.00ls", 136, 1),
+)
+
+
+def _profile_for(key: str) -> IspProfile:
+    for profile in PAPER_PROFILES:
+        if profile.key == key:
+            return profile
+    raise KeyError(key)
+
+
+# ---------------------------------------------------------------------------
+# Table I — inferred sub-prefix lengths
+# ---------------------------------------------------------------------------
+
+def table1_subnet_inference(
+    inferences: Mapping[str, SubnetInference],
+) -> ComparisonTable:
+    table = ComparisonTable(
+        "Table I — inferred IPv6 sub-prefix length for end-users",
+        ("ISP block", "Country", "Network", "Scan", "Paper /len",
+         "Inferred /len", "Probes", "OK"),
+    )
+    for key, inference in inferences.items():
+        profile = _profile_for(key)
+        inferred = inference.boundary_length
+        table.add(
+            profile.isp,
+            profile.country,
+            profile.network,
+            profile.scan_label,
+            profile.subprefix_len,
+            inferred if inferred is not None else "-",
+            inference.probes_sent,
+            "yes" if inferred == profile.subprefix_len else "NO",
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table II — periphery scanning results
+# ---------------------------------------------------------------------------
+
+def table2_periphery(
+    censuses: Mapping[str, PeripheryCensus],
+    scale: float,
+) -> ComparisonTable:
+    table = ComparisonTable(
+        f"Table II — periphery scanning per sample block (scale 1/{scale:g})",
+        ("ISP", "last hops", "paper/scale", "same%", "paper", "diff%",
+         "/64%", "paper", "EUI-64%", "paper", "MAC uniq%", "paper"),
+    )
+    total_records: List = []
+    for key, census in censuses.items():
+        profile = _profile_for(key)
+        total_records.extend(census.records)
+        table.add(
+            profile.isp + (" (m)" if profile.is_mobile else ""),
+            census.n_unique,
+            f"{profile.paper_last_hops / scale:,.0f}",
+            fmt_pct(census.same_pct),
+            fmt_pct(profile.same_frac * 100),
+            fmt_pct(census.diff_pct),
+            fmt_pct(census.unique64_pct),
+            fmt_pct(profile.unique64_frac * 100),
+            fmt_pct(census.eui64_pct),
+            fmt_pct(profile.eui64_frac * 100),
+            fmt_pct(census.mac_unique_pct),
+            fmt_pct(profile.mac_unique_frac * 100),
+        )
+    if total_records:
+        same = sum(1 for r in total_records if r.same_slash64)
+        eui = sum(1 for r in total_records if r.iid_class is IidClass.EUI64)
+        table.add(
+            "Total",
+            len(total_records),
+            "52,479",
+            fmt_pct(100 * same / len(total_records)),
+            "77.2%",
+            fmt_pct(100 - 100 * same / len(total_records)),
+            "-", "99.3%",
+            fmt_pct(100 * eui / len(total_records)),
+            "7.6%",
+            "-", "96.5%",
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Tables III / V / X — IID breakdowns
+# ---------------------------------------------------------------------------
+
+def _iid_table(
+    title: str,
+    addrs: Iterable[IPv6Addr],
+    paper: Mapping[IidClass, float],
+) -> ComparisonTable:
+    counts = iid_breakdown(addrs)
+    total = sum(counts.values())
+    table = ComparisonTable(
+        title, ("IID class", "measured #", "measured %", "paper %")
+    )
+    for cls in IidClass:
+        measured_pct = 100 * counts[cls] / total if total else 0.0
+        paper_pct = paper.get(cls)
+        table.add(
+            cls.value,
+            counts[cls],
+            fmt_pct(measured_pct),
+            fmt_pct(paper_pct) if paper_pct is not None else "-",
+        )
+    table.add("Total", total, "100.0%", "100.0%")
+    return table
+
+
+def table3_iid(addrs: Iterable[IPv6Addr]) -> ComparisonTable:
+    return _iid_table(
+        "Table III — IID analysis of discovered peripheries", addrs, PAPER_TABLE3
+    )
+
+
+def table5_service_iid(addrs: Iterable[IPv6Addr]) -> ComparisonTable:
+    table = _iid_table(
+        "Table V — IID analysis of peripheries with alive services",
+        addrs,
+        PAPER_TABLE5,
+    )
+    table.note(
+        "paper's Embed-IPv4 row (5.5%) duplicates Table III and overflows "
+        "100% — treated as an editing artefact"
+    )
+    return table
+
+
+def table10_loop_iid(addrs: Iterable[IPv6Addr]) -> ComparisonTable:
+    return _iid_table(
+        "Table X — IID analysis of last hops with routing loops",
+        addrs,
+        PAPER_TABLE10,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — vendors
+# ---------------------------------------------------------------------------
+
+def table4_vendors(
+    identified: Sequence[IdentifiedDevice], scale: float
+) -> ComparisonTable:
+    table = ComparisonTable(
+        f"Table IV — top periphery vendors (scale 1/{scale:g})",
+        ("Kind", "Vendor", "measured #", "paper #", "paper/scale"),
+    )
+    by_kind: Dict[str, Dict[str, int]] = {"CPE": {}, "UE": {}}
+    for device in identified:
+        bucket = by_kind.setdefault(device.kind, {})
+        bucket[device.vendor] = bucket.get(device.vendor, 0) + 1
+    for kind, paper in (("CPE", PAPER_TABLE4_CPE), ("UE", PAPER_TABLE4_UE)):
+        measured = by_kind.get(kind, {})
+        names = sorted(
+            set(measured) | set(paper),
+            key=lambda n: measured.get(n, 0),
+            reverse=True,
+        )
+        for name in names[:20]:
+            paper_count = paper.get(name)
+            table.add(
+                kind,
+                name,
+                measured.get(name, 0),
+                fmt_count(paper_count) if paper_count else "-",
+                f"{paper_count / scale:,.1f}" if paper_count else "-",
+            )
+    table.note(
+        "UE brand shares are inflated in the profiles (~30x) so the UE block "
+        "is visible at simulation scale; rankings follow the paper"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table VI — service probe matrix
+# ---------------------------------------------------------------------------
+
+PAPER_TABLE6 = (
+    ("DNS/53", "UDP", '"A" or version query', "answers"),
+    ("NTP/123", "UDP", "version query", "version reply"),
+    ("FTP/21", "TCP", "request for connecting", "successful response"),
+    ("SSH/22", "TCP", "version, key request", "version, key"),
+    ("TELNET/23", "TCP", "request for login", "response for login"),
+    ("HTTP/80", "TCP", "HTTP GET request", "header, version, body"),
+    ("TLS/443", "TCP", "certificate request", "certificate, cipher suite"),
+    ("HTTP/8080", "TCP", "HTTP GET request", "header, version, body"),
+)
+
+
+def table6_probe_matrix(
+    observations: Mapping[str, bool],
+) -> ComparisonTable:
+    """``observations``: service key → did the probe elicit a valid response
+    from a device running that service."""
+    table = ComparisonTable(
+        "Table VI — probing requests and valid responses",
+        ("Service/Port", "Proto", "Request", "Valid response", "Reproduced"),
+    )
+    for key, proto, request, response in PAPER_TABLE6:
+        table.add(
+            key, proto, request, response,
+            "yes" if observations.get(key) else "NO",
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table VII — alive services per ISP
+# ---------------------------------------------------------------------------
+
+def table7_services(
+    app_results: Mapping[str, AppScanResult],
+    census_sizes: Mapping[str, int],
+    scale: float,
+) -> ComparisonTable:
+    table = ComparisonTable(
+        f"Table VII — alive services on peripheries per ISP (scale 1/{scale:g})",
+        ("ISP", *[k.split("/")[0] + "/" + k.split("/")[1] for k in SERVICE_KEYS],
+         "Total", "Total% (paper)"),
+    )
+    grand: Dict[str, int] = {k: 0 for k in SERVICE_KEYS}
+    grand_alive = 0
+    grand_devices = 0
+    for key, result in app_results.items():
+        profile = _profile_for(key)
+        by_service = result.by_service()
+        alive_targets = result.alive_targets()
+        row = [f"{profile.isp} ({profile.network[0].lower()})"]
+        for service in SERVICE_KEYS:
+            count = len(by_service.get(service, []))
+            grand[service] += count
+            paper = profile.service_counts.get(service, 0) / scale
+            row.append(f"{count}/{paper:,.1f}")
+        n_devices = census_sizes.get(key, 0) or 1
+        grand_alive += len(alive_targets)
+        grand_devices += census_sizes.get(key, 0)
+        paper_total_pct = (
+            100 * sum(profile.service_counts.values()) / profile.paper_last_hops
+        )
+        row.append(str(len(alive_targets)))
+        row.append(
+            f"{100 * len(alive_targets) / n_devices:.1f}% "
+            f"({paper_total_pct:.1f}%)"
+        )
+        table.add(*row)
+    total_row = ["Total"]
+    for service in SERVICE_KEYS:
+        total_row.append(str(grand[service]))
+    total_row.append(str(grand_alive))
+    pct = 100 * grand_alive / grand_devices if grand_devices else 0.0
+    total_row.append(f"{pct:.1f}% (9.0%)")
+    table.add(*total_row)
+    table.note("cells are measured/paper-scaled device counts")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table VIII — software versions and CVEs
+# ---------------------------------------------------------------------------
+
+def table8_software(
+    app_results: Iterable[AppScanResult],
+    scale: float,
+    cve_db: CveDatabase = DEFAULT_CVE_DB,
+) -> ComparisonTable:
+    table = ComparisonTable(
+        f"Table VIII — top software, device counts, CVEs (scale 1/{scale:g})",
+        ("Service", "Software", "Family", "measured #", "paper #",
+         "CVEs (family)", "CVEs (software, paper)", "release lag"),
+    )
+    merged: Dict[str, Dict[str, int]] = {}
+    for result in app_results:
+        for obs in result.observations:
+            if not obs.alive or obs.software is None:
+                continue
+            family = family_of(obs.software.name, obs.software.version)
+            bucket = merged.setdefault(obs.service, {})
+            label = f"{obs.software.name}|{family}"
+            bucket[label] = bucket.get(label, 0) + 1
+
+    paper_lookup = {
+        (svc.split("/")[0], name, fam): (count, cves)
+        for svc, name, fam, count, cves in PAPER_TABLE8
+    }
+    paper_software_cves = {"dnsmasq": 16, "Jetty": 24, "MiniWeb HTTP Server": 24,
+                           "micro_httpd": 24, "GoAhead Embedded": 24,
+                           "dropbear": 10, "openssh": 74,
+                           "GNU Inetutils": 0, "FreeBSD": 1, "vsftpd": 2}
+    for service in sorted(merged):
+        for label, count in sorted(
+            merged[service].items(), key=lambda kv: kv[1], reverse=True
+        ):
+            name, family = label.split("|")
+            info = cve_db.info(name, family)
+            paper = paper_lookup.get((service.split("/")[0], name, family))
+            table.add(
+                service,
+                name,
+                family,
+                count,
+                fmt_count(paper[0]) if paper else "-",
+                info.cve_count if info else 0,
+                paper_software_cves.get(name, "-"),
+                f"{info.lag_years()}y" if info else "-",
+            )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table IX / XI — loop populations
+# ---------------------------------------------------------------------------
+
+def table9_bgp(
+    n_last_hops: int,
+    n_asn: int,
+    n_country: int,
+    loop_last_hops: int,
+    loop_asn: int,
+    loop_country: int,
+    scale: float,
+    as_scale: float,
+) -> ComparisonTable:
+    table = ComparisonTable(
+        "Table IX — BGP-advertised-prefix scanning "
+        f"(devices 1/{scale:g}, ASes 1/{as_scale:g})",
+        ("Last hops", "# unique", "paper", "# ASN", "paper", "# country",
+         "paper"),
+    )
+    table.add("Total", n_last_hops, "4,029,270", n_asn, "6,911",
+              n_country, "170")
+    table.add("with Routing Loop", loop_last_hops, "128,288", loop_asn,
+              "3,877", loop_country, "132")
+    table.add(
+        "loop share",
+        fmt_pct(100 * loop_last_hops / n_last_hops if n_last_hops else 0),
+        "3.2%",
+        fmt_pct(100 * loop_asn / n_asn if n_asn else 0), "56.1%",
+        fmt_pct(100 * loop_country / n_country if n_country else 0), "77.6%",
+    )
+    return table
+
+
+def table11_loops(
+    surveys: Mapping[str, LoopSurvey],
+    scale: float,
+) -> ComparisonTable:
+    table = ComparisonTable(
+        f"Table XI — peripheries with routing loop per ISP (scale 1/{scale:g})",
+        ("ISP", "loops", "paper/scale", "same%", "paper", "diff%", "paper"),
+    )
+    total = 0
+    total_same = 0
+    for key, survey in surveys.items():
+        profile = _profile_for(key)
+        total += survey.n_unique
+        total_same += sum(1 for r in survey.records if r.same_slash64)
+        table.add(
+            f"{profile.isp} ({profile.network[0].lower()})",
+            survey.n_unique,
+            f"{profile.loop_count / scale:,.1f}",
+            fmt_pct(survey.same_pct),
+            fmt_pct(profile.loop_same_frac * 100),
+            fmt_pct(survey.diff_pct),
+            fmt_pct(100 - profile.loop_same_frac * 100),
+        )
+    if total:
+        table.add(
+            "Total", total, "5,792.2", fmt_pct(100 * total_same / total),
+            "4.9%", fmt_pct(100 - 100 * total_same / total), "95.1%",
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table XII — case study
+# ---------------------------------------------------------------------------
+
+def table12_case_study(results: Sequence[CaseStudyResult]) -> ComparisonTable:
+    table = ComparisonTable(
+        "Table XII — routing loop router testing (99 units)",
+        ("Brand", "Model", "Firmware", "WAN loops", "LAN loops",
+         "crossings", "immune→unreach"),
+    )
+    showcased = {"GT-AC5300", "COVR-3902", "WS5100", "EA8100", "R6400v2",
+                 "AC23", "TL-XDR3230", "AX5", "19.07.4"}
+    for result in results:
+        if result.router.model not in showcased:
+            continue
+        table.add(
+            result.router.brand,
+            result.router.model,
+            result.router.firmware,
+            "yes" if result.wan_loops else "no",
+            "yes" if result.lan_loops else "no",
+            max(result.wan_crossings, result.lan_crossings),
+            "yes" if result.immune_prefix_unreachable else "NO",
+        )
+    vulnerable = sum(1 for r in results if r.vulnerable)
+    table.note(
+        f"{vulnerable}/{len(results)} units vulnerable "
+        "(paper: all 99 vulnerable)"
+    )
+    capped = [
+        r.router.brand for r in results
+        if r.router.loop_forward_limit is not None
+    ]
+    table.note(
+        "loop-capped firmware (>10 forwards instead of (255-n)/2): "
+        + ", ".join(sorted(set(capped)))
+    )
+    return table

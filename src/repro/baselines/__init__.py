@@ -1,0 +1,26 @@
+"""Baseline discovery techniques the paper compares against (§III, §VIII).
+
+* :mod:`repro.baselines.traceroute_discovery` — periphery discovery via
+  traceroute (Rye & Beverly, PAM'20: the "[77]" the paper claims to beat):
+  walk paths toward random addresses and keep the last responding hop.
+* :mod:`repro.baselines.endhost` — classic end-host scanning (the
+  hitlist/TGA framing): count devices found as *live hosts* (echo replies)
+  under a probe budget, the 2^64-IID needle-in-a-haystack the paper's
+  introduction dismisses.
+
+Both run against the same simulated blocks as XMap, so the benchmark
+`bench_baseline_comparison.py` can compare probes-per-discovery directly.
+"""
+
+from repro.baselines.traceroute_discovery import (
+    TracerouteDiscovery,
+    discover_by_traceroute,
+)
+from repro.baselines.endhost import EndHostScanReport, scan_end_hosts
+
+__all__ = [
+    "TracerouteDiscovery",
+    "discover_by_traceroute",
+    "EndHostScanReport",
+    "scan_end_hosts",
+]

@@ -1,0 +1,79 @@
+"""Traceroute-based periphery discovery (the Rye & Beverly baseline).
+
+"Discovering the IPv6 Network Periphery" (PAM 2020) finds peripheries by
+tracerouting toward randomised addresses inside routed prefixes and
+recording the deepest responding hop.  It finds the same devices XMap does
+— the last hop *is* the periphery — but costs one probe per hop-limit value
+per target instead of XMap's single probe, because the technique walks the
+whole path rather than exploiting the RFC 4443 unreachable directly.
+
+The implementation reuses :func:`repro.loop.hopcount.traceroute` and the
+standard target generator so the comparison against XMap
+(``bench_baseline_comparison.py``) is apples-to-apples: same blocks, same
+pseudorandom targets, measured probes-per-discovered-periphery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.target import IidStrategy, ScanRange, TargetGenerator
+from repro.loop.hopcount import traceroute
+from repro.net.addr import IPv6Addr
+from repro.net.device import Device
+from repro.net.network import Network
+
+
+@dataclass
+class TracerouteDiscovery:
+    """Outcome of a traceroute sweep over a sub-prefix window."""
+
+    scan_range: ScanRange
+    last_hops: Set[IPv6Addr] = field(default_factory=set)
+    probes_sent: int = 0
+    targets_walked: int = 0
+
+    @property
+    def probes_per_discovery(self) -> float:
+        return self.probes_sent / len(self.last_hops) if self.last_hops else 0.0
+
+
+def discover_by_traceroute(
+    network: Network,
+    vantage: Device,
+    scan_spec: str | ScanRange,
+    max_targets: Optional[int] = None,
+    max_hops: int = 32,
+    seed: int = 0,
+    skip_transit_hops: int = 2,
+) -> TracerouteDiscovery:
+    """Traceroute toward one random-IID address per sub-prefix.
+
+    ``skip_transit_hops`` drops the shared transit portion of every path
+    (vantage-side core/ISP routers) from the discovery set, as the baseline
+    does by filtering known infrastructure.
+    """
+    scan_range = (
+        ScanRange.parse(scan_spec) if isinstance(scan_spec, str) else scan_spec
+    )
+    generator = TargetGenerator(scan_range, IidStrategy.RANDOM, seed=seed)
+    from repro.core.permutation import make_permutation
+
+    permutation = make_permutation(scan_range.count, seed=seed)
+    result = TracerouteDiscovery(scan_range=scan_range)
+
+    for index in permutation.indices():
+        if max_targets is not None and result.targets_walked >= max_targets:
+            break
+        result.targets_walked += 1
+        target = generator.address(index)
+        trace = traceroute(network, vantage, target, max_hops=max_hops,
+                           seed=seed)
+        result.probes_sent += len(trace.hops)
+        # The deepest responding hop beyond the transit core is the
+        # periphery candidate.
+        responders = [hop.responder for hop in trace.hops if hop.responder]
+        if len(responders) > skip_transit_hops:
+            result.last_hops.add(responders[-1])
+    return result

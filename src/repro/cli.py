@@ -1,0 +1,293 @@
+"""Command-line interface: drive the reproduction without writing Python.
+
+Installed as ``repro-xmap``.  Subcommands mirror the paper's experiments:
+
+* ``census``     — Table I/II: subnet inference + periphery discovery;
+* ``services``   — Table VII/VIII: the exposed-services audit;
+* ``loops``      — Table XI: loop location on the sample blocks;
+* ``attack``     — §VI-A: one amplification attack, with measured crossings;
+* ``casestudy``  — Table XII: the 99-router firmware bench;
+* ``feasibility``— §III-B: scan-duration projections for a given bandwidth.
+
+Examples::
+
+    repro-xmap census --isp in-jio-broadband --scale 20000
+    repro-xmap services --isp cn-mobile-broadband --csv out.csv
+    repro-xmap loops --scale 50000
+    repro-xmap attack
+    repro-xmap feasibility --gbps 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import tables
+from repro.analysis.report import ComparisonTable
+from repro.core.output import write_census_csv, write_loops_csv
+from repro.core.stats import FeasibilityRow
+from repro.discovery.periphery import discover
+from repro.discovery.subnet import infer_subprefix_length
+from repro.isp.builder import build_deployment
+from repro.isp.profiles import PAPER_PROFILES, profile_by_key
+from repro.loop.detector import find_loops
+from repro.net.packet import MAX_HOP_LIMIT
+from repro.services.zgrab import AppScanner
+
+
+def _profiles(args) -> list:
+    if args.isp:
+        return [profile_by_key(key) for key in args.isp]
+    return list(PAPER_PROFILES)
+
+
+def _build(args):
+    profiles = _profiles(args)
+    print(f"building deployment (scale 1/{args.scale:g}, "
+          f"{len(profiles)} block(s)) ...", file=sys.stderr)
+    return build_deployment(profiles=profiles, scale=args.scale, seed=args.seed)
+
+
+def cmd_census(args) -> int:
+    deployment = _build(args)
+    inferences, censuses = {}, {}
+    for key, isp in deployment.isps.items():
+        inferences[key] = infer_subprefix_length(
+            deployment.network, deployment.vantage, isp.scan_base,
+            seed=args.seed,
+        )
+        censuses[key] = discover(
+            deployment.network, deployment.vantage, isp.scan_spec,
+            seed=args.seed, rate_pps=args.rate,
+        )
+    print(tables.table1_subnet_inference(inferences).render())
+    print()
+    print(tables.table2_periphery(censuses, args.scale).render())
+    print()
+    addrs = [r.last_hop for c in censuses.values() for r in c.records]
+    print(tables.table3_iid(addrs).render())
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            for census in censuses.values():
+                write_census_csv(census, handle)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_services(args) -> int:
+    deployment = _build(args)
+    scanner = AppScanner(deployment.network, deployment.vantage)
+    censuses, app_results = {}, {}
+    for key, isp in deployment.isps.items():
+        censuses[key] = discover(
+            deployment.network, deployment.vantage, isp.scan_spec,
+            seed=args.seed,
+        )
+        app_results[key] = scanner.scan(censuses[key].last_hop_addresses())
+    sizes = {key: censuses[key].n_unique for key in censuses}
+    print(tables.table7_services(app_results, sizes, args.scale).render())
+    print()
+    print(tables.table8_software(app_results.values(), args.scale).render())
+    if args.csv:
+        import csv as _csv
+
+        with open(args.csv, "w") as handle:
+            writer = _csv.writer(handle)
+            writer.writerow(["target", "service", "alive", "software",
+                             "banner", "vendor_hint"])
+            for result in app_results.values():
+                for obs in result.observations:
+                    writer.writerow([
+                        str(obs.target), obs.service, obs.alive,
+                        obs.software.banner if obs.software else "",
+                        obs.banner, obs.vendor_hint,
+                    ])
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_loops(args) -> int:
+    deployment = _build(args)
+    surveys = {}
+    for key, isp in deployment.isps.items():
+        surveys[key] = find_loops(
+            deployment.network, deployment.vantage, isp.scan_spec,
+            seed=args.seed,
+        )
+    print(tables.table11_loops(surveys, args.scale).render())
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            for survey in surveys.values():
+                write_loops_csv(survey, handle)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.loop.attack import run_loop_attack
+    from repro.net.testbed import MiniTopology, build_mini
+
+    topo = build_mini()
+    target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+    report = run_loop_attack(
+        topo.network, topo.vantage, target, "isp", "cpe-vuln",
+        hop_limit=args.hop_limit,
+    )
+    table = ComparisonTable(
+        "Routing-loop amplification (one attacker packet)",
+        ("Metric", "Value"),
+    )
+    table.add("target (not-used prefix)", str(target))
+    table.add("hop limit", report.hop_limit)
+    table.add("link crossings measured", report.amplification)
+    table.add("paper bound (255-n)", report.theoretical)
+    table.add("forwards per router", f"{report.per_router_forwards:.0f}")
+    print(table.render())
+    return 0
+
+
+def cmd_casestudy(args) -> int:
+    from repro.loop.casestudy import run_case_study
+
+    results = run_case_study()
+    print(tables.table12_case_study(results).render())
+    vulnerable = sum(1 for r in results if r.vulnerable)
+    print(f"\n{vulnerable}/{len(results)} units vulnerable")
+    return 0
+
+
+def cmd_disclose(args) -> int:
+    from repro.analysis.disclosure import build_disclosure_report
+    from repro.discovery.vendor_id import VendorIdentifier
+
+    deployment = _build(args)
+    scanner = AppScanner(deployment.network, deployment.vantage)
+    vid = VendorIdentifier(deployment.catalog)
+    identified, surveys, observations = [], {}, []
+    for key, isp in deployment.isps.items():
+        census = discover(
+            deployment.network, deployment.vantage, isp.scan_spec,
+            seed=args.seed,
+        )
+        app = scanner.scan(census.last_hop_addresses())
+        identified.extend(vid.identify(census.records, app.observations))
+        observations.extend(app.observations)
+        surveys[key] = find_loops(
+            deployment.network, deployment.vantage, isp.scan_spec,
+            seed=args.seed,
+        )
+    report = build_disclosure_report(identified, surveys, observations)
+    print(report.render_summary())
+    if args.vendor:
+        print()
+        print(report.render_advisory(args.vendor))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    import time
+
+    from repro.analysis.reproduce import reproduce_all
+
+    started = time.time()
+
+    def progress(message: str) -> None:
+        print(f"[{time.time() - started:6.1f}s] {message}", file=sys.stderr,
+              flush=True)
+
+    run = reproduce_all(scale=args.scale, seed=args.seed, progress=progress)
+    report = run.report()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_feasibility(args) -> int:
+    bandwidth = args.gbps * 1e9
+    rows = [
+        FeasibilityRow("/64 sub-prefixes of a /32 block (2^32)", 32, bandwidth),
+        FeasibilityRow("/60 sub-prefixes of a /28 block (2^36)", 36, bandwidth),
+        FeasibilityRow("/64 sub-prefixes of a /24 block (2^40)", 40, bandwidth),
+    ]
+    table = ComparisonTable(
+        f"§III-B scan projections at {args.gbps:g} Gbps",
+        ("Space", "window bits", "duration"),
+    )
+    for row in rows:
+        table.add(row.label, row.window_bits, row.human)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xmap",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--scale", type=float, default=20_000.0,
+                       help="population scale-down factor (default 20000)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--isp", action="append", default=None,
+                       metavar="KEY",
+                       help="profile key (repeatable); default: all fifteen")
+        p.add_argument("--csv", default=None, help="also write results as CSV")
+
+    p = sub.add_parser("census", help="Tables I-III: discovery census")
+    common(p)
+    p.add_argument("--rate", type=float, default=25_000.0,
+                   help="probe rate in pps (default 25000, the paper's)")
+    p.set_defaults(func=cmd_census)
+
+    p = sub.add_parser("services", help="Tables VII-VIII: service audit")
+    common(p)
+    p.set_defaults(func=cmd_services)
+
+    p = sub.add_parser("loops", help="Table XI: loop location")
+    common(p)
+    p.set_defaults(func=cmd_loops)
+
+    p = sub.add_parser("attack", help="§VI-A: amplification demo")
+    p.add_argument("--hop-limit", type=int, default=MAX_HOP_LIMIT)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("casestudy", help="Table XII: 99-router bench")
+    p.set_defaults(func=cmd_casestudy)
+
+    p = sub.add_parser("disclose",
+                       help="§VII: per-vendor disclosure summary/advisories")
+    common(p)
+    p.add_argument("--vendor", default=None,
+                   help="also print the full advisory for one vendor")
+    p.set_defaults(func=cmd_disclose)
+
+    p = sub.add_parser("reproduce",
+                       help="run the whole evaluation, emit one report")
+    p.add_argument("--scale", type=float, default=50_000.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", default=None, help="write the report to a file")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("feasibility", help="§III-B projections")
+    p.add_argument("--gbps", type=float, default=1.0)
+    p.set_defaults(func=cmd_feasibility)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

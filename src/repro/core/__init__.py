@@ -1,0 +1,41 @@
+"""XMap: the fast IPv6 network scanner (the paper's primary contribution).
+
+The scanner follows the ZMap architecture the paper extends:
+
+* a **full-cycle pseudorandom permutation** of the scan space, so probes are
+  spread across target sub-networks and no state is needed to avoid repeats
+  (:mod:`repro.core.cyclic` — multiplicative group mod a prime, XMap's
+  GMP-backed design — with :mod:`repro.core.feistel` as the arbitrary-width
+  fallback);
+* **stateless reply validation** — probe fields are derived from a keyed hash
+  of the destination, so replies are attributed without a per-probe table
+  (:mod:`repro.core.validate`, keyed by :mod:`repro.core.siphash`);
+* **scan-range targeting over arbitrary bit windows** — XMap's headline
+  generalisation of ZMap: ``2001:db8::/32-64`` scans every /64 inside the
+  /32 (:mod:`repro.core.target`);
+* radix-tree block/allow lists (:mod:`repro.core.blocklist`), token-bucket
+  rate control (:mod:`repro.core.ratelimit`), sharding (:mod:`repro.core.shard`),
+  pluggable probe modules (:mod:`repro.core.probes`), and the engine itself
+  (:mod:`repro.core.scanner`).
+"""
+
+from repro.core.target import ScanRange, IidStrategy
+from repro.core.cyclic import CyclicGroupPermutation
+from repro.core.feistel import FeistelPermutation
+from repro.core.permutation import make_permutation
+from repro.core.blocklist import PrefixSet, Blocklist
+from repro.core.scanner import Scanner, ScanConfig, ProbeResult, ScanResult
+
+__all__ = [
+    "ScanRange",
+    "IidStrategy",
+    "CyclicGroupPermutation",
+    "FeistelPermutation",
+    "make_permutation",
+    "PrefixSet",
+    "Blocklist",
+    "Scanner",
+    "ScanConfig",
+    "ProbeResult",
+    "ScanResult",
+]

@@ -1,0 +1,163 @@
+"""Scanner block/allow lists as binary prefix tries.
+
+ZMap/XMap exclude reserved space and operator opt-outs with a blocklist, and
+can be restricted to an allowlist.  The semantics implemented here mirror
+ZMap's: an address may be probed iff it is covered by the allowlist (or no
+allowlist is configured) and not covered by the blocklist; the most-specific
+covering entry wins when the same tree holds both.
+
+The tries store :class:`repro.net.addr.IPv6Prefix` entries and answer
+point-containment queries in O(prefix length).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.net.addr import IPv6Addr, IPv6Prefix
+
+
+class _Node:
+    __slots__ = ("zero", "one", "prefix")
+
+    def __init__(self) -> None:
+        self.zero: Optional[_Node] = None
+        self.one: Optional[_Node] = None
+        self.prefix: Optional[IPv6Prefix] = None
+
+
+class PrefixSet:
+    """A set of IPv6 prefixes with covering-prefix queries."""
+
+    def __init__(self, prefixes: Iterable[IPv6Prefix | str] = ()) -> None:
+        self._root = _Node()
+        self._count = 0
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: IPv6Prefix | str) -> None:
+        if isinstance(prefix, str):
+            prefix = IPv6Prefix.from_string(prefix)
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (127 - depth)) & 1
+            if bit:
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if node.prefix is None:
+            self._count += 1
+        node.prefix = prefix
+
+    def covering(self, addr: IPv6Addr | int) -> Optional[IPv6Prefix]:
+        """The most specific stored prefix covering ``addr``, or None."""
+        value = addr.value if isinstance(addr, IPv6Addr) else addr
+        node: Optional[_Node] = self._root
+        best = self._root.prefix
+        for depth in range(128):
+            bit = (value >> (127 - depth)) & 1
+            node = node.one if bit else node.zero  # type: ignore[union-attr]
+            if node is None:
+                break
+            if node.prefix is not None:
+                best = node.prefix
+        return best
+
+    def __contains__(self, addr: IPv6Addr | int) -> bool:
+        return self.covering(addr) is not None
+
+    def __iter__(self) -> Iterator[IPv6Prefix]:
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.prefix is not None:
+                yield node.prefix
+            if node.one is not None:
+                stack.append(node.one)
+            if node.zero is not None:
+                stack.append(node.zero)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+#: Address space a research scanner must never probe: unspecified/loopback,
+#: IPv4-mapped, unique-local, link-local, and multicast.
+DEFAULT_BLOCKED = (
+    "::/8",
+    "::ffff:0:0/96",
+    "fc00::/7",
+    "fe80::/10",
+    "ff00::/8",
+)
+
+
+def parse_conf(text: str) -> List[IPv6Prefix]:
+    """Parse a ZMap-style blocklist/allowlist file.
+
+    One prefix per line; ``#`` starts a comment (full-line or trailing);
+    blank lines are ignored.  A bare address is treated as a /128.
+    """
+    prefixes: List[IPv6Prefix] = []
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "/" not in line:
+            line = f"{line}/128"
+        try:
+            prefixes.append(IPv6Prefix.from_string(line))
+        except Exception as exc:
+            raise ValueError(
+                f"blocklist line {line_number}: {raw!r}: {exc}"
+            ) from exc
+    return prefixes
+
+
+class Blocklist:
+    """Combined allow/block policy for probe targets."""
+
+    def __init__(
+        self,
+        blocked: Iterable[IPv6Prefix | str] = DEFAULT_BLOCKED,
+        allowed: Iterable[IPv6Prefix | str] | None = None,
+    ) -> None:
+        self.blocked = PrefixSet(blocked)
+        self.allowed = PrefixSet(allowed) if allowed is not None else None
+
+    @classmethod
+    def from_files(
+        cls,
+        blocked_path: str | None = None,
+        allowed_path: str | None = None,
+        include_defaults: bool = True,
+    ) -> "Blocklist":
+        """Build the policy from ZMap-style conf files."""
+        blocked: List[IPv6Prefix | str] = (
+            list(DEFAULT_BLOCKED) if include_defaults else []
+        )
+        if blocked_path is not None:
+            with open(blocked_path) as handle:
+                blocked.extend(parse_conf(handle.read()))
+        allowed = None
+        if allowed_path is not None:
+            with open(allowed_path) as handle:
+                allowed = parse_conf(handle.read())
+        return cls(blocked=blocked, allowed=allowed)
+
+    def is_allowed(self, addr: IPv6Addr | int) -> bool:
+        block_hit = self.blocked.covering(addr)
+        allow_hit = self.allowed.covering(addr) if self.allowed else None
+        if self.allowed is not None and allow_hit is None:
+            return False
+        if block_hit is None:
+            return True
+        if allow_hit is None:
+            return False
+        # Both lists cover the address: the more specific entry wins, the
+        # blocklist winning ties (safety first).
+        return allow_hit.length > block_hit.length

@@ -1,0 +1,92 @@
+"""Full-cycle scan-space permutation via a multiplicative group mod a prime.
+
+This is XMap's address-generation design (inherited from ZMap, generalised
+from the fixed 2^32+15 prime to arbitrary scan-space sizes): pick the
+smallest prime ``p`` larger than the space size ``N``, take a random
+primitive root ``g`` of Z_p*, and walk ``x → x·g mod p`` starting from a
+random element.  The walk visits every element of ``{1, …, p−1}`` exactly
+once per cycle; elements larger than ``N`` are skipped, leaving a uniform
+pseudorandom permutation of ``{0, …, N−1}`` that needs O(1) state.
+
+Because the full cycle is a single orbit, sharding is positional (as in
+ZMap): shard ``i`` of ``k`` starts at ``s·g^i`` and steps by ``g^k``,
+partitioning the orbit into ``k`` interleaved, disjoint, jointly exhaustive
+subsequences — the property the sharding tests verify.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.primes import factorize, next_prime, primitive_root
+
+#: Above this size the prime search / factorisation cost is not worth it and
+#: :func:`repro.core.permutation.make_permutation` switches to the Feistel
+#: construction instead.
+MAX_CYCLIC_BITS = 72
+
+
+class CyclicGroupPermutation:
+    """A pseudorandom permutation of ``range(size)`` with O(1) state."""
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError("permutation size must be positive")
+        self.size = size
+        self.seed = seed
+        rng = random.Random(seed ^ 0xC7C11C)
+        if size <= 2:
+            # Degenerate spaces: the group machinery adds nothing.
+            self._prime = None
+            self._generator = None
+            self._start = rng.randrange(size)
+            return
+        self._prime = next_prime(size + 1)
+        factors = factorize(self._prime - 1)
+        self._generator = primitive_root(self._prime, factors, rng)
+        self._start = rng.randrange(1, self._prime)
+
+    @property
+    def prime(self) -> int | None:
+        return self._prime
+
+    @property
+    def generator(self) -> int | None:
+        return self._generator
+
+    def indices(self, shard: int = 0, shards: int = 1) -> Iterator[int]:
+        """Yield this shard's slice of the permuted index sequence.
+
+        With ``shards == 1`` the full permutation of ``range(size)`` is
+        produced.  Shards partition the underlying group orbit positionally,
+        so the union over all shards is exactly ``range(size)`` and shards
+        are pairwise disjoint.
+        """
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shards")
+        if self._prime is None:
+            for position, value in enumerate(self._tiny_sequence()):
+                if position % shards == shard:
+                    yield value
+            return
+        p, g = self._prime, self._generator
+        assert g is not None
+        element = self._start * pow(g, shard, p) % p
+        step = pow(g, shards, p)
+        positions = p - 1  # orbit length of the full group
+        count = (positions - shard + shards - 1) // shards
+        for _ in range(count):
+            if element <= self.size:
+                yield element - 1
+            element = element * step % p
+
+    def _tiny_sequence(self) -> Iterator[int]:
+        for offset in range(self.size):
+            yield (self._start + offset) % self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return self.indices()
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,74 @@
+"""Cycle-walking Feistel permutation over arbitrary-size scan spaces.
+
+The multiplicative-group permutation needs a prime just above the space size
+and a factorisation of ``p − 1``; for very wide spaces (beyond
+:data:`repro.core.cyclic.MAX_CYCLIC_BITS`) that setup cost is unbounded.
+This module provides the standard alternative: a balanced Feistel network
+over the smallest even-bit-width domain covering the space, keyed by
+SipHash-2-4 round functions, restricted to ``range(size)`` by cycle-walking
+(re-encrypting until the value lands inside the target set — guaranteed to
+terminate because the permutation is a bijection of the covering domain).
+
+Unlike the cyclic walk this construction gives O(1) *random access*
+(``permute(i)`` without iterating), which the shard iterator exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.siphash import keyed_uint
+
+DEFAULT_ROUNDS = 4
+
+
+class FeistelPermutation:
+    """A keyed pseudorandom permutation of ``range(size)``."""
+
+    def __init__(self, size: int, seed: int = 0, rounds: int = DEFAULT_ROUNDS):
+        if size < 1:
+            raise ValueError("permutation size must be positive")
+        if rounds < 2:
+            raise ValueError("at least two Feistel rounds are required")
+        self.size = size
+        self.rounds = rounds
+        self._key = (seed & (1 << 128) - 1).to_bytes(16, "little")
+        half_bits = max(1, ((size - 1).bit_length() + 1) // 2)
+        self._half_bits = half_bits
+        self._half_mask = (1 << half_bits) - 1
+        self._domain = 1 << (2 * half_bits)
+
+    def _encrypt(self, value: int) -> int:
+        left = value >> self._half_bits
+        right = value & self._half_mask
+        for round_index in range(self.rounds):
+            f = keyed_uint(self._key, round_index, right) & self._half_mask
+            left, right = right, left ^ f
+        return (left << self._half_bits) | right
+
+    def permute(self, index: int) -> int:
+        """The permuted position of ``index`` (random access)."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} outside range({self.size})")
+        value = self._encrypt(index)
+        while value >= self.size:  # cycle-walk back into the target set
+            value = self._encrypt(value)
+        return value
+
+    def indices(self, shard: int = 0, shards: int = 1) -> Iterator[int]:
+        """Yield this shard's slice of the permuted sequence.
+
+        Shard ``i`` takes counter positions ``i, i+k, i+2k, …`` — disjoint
+        across shards and jointly exhaustive, matching the contract of
+        :meth:`repro.core.cyclic.CyclicGroupPermutation.indices`.
+        """
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shards")
+        for counter in range(shard, self.size, shards):
+            yield self.permute(counter)
+
+    def __iter__(self) -> Iterator[int]:
+        return self.indices()
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,93 @@
+"""Result output modules (ZMap-style CSV / JSON-lines writers).
+
+ZMap-family scanners stream results through pluggable output modules; the
+reproduction provides the two everybody uses — CSV and JSON lines — for
+:class:`repro.core.scanner.ScanResult`, periphery censuses, and loop
+surveys, so downstream tooling can consume scan output without touching the
+Python API.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import IO
+
+from repro.core.scanner import ProbeResult, ScanResult
+from repro.discovery.periphery import PeripheryCensus
+from repro.loop.detector import LoopSurvey
+
+
+def _probe_row(result: ProbeResult) -> dict:
+    return {
+        "target": str(result.target),
+        "responder": str(result.responder),
+        "kind": result.kind.value,
+        "icmp_type": result.icmp_type,
+        "icmp_code": result.icmp_code,
+        "same_slash64": result.same_slash64,
+    }
+
+
+def write_scan_csv(result: ScanResult, stream: IO[str]) -> int:
+    """Write one row per validated reply; returns the row count."""
+    fields = ["target", "responder", "kind", "icmp_type", "icmp_code",
+              "same_slash64"]
+    writer = csv.DictWriter(stream, fieldnames=fields)
+    writer.writeheader()
+    count = 0
+    for probe_result in result.results:
+        writer.writerow(_probe_row(probe_result))
+        count += 1
+    return count
+
+
+def write_scan_jsonl(result: ScanResult, stream: IO[str]) -> int:
+    count = 0
+    for probe_result in result.results:
+        stream.write(json.dumps(_probe_row(probe_result)) + "\n")
+        count += 1
+    return count
+
+
+def write_census_csv(census: PeripheryCensus, stream: IO[str]) -> int:
+    fields = ["last_hop", "probe_target", "reply_kind", "iid_class", "mac",
+              "same_slash64"]
+    writer = csv.DictWriter(stream, fieldnames=fields)
+    writer.writeheader()
+    count = 0
+    for record in census.records:
+        writer.writerow({
+            "last_hop": str(record.last_hop),
+            "probe_target": str(record.probe_target),
+            "reply_kind": record.reply_kind.value,
+            "iid_class": record.iid_class.value,
+            "mac": str(record.mac) if record.mac else "",
+            "same_slash64": record.same_slash64,
+        })
+        count += 1
+    return count
+
+
+def write_loops_csv(survey: LoopSurvey, stream: IO[str]) -> int:
+    fields = ["last_hop", "probe_target", "iid_class", "same_slash64"]
+    writer = csv.DictWriter(stream, fieldnames=fields)
+    writer.writeheader()
+    count = 0
+    for record in survey.records:
+        writer.writerow({
+            "last_hop": str(record.last_hop),
+            "probe_target": str(record.probe_target),
+            "iid_class": record.iid_class.value,
+            "same_slash64": record.same_slash64,
+        })
+        count += 1
+    return count
+
+
+def render_csv(writer, payload) -> str:
+    """Convenience: run one of the ``write_*`` functions into a string."""
+    buffer = io.StringIO()
+    writer(payload, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,36 @@
+"""Backend selection for the scan-space permutation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.core.cyclic import MAX_CYCLIC_BITS, CyclicGroupPermutation
+from repro.core.feistel import FeistelPermutation
+
+
+@runtime_checkable
+class Permutation(Protocol):
+    """What the scanner requires of an address permutation."""
+
+    size: int
+
+    def indices(self, shard: int = 0, shards: int = 1) -> Iterator[int]: ...
+
+    def __iter__(self) -> Iterator[int]: ...
+
+
+def make_permutation(size: int, seed: int = 0, backend: str = "auto") -> Permutation:
+    """Build a permutation of ``range(size)``.
+
+    ``backend`` is ``"cyclic"`` (multiplicative group — XMap's native
+    design), ``"feistel"`` (cycle-walking PRP), or ``"auto"``: cyclic up to
+    :data:`~repro.core.cyclic.MAX_CYCLIC_BITS` bits of space, Feistel beyond,
+    where prime search and ``p−1`` factorisation stop being cheap.
+    """
+    if backend == "auto":
+        backend = "cyclic" if size.bit_length() <= MAX_CYCLIC_BITS else "feistel"
+    if backend == "cyclic":
+        return CyclicGroupPermutation(size, seed)
+    if backend == "feistel":
+        return FeistelPermutation(size, seed)
+    raise ValueError(f"unknown permutation backend {backend!r}")

@@ -1,0 +1,170 @@
+"""Number theory for the cyclic-group permutation.
+
+XMap's address-generation module permutes the scan space by walking a
+multiplicative group of integers modulo a prime (the design it inherits from
+ZMap, re-implemented over GMP big integers).  Building that group needs three
+primitives, implemented here from scratch:
+
+* deterministic Miller–Rabin primality testing (exact below 3.3e24, strong
+  pseudoprime bases per Sorenson & Webster; randomised witnesses above);
+* Pollard's rho (Brent's variant) integer factorisation, used to factor
+  ``p − 1`` when searching for a primitive root;
+* primitive-root search: ``g`` generates Z_p* iff ``g^((p−1)/q) != 1`` for
+  every prime factor ``q`` of ``p − 1``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List
+
+# Deterministic Miller-Rabin witness sets (smallest base sets proven exact
+# up to the listed bounds).
+_MR_DETERMINISTIC: List[tuple[int, tuple[int, ...]]] = [
+    (2047, (2,)),
+    (1373653, (2, 3)),
+    (9080191, (31, 73)),
+    (25326001, (2, 3, 5)),
+    (3215031751, (2, 3, 5, 7)),
+    (4759123141, (2, 7, 61)),
+    (1122004669633, (2, 13, 23, 1662803)),
+    (2152302898747, (2, 3, 5, 7, 11)),
+    (3474749660383, (2, 3, 5, 7, 11, 13)),
+    (341550071728321, (2, 3, 5, 7, 11, 13, 17)),
+    (3825123056546413051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+    (318665857834031151167461, (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)),
+    (
+        3317044064679887385961981,
+        (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41),
+    ),
+]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """True if ``a`` witnesses that ``n`` is composite."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test, deterministic below ~3.3e24."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    for bound, bases in _MR_DETERMINISTIC:
+        if n < bound:
+            return not any(_miller_rabin_witness(n, a, d, r) for a in bases)
+
+    rng = rng or random.Random(n & 0xFFFFFFFF)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def _pollard_rho(n: int, rng: random.Random) -> int:
+    """One nontrivial factor of composite odd ``n`` (Brent's cycle finding)."""
+    if n % 2 == 0:
+        return 2
+    while True:
+        y = rng.randrange(1, n)
+        c = rng.randrange(1, n)
+        m = 128
+        g, r, q = 1, 1, 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+        if g == n:
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
+
+
+def factorize(n: int, rng: random.Random | None = None) -> Dict[int, int]:
+    """Prime factorisation ``{prime: exponent}`` via trial division + rho."""
+    if n < 1:
+        raise ValueError("factorize expects a positive integer")
+    rng = rng or random.Random(0xFAC702)
+    factors: Dict[int, int] = {}
+
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+
+    stack = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        d = _pollard_rho(m, rng)
+        stack.append(d)
+        stack.append(m // d)
+    return factors
+
+
+def primitive_root(p: int, factors: Dict[int, int] | None = None,
+                   rng: random.Random | None = None) -> int:
+    """A generator of the multiplicative group Z_p* for prime ``p``."""
+    if p == 2:
+        return 1
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    order = p - 1
+    factors = factors or factorize(order)
+    exponents = [order // q for q in factors]
+    rng = rng or random.Random(p & 0xFFFFFFFF)
+    while True:
+        g = rng.randrange(2, p)
+        if all(pow(g, e, p) != 1 for e in exponents):
+            return g

@@ -1,0 +1,21 @@
+"""XMap probe modules.
+
+Each module builds one probe packet per target and classifies candidate
+replies statelessly via the scan :class:`repro.core.validate.Validator`.
+The ICMPv6 echo module is the paper's workhorse (periphery discovery and the
+routing-loop probes); TCP SYN and UDP modules support the service survey.
+"""
+
+from repro.core.probes.base import ProbeModule, ProbeReply, ReplyKind
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.probes.tcp import TcpSynProbe
+from repro.core.probes.udp import UdpProbe
+
+__all__ = [
+    "ProbeModule",
+    "ProbeReply",
+    "ReplyKind",
+    "IcmpEchoProbe",
+    "TcpSynProbe",
+    "UdpProbe",
+]

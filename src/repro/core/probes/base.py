@@ -1,0 +1,112 @@
+"""Probe module interface and the reply taxonomy the analyses consume."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.validate import Validator
+from repro.net.addr import IPv6Addr
+from repro.net.packet import (
+    Icmpv6Message,
+    Icmpv6Type,
+    Packet,
+    PacketError,
+)
+
+
+class ReplyKind(Enum):
+    """How a target (or an on-path router) answered a probe."""
+
+    ECHO_REPLY = "echo-reply"
+    DEST_UNREACHABLE = "dest-unreachable"
+    TIME_EXCEEDED = "time-exceeded"
+    TCP_SYNACK = "tcp-synack"
+    TCP_RST = "tcp-rst"
+    UDP_REPLY = "udp-reply"
+    PORT_UNREACHABLE = "port-unreachable"
+
+    @property
+    def is_error(self) -> bool:
+        return self in (
+            ReplyKind.DEST_UNREACHABLE,
+            ReplyKind.TIME_EXCEEDED,
+            ReplyKind.PORT_UNREACHABLE,
+        )
+
+
+@dataclass(frozen=True)
+class ProbeReply:
+    """A validated reply attributed to one probe.
+
+    ``responder`` is who answered (for ICMPv6 errors, the *reporting* device
+    — the paper's "last hop"); ``target`` is the original probe destination
+    recovered from the quoted invoking packet.
+    """
+
+    responder: IPv6Addr
+    target: IPv6Addr
+    kind: ReplyKind
+    icmp_type: int = 0
+    icmp_code: int = 0
+
+    @property
+    def same_slash64(self) -> bool:
+        """Does the responder share the probe target's /64? (Table II)."""
+        return self.responder.slash64 == self.target.slash64
+
+
+class ProbeModule(ABC):
+    """Builds probes for targets and validates candidate replies."""
+
+    name: str = "probe"
+
+    def __init__(self, validator: Validator) -> None:
+        self.validator = validator
+
+    @abstractmethod
+    def build(self, src: IPv6Addr, dst: IPv6Addr) -> Packet:
+        """The probe packet for one target."""
+
+    @abstractmethod
+    def classify(self, packet: Packet) -> Optional[ProbeReply]:
+        """Attribute a received packet to this scan, or return None."""
+
+    # -- shared ICMPv6-error handling ----------------------------------------
+
+    def _classify_icmp_error(self, packet: Packet) -> Optional[ProbeReply]:
+        """Validate an ICMPv6 error by re-deriving fields for the quoted
+        invoking packet's destination (works for every probe type, since the
+        error quotes our own probe)."""
+        message = packet.payload
+        if not isinstance(message, Icmpv6Message) or not message.is_error:
+            return None
+        try:
+            invoking = Packet.decode(message.invoking)
+        except PacketError:
+            return None
+        if not self._validates_invoking(invoking):
+            return None
+        if message.type == Icmpv6Type.DEST_UNREACHABLE:
+            kind = (
+                ReplyKind.PORT_UNREACHABLE
+                if message.code == 4
+                else ReplyKind.DEST_UNREACHABLE
+            )
+        elif message.type == Icmpv6Type.TIME_EXCEEDED:
+            kind = ReplyKind.TIME_EXCEEDED
+        else:
+            return None
+        return ProbeReply(
+            responder=packet.src,
+            target=invoking.dst,
+            kind=kind,
+            icmp_type=message.type,
+            icmp_code=message.code,
+        )
+
+    @abstractmethod
+    def _validates_invoking(self, invoking: Packet) -> bool:
+        """Is the quoted invoking packet one of this module's probes?"""

@@ -1,0 +1,63 @@
+"""ICMPv6 Echo Request probe — the periphery-discovery workhorse.
+
+The ident/seq pair is hash-derived from the destination, and the 8-byte echo
+payload carries the full 64-bit validation tag, so both direct Echo Replies
+and ICMPv6 errors quoting the probe validate statelessly.
+
+``hop_limit`` is configurable because the routing-loop detector (§VI-B)
+probes the same way with crafted hop limits (h and h+2) to elicit Time
+Exceeded messages from looping links.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.core.probes.base import ProbeModule, ProbeReply, ReplyKind
+from repro.net.addr import IPv6Addr
+from repro.net.packet import (
+    DEFAULT_HOP_LIMIT,
+    Icmpv6Message,
+    Icmpv6Type,
+    Packet,
+    echo_request,
+)
+
+
+class IcmpEchoProbe(ProbeModule):
+    name = "icmpv6-echo"
+
+    def __init__(self, validator, hop_limit: int = DEFAULT_HOP_LIMIT) -> None:
+        super().__init__(validator)
+        self.hop_limit = hop_limit
+
+    def build(self, src: IPv6Addr, dst: IPv6Addr) -> Packet:
+        fields = self.validator.fields(dst)
+        payload = struct.pack("!Q", self.validator.tag(dst))
+        return echo_request(
+            src, dst, fields.ident, fields.seq, payload, hop_limit=self.hop_limit
+        )
+
+    def classify(self, packet: Packet) -> Optional[ProbeReply]:
+        message = packet.payload
+        if not isinstance(message, Icmpv6Message):
+            return None
+        if message.type == Icmpv6Type.ECHO_REPLY:
+            if not self.validator.check_echo(packet.src, message.ident, message.seq):
+                return None
+            return ProbeReply(
+                responder=packet.src,
+                target=packet.src,
+                kind=ReplyKind.ECHO_REPLY,
+                icmp_type=message.type,
+            )
+        return self._classify_icmp_error(packet)
+
+    def _validates_invoking(self, invoking: Packet) -> bool:
+        inner = invoking.payload
+        if not isinstance(inner, Icmpv6Message):
+            return False
+        if inner.type != Icmpv6Type.ECHO_REQUEST:
+            return False
+        return self.validator.check_echo(invoking.dst, inner.ident, inner.seq)

@@ -1,0 +1,80 @@
+"""SipHash-2-4 (Aumasson & Bernstein), implemented from scratch.
+
+ZMap-family scanners are stateless: they encode scan state into probe fields
+(ICMP ident/seq, TCP source port/sequence) as a keyed hash of the destination
+so a reply can be validated without a per-probe table.  SipHash is the keyed
+PRF used for that validation here, and as the round function of the Feistel
+permutation fallback.
+
+Reference test vectors from the SipHash paper are checked in the unit tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotl(x: int, b: int) -> int:
+    return ((x << b) | (x >> (64 - b))) & _MASK
+
+
+def siphash24(key: bytes, data: bytes) -> int:
+    """SipHash-2-4 of ``data`` under a 16-byte ``key``; returns a 64-bit int."""
+    if len(key) != 16:
+        raise ValueError("SipHash key must be exactly 16 bytes")
+    k0, k1 = struct.unpack("<QQ", key)
+    v0 = k0 ^ 0x736F6D6570736575
+    v1 = k1 ^ 0x646F72616E646F6D
+    v2 = k0 ^ 0x6C7967656E657261
+    v3 = k1 ^ 0x7465646279746573
+
+    def sipround() -> None:
+        nonlocal v0, v1, v2, v3
+        v0 = (v0 + v1) & _MASK
+        v1 = _rotl(v1, 13)
+        v1 ^= v0
+        v0 = _rotl(v0, 32)
+        v2 = (v2 + v3) & _MASK
+        v3 = _rotl(v3, 16)
+        v3 ^= v2
+        v0 = (v0 + v3) & _MASK
+        v3 = _rotl(v3, 21)
+        v3 ^= v0
+        v2 = (v2 + v1) & _MASK
+        v1 = _rotl(v1, 17)
+        v1 ^= v2
+        v2 = _rotl(v2, 32)
+
+    total = len(data)
+    tail_len = total % 8
+    body_len = total - tail_len
+    for offset in range(0, body_len, 8):
+        (m,) = struct.unpack_from("<Q", data, offset)
+        v3 ^= m
+        sipround()
+        sipround()
+        v0 ^= m
+
+    tail = data[body_len:] + b"\x00" * (7 - tail_len) + bytes([total & 0xFF])
+    (m,) = struct.unpack("<Q", tail)
+    v3 ^= m
+    sipround()
+    sipround()
+    v0 ^= m
+
+    v2 ^= 0xFF
+    for _ in range(4):
+        sipround()
+    return (v0 ^ v1 ^ v2 ^ v3) & _MASK
+
+
+def keyed_uint(key: bytes, *parts: int) -> int:
+    """SipHash over a tuple of integers, each encoded as 16 LE bytes.
+
+    Convenience wrapper used by the validator and the Feistel rounds; 16
+    bytes covers full 128-bit address values.
+    """
+    data = b"".join(part.to_bytes(16, "little") for part in parts)
+    return siphash24(key, data)

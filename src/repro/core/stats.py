@@ -1,0 +1,82 @@
+"""Scan statistics and the feasibility projections of §III-B."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScanStats:
+    """Counters the engine maintains over one scan."""
+
+    sent: int = 0
+    blocked: int = 0
+    received: int = 0
+    validated: int = 0
+    discarded: int = 0
+    virtual_start: float = 0.0
+    virtual_end: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def virtual_seconds(self) -> float:
+        return max(0.0, self.virtual_end - self.virtual_start)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.validated / self.sent if self.sent else 0.0
+
+    @property
+    def virtual_pps(self) -> float:
+        return self.sent / self.virtual_seconds if self.virtual_seconds else 0.0
+
+    @property
+    def wall_pps(self) -> float:
+        return self.sent / self.wall_seconds if self.wall_seconds else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"sent={self.sent} blocked={self.blocked} validated={self.validated} "
+            f"hit-rate={self.hit_rate:.4%} virtual-pps={self.virtual_pps:,.0f}"
+        )
+
+
+#: Bytes on the wire for a minimal ICMPv6 echo probe (IPv6 40 + ICMP 8 + tag 8),
+#: plus Ethernet framing (14 header + 4 FCS + 8 preamble + 12 IFG).
+PROBE_WIRE_BYTES = 56 + 38
+
+
+def probes_per_second(bandwidth_bps: float) -> float:
+    """How many echo probes a given uplink sustains (§III-B arithmetic)."""
+    return bandwidth_bps / (PROBE_WIRE_BYTES * 8)
+
+
+def scan_duration_seconds(window_bits: int, bandwidth_bps: float) -> float:
+    """Projected wall-clock to cover a 2^window_bits sub-prefix space.
+
+    The paper's §III-B feasibility claims: at 1 Gbps, all /64 sub-prefixes of
+    a /24 block (2^40) take ~8 days and all /60 sub-prefixes (2^36) ~14 hours.
+    """
+    return (1 << window_bits) / probes_per_second(bandwidth_bps)
+
+
+@dataclass
+class FeasibilityRow:
+    """One row of the §III-B projection table."""
+
+    label: str
+    window_bits: int
+    bandwidth_bps: float
+    seconds: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.seconds = scan_duration_seconds(self.window_bits, self.bandwidth_bps)
+
+    @property
+    def human(self) -> str:
+        seconds = self.seconds
+        if seconds >= 86400:
+            return f"{seconds / 86400:.1f} days"
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f} hours"
+        return f"{seconds:.0f} s"

@@ -1,0 +1,67 @@
+"""Stateless probe validation.
+
+A ZMap-family scanner keeps no per-probe state: every mutable field it
+controls in a probe (ICMP ident/seq, TCP source port and sequence number,
+UDP source port) is derived from a keyed hash of the probe's destination
+address.  When a reply (or an ICMPv6 error quoting the probe) comes back,
+re-deriving the hash tells the scanner whether the packet belongs to this
+scan — dropping spoofed or stale traffic without a lookup table.
+
+The key is a per-scan random secret; an off-path attacker who cannot observe
+probes cannot forge validating replies.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.siphash import keyed_uint
+from repro.net.addr import IPv6Addr
+
+
+@dataclass(frozen=True)
+class ProbeFields:
+    """The validator-derived header fields for one probe destination."""
+
+    ident: int  # 16-bit (ICMP ident / source-port material)
+    seq: int  # 16-bit (ICMP seq)
+    tcp_seq: int  # 32-bit (TCP sequence)
+    sport: int  # 16-bit ephemeral source port (32768..65535)
+
+
+class Validator:
+    """Derives and checks per-destination probe fields from a scan secret."""
+
+    def __init__(self, secret: bytes | None = None) -> None:
+        if secret is None:
+            secret = os.urandom(16)
+        if len(secret) != 16:
+            raise ValueError("validation secret must be 16 bytes")
+        self.secret = secret
+
+    def tag(self, dst: IPv6Addr | int) -> int:
+        """The 64-bit validation tag for a destination address."""
+        value = dst.value if isinstance(dst, IPv6Addr) else dst
+        return keyed_uint(self.secret, value)
+
+    def fields(self, dst: IPv6Addr | int) -> ProbeFields:
+        tag = self.tag(dst)
+        return ProbeFields(
+            ident=tag & 0xFFFF,
+            seq=(tag >> 16) & 0xFFFF,
+            tcp_seq=(tag >> 16) & 0xFFFFFFFF,
+            sport=0x8000 | ((tag >> 48) & 0x7FFF),
+        )
+
+    def check_echo(self, dst: IPv6Addr, ident: int, seq: int) -> bool:
+        fields = self.fields(dst)
+        return fields.ident == ident and fields.seq == seq
+
+    def check_tcp(self, dst: IPv6Addr, sport: int, ack: int) -> bool:
+        """Validate a SYN-ACK/RST: their ack must be our seq + 1."""
+        fields = self.fields(dst)
+        return fields.sport == sport and ack == (fields.tcp_seq + 1) & 0xFFFFFFFF
+
+    def check_udp(self, dst: IPv6Addr, sport: int) -> bool:
+        return self.fields(dst).sport == sport

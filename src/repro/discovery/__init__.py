@@ -1,0 +1,29 @@
+"""The periphery-discovery methodology layer (§III-§IV).
+
+* :mod:`repro.discovery.subnet` — the sub-prefix (subnet boundary) length
+  inference of §IV-A;
+* :mod:`repro.discovery.periphery` — the end-to-end discovery pipeline that
+  produces Table II;
+* :mod:`repro.discovery.iid` — the addr6-equivalent interface-identifier
+  classifier behind Tables III/V/X;
+* :mod:`repro.discovery.vendor_id` — vendor identification from embedded
+  MACs and application-level banners (Table IV, Figures 2/3/6).
+"""
+
+from repro.discovery.iid import IidClass, classify_iid, iid_breakdown
+from repro.discovery.subnet import SubnetInference, infer_subprefix_length
+from repro.discovery.periphery import PeripheryCensus, PeripheryRecord, discover
+from repro.discovery.vendor_id import VendorIdentifier, IdentifiedDevice
+
+__all__ = [
+    "IidClass",
+    "classify_iid",
+    "iid_breakdown",
+    "SubnetInference",
+    "infer_subprefix_length",
+    "PeripheryCensus",
+    "PeripheryRecord",
+    "discover",
+    "VendorIdentifier",
+    "IdentifiedDevice",
+]

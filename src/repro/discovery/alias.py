@@ -1,0 +1,97 @@
+"""Aliased-prefix detection.
+
+Table II reports "unique, **non-aliased** last hop IPv6 addresses": a prefix
+is *aliased* when some middlebox answers for every address inside it (CDN
+front ends, some firewalls), which would let a single device masquerade as
+millions of discoveries.  The standard test (Gasser et al., the hitlist work
+the paper builds on) probes a handful of pseudorandom addresses per prefix —
+a real periphery answers for *none* of them (they don't exist), while an
+aliased prefix answers for *all* of them.
+
+:class:`AliasedResponder` is the corresponding simulator device, used to
+inject aliasing into test populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from repro.core.probes.base import ReplyKind
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.validate import Validator
+from repro.net.addr import IPv6Prefix
+from repro.net.device import Device, Host, ReceiveResult
+from repro.net.network import Network
+from repro.core.siphash import keyed_uint
+
+
+class AliasedResponder(Host):
+    """A middlebox that answers echo probes for its whole prefix."""
+
+    def __init__(self, name: str, alias_prefix: IPv6Prefix, **kwargs) -> None:
+        super().__init__(name, alias_prefix.address(1), **kwargs)
+        self.alias_prefix = alias_prefix
+
+    def receive(self, packet, network: "Network") -> ReceiveResult:
+        if self.alias_prefix.contains(packet.dst):
+            return ReceiveResult(replies=self._deliver_local(packet, network))
+        return super().receive(packet, network)
+
+
+@dataclass
+class AliasCheck:
+    """Outcome of probing one prefix for aliasing."""
+
+    prefix: IPv6Prefix
+    probes: int
+    echo_replies: int
+
+    @property
+    def aliased(self) -> bool:
+        """Aliased iff every pseudorandom probe drew an echo reply."""
+        return self.probes > 0 and self.echo_replies == self.probes
+
+
+def check_aliased(
+    network: Network,
+    vantage: Device,
+    prefixes: Iterable[IPv6Prefix],
+    samples: int = 3,
+    seed: int = 0,
+) -> List[AliasCheck]:
+    """Probe ``samples`` pseudorandom addresses inside each prefix."""
+    validator = Validator(((seed * 0x85EB) & ((1 << 128) - 1) or 5).to_bytes(16, "little"))
+    probe = IcmpEchoProbe(validator)
+    key = (seed & ((1 << 128) - 1)).to_bytes(16, "little")
+    results = []
+    for prefix in prefixes:
+        host_bits = 128 - prefix.length
+        hits = 0
+        for i in range(samples):
+            offset = keyed_uint(key, prefix.network, i) & ((1 << host_bits) - 1)
+            target = prefix.address(offset)
+            packet = probe.build(vantage.primary_address, target)
+            inbox, _trace = network.inject(packet, vantage)
+            for reply in inbox:
+                classified = probe.classify(reply)
+                if classified is not None and classified.kind is ReplyKind.ECHO_REPLY:
+                    hits += 1
+                    break
+        results.append(AliasCheck(prefix=prefix, probes=samples, echo_replies=hits))
+    return results
+
+
+def aliased_prefixes(
+    network: Network,
+    vantage: Device,
+    prefixes: Iterable[IPv6Prefix],
+    samples: int = 3,
+    seed: int = 0,
+) -> Set[IPv6Prefix]:
+    """The subset of ``prefixes`` that test as aliased."""
+    return {
+        check.prefix
+        for check in check_aliased(network, vantage, prefixes, samples, seed)
+        if check.aliased
+    }

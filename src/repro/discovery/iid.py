@@ -1,0 +1,113 @@
+"""Interface-identifier classification (the paper's addr6 step, §IV-E).
+
+The paper runs every discovered address through Gont's ``addr6`` tool and
+buckets the 64-bit IID as:
+
+* **EUI-64** — carries the ``ff:fe`` middle marker, i.e. SLAAC from a MAC;
+  the embedded MAC identifies the hardware vendor;
+* **Low-byte** — a run of zeroes followed only by a low number (typically
+  manually configured router addresses like ``::1``);
+* **Embed-IPv4** — an IPv4 address carried in the low 32 bits;
+* **Byte-pattern** — a discernible repeating pattern;
+* **Randomized** — none of the above (SLAAC privacy addresses, RFC 4941/7217).
+
+The classifier is deterministic and the population generator inverts it: it
+draws IIDs per class and asserts they classify back, so the measured Table
+III/V/X splits reflect the configured populations exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Dict, Iterable
+
+from repro.net.addr import IPv6Addr, MacAddress, is_eui64_iid
+
+LOW_BYTE_MAX = 0xFFFF
+
+
+class IidClass(Enum):
+    EUI64 = "EUI-64"
+    LOW_BYTE = "Low-byte"
+    EMBED_IPV4 = "Embed-IPv4"
+    BYTE_PATTERN = "Byte-pattern"
+    RANDOMIZED = "Randomized"
+
+
+def _hextets(iid: int) -> tuple[int, int, int, int]:
+    return (
+        (iid >> 48) & 0xFFFF,
+        (iid >> 32) & 0xFFFF,
+        (iid >> 16) & 0xFFFF,
+        iid & 0xFFFF,
+    )
+
+
+def _looks_like_ipv4(value: int) -> bool:
+    """Plausible unicast IPv4 in 32 bits: first octet 1..223, last not 255."""
+    first = (value >> 24) & 0xFF
+    last = value & 0xFF
+    return 1 <= first <= 223 and last != 255
+
+
+def classify_iid(iid: int | IPv6Addr) -> IidClass:
+    """Bucket one interface identifier (low 64 bits of an address)."""
+    if isinstance(iid, IPv6Addr):
+        iid = iid.iid
+    if is_eui64_iid(iid):
+        return IidClass.EUI64
+    if 0 <= iid <= LOW_BYTE_MAX:
+        return IidClass.LOW_BYTE
+    if iid >> 32 == 0 and _looks_like_ipv4(iid):
+        return IidClass.EMBED_IPV4
+    if len(set(_hextets(iid))) <= 2:
+        return IidClass.BYTE_PATTERN
+    return IidClass.RANDOMIZED
+
+
+def iid_breakdown(addrs: Iterable[IPv6Addr | int]) -> Dict[IidClass, int]:
+    """Class → count over a population (Tables III, V, X)."""
+    counts: Dict[IidClass, int] = {cls: 0 for cls in IidClass}
+    for addr in addrs:
+        counts[classify_iid(addr if isinstance(addr, int) else addr.iid)] += 1
+    return counts
+
+
+class IidGenerator:
+    """Draws IIDs of a requested class (the classifier's inverse)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def generate(self, cls: IidClass, mac: MacAddress | None = None) -> int:
+        if cls is IidClass.EUI64:
+            if mac is None:
+                raise ValueError("EUI-64 IIDs require a MAC address")
+            return mac.to_eui64_iid()
+        if cls is IidClass.LOW_BYTE:
+            return self.rng.randrange(1, 0x100)
+        if cls is IidClass.EMBED_IPV4:
+            value = (
+                (self.rng.randrange(1, 224) << 24)
+                | (self.rng.randrange(0, 256) << 16)
+                | (self.rng.randrange(0, 256) << 8)
+                | self.rng.randrange(1, 255)
+            )
+            assert classify_iid(value) is IidClass.EMBED_IPV4
+            return value
+        if cls is IidClass.BYTE_PATTERN:
+            hextet = self.rng.randrange(0x100, 0x10000)
+            shape = self.rng.choice(("solid", "alternating"))
+            if shape == "solid":
+                value = hextet << 48 | hextet << 32 | hextet << 16 | hextet
+            else:
+                value = hextet << 48 | hextet << 16
+            if classify_iid(value) is IidClass.BYTE_PATTERN:
+                return value
+            return self.generate(cls)  # rare marker collision: redraw
+        # RANDOMIZED: redraw until nothing else claims the value.
+        while True:
+            value = self.rng.getrandbits(64)
+            if classify_iid(value) is IidClass.RANDOMIZED:
+                return value

@@ -1,0 +1,164 @@
+"""Sub-prefix (subnet boundary) length inference (§IV-A).
+
+A prerequisite of periphery scanning is knowing the delegation length an ISP
+hands its customers (Table I).  The paper's technique:
+
+1. **Preliminary scan** — probe random-IID addresses under different /64
+   sub-prefixes of the ISP block until an ICMPv6 Destination Unreachable
+   arrives from a periphery-like address.
+2. **Bit walking** — starting from that witness probe, flip address bits
+   from the 64th up toward the block boundary, re-probing each variant.  As
+   long as the flipped address still falls inside the same customer's
+   delegation, the same periphery answers; the first bit whose flip changes
+   (or silences) the responder marks the subnet boundary.
+3. **Replication** — repeat with several witnesses and take the majority.
+
+The same device answering for a whole /60 is exactly what RFC 7084 prefix
+delegation produces, which is why the walk converges on the delegation size.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.permutation import make_permutation
+from repro.core.probes.base import ProbeModule
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.validate import Validator
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.device import Device
+from repro.net.network import Network
+
+
+@dataclass
+class SubnetInference:
+    """Outcome of one boundary inference run."""
+
+    base: IPv6Prefix
+    boundary_length: Optional[int]
+    witnesses: List[Tuple[IPv6Addr, IPv6Addr, int]] = field(default_factory=list)
+    probes_sent: int = 0
+
+    @property
+    def confident(self) -> bool:
+        """True when at least two witnesses agreed on the boundary."""
+        if self.boundary_length is None:
+            return False
+        votes = [boundary for _probe, _resp, boundary in self.witnesses]
+        return votes.count(self.boundary_length) >= 2
+
+
+class _Prober:
+    def __init__(self, network: Network, vantage: Device, probe: ProbeModule):
+        self.network = network
+        self.vantage = vantage
+        self.probe = probe
+        self.sent = 0
+
+    def responder(self, target: IPv6Addr) -> Optional[IPv6Addr]:
+        """Send one probe; the address of the error-replying device, if any."""
+        packet = self.probe.build(self.vantage.primary_address, target)
+        self.sent += 1
+        inbox, _trace = self.network.inject(packet, self.vantage)
+        for reply in inbox:
+            classified = self.probe.classify(reply)
+            if classified is not None and classified.kind.is_error:
+                return classified.responder
+        return None
+
+
+def infer_subprefix_length(
+    network: Network,
+    vantage: Device,
+    base: IPv6Prefix,
+    probe: Optional[ProbeModule] = None,
+    seed: int = 0,
+    max_preliminary: int = 512,
+    witnesses: int = 3,
+    longest: int = 64,
+) -> SubnetInference:
+    """Infer the delegation length for customers inside ``base``.
+
+    ``longest`` caps the assumed boundary at /64, "the longest prefix
+    assigned to peripheries depending on the far-ranging address assignment
+    practices" (§IV-A).
+    """
+    if base.length > longest:
+        raise ValueError(f"base {base} is already longer than /{longest}")
+    if probe is None:
+        # Full hop limit: on loop-vulnerable customers the Time Exceeded
+        # then comes from the CPE itself, so every probe into one delegation
+        # names the same responder and the bit walk stays consistent.
+        probe = IcmpEchoProbe(
+            Validator((seed & ((1 << 128) - 1)).to_bytes(16, "little")),
+            hop_limit=255,
+        )
+    prober = _Prober(network, vantage, probe)
+    rng = random.Random(seed ^ 0x5EB0)
+    result = SubnetInference(base=base, boundary_length=None)
+
+    # Preliminary scan: walk random /64s of the block until something answers.
+    window = longest - base.length
+    permutation = make_permutation(1 << min(window, 24), seed=seed or 1)
+    found: List[Tuple[IPv6Addr, IPv6Addr]] = []
+    for index in permutation.indices():
+        if prober.sent >= max_preliminary or len(found) >= witnesses:
+            break
+        target = base.subprefix(index % (1 << window), longest).address(
+            rng.getrandbits(64)
+        )
+        responder = prober.responder(target)
+        if responder is not None:
+            found.append((target, responder))
+
+    votes: Counter[int] = Counter()
+    for target, responder in found:
+        boundary = _walk_bits(prober, rng, base, target, responder, longest)
+        result.witnesses.append((target, responder, boundary))
+        votes[boundary] += 1
+
+    result.probes_sent = prober.sent
+    if votes:
+        result.boundary_length = votes.most_common(1)[0][0]
+    return result
+
+
+def _walk_bits(
+    prober: _Prober,
+    rng: random.Random,
+    base: IPv6Prefix,
+    witness: IPv6Addr,
+    responder: IPv6Addr,
+    longest: int,
+    attempts: int = 3,
+) -> int:
+    """Flip prefix bits of the witness toward the block boundary.
+
+    Returns the inferred boundary: one past the highest flipped bit whose
+    variant no longer drew the same responder.  Each bit is re-probed up to
+    ``attempts`` times before concluding the responder changed, so a single
+    lost reply does not truncate the walk ("we replicate the test several
+    times to ensure the correctness", §IV-A).
+    """
+    boundary = longest
+    for bit in range(longest - 1, base.length - 1, -1):
+        same_responder = False
+        for _ in range(attempts):
+            flipped = IPv6Addr(witness.value ^ (1 << (127 - bit)))
+            # Refresh the IID so the variant is almost surely nonexistent.
+            flipped = IPv6Addr(
+                (flipped.value & ~((1 << 64) - 1)) | rng.getrandbits(64)
+            )
+            if prober.responder(flipped) == responder:
+                same_responder = True
+                break
+        if not same_responder:
+            # The flip left the customer's delegation: this bit is already
+            # routing-significant, so the boundary sits just below it.
+            boundary = bit + 1
+            break
+        boundary = bit
+    return boundary

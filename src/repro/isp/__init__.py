@@ -1,0 +1,24 @@
+"""ISP population models: the synthetic stand-in for twelve production ISPs.
+
+:mod:`repro.isp.vendors` is the device-vendor catalogue (who makes CPEs/UEs,
+which software stacks they ship, which services they tend to expose);
+:mod:`repro.isp.profiles` encodes the fifteen measured IPv6 blocks of
+Table I/II as parameter sets; :mod:`repro.isp.builder` instantiates a
+:class:`repro.net.network.Network` populated per those profiles.
+"""
+
+from repro.isp.vendors import Vendor, VendorCatalog, DEFAULT_CATALOG
+from repro.isp.profiles import IspProfile, PAPER_PROFILES, profile_by_key
+from repro.isp.builder import Deployment, BuiltIsp, build_deployment
+
+__all__ = [
+    "Vendor",
+    "VendorCatalog",
+    "DEFAULT_CATALOG",
+    "IspProfile",
+    "PAPER_PROFILES",
+    "profile_by_key",
+    "Deployment",
+    "BuiltIsp",
+    "build_deployment",
+]

@@ -1,0 +1,518 @@
+"""Instantiates the simulated IPv6 Internet from ISP profiles.
+
+``build_deployment`` creates the measurement vantage, a transit core, and —
+for each :class:`repro.isp.profiles.IspProfile` — an ISP router plus a
+scaled customer population:
+
+* **"same" devices** (UE-model phones and single-prefix CPEs): their
+  delegated prefix is on-link to themselves, so probes draw same-/64
+  unreachables (Table II's "same" column);
+* **"diff" devices** (CPE-model home routers): a delegated LAN prefix inside
+  the scanned window plus a WAN address in the ISP's point-to-point
+  infrastructure space, so probes draw different-/64 unreachables.  WAN
+  addresses are optionally concentrated into few infrastructure /64s,
+  reproducing Table II's low /64-uniqueness for Comcast/Charter/Mediacom;
+* per-device IID class, vendor, MAC (with the configured duplicate rate),
+  exposed services with vendor software stacks, and routing-loop defects
+  (missing discard routes on the WAN or LAN prefix, split per Table XI).
+
+The builder records a :class:`DeviceTruth` per device — ground truth used by
+tests and EXPERIMENTS.md comparisons, never by the measurement pipeline.
+
+Scale-down: populations are ``paper_count / scale`` and the scanned window is
+sized to keep a realistic empty-space majority; every prefix keeps its real
+paper length (delegations are genuine /64s and /60s), so discovery,
+inference, and loop machinery run on unmodified address arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.discovery.iid import IidClass, IidGenerator, classify_iid
+from repro.isp.profiles import SERVICE_KEYS, IspProfile, PAPER_PROFILES
+from repro.isp.vendors import DEFAULT_CATALOG, UE, Vendor, VendorCatalog
+from repro.net.addr import IPv6Addr, IPv6Prefix, MacAddress
+from repro.net.device import CpeRouter, Device, Host, IspRouter, Router, UeDevice
+from repro.net.network import Network
+from repro.services.base import SERVICE_SPECS, Software
+from repro.services.banner import FtpServer, SshServer, TelnetServer
+from repro.services.dns import DnsForwarder
+from repro.services.http import HttpServer, TlsServer
+from repro.services.ntp import NtpServer
+
+#: Share of the non-EUI-64 population per IID class, from Table III's totals
+#: (1.0 : 5.5 : 10.4 : 75.5 out of the 92.4% that is not EUI-64).
+NON_EUI_SPLIT = (
+    (IidClass.LOW_BYTE, 0.0108),
+    (IidClass.EMBED_IPV4, 0.0595),
+    (IidClass.BYTE_PATTERN, 0.1126),
+    (IidClass.RANDOMIZED, 0.8171),
+)
+
+VANTAGE_ADDRESS = "2001:4860:4860::6464"
+CORE_ADDRESS = "2001:4860:4860::1"
+
+_TELNETD = Software("telnetd", "")
+
+
+@dataclass
+class DeviceTruth:
+    """Ground truth for one simulated periphery device."""
+
+    name: str
+    isp_key: str
+    vendor: str
+    kind: str  # "CPE" | "UE"
+    archetype: str  # "same" | "diff"
+    iid_class: IidClass
+    last_hop: IPv6Addr  # the WAN/UE address a scan should expose
+    delegated: IPv6Prefix  # the in-window prefix assigned to the customer
+    mac: Optional[MacAddress]
+    services: Dict[str, Software] = field(default_factory=dict)
+    loop_vulnerable: bool = False
+    loop_prefix: str = ""  # "wan" | "lan" | ""
+
+
+@dataclass
+class BuiltIsp:
+    """One instantiated ISP block."""
+
+    profile: IspProfile
+    router: IspRouter
+    scan_base: IPv6Prefix
+    window_bits: int
+    n_devices: int
+    scale: float
+    truths: List[DeviceTruth] = field(default_factory=list)
+
+    @property
+    def scan_spec(self) -> str:
+        """Scan-range string for the scaled window, in XMap notation."""
+        return f"{self.scan_base}-{self.profile.subprefix_len}"
+
+    def truth_by_last_hop(self) -> Dict[int, DeviceTruth]:
+        return {truth.last_hop.value: truth for truth in self.truths}
+
+
+@dataclass
+class Deployment:
+    """The full simulated Internet: vantage, core, and all ISP blocks."""
+
+    network: Network
+    vantage: Host
+    core: Router
+    isps: Dict[str, BuiltIsp]
+    catalog: VendorCatalog
+
+    def all_truths(self) -> List[DeviceTruth]:
+        return [t for isp in self.isps.values() for t in isp.truths]
+
+    @property
+    def hops_before_isp(self) -> int:
+        """The paper's ``n``: forwarding hops from the vantage to any ISP
+        router (vantage → core → ISP)."""
+        return 2
+
+
+def _unregistered_mac(vendor: str, nic: int) -> MacAddress:
+    """A MAC under an OUI nobody registered (unidentifiable hardware)."""
+    digest = hashlib.sha256(f"unregistered-oui:{vendor}".encode()).digest()
+    oui = int.from_bytes(digest[:3], "big") & ~(0x03 << 16)
+    return MacAddress((oui << 24) | (nic & 0xFFFFFF))
+
+
+def _iid_class_plan(
+    rng: random.Random, count: int, eui64_frac: float
+) -> List[IidClass]:
+    n_eui = round(count * eui64_frac)
+    plan = [IidClass.EUI64] * n_eui
+    rest = count - n_eui
+    for cls, share in NON_EUI_SPLIT:
+        plan.extend([cls] * round(rest * share))
+    plan = plan[:count]
+    while len(plan) < count:
+        plan.append(IidClass.RANDOMIZED)
+    rng.shuffle(plan)
+    return plan
+
+
+class _IspBuilder:
+    """Builds one ISP block's router and customer population."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        profile: IspProfile,
+        scale: float,
+        min_devices: int,
+        window_headroom_bits: int,
+        seed: int,
+    ) -> None:
+        self.deployment = deployment
+        self.profile = profile
+        self.scale = scale
+        self.rng = random.Random((seed << 16) ^ (profile.index * 0x9E3779B9))
+        self.iid_gen = IidGenerator(self.rng)
+        self.n_devices = max(min_devices, round(profile.paper_last_hops / scale))
+        self.window_bits = min(
+            20,
+            max(8, math.ceil(math.log2(self.n_devices)) + window_headroom_bits),
+        )
+        self._nic_counters: Dict[str, int] = {}
+        self._mac_pool: Dict[str, List[MacAddress]] = {}
+
+        block = profile.block_prefix
+        base_len = profile.subprefix_len - self.window_bits
+        if base_len < block.length:
+            raise ValueError(
+                f"{profile.key}: window of {self.window_bits} bits does not "
+                f"fit between /{block.length} and /{profile.subprefix_len}"
+            )
+        # Child 1 of the block at base_len: the scanned customer space;
+        # child 2: point-to-point WAN infrastructure space (never scanned).
+        self.scan_base = block.subprefix(1, base_len)
+        self.infra_base = block.subprefix(2, base_len)
+
+    # -- identity helpers -----------------------------------------------------
+
+    def _make_mac(self, vendor: Vendor, force_duplicate: bool) -> MacAddress:
+        pool = self._mac_pool.setdefault(vendor.name, [])
+        if force_duplicate and pool:
+            # Duplicate MACs come from cloned firmware, so the twin is
+            # another unit of the same vendor.
+            return self.rng.choice(pool)
+        nic = self._nic_counters.get(vendor.name, 0)
+        self._nic_counters[vendor.name] = nic + 1
+        if vendor.identifiable_by_mac:
+            mac = self.deployment.catalog.registry.make_mac(
+                vendor.name, nic, oui_index=nic % max(1, vendor.oui_count)
+            )
+        else:
+            mac = _unregistered_mac(vendor.name, nic)
+        pool.append(mac)
+        return mac
+
+    #: Exposure damping for manually-configured address classes: Table V
+    #: shows service-alive devices are essentially EUI-64 + Randomized (the
+    #: consumer-CPE classes); low-byte/pattern/embed addresses belong to
+    #: hand-configured infrastructure that rarely runs periphery services.
+    MANUAL_IID_EXPOSURE = 0.15
+
+    def _services_for(
+        self, vendor: Vendor, iid_class: IidClass = IidClass.RANDOMIZED
+    ) -> Dict[str, Software]:
+        """Draw the device's exposed services.
+
+        Exposure is *correlated*: Table VII's per-service counts sum to far
+        more than its per-ISP totals, i.e. one exposed device typically
+        opens several services.  So the device is first drawn "exposed" with
+        the ISP's total-alive propensity (stretched to cover the vendor's
+        largest per-service marginal), and only then are individual services
+        drawn conditionally — preserving both the service marginals and the
+        alive-device total.
+        """
+        profile = self.profile
+        marginals = {
+            key: min(1.0, profile.service_rate(key) * vendor.affinity(key))
+            for key in SERVICE_KEYS
+        }
+        peak = max(marginals.values(), default=0.0)
+        if peak <= 0:
+            return {}
+        q_isp = profile.service_total / profile.paper_last_hops
+        propensity = min(1.0, max(q_isp, peak))
+        if iid_class in (IidClass.LOW_BYTE, IidClass.BYTE_PATTERN,
+                         IidClass.EMBED_IPV4):
+            propensity *= self.MANUAL_IID_EXPOSURE
+        if self.rng.random() >= propensity:
+            return {}
+        services: Dict[str, Software] = {}
+        for key, marginal in marginals.items():
+            if marginal <= 0 or self.rng.random() >= marginal / propensity:
+                continue
+            if key == "TELNET/23":
+                services[key] = _TELNETD
+                continue
+            software = vendor.pick_software(key, self.rng)
+            if software is not None:
+                services[key] = software
+        return services
+
+    def _bind_services(
+        self, device: Device, vendor: Vendor, model: str,
+        services: Dict[str, Software],
+    ) -> None:
+        display_vendor = vendor.name if vendor.banner_identifiable else ""
+        for key, software in services.items():
+            spec = SERVICE_SPECS[key]
+            if key == "DNS/53":
+                device.bind_service(DnsForwarder(software))
+            elif key == "NTP/123":
+                device.bind_service(NtpServer(software))
+            elif key == "FTP/21":
+                device.bind_service(FtpServer(software))
+            elif key == "SSH/22":
+                device.bind_service(SshServer(software))
+            elif key == "TELNET/23":
+                device.bind_service(
+                    TelnetServer(_TELNETD, vendor_banner=vendor.telnet_banner)
+                )
+            elif key in ("HTTP/80", "HTTP/8080"):
+                device.bind_service(
+                    HttpServer(
+                        software, spec=spec, vendor=display_vendor,
+                        model=model,
+                        # ~15% of pages sit behind HTTP auth: reachable but
+                        # not login-keyword-identifiable (the paper's 1.3M
+                        # vs 1.1M HTTP/80 gap).
+                        requires_auth=self.rng.random() < 0.15,
+                    )
+                )
+            elif key == "TLS/443":
+                device.bind_service(
+                    TlsServer(software, vendor=display_vendor, model=model)
+                )
+
+    # -- device construction ----------------------------------------------------
+
+    def _build_same_device(
+        self,
+        name: str,
+        vendor: Vendor,
+        delegated: IPv6Prefix,
+        iid: int,
+        loops: bool,
+    ) -> Tuple[Device, IPv6Addr]:
+        """A UE or single-prefix CPE: the delegation is on-link to itself."""
+        host_bits = 128 - delegated.length
+        address = delegated.address(iid & ((1 << host_bits) - 1))
+        isp_addr = self._router.primary_address
+        if vendor.kind == UE and not loops:
+            device: Device = UeDevice(name, address, delegated, isp_address=isp_addr)
+        else:
+            device = CpeRouter(
+                name,
+                address,
+                wan_prefix=delegated,
+                lan_prefix=delegated,
+                subnet_prefix=None,
+                isp_address=isp_addr,
+                vulnerable_wan=loops,
+            )
+        self._router.delegate(delegated, address)
+        return device, address
+
+    def _build_diff_device(
+        self,
+        name: str,
+        vendor: Vendor,
+        delegated: IPv6Prefix,
+        iid: int,
+        loops: bool,
+        diff_index: int,
+        shared_count: int,
+    ) -> Tuple[Device, IPv6Addr]:
+        """A CPE with an infrastructure WAN address and a LAN delegation."""
+        wan_prefix = self.infra_base.subprefix(diff_index % shared_count, 64)
+        wan_iid = iid
+        wan_address = wan_prefix.address(wan_iid)
+        retries = 0
+        # Devices sharing an infrastructure /64 must still have unique WANs.
+        while self.deployment.network.device_at(wan_address) is not None:
+            retries += 1
+            if retries > 64:
+                raise RuntimeError("could not find a free WAN address")
+            wan_iid = self.iid_gen.generate(classify_iid(iid))
+            wan_address = wan_prefix.address(wan_iid)
+        device = CpeRouter(
+            name,
+            wan_address,
+            wan_prefix=wan_prefix,
+            lan_prefix=delegated,
+            subnet_prefix=delegated.subprefix(0, 64),
+            isp_address=self._router.primary_address,
+            vulnerable_lan=loops,
+        )
+        self._router.delegate(delegated, wan_address)
+        self._router.table.add_connected(wan_prefix, "infra")
+        return device, wan_address
+
+    @property
+    def _router(self) -> IspRouter:
+        return self.deployment.isps[self.profile.key].router
+
+    # -- the build ----------------------------------------------------------------
+
+    def start(self) -> BuiltIsp:
+        """Create and register the ISP router and the BuiltIsp shell."""
+        profile = self.profile
+        router = IspRouter(
+            f"isp-{profile.key}",
+            profile.block_prefix.address(1),
+            profile.block_prefix,
+            unassigned_behavior=profile.unassigned_behavior,
+            drop_external_errors=profile.drop_external_errors,
+        )
+        router.table.add_default(self.deployment.core.primary_address)
+        self.deployment.network.register(router)
+        self.deployment.core.table.add_next_hop(
+            profile.block_prefix, router.primary_address
+        )
+        return BuiltIsp(
+            profile=profile,
+            router=router,
+            scan_base=self.scan_base,
+            window_bits=self.window_bits,
+            n_devices=self.n_devices,
+            scale=self.scale,
+        )
+
+    def populate(self, built: BuiltIsp) -> None:
+        """Create the customer devices and their ground-truth records."""
+        profile = self.profile
+        rng = self.rng
+        n = self.n_devices
+        n_same = round(n * profile.same_frac)
+        n_diff = n - n_same
+        n_loop = round(n * profile.loop_frac)
+        loop_same = min(round(n_loop * profile.loop_same_frac), n_same)
+        loop_diff = min(n_loop - loop_same, n_diff)
+
+        # /64 uniqueness: same-archetype devices contribute one unique /64
+        # each; diff devices share infrastructure /64s when the profile's
+        # uniqueness ratio demands it.
+        target_unique = max(1, round(n * profile.unique64_frac))
+        shared_count = max(1, min(n_diff, target_unique - n_same)) if n_diff else 1
+
+        window_indices = rng.sample(range(1 << self.window_bits), n)
+        vendor_names = rng.choices(
+            [name for name, _w in profile.vendor_mix],
+            weights=[w for _n, w in profile.vendor_mix],
+            k=n,
+        )
+        iid_plan = _iid_class_plan(rng, n, profile.eui64_frac)
+        n_dup_macs = round(n * profile.eui64_frac * (1 - profile.mac_unique_frac))
+
+        archetypes = ["same"] * n_same + ["diff"] * n_diff
+        loop_flags = (
+            [True] * loop_same + [False] * (n_same - loop_same)
+            + [True] * loop_diff + [False] * (n_diff - loop_diff)
+        )
+
+        # EUI-64 UE addresses embed phone MACs — which is exactly how the
+        # paper attributed its 1.8k UE-brand devices.  Condition the vendor
+        # draw on the IID class for mobile blocks so branded phones surface
+        # among the (rare) EUI-64 population rather than vanishing at scale.
+        branded_ue = [
+            (name, weight) for name, weight in profile.vendor_mix
+            if name != "Generic UE"
+            and self.deployment.catalog.get(name).kind == UE
+        ]
+        if profile.is_mobile and branded_ue:
+            for i in range(n):
+                if iid_plan[i] is IidClass.EUI64 and rng.random() < 0.5:
+                    vendor_names[i] = rng.choices(
+                        [name for name, _w in branded_ue],
+                        weights=[w for _n, w in branded_ue],
+                    )[0]
+
+        diff_index = 0
+        eui_seen = 0
+        for i in range(n):
+            vendor = self.deployment.catalog.get(vendor_names[i])
+            archetype = archetypes[i]
+            loops = loop_flags[i]
+            iid_class = iid_plan[i]
+            force_dup = False
+            if iid_class is IidClass.EUI64:
+                eui_seen += 1
+                force_dup = eui_seen <= n_dup_macs and bool(
+                    self._mac_pool.get(vendor.name)
+                )
+            mac = self._make_mac(vendor, force_dup)
+            iid = self.iid_gen.generate(iid_class, mac=mac)
+            delegated = self.scan_base.subprefix(
+                window_indices[i], profile.subprefix_len
+            )
+            name = f"dev-{profile.key}-{i}"
+
+            if archetype == "same":
+                device, last_hop = self._build_same_device(
+                    name, vendor, delegated, iid, loops
+                )
+                loop_prefix = "wan" if loops else ""
+            else:
+                device, last_hop = self._build_diff_device(
+                    name, vendor, delegated, iid, loops, diff_index, shared_count
+                )
+                loop_prefix = "lan" if loops else ""
+                diff_index += 1
+
+            model = vendor.pick_model(rng)
+            services = self._services_for(vendor, iid_class)
+            self._bind_services(device, vendor, model, services)
+            device.vendor = vendor.name
+            device.model = model
+            self.deployment.network.register(device)
+
+            built.truths.append(
+                DeviceTruth(
+                    name=name,
+                    isp_key=profile.key,
+                    vendor=vendor.name,
+                    kind=vendor.kind,
+                    archetype=archetype,
+                    iid_class=iid_class,
+                    last_hop=last_hop,
+                    delegated=delegated,
+                    mac=mac if iid_class is IidClass.EUI64 else None,
+                    services=services,
+                    loop_vulnerable=loops,
+                    loop_prefix=loop_prefix,
+                )
+            )
+
+
+def build_deployment(
+    profiles: Sequence[IspProfile] | None = None,
+    scale: float = 1000.0,
+    seed: int = 0,
+    min_devices: int = 40,
+    window_headroom_bits: int = 2,
+    loss_rate: float = 0.0,
+    catalog: VendorCatalog | None = None,
+) -> Deployment:
+    """Build the full simulated Internet.
+
+    ``scale`` divides every paper population count; ``min_devices`` keeps
+    tiny blocks statistically usable.  The returned deployment is
+    deterministic in ``seed``.
+    """
+    if profiles is None:
+        profiles = PAPER_PROFILES
+    catalog = catalog or DEFAULT_CATALOG
+    network = Network(seed=seed, loss_rate=loss_rate)
+    vantage = Host("vantage", IPv6Addr.from_string(VANTAGE_ADDRESS))
+    core = Router("core", IPv6Addr.from_string(CORE_ADDRESS))
+    network.register(core)
+    network.attach_host(vantage, core)
+    core.table.add_connected(vantage.primary_address.prefix(128), "vantage")
+
+    deployment = Deployment(
+        network=network, vantage=vantage, core=core, isps={}, catalog=catalog
+    )
+
+    for profile in profiles:
+        builder = _IspBuilder(
+            deployment, profile, scale, min_devices, window_headroom_bits, seed
+        )
+        built = builder.start()
+        deployment.isps[profile.key] = built
+        builder.populate(built)
+
+    return deployment

@@ -1,0 +1,339 @@
+"""The fifteen measured IPv6 blocks of Tables I/II as parameter sets.
+
+Each :class:`IspProfile` captures, for one sample block of one ISP, the
+population parameters the paper measured:
+
+* the scan geometry (block length and delegated sub-prefix length, Table I /
+  Table II "Scan Range");
+* the discovered-periphery population: last-hop count, the same-/64 vs
+  different-/64 reply split, /64-uniqueness, EUI-64 share, MAC uniqueness
+  (Table II);
+* the per-service exposure rates (Table VII, expressed as count ratios);
+* the routing-loop vulnerability rate and its same/diff split (Table XI);
+* the vendor mix feeding Tables IV/VIII and Figures 2/3/6.
+
+Counts are the paper's; the builder divides them by the experiment's
+``scale`` factor.  Vendor-mix weights are *calibrated* (the paper does not
+publish per-ISP vendor shares) so that the identified-vendor tables come out
+with the paper's rankings and rough magnitudes; EXPERIMENTS.md records the
+residual deltas.  Blocks are synthetic documentation-style prefixes, one per
+ISP, mirroring the real per-RIR address plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.net.addr import IPv6Prefix
+
+BROADBAND = "Broadband"
+MOBILE = "Mobile"
+ENTERPRISE = "Enterprise"
+
+#: Service keys in Table VII column order.
+SERVICE_KEYS = (
+    "DNS/53", "NTP/123", "FTP/21", "SSH/22",
+    "TELNET/23", "HTTP/80", "TLS/443", "HTTP/8080",
+)
+
+
+@dataclass(frozen=True)
+class IspProfile:
+    """Population parameters for one sample IPv6 block."""
+
+    key: str
+    index: int  # 1..15, the paper's row number
+    country: str  # "IN" | "US" | "CN"
+    network: str  # Broadband | Mobile | Enterprise
+    isp: str
+    asn: int
+    block: str  # synthetic ISP block, e.g. "2405:200::/32"
+    subprefix_len: int  # Table I inferred sub-prefix length
+    paper_last_hops: int  # Table II "# uniq"
+    same_frac: float  # Table II "% same" / 100
+    unique64_frac: float  # Table II "/64 prefix %" / 100
+    eui64_frac: float  # Table II "EUI-64 addr %" / 100
+    mac_unique_frac: float  # Table II "MAC addr %" / 100
+    service_counts: Dict[str, int]  # Table VII device counts (paper scale)
+    #: Table VII "Total" column: devices with >=1 alive service.  The
+    #: per-service counts sum to more than this (one device often exposes
+    #: several services); the builder uses the ratio to correlate per-device
+    #: exposure so both the marginals and the total reproduce.
+    service_total: int
+    loop_count: int  # Table XI "# uniq"
+    loop_same_frac: float  # Table XI "% same" / 100
+    vendor_mix: Tuple[Tuple[str, float], ...]  # calibrated weights
+    unassigned_behavior: str = "blackhole"
+    drop_external_errors: bool = False
+
+    @property
+    def block_prefix(self) -> IPv6Prefix:
+        return IPv6Prefix.from_string(self.block)
+
+    @property
+    def scan_label(self) -> str:
+        """The paper's "Scan Range" notation, e.g. ``/32-64``."""
+        return f"/{self.block_prefix.length}-{self.subprefix_len}"
+
+    @property
+    def is_mobile(self) -> bool:
+        return self.network == MOBILE
+
+    def service_rate(self, service_key: str) -> float:
+        """Fraction of this block's peripheries exposing the service."""
+        return self.service_counts.get(service_key, 0) / self.paper_last_hops
+
+    @property
+    def loop_frac(self) -> float:
+        return self.loop_count / self.paper_last_hops
+
+
+def _svc(dns, ntp, ftp, ssh, telnet, http, tls, alt) -> Dict[str, int]:
+    return dict(zip(SERVICE_KEYS, (dns, ntp, ftp, ssh, telnet, http, tls, alt)))
+
+
+PAPER_PROFILES: List[IspProfile] = [
+    IspProfile(
+        key="in-jio-broadband", index=1, country="IN", network=BROADBAND,
+        isp="Reliance Jio", asn=55836, block="2405:200::/32", subprefix_len=64,
+        paper_last_hops=3_365_175, same_frac=0.998, unique64_frac=1.000,
+        eui64_frac=0.014, mac_unique_frac=0.999,
+        service_counts=_svc(30_300, 6, 1, 9, 1, 102, 0, 1_400),
+        service_total=31_800,
+        loop_count=8_606, loop_same_frac=0.979,
+        vendor_mix=(
+            ("JioOEM", 0.30), ("Generic OEM", 0.6995),
+            ("D-Link", 0.0002), ("Optilink", 0.00006),
+        ),
+    ),
+    IspProfile(
+        key="in-bsnl-broadband", index=2, country="IN", network=BROADBAND,
+        isp="BSNL", asn=9829, block="2409:4000::/32", subprefix_len=64,
+        paper_last_hops=2_404, same_frac=0.344, unique64_frac=0.947,
+        eui64_frac=0.767, mac_unique_frac=0.960,
+        service_counts=_svc(4, 88, 21, 89, 55, 24, 20, 4),
+        service_total=189,
+        loop_count=324, loop_same_frac=0.543,
+        vendor_mix=(
+            ("Generic OEM", 0.57), ("Technicolor-IN", 0.25),
+            ("D-Link", 0.12), ("MikroTik", 0.03), ("Optilink", 0.03),
+        ),
+        # The paper attributes BSNL's sparse results to a lightly used block
+        # or filtering; the profile models a lightly used block.
+    ),
+    IspProfile(
+        key="in-airtel-mobile", index=3, country="IN", network=MOBILE,
+        isp="Bharti Airtel", asn=45609, block="2401:4900::/32", subprefix_len=64,
+        paper_last_hops=22_542_690, same_frac=0.989, unique64_frac=0.991,
+        eui64_frac=0.014, mac_unique_frac=0.976,
+        service_counts=_svc(36_600, 131, 27, 50, 19, 1_000, 0, 6_700),
+        service_total=44_500,
+        loop_count=29_135, loop_same_frac=0.992,
+        vendor_mix=(
+            ("Generic UE", 0.975), ("NTMore", 0.012), ("HMD Global", 0.005),
+            ("Vivo", 0.003), ("Oppo", 0.002), ("Apple", 0.0015),
+            ("Samsung", 0.001), ("Nokia", 0.0005),
+        ),
+    ),
+    IspProfile(
+        key="in-vodafone-mobile", index=4, country="IN", network=MOBILE,
+        isp="Vadafone", asn=38266, block="2402:3a80::/32", subprefix_len=64,
+        paper_last_hops=2_307_784, same_frac=0.998, unique64_frac=1.000,
+        eui64_frac=0.013, mac_unique_frac=0.969,
+        service_counts=_svc(201, 39, 0, 13, 2, 141, 0, 623),
+        service_total=1_000,
+        loop_count=207, loop_same_frac=0.372,
+        vendor_mix=(
+            ("Generic UE", 0.985), ("NTMore", 0.006), ("Vivo", 0.003),
+            ("Oppo", 0.003), ("Samsung", 0.0015), ("Nokia", 0.0015),
+        ),
+    ),
+    IspProfile(
+        key="us-comcast-broadband", index=5, country="US", network=BROADBAND,
+        isp="Comcast", asn=7922, block="2601::/24", subprefix_len=56,
+        paper_last_hops=87_308, same_frac=0.000, unique64_frac=0.065,
+        eui64_frac=0.950, mac_unique_frac=1.000,
+        service_counts=_svc(9, 290, 5, 13, 50, 54, 64, 319),
+        service_total=423,
+        loop_count=31, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Xfinity", 0.55), ("AVM GmbH", 0.20), ("Technicolor", 0.10),
+            ("Hitron Tech", 0.008), ("Netgear", 0.0015), ("Linksys", 0.0015),
+            ("Asus", 0.0015), ("Generic OEM", 0.137),
+        ),
+    ),
+    IspProfile(
+        key="us-att-broadband", index=6, country="US", network=BROADBAND,
+        isp="AT&T", asn=7018, block="2600:1700::/28", subprefix_len=60,
+        paper_last_hops=740_141, same_frac=0.000, unique64_frac=0.994,
+        eui64_frac=0.128, mac_unique_frac=0.999,
+        service_counts=_svc(3_600, 320, 880, 223, 13, 340, 3_400, 0),
+        service_total=8_300,
+        loop_count=1_598, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Generic OEM", 0.93), ("Technicolor", 0.05),
+            ("Netgear", 0.00005), ("Linksys", 0.00005), ("Asus", 0.0001),
+        ),
+    ),
+    IspProfile(
+        key="us-charter-broadband", index=7, country="US", network=BROADBAND,
+        isp="Charter", asn=20115, block="2603:6000::/24", subprefix_len=56,
+        paper_last_hops=13_027, same_frac=0.016, unique64_frac=0.121,
+        eui64_frac=0.006, mac_unique_frac=1.000,
+        service_counts=_svc(437, 58, 1, 46, 3, 31, 372, 357),
+        service_total=1_300,
+        loop_count=373, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Generic OEM", 0.95), ("Hitron Tech", 0.01),
+            ("Netgear", 0.002), ("Linksys", 0.002),
+        ),
+    ),
+    IspProfile(
+        key="us-centurylink-broadband", index=8, country="US",
+        network=BROADBAND, isp="CenturyLink", asn=209,
+        block="2602:100::/24", subprefix_len=56,
+        paper_last_hops=249_835, same_frac=0.000, unique64_frac=0.934,
+        eui64_frac=0.370, mac_unique_frac=0.987,
+        service_counts=_svc(3_600, 14_900, 1_000, 1_900, 1_500, 38, 3_000, 2),
+        service_total=23_800,
+        loop_count=20_055, loop_same_frac=0.0,
+        vendor_mix=(
+            ("CenturyLink OEM", 0.45), ("AVM GmbH", 0.30),
+            ("Technicolor", 0.15), ("Generic OEM", 0.10),
+        ),
+    ),
+    IspProfile(
+        key="us-att-mobile", index=9, country="US", network=MOBILE,
+        isp="AT&T", asn=20057, block="2600:380::/32", subprefix_len=64,
+        paper_last_hops=1_734_506, same_frac=0.945, unique64_frac=0.997,
+        eui64_frac=0.0003, mac_unique_frac=0.994,
+        service_counts=_svc(0, 0, 0, 3, 2, 625, 625, 489),
+        service_total=1_100,
+        loop_count=2, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Generic UE", 0.99), ("Apple", 0.004), ("Samsung", 0.003),
+            ("LG", 0.001), ("Motorola", 0.001), ("HMD Global", 0.001),
+        ),
+    ),
+    IspProfile(
+        key="us-mediacom-enterprise", index=10, country="US",
+        network=ENTERPRISE, isp="Mediacom", asn=30036,
+        block="2605:a000::/28", subprefix_len=56,
+        paper_last_hops=38_399, same_frac=0.000, unique64_frac=0.013,
+        eui64_frac=0.004, mac_unique_frac=0.928,
+        service_counts=_svc(93, 129, 14, 1_200, 1_100, 2_600, 1_300, 55),
+        service_total=3_200,
+        loop_count=7_161, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Generic OEM", 0.63), ("Technicolor", 0.20),
+            ("AVM GmbH", 0.15), ("Hitron Tech", 0.002),
+            ("MikroTik", 0.0013), ("Xiaomi", 0.001),
+        ),
+    ),
+    IspProfile(
+        key="cn-telecom-broadband", index=11, country="CN", network=BROADBAND,
+        isp="Telecom", asn=4134, block="240e::/28", subprefix_len=60,
+        paper_last_hops=2_122_292, same_frac=0.002, unique64_frac=0.990,
+        eui64_frac=0.122, mac_unique_frac=0.974,
+        service_counts=_svc(63_600, 146, 211, 335, 240, 791, 51, 7),
+        service_total=64_500,
+        loop_count=843_375, loop_same_frac=0.041,
+        vendor_mix=(
+            ("Generic OEM", 0.877), ("Skyworth", 0.033), ("ZTE", 0.05),
+            ("Fiberhome", 0.024), ("Huawei", 0.012), ("TP-Link", 0.0005),
+            ("D-Link", 0.0005), ("Xiaomi", 0.0005), ("Tenda", 0.00005),
+        ),
+    ),
+    IspProfile(
+        key="cn-unicom-broadband", index=12, country="CN", network=BROADBAND,
+        isp="Unicom", asn=4837, block="2408:8000::/28", subprefix_len=60,
+        paper_last_hops=1_273_075, same_frac=0.030, unique64_frac=1.000,
+        eui64_frac=0.533, mac_unique_frac=0.954,
+        service_counts=_svc(
+            202_300, 76, 35_800, 20_500, 36_500, 211_000, 169, 229_500
+        ),
+        service_total=313_300,
+        loop_count=1_003_635, loop_same_frac=0.039,
+        vendor_mix=(
+            ("China Unicom", 0.085), ("ZTE", 0.09), ("Huawei", 0.025),
+            ("Skyworth", 0.02), ("Youhua Tech", 0.01),
+            ("Generic OEM", 0.77),
+        ),
+    ),
+    IspProfile(
+        key="cn-mobile-broadband", index=13, country="CN", network=BROADBAND,
+        isp="Mobile", asn=9808, block="2409:8000::/28", subprefix_len=60,
+        paper_last_hops=7_316_861, same_frac=0.024, unique64_frac=1.000,
+        eui64_frac=0.331, mac_unique_frac=0.963,
+        service_counts=_svc(
+            403_000, 19, 139_400, 114_200, 140_200, 1_000_000, 138_200,
+            3_300_000
+        ),
+        service_total=4_200_000,
+        loop_count=3_877_512, loop_same_frac=0.045,
+        vendor_mix=(
+            ("China Mobile", 0.27), ("ZTE", 0.07), ("Skyworth", 0.06),
+            ("Fiberhome", 0.035), ("Youhua Tech", 0.02),
+            ("StarNet", 0.0045), ("Huawei", 0.001), ("TP-Link", 0.0001),
+            ("Generic OEM", 0.539),
+        ),
+    ),
+    IspProfile(
+        key="cn-unicom-mobile", index=14, country="CN", network=MOBILE,
+        isp="Unicom", asn=4837, block="2408:8400::/32", subprefix_len=64,
+        paper_last_hops=3_696_275, same_frac=0.979, unique64_frac=0.999,
+        eui64_frac=0.004, mac_unique_frac=0.988,
+        service_counts=_svc(468, 21, 0, 8, 5, 147, 4, 176),
+        service_total=678,
+        loop_count=190, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Generic UE", 0.992), ("Vivo", 0.003), ("Oppo", 0.002),
+            ("Nubia", 0.0015), ("Lenovo", 0.001), ("OnePlus", 0.0005),
+        ),
+    ),
+    IspProfile(
+        key="cn-mobile-mobile", index=15, country="CN", network=MOBILE,
+        isp="Mobile", asn=9808, block="2409:8900::/32", subprefix_len=64,
+        paper_last_hops=7_193_972, same_frac=0.984, unique64_frac=0.999,
+        eui64_frac=0.003, mac_unique_frac=0.986,
+        service_counts=_svc(296, 122, 0, 133, 130, 96, 1, 236),
+        service_total=718,
+        loop_count=353, loop_same_frac=0.0,
+        vendor_mix=(
+            ("Generic UE", 0.993), ("Oppo", 0.003), ("Vivo", 0.002),
+            ("Nubia", 0.001), ("Lenovo", 0.001),
+        ),
+    ),
+]
+
+_BY_KEY = {profile.key: profile for profile in PAPER_PROFILES}
+_BY_INDEX = {profile.index: profile for profile in PAPER_PROFILES}
+
+
+def profile_by_key(key: str) -> IspProfile:
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISP profile {key!r}; known: {sorted(_BY_KEY)}"
+        ) from None
+
+
+def profile_by_index(index: int) -> IspProfile:
+    return _BY_INDEX[index]
+
+
+#: Paper-wide totals used by the analysis layer for comparison printing.
+PAPER_TOTALS = {
+    "last_hops": 52_478_703,
+    "same_pct": 77.2,
+    "diff_pct": 22.8,
+    "unique64": 52_086_849,
+    "eui64": 3_973_467,
+    "mac": 3_832_520,
+    "service_alive": 4_690_000,
+    "loop": 5_792_237,
+    "loop_same_pct": 4.9,
+    "loop_diff_pct": 95.1,
+}

@@ -1,0 +1,129 @@
+"""DHCPv6-PD prefix rotation / customer churn.
+
+The paper's two measurement campaigns (the November discovery census and
+the December loop survey) straddle real ISP address churn: delegated
+prefixes rotate when CPEs rebind, a dynamic the related work (Padmanabhan
+et al., Plonka & Berger) studies directly.  This module models it: rotate a
+fraction of one block's customers onto fresh delegations (new prefixes, new
+addresses, same device identity and services), so longitudinal experiments
+can measure overlap decay between scans.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.isp.builder import BuiltIsp, Deployment
+from repro.net.device import CpeRouter, UeDevice
+
+
+@dataclass
+class RotationReport:
+    """What one rotation pass changed."""
+
+    rotated: int
+    kept: int
+    released_prefixes: List = None  # type: ignore[assignment]
+
+    @property
+    def fraction(self) -> float:
+        total = self.rotated + self.kept
+        return self.rotated / total if total else 0.0
+
+
+def rotate_delegations(
+    deployment: Deployment,
+    isp: BuiltIsp,
+    fraction: float,
+    seed: int = 0,
+) -> RotationReport:
+    """Move ``fraction`` of the block's customers to fresh delegations.
+
+    Each rotated customer keeps its vendor, services, IID class, and loop
+    behaviour but receives a new delegated prefix (a previously-unused
+    window index) and, for same-model devices, a new address inside it —
+    exactly what a DHCPv6 rebind with a non-sticky pool does.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    rng = random.Random(seed ^ 0x0707A7E)
+    network = deployment.network
+    profile = isp.profile
+
+    used: Set[int] = {
+        isp.scan_base.subprefix_index(truth.delegated.network,
+                                      profile.subprefix_len)
+        for truth in isp.truths
+    }
+    free = [i for i in range(1 << isp.window_bits) if i not in used]
+    rng.shuffle(free)
+
+    candidates = [i for i in range(len(isp.truths))]
+    rng.shuffle(candidates)
+    n_rotate = min(round(len(isp.truths) * fraction), len(free))
+
+    released = []
+    rotated = 0
+    for truth_index in candidates[:n_rotate]:
+        truth = isp.truths[truth_index]
+        device = network.devices.get(truth.name)
+        if device is None:
+            continue
+        new_index = free.pop()
+        new_delegated = isp.scan_base.subprefix(new_index, profile.subprefix_len)
+
+        # Tear down the old tenancy.
+        isp.router.table.remove(truth.delegated)
+        network.unregister(device)
+        released.append(truth.delegated)
+
+        if truth.archetype == "same":
+            host_bits = 128 - new_delegated.length
+            new_address = new_delegated.address(
+                truth.last_hop.iid & ((1 << host_bits) - 1)
+            )
+            if isinstance(device, UeDevice):
+                replacement = UeDevice(
+                    truth.name, new_address, new_delegated,
+                    isp_address=isp.router.primary_address,
+                )
+            else:
+                assert isinstance(device, CpeRouter)
+                replacement = CpeRouter(
+                    truth.name, new_address,
+                    wan_prefix=new_delegated, lan_prefix=new_delegated,
+                    subnet_prefix=None,
+                    isp_address=isp.router.primary_address,
+                    vulnerable_wan=device.vulnerable_wan,
+                )
+            isp.router.delegate(new_delegated, new_address)
+            truth.last_hop = new_address
+        else:
+            assert isinstance(device, CpeRouter)
+            # The WAN tenancy survives a prefix rebind; only the delegated
+            # LAN prefix changes.
+            replacement = CpeRouter(
+                truth.name, device.wan_address,
+                wan_prefix=device.wan_prefix, lan_prefix=new_delegated,
+                subnet_prefix=new_delegated.subprefix(0, 64),
+                isp_address=isp.router.primary_address,
+                vulnerable_lan=device.vulnerable_lan,
+                loop_forward_limit=device.loop_forward_limit,
+            )
+            isp.router.delegate(new_delegated, device.wan_address)
+
+        # Services move with the device.
+        replacement.udp_services = device.udp_services
+        replacement.tcp_services = device.tcp_services
+        replacement.vendor = device.vendor
+        replacement.model = device.model
+        network.register(replacement)
+        truth.delegated = new_delegated
+        rotated += 1
+
+    return RotationReport(
+        rotated=rotated, kept=len(isp.truths) - rotated,
+        released_prefixes=released,
+    )

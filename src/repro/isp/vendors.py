@@ -1,0 +1,457 @@
+"""Device-vendor catalogue.
+
+Synthesises the population facts the paper's identification pipeline
+recovers: each vendor has OUI registrations (or deliberately none, modelling
+unidentifiable OEM gear), a device kind (CPE or UE), per-service exposure
+affinities (StarNet devices "only tend to expose HTTP/8080", Youhua devices
+answer "all of the selected 7 services except NTP", §V-B), and the software
+stacks whose banners feed Table VIII (Youhua ships dnsmasq 2.4x released ~8
+years before the measurement; Fiberhome ships dropbear 0.48 and GNU
+Inetutils 1.4.1; China Mobile gateways run Jetty on 8080; …).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.oui import OuiRegistry
+from repro.services.base import Software
+
+CPE = "CPE"
+UE = "UE"
+
+#: (software, weight) choices per service key.
+SoftwareMix = Sequence[Tuple[Software, float]]
+
+
+@dataclass(frozen=True)
+class Vendor:
+    """One device manufacturer/brand."""
+
+    name: str
+    kind: str = CPE
+    #: Number of OUI registrations; 0 models OEM gear whose MACs resolve to
+    #: nothing, keeping identified-device counts below discovered counts.
+    oui_count: int = 1
+    #: Multipliers applied to the ISP's base per-service exposure rate.
+    service_affinity: Dict[str, float] = field(default_factory=dict)
+    #: Per-service software stacks: service key → [(Software, weight)].
+    software: Dict[str, SoftwareMix] = field(default_factory=dict)
+    #: Banner placed on TELNET greetings (the "forthright vendor banner").
+    telnet_banner: str = ""
+    #: Model names used in HTTP titles / TLS certificate CNs.
+    models: Tuple[str, ...] = ("GW-1000",)
+    #: Whether HTTP titles / TLS certificate CNs name the vendor.  White-label
+    #: OEM gear ships anonymous pages, so it stays unidentified even when its
+    #: management service is reachable.
+    banner_identifiable: bool = True
+
+    @property
+    def identifiable_by_mac(self) -> bool:
+        return self.oui_count > 0
+
+    def affinity(self, service_key: str) -> float:
+        return self.service_affinity.get(service_key, 1.0)
+
+    def pick_software(self, service_key: str, rng: random.Random) -> Optional[Software]:
+        mix = self.software.get(service_key)
+        if not mix:
+            return None
+        total = sum(weight for _sw, weight in mix)
+        roll = rng.random() * total
+        for software, weight in mix:
+            roll -= weight
+            if roll <= 0:
+                return software
+        return mix[-1][0]
+
+    def pick_model(self, rng: random.Random) -> str:
+        return rng.choice(self.models)
+
+
+def _sw(name: str, version: str) -> Software:
+    return Software(name, version)
+
+
+# Common embedded stacks, shared across vendor definitions.
+_DNSMASQ_24 = _sw("dnsmasq", "2.45")
+_DNSMASQ_25 = _sw("dnsmasq", "2.52")
+_DNSMASQ_26 = _sw("dnsmasq", "2.66")
+_DNSMASQ_27 = _sw("dnsmasq", "2.75")
+_JETTY = _sw("Jetty", "6.1.26")
+_MINIWEB = _sw("MiniWeb HTTP Server", "0.8.19")
+_MICRO_HTTPD = _sw("micro_httpd", "1.0")
+_GOAHEAD = _sw("GoAhead Embedded", "2.5.0")
+_DROPBEAR_046 = _sw("dropbear", "0.46")
+_DROPBEAR_048 = _sw("dropbear", "0.48")
+_DROPBEAR_052 = _sw("dropbear", "0.52")
+_DROPBEAR_2012 = _sw("dropbear", "2012.55")
+_DROPBEAR_2017 = _sw("dropbear", "2017.75")
+_OPENSSH_35 = _sw("openssh", "3.5")
+_OPENSSH_5 = _sw("openssh", "5.8")
+_OPENSSH_6 = _sw("openssh", "6.6")
+_OPENSSH_7 = _sw("openssh", "7.4")
+_OPENSSH_8 = _sw("openssh", "8.2")
+_INETUTILS = _sw("GNU Inetutils", "1.4.1")
+_FRITZ_FTP = _sw("Fritz!Box", "7.2.1")
+_FREEBSD_FTP = _sw("FreeBSD", "6.00ls")
+_VSFTPD_22 = _sw("vsftpd", "2.2.2")
+_VSFTPD_23 = _sw("vsftpd", "2.3.4")
+_VSFTPD_30 = _sw("vsftpd", "3.0.3")
+_NTPD4 = _sw("NTP", "4")
+
+
+def _catalog_vendors() -> List[Vendor]:
+    """The CPE and UE vendors of Tables IV/XII and Figures 2/3/6."""
+    return [
+        # ----- Chinese broadband CPE vendors (Figure 2's top block) -----
+        Vendor(
+            "China Mobile",
+            oui_count=4,
+            service_affinity={
+                "HTTP/8080": 1.6, "DNS/53": 0.35, "HTTP/80": 0.9,
+                "FTP/21": 0.9, "SSH/22": 0.8, "TELNET/23": 0.9,
+                "TLS/443": 1.0, "NTP/123": 0.0,
+            },
+            software={
+                "DNS/53": [(_DNSMASQ_25, 1.0)],
+                "HTTP/80": [(_MINIWEB, 0.6), (_MICRO_HTTPD, 0.4)],
+                "HTTP/8080": [(_JETTY, 1.0)],
+                "SSH/22": [(_DROPBEAR_2012, 0.8), (_DROPBEAR_052, 0.2)],
+                "FTP/21": [(_INETUTILS, 1.0)],
+                "TLS/443": [(_MINIWEB, 1.0)],
+            },
+            models=("GM220-S", "HG6543C", "AN5506"),
+        ),
+        Vendor(
+            "Fiberhome",
+            oui_count=3,
+            service_affinity={
+                "DNS/53": 2.2, "SSH/22": 9.0, "FTP/21": 9.0,
+                "TELNET/23": 0.4, "HTTP/80": 0.8, "HTTP/8080": 0.05,
+                "TLS/443": 0.2, "NTP/123": 0.0,
+            },
+            software={
+                "DNS/53": [(_DNSMASQ_26, 0.7), (_DNSMASQ_25, 0.3)],
+                "SSH/22": [(_DROPBEAR_048, 1.0)],
+                "FTP/21": [(_INETUTILS, 1.0)],
+                "HTTP/80": [(_MICRO_HTTPD, 1.0)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+                "TLS/443": [(_MICRO_HTTPD, 1.0)],
+            },
+            models=("HG6245D", "AN5506-04"),
+        ),
+        Vendor(
+            "Youhua Tech",
+            oui_count=2,
+            # "All of the selected 7 services except NTP are accessible for
+            # Youhua Tech's devices" (§V-B).
+            service_affinity={
+                "DNS/53": 11.0, "FTP/21": 11.0, "SSH/22": 3.5,
+                "TELNET/23": 11.0, "HTTP/80": 1.2, "TLS/443": 11.0,
+                "HTTP/8080": 0.4, "NTP/123": 0.0,
+            },
+            software={
+                "DNS/53": [(_DNSMASQ_24, 1.0)],  # the 142k dnsmasq-2.4x row
+                "SSH/22": [(_DROPBEAR_052, 1.0)],
+                "FTP/21": [(_INETUTILS, 1.0)],
+                "HTTP/80": [(_MINIWEB, 1.0)],
+                "TLS/443": [(_MINIWEB, 1.0)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+            },
+            telnet_banner="Youhua Tech",
+            models=("WR1200JS", "GPN-1001"),
+        ),
+        Vendor(
+            "China Unicom",
+            oui_count=2,
+            service_affinity={
+                "DNS/53": 3.0, "TELNET/23": 2.5, "HTTP/80": 1.4,
+                "HTTP/8080": 0.3, "SSH/22": 0.4, "FTP/21": 0.5,
+                "TLS/443": 0.1, "NTP/123": 0.0,
+            },
+            software={
+                "DNS/53": [(_DNSMASQ_27, 0.8), (_DNSMASQ_26, 0.2)],
+                "HTTP/80": [(_MICRO_HTTPD, 1.0)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+                "SSH/22": [(_DROPBEAR_052, 1.0)],
+                "FTP/21": [(_INETUTILS, 1.0)],
+            },
+            telnet_banner="China Unicom",
+            models=("PON-U64", "HG1543"),
+        ),
+        Vendor(
+            "ZTE",
+            oui_count=4,
+            service_affinity={
+                "TELNET/23": 3.0, "DNS/53": 1.2, "HTTP/80": 1.1,
+                "HTTP/8080": 0.2, "SSH/22": 0.3, "FTP/21": 0.8,
+                "TLS/443": 0.3, "NTP/123": 0.0,
+            },
+            software={
+                "DNS/53": [(_DNSMASQ_26, 1.0)],
+                "HTTP/80": [(_MICRO_HTTPD, 1.0)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+                "SSH/22": [(_DROPBEAR_2012, 1.0)],
+                "FTP/21": [(_INETUTILS, 1.0)],
+            },
+            telnet_banner="ZTE",
+            models=("F660", "F7610M", "ZXHN-H168"),
+        ),
+        Vendor(
+            "StarNet",
+            oui_count=1,
+            # "StarNet's devices only tend to expose HTTP/8080" (§V-B).
+            service_affinity={
+                "HTTP/8080": 6.0, "DNS/53": 0.0, "NTP/123": 0.0,
+                "FTP/21": 0.0, "SSH/22": 0.0, "TELNET/23": 0.0,
+                "HTTP/80": 0.02, "TLS/443": 0.0,
+            },
+            software={
+                "HTTP/8080": [(_JETTY, 0.9), (_GOAHEAD, 0.1)],
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+            },
+            models=("SN-GW100",),
+        ),
+        Vendor(
+            "Skyworth",
+            oui_count=3,
+            service_affinity={
+                "HTTP/80": 1.8, "TLS/443": 1.2, "HTTP/8080": 0.25,
+                "DNS/53": 0.15, "SSH/22": 0.1, "FTP/21": 0.1,
+                "TELNET/23": 0.2, "NTP/123": 0.0,
+            },
+            software={
+                "HTTP/80": [(_MINIWEB, 1.0)],
+                "TLS/443": [(_MINIWEB, 1.0)],
+                "HTTP/8080": [(_JETTY, 1.0)],
+                "DNS/53": [(_DNSMASQ_25, 1.0)],
+            },
+            models=("DT741", "GN542VF"),
+        ),
+        Vendor(
+            "Huawei", oui_count=3,
+            service_affinity={"HTTP/80": 1.0, "TLS/443": 0.8, "DNS/53": 0.5,
+                              "NTP/123": 0.0},
+            software={
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+                "TLS/443": [(_GOAHEAD, 1.0)],
+                "DNS/53": [(_DNSMASQ_27, 1.0)],
+                "SSH/22": [(_DROPBEAR_2017, 1.0)],
+            },
+            models=("WS5100", "HG8245H"),
+        ),
+        # ----- Western / other CPE vendors -----
+        Vendor(
+            "AVM GmbH",
+            oui_count=2,
+            service_affinity={
+                "FTP/21": 4.0, "TLS/443": 3.0, "HTTP/80": 1.2,
+                "NTP/123": 0.5, "DNS/53": 0.2, "SSH/22": 0.0,
+                "TELNET/23": 0.0, "HTTP/8080": 0.1,
+            },
+            software={
+                "FTP/21": [(_FRITZ_FTP, 1.0)],
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+                "TLS/443": [(_GOAHEAD, 1.0)],
+                "NTP/123": [(_NTPD4, 1.0)],
+            },
+            models=("FRITZ!Box 7590", "FRITZ!Box 6660"),
+        ),
+        Vendor(
+            "Technicolor", oui_count=2,
+            service_affinity={"HTTP/80": 1.0, "TLS/443": 1.0, "NTP/123": 0.6},
+            software={
+                "HTTP/80": [(_MICRO_HTTPD, 1.0)],
+                "TLS/443": [(_MICRO_HTTPD, 1.0)],
+                "NTP/123": [(_NTPD4, 1.0)],
+                "SSH/22": [(_DROPBEAR_2017, 1.0)],
+            },
+            models=("TG789vac", "CGA4234"),
+        ),
+        Vendor(
+            "Hitron Tech", oui_count=1,
+            service_affinity={"HTTP/80": 2.0, "TLS/443": 2.0, "HTTP/8080": 1.0},
+            software={
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+                "TLS/443": [(_GOAHEAD, 1.0)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+            },
+            models=("CGNV4", "CODA-4582"),
+        ),
+        Vendor(
+            "Xfinity", oui_count=2,
+            service_affinity={"NTP/123": 1.5, "HTTP/8080": 1.2, "TLS/443": 1.0},
+            software={
+                "NTP/123": [(_NTPD4, 1.0)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+                "TLS/443": [(_GOAHEAD, 1.0)],
+            },
+            models=("XB6", "XB7"),
+        ),
+        Vendor(
+            "CenturyLink OEM", oui_count=0, banner_identifiable=False,
+            service_affinity={
+                "NTP/123": 8.0, "DNS/53": 1.5, "SSH/22": 1.2,
+                "TELNET/23": 1.0, "TLS/443": 1.4,
+            },
+            software={
+                "NTP/123": [(_NTPD4, 1.0)],
+                "DNS/53": [(_DNSMASQ_25, 0.6), (_DNSMASQ_26, 0.4)],
+                "SSH/22": [(_DROPBEAR_2017, 0.6), (_OPENSSH_35, 0.25),
+                            (_OPENSSH_5, 0.05), (_OPENSSH_6, 0.05),
+                            (_OPENSSH_7, 0.03), (_OPENSSH_8, 0.02)],
+                "FTP/21": [(_FREEBSD_FTP, 0.55), (_VSFTPD_22, 0.15),
+                            (_VSFTPD_23, 0.15), (_VSFTPD_30, 0.15)],
+                "HTTP/80": [(_MICRO_HTTPD, 1.0)],
+                "TLS/443": [(_MICRO_HTTPD, 1.0)],
+            },
+            models=("C3000A", "C4000XG"),
+        ),
+        Vendor(
+            "TP-Link", oui_count=2,
+            service_affinity={"HTTP/80": 1.5, "DNS/53": 0.8},
+            software={
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+                "DNS/53": [(_DNSMASQ_27, 1.0)],
+                "SSH/22": [(_DROPBEAR_2017, 1.0)],
+            },
+            models=("TL-XDR3230", "Archer C7"),
+        ),
+        Vendor("D-Link", oui_count=2,
+               service_affinity={"HTTP/80": 1.5, "TELNET/23": 1.0},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)]},
+               models=("COVR-3902", "DIR-882")),
+        Vendor("Xiaomi", oui_count=1,
+               service_affinity={"HTTP/80": 1.0},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)],
+                          "DNS/53": [(_DNSMASQ_27, 1.0)]},
+               models=("AX5", "AX3600")),
+        Vendor("Netgear", oui_count=2,
+               service_affinity={"HTTP/80": 1.0, "TLS/443": 1.0},
+               software={"HTTP/80": [(_MINIWEB, 1.0)],
+                          "TLS/443": [(_MINIWEB, 1.0)]},
+               models=("R6400v2", "RAX80")),
+        Vendor("Linksys", oui_count=1,
+               service_affinity={"HTTP/80": 1.0},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)]},
+               models=("EA8100", "MR9600")),
+        Vendor("Asus", oui_count=1,
+               service_affinity={"HTTP/80": 1.0, "SSH/22": 0.5},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)],
+                          "SSH/22": [(_DROPBEAR_2017, 1.0)]},
+               models=("GT-AC5300", "RT-AX88U")),
+        Vendor("Optilink", oui_count=1,
+               service_affinity={"HTTP/80": 1.2, "TELNET/23": 1.5},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)]},
+               models=("OP-XGW100",)),
+        Vendor("Tenda", oui_count=1,
+               service_affinity={"HTTP/80": 1.0},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)]},
+               models=("AC23",)),
+        Vendor("MikroTik", oui_count=1,
+               service_affinity={"SSH/22": 1.5, "HTTP/80": 1.0,
+                                  "FTP/21": 1.0},
+               software={"SSH/22": [(_OPENSSH_7, 1.0)],
+                          "HTTP/80": [(_GOAHEAD, 1.0)],
+                          "FTP/21": [(_VSFTPD_30, 1.0)]},
+               models=("hAP ac2", "RB4011")),
+        Vendor("Technicolor-IN", oui_count=1,
+               service_affinity={"HTTP/80": 1.0},
+               software={"HTTP/80": [(_GOAHEAD, 1.0)],
+                          "DNS/53": [(_DNSMASQ_27, 1.0)]},
+               models=("DJA0231",)),
+        Vendor(
+            "JioOEM", oui_count=0, banner_identifiable=False,
+            service_affinity={"DNS/53": 6.0, "HTTP/8080": 0.4,
+                              "HTTP/80": 0.05, "NTP/123": 0.0},
+            software={
+                "DNS/53": [(_DNSMASQ_27, 0.9), (_DNSMASQ_26, 0.1)],
+                "HTTP/8080": [(_GOAHEAD, 1.0)],
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+            },
+            models=("JCO4032", "JioFiber GW"),
+        ),
+        Vendor(
+            "OpenWrt", oui_count=0,  # software distro: no OUI of its own
+            service_affinity={"SSH/22": 2.0, "DNS/53": 2.0, "HTTP/80": 1.0},
+            software={
+                "SSH/22": [(_DROPBEAR_2017, 1.0)],
+                "DNS/53": [(_DNSMASQ_27, 1.0)],
+                "HTTP/80": [(_GOAHEAD, 1.0)],
+            },
+            telnet_banner="OpenWrt",
+            models=("19.07.4",),
+        ),
+        # Unidentifiable OEM gear: MACs resolve to no registered vendor.
+        Vendor("Generic OEM", oui_count=0, banner_identifiable=False,
+               service_affinity={"NTP/123": 0.3},
+               software={
+                   "DNS/53": [(_DNSMASQ_26, 0.5), (_DNSMASQ_27, 0.5)],
+                   "HTTP/80": [(_MICRO_HTTPD, 0.7), (_GOAHEAD, 0.3)],
+                   "HTTP/8080": [(_JETTY, 0.8), (_GOAHEAD, 0.2)],
+                   "SSH/22": [(_DROPBEAR_046, 0.25), (_DROPBEAR_048, 0.45),
+                               (_DROPBEAR_2012, 0.2), (_DROPBEAR_2017, 0.1)],
+                   "FTP/21": [(_INETUTILS, 1.0)],
+                   "NTP/123": [(_NTPD4, 1.0)],
+                   "TLS/443": [(_GOAHEAD, 1.0)],
+               },
+               models=("GW", "HGW")),
+        # ----- UE (smartphone) vendors, Table IV's bottom block -----
+        Vendor("NTMore", kind=UE, models=("NT-500",)),
+        Vendor("HMD Global", kind=UE, models=("Nokia 8.3",)),
+        Vendor("Vivo", kind=UE, models=("X50",)),
+        Vendor("Oppo", kind=UE, models=("Reno4",)),
+        Vendor("Apple", kind=UE, oui_count=3, models=("iPhone 11",)),
+        Vendor("Samsung", kind=UE, oui_count=3, models=("Galaxy S20",)),
+        Vendor("Nokia", kind=UE, models=("7.2",)),
+        Vendor("LG", kind=UE, models=("Velvet",)),
+        Vendor("Motorola", kind=UE, models=("Edge",)),
+        Vendor("Lenovo", kind=UE, models=("Legion",)),
+        Vendor("Nubia", kind=UE, models=("Red Magic 5G",)),
+        Vendor("OnePlus", kind=UE, models=("8T",)),
+        Vendor("Generic UE", kind=UE, oui_count=0, banner_identifiable=False,
+               service_affinity={"NTP/123": 0.5},
+               software={
+                   "DNS/53": [(_DNSMASQ_27, 1.0)],
+                   "HTTP/80": [(_GOAHEAD, 1.0)],
+                   "HTTP/8080": [(_GOAHEAD, 1.0)],
+                   "SSH/22": [(_DROPBEAR_2017, 1.0)],
+                   "TLS/443": [(_GOAHEAD, 1.0)],
+                   "NTP/123": [(_NTPD4, 1.0)],
+               },
+               models=("Phone",)),
+    ]
+
+
+class VendorCatalog:
+    """All vendors plus the OUI registry they are registered in."""
+
+    def __init__(self, vendors: Sequence[Vendor] | None = None) -> None:
+        self.vendors: Dict[str, Vendor] = {}
+        self.registry = OuiRegistry()
+        for vendor in vendors if vendors is not None else _catalog_vendors():
+            self.add(vendor)
+
+    def add(self, vendor: Vendor) -> None:
+        self.vendors[vendor.name] = vendor
+        if vendor.oui_count > 0:
+            self.registry.register(vendor.name, count=vendor.oui_count)
+
+    def get(self, name: str) -> Vendor:
+        try:
+            return self.vendors[name]
+        except KeyError:
+            raise KeyError(f"unknown vendor {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.vendors
+
+    def __iter__(self):
+        return iter(self.vendors.values())
+
+
+#: The catalogue instance the default profiles reference.
+DEFAULT_CATALOG = VendorCatalog()

@@ -1,0 +1,26 @@
+"""IPv6 network substrate: addresses, wire formats, devices, and simulator.
+
+This subpackage implements everything the XMap reproduction needs below the
+scanner: IPv6 address arithmetic (:mod:`repro.net.addr`), an IEEE-OUI-style
+vendor registry (:mod:`repro.net.oui`), byte-level wire formats with real
+checksums (:mod:`repro.net.packet`), longest-prefix-match routing tables
+(:mod:`repro.net.routing`), RFC-faithful device models
+(:mod:`repro.net.device`), and the network simulator that stands in for the
+live IPv6 Internet (:mod:`repro.net.network`).
+"""
+
+from repro.net.addr import MacAddress, IPv6Addr, IPv6Prefix
+from repro.net.oui import OuiRegistry
+from repro.net.routing import Route, RoutingTable
+from repro.net.network import Network, Link
+
+__all__ = [
+    "MacAddress",
+    "IPv6Addr",
+    "IPv6Prefix",
+    "OuiRegistry",
+    "Route",
+    "RoutingTable",
+    "Network",
+    "Link",
+]

@@ -1,0 +1,198 @@
+"""Neighbor Discovery (RFC 4861): solicitations, advertisements, cache.
+
+The periphery-discovery mechanism bottoms out in ND: a router delivering
+on-link traffic multicasts a Neighbor Solicitation for the target; when no
+Neighbor Advertisement comes back, address resolution has failed and the
+router reports ICMPv6 Destination Unreachable / address-unreachable — the
+error the scanner harvests.
+
+This module implements the NS/NA message wire formats (ICMPv6 types 135/136
+with the target-address body and the link-layer-address option) and a
+per-device :class:`NeighborCache` with REACHABLE/negative entries and
+expiry over the simulator's virtual clock.  The simulator models the
+solicited-node multicast domain as the set of registered devices owning the
+target address, so resolution produces real NA packets without a full
+multicast fabric.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.addr import IPv6Addr, MacAddress
+from repro.net.packet import Icmpv6Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.device import Device
+    from repro.net.network import Network
+
+NEIGHBOR_SOLICITATION = 135
+NEIGHBOR_ADVERTISEMENT = 136
+
+OPT_SOURCE_LLADDR = 1
+OPT_TARGET_LLADDR = 2
+
+#: RFC 4861 defaults (seconds).
+REACHABLE_TIME = 30.0
+NEGATIVE_TIME = 3.0  # how long a failed resolution is remembered
+
+
+@dataclass(frozen=True)
+class NeighborSolicitation:
+    """ICMPv6 type 135: who-has ``target``?"""
+
+    target: IPv6Addr
+    source_lladdr: Optional[MacAddress] = None
+
+    def to_message(self) -> Icmpv6Message:
+        body = b"\x00\x00\x00\x00" + self.target.to_bytes()
+        if self.source_lladdr is not None:
+            body += struct.pack("!BB", OPT_SOURCE_LLADDR, 1)
+            body += self.source_lladdr.value.to_bytes(6, "big")
+        return Icmpv6Message(NEIGHBOR_SOLICITATION, payload=body)
+
+    @classmethod
+    def from_message(cls, message: Icmpv6Message) -> "NeighborSolicitation":
+        if message.type != NEIGHBOR_SOLICITATION:
+            raise ValueError("not a neighbor solicitation")
+        body = message.payload
+        if len(body) < 20:
+            raise ValueError("truncated neighbor solicitation")
+        target = IPv6Addr.from_bytes(body[4:20])
+        lladdr = _parse_lladdr_option(body[20:], OPT_SOURCE_LLADDR)
+        return cls(target=target, source_lladdr=lladdr)
+
+
+@dataclass(frozen=True)
+class NeighborAdvertisement:
+    """ICMPv6 type 136: ``target`` is-at ``target_lladdr``."""
+
+    target: IPv6Addr
+    target_lladdr: Optional[MacAddress] = None
+    solicited: bool = True
+    override: bool = True
+
+    def to_message(self) -> Icmpv6Message:
+        flags = (
+            (0x40000000 if self.solicited else 0)
+            | (0x20000000 if self.override else 0)
+        )
+        body = struct.pack("!I", flags) + self.target.to_bytes()
+        if self.target_lladdr is not None:
+            body += struct.pack("!BB", OPT_TARGET_LLADDR, 1)
+            body += self.target_lladdr.value.to_bytes(6, "big")
+        return Icmpv6Message(NEIGHBOR_ADVERTISEMENT, payload=body)
+
+    @classmethod
+    def from_message(cls, message: Icmpv6Message) -> "NeighborAdvertisement":
+        if message.type != NEIGHBOR_ADVERTISEMENT:
+            raise ValueError("not a neighbor advertisement")
+        body = message.payload
+        if len(body) < 20:
+            raise ValueError("truncated neighbor advertisement")
+        (flags,) = struct.unpack("!I", body[:4])
+        target = IPv6Addr.from_bytes(body[4:20])
+        lladdr = _parse_lladdr_option(body[20:], OPT_TARGET_LLADDR)
+        return cls(
+            target=target,
+            target_lladdr=lladdr,
+            solicited=bool(flags & 0x40000000),
+            override=bool(flags & 0x20000000),
+        )
+
+
+def _parse_lladdr_option(options: bytes, wanted: int) -> Optional[MacAddress]:
+    offset = 0
+    while offset + 2 <= len(options):
+        opt_type = options[offset]
+        opt_len = options[offset + 1] * 8
+        if opt_len == 0:
+            break
+        if opt_type == wanted and offset + 8 <= len(options):
+            raw = options[offset + 2 : offset + 8]
+            return MacAddress(int.from_bytes(raw, "big"))
+        offset += opt_len
+    return None
+
+
+@dataclass
+class NeighborEntry:
+    reachable: bool
+    lladdr: Optional[MacAddress]
+    expires_at: float
+
+
+class NeighborCache:
+    """A per-device neighbour cache with positive and negative entries."""
+
+    def __init__(
+        self,
+        reachable_time: float = REACHABLE_TIME,
+        negative_time: float = NEGATIVE_TIME,
+    ) -> None:
+        self.reachable_time = reachable_time
+        self.negative_time = negative_time
+        self._entries: Dict[int, NeighborEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.solicitations = 0
+
+    def lookup(self, addr: IPv6Addr, now: float) -> Optional[NeighborEntry]:
+        entry = self._entries.get(addr.value)
+        if entry is None or entry.expires_at <= now:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, addr: IPv6Addr, lladdr: Optional[MacAddress],
+              reachable: bool, now: float) -> None:
+        ttl = self.reachable_time if reachable else self.negative_time
+        self._entries[addr.value] = NeighborEntry(
+            reachable=reachable, lladdr=lladdr, expires_at=now + ttl
+        )
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def resolve(
+    device: "Device",
+    target: IPv6Addr,
+    network: "Network",
+) -> bool:
+    """Run address resolution for ``target`` from ``device``.
+
+    Consults the device's neighbour cache; on a miss, emits a Neighbor
+    Solicitation into the on-link multicast domain (modelled as the network
+    registry) and records the outcome.  Returns whether the neighbour is
+    reachable.
+    """
+    cache = device.neighbor_cache
+    entry = cache.lookup(target, network.clock)
+    if entry is not None:
+        return entry.reachable
+
+    cache.solicitations += 1
+    solicitation = NeighborSolicitation(target=target)
+    # Model the solicited-node multicast: the owner (if any) answers.
+    owner = network.device_at(target)
+    if owner is None:
+        cache.store(target, None, reachable=False, now=network.clock)
+        return False
+    advertisement = NeighborAdvertisement(
+        target=target,
+        target_lladdr=getattr(owner, "lladdr", None),
+    )
+    # Round-trip the messages through their wire formats so the protocol
+    # encoding is exercised on the hot path.
+    ns = NeighborSolicitation.from_message(solicitation.to_message())
+    na = NeighborAdvertisement.from_message(advertisement.to_message())
+    assert ns.target == na.target == target
+    cache.store(target, na.target_lladdr, reachable=True, now=network.clock)
+    return True

@@ -1,0 +1,229 @@
+"""The in-process IPv6 network simulator.
+
+This is the substrate that stands in for the live Internet: a registry of
+devices plus a synchronous forwarding engine.  A probe injected at the
+measurement vantage traverses device routing tables hop by hop — decrementing
+hop limits, generating ICMPv6 errors, possibly looping between a vulnerable
+CPE and its ISP router — until every packet in flight has either been
+delivered, dropped, or returned to the vantage.
+
+The engine tracks per-link traversal counts, which is how the routing-loop
+benchmarks measure amplification: the paper's >200x factor is literally the
+number of times one attack packet crosses the ISP↔CPE link.
+
+Time is virtual: the scanner's rate limiter advances :attr:`Network.clock`,
+and device ICMPv6 error limiters read it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.net.addr import IPv6Addr
+from repro.net.device import Device, Host, ReceiveResult
+from repro.net.packet import Packet
+
+
+class Link(NamedTuple):
+    """A directed device-to-device hop, keyed by device names."""
+
+    src: str
+    dst: str
+
+
+@dataclass
+class DeliveryTrace:
+    """Per-injection record of what the forwarding engine did."""
+
+    hops: int = 0
+    drops: int = 0
+    delivered: int = 0
+    errors_generated: int = 0
+    link_counts: Dict[Link, int] = field(default_factory=dict)
+    path: List[str] = field(default_factory=list)
+
+    def crossings(self, a: str, b: str) -> int:
+        """Traversals of the (a, b) link, both directions."""
+        return self.link_counts.get(Link(a, b), 0) + self.link_counts.get(
+            Link(b, a), 0
+        )
+
+
+class NetworkError(RuntimeError):
+    """Raised for topology misconfigurations (duplicate addresses, etc.)."""
+
+
+class Network:
+    """Device registry plus the synchronous packet-forwarding engine."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        max_hops: int = 4096,
+        record_paths: bool = False,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.loss_rate = loss_rate
+        self.max_hops = max_hops
+        self.record_paths = record_paths
+        self.clock = 0.0
+        self.devices: Dict[str, Device] = {}
+        self._addr_owner: Dict[int, Device] = {}
+        self.total_hops = 0
+        self.total_injected = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, device: Device) -> Device:
+        if device.name in self.devices:
+            raise NetworkError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+        for addr in device.addresses:
+            self.bind(addr, device)
+        return device
+
+    def unregister(self, device: Device) -> None:
+        """Remove a device and all its address bindings (prefix rotation,
+        churn modelling).  Routes pointing at it become blackholes naturally
+        (the next hop no longer resolves)."""
+        if self.devices.get(device.name) is not device:
+            raise NetworkError(f"device {device.name!r} is not registered")
+        del self.devices[device.name]
+        for addr in list(device.addresses):
+            owner = self._addr_owner.get(addr.value)
+            if owner is device:
+                del self._addr_owner[addr.value]
+
+    def bind(self, addr: IPv6Addr, device: Device) -> None:
+        existing = self._addr_owner.get(addr.value)
+        if existing is not None and existing is not device:
+            raise NetworkError(
+                f"address {addr} already owned by {existing.name!r}"
+            )
+        self._addr_owner[addr.value] = device
+        device.addresses.add(addr)
+
+    def attach_host(self, host: Host, gateway: Device) -> Host:
+        """Register a LAN host and remember its first-hop gateway."""
+        host.gateway = gateway  # type: ignore[attr-defined]
+        return self.register(host)  # type: ignore[return-value]
+
+    def device_at(self, addr: IPv6Addr) -> Optional[Device]:
+        return self._addr_owner.get(addr.value)
+
+    def advance(self, seconds: float) -> None:
+        self.clock += seconds
+
+    # -- forwarding engine -----------------------------------------------------
+
+    def inject(self, packet: Packet, vantage: Device) -> Tuple[List[Packet], DeliveryTrace]:
+        """Send ``packet`` from ``vantage`` and run the network to quiescence.
+
+        Returns the packets that arrived back at the vantage, plus a trace of
+        everything the engine did for this injection.
+        """
+        trace = DeliveryTrace()
+        inbox: List[Packet] = []
+        queue: List[Tuple[Device, Packet, bool]] = []
+        self.total_injected += 1
+
+        self._originate(vantage, packet, queue, trace)
+
+        while queue:
+            if trace.hops > self.max_hops:
+                raise NetworkError(
+                    f"forwarding exceeded {self.max_hops} hops; "
+                    "unbounded loop (hop limits should prevent this)"
+                )
+            device, current, _originated = queue.pop(0)
+            if device is vantage and device.owns(current.dst):
+                inbox.append(current)
+                trace.delivered += 1
+                continue
+            result = device.receive(current, self)
+            self._apply(device, result, queue, trace)
+
+        return inbox, trace
+
+    def _apply(
+        self,
+        device: Device,
+        result: ReceiveResult,
+        queue: List[Tuple[Device, Packet, bool]],
+        trace: DeliveryTrace,
+    ) -> None:
+        for reply in result.replies:
+            trace.errors_generated += 1
+            self._originate(device, reply, queue, trace)
+        if result.forward is not None:
+            next_addr, packet = result.forward
+            self._hop(device, next_addr, packet, queue, trace)
+
+    def _originate(
+        self,
+        device: Device,
+        packet: Packet,
+        queue: List[Tuple[Device, Packet, bool]],
+        trace: DeliveryTrace,
+    ) -> None:
+        """Route a self-originated packet out of ``device``."""
+        if device.owns(packet.dst):
+            queue.append((device, packet, False))
+            return
+        if device.forwards:
+            route = device.table.lookup(packet.dst)
+            if route is None:
+                trace.drops += 1
+                return
+            from repro.net.routing import RouteKind
+
+            if route.kind is RouteKind.UNREACHABLE:
+                trace.drops += 1
+                return
+            next_addr = (
+                packet.dst if route.kind is RouteKind.CONNECTED else route.next_hop
+            )
+            assert next_addr is not None
+            self._hop(device, next_addr, packet, queue, trace)
+            return
+        gateway = getattr(device, "gateway", None)
+        if gateway is None:
+            trace.drops += 1
+            return
+        self._enqueue(device, gateway, packet, queue, trace)
+
+    def _hop(
+        self,
+        device: Device,
+        next_addr: IPv6Addr,
+        packet: Packet,
+        queue: List[Tuple[Device, Packet, bool]],
+        trace: DeliveryTrace,
+    ) -> None:
+        next_device = self.device_at(next_addr)
+        if next_device is None:
+            trace.drops += 1  # next hop fell off the topology: blackhole
+            return
+        self._enqueue(device, next_device, packet, queue, trace)
+
+    def _enqueue(
+        self,
+        src: Device,
+        dst: Device,
+        packet: Packet,
+        queue: List[Tuple[Device, Packet, bool]],
+        trace: DeliveryTrace,
+    ) -> None:
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            trace.drops += 1
+            return
+        link = Link(src.name, dst.name)
+        trace.link_counts[link] = trace.link_counts.get(link, 0) + 1
+        trace.hops += 1
+        self.total_hops += 1
+        if self.record_paths:
+            trace.path.append(dst.name)
+        queue.append((dst, packet, False))

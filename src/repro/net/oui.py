@@ -1,0 +1,90 @@
+"""Synthetic IEEE OUI registry.
+
+The paper identifies device vendors by resolving the MAC address embedded in
+EUI-64 interface identifiers against the IEEE "Standard OUI" registry.  That
+registry is an online resource; this module provides a deterministic synthetic
+stand-in with the same interface: 24-bit OUI → organisation name.
+
+Vendors are assigned OUIs derived from a stable hash of the vendor name, so
+that registries built in different processes agree, and a vendor may own
+several OUIs (as real manufacturers do).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+from repro.net.addr import MacAddress
+
+
+class OuiRegistry:
+    """A bidirectional OUI ↔ vendor mapping.
+
+    >>> registry = OuiRegistry()
+    >>> registry.register("ZTE", count=2)
+    >>> mac = registry.make_mac("ZTE", nic=7)
+    >>> registry.vendor_of(mac)
+    'ZTE'
+    """
+
+    def __init__(self) -> None:
+        self._oui_to_vendor: Dict[int, str] = {}
+        self._vendor_to_ouis: Dict[str, List[int]] = {}
+
+    @staticmethod
+    def _derive_oui(vendor: str, index: int) -> int:
+        digest = hashlib.sha256(f"oui:{vendor}:{index}".encode()).digest()
+        oui = int.from_bytes(digest[:3], "big")
+        # Clear the multicast (I/G) and local (U/L) bits of the first octet so
+        # the OUI is a plausible globally-administered unicast assignment.
+        return oui & ~(0x03 << 16)
+
+    def register(self, vendor: str, count: int = 1) -> None:
+        """Assign ``count`` deterministic OUIs to ``vendor``."""
+        ouis = self._vendor_to_ouis.setdefault(vendor, [])
+        target = len(ouis) + count
+        index = len(ouis)
+        while len(ouis) < target:
+            oui = self._derive_oui(vendor, index)
+            index += 1
+            if oui in self._oui_to_vendor:
+                continue  # extremely unlikely collision; skip to next index
+            self._oui_to_vendor[oui] = vendor
+            ouis.append(oui)
+
+    def register_all(self, vendors: Iterable[str], count: int = 1) -> None:
+        for vendor in vendors:
+            self.register(vendor, count=count)
+
+    def vendors(self) -> List[str]:
+        return sorted(self._vendor_to_ouis)
+
+    def ouis_for(self, vendor: str) -> List[int]:
+        try:
+            return list(self._vendor_to_ouis[vendor])
+        except KeyError:
+            raise KeyError(f"vendor {vendor!r} not registered") from None
+
+    def vendor_of(self, mac: MacAddress) -> str | None:
+        """The vendor owning the MAC's OUI, or None if unregistered."""
+        return self._oui_to_vendor.get(mac.oui)
+
+    def make_mac(self, vendor: str, nic: int, oui_index: int = 0) -> MacAddress:
+        """A concrete MAC under one of the vendor's OUIs.
+
+        ``nic`` is the 24-bit NIC-specific suffix; the population builder
+        hands out sequential values so every simulated device gets a unique
+        MAC, mirroring the paper's finding that 96.5% of embedded MACs were
+        unique.
+        """
+        ouis = self.ouis_for(vendor)
+        if not 0 <= nic < (1 << 24):
+            raise ValueError(f"NIC suffix out of range: {nic:#x}")
+        return MacAddress((ouis[oui_index % len(ouis)] << 24) | nic)
+
+    def __len__(self) -> int:
+        return len(self._oui_to_vendor)
+
+    def __contains__(self, vendor: str) -> bool:
+        return vendor in self._vendor_to_ouis

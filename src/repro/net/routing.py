@@ -1,0 +1,230 @@
+"""Longest-prefix-match IPv6 routing tables.
+
+The routing table is a binary trie keyed on prefix bits.  It supports the
+three route kinds the paper's threat model distinguishes (§VI, Figure 4):
+
+* ``CONNECTED`` — deliver locally / on-link (the destination subnet is
+  attached to this device);
+* ``NEXT_HOP``  — forward to another device's address;
+* ``UNREACHABLE`` — a null/discard route.  The paper's mitigation ("the CPE
+  router should add an unreachable route for the unused prefix", RFC 7084
+  requirement) is exactly the presence of this route kind; its *absence* on
+  delegated-but-unassigned space is the routing-loop vulnerability.
+
+Lookups return the most specific matching route, so a CPE with a default
+route to its ISP and no covering route for a not-used LAN sub-prefix will
+bounce packets for that sub-prefix back upstream — the behaviour the
+routing-loop attack exploits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.net.addr import IPv6Addr, IPv6Prefix
+
+
+class RouteKind(Enum):
+    CONNECTED = "connected"
+    NEXT_HOP = "next-hop"
+    #: Discard and report: the router drops the packet and sends an ICMPv6
+    #: Destination Unreachable (the "unreachable route" of RFC 7084 / §VII).
+    UNREACHABLE = "unreachable"
+    #: Discard silently: models operators that null-route aggregates or
+    #: filter outbound ICMPv6 errors (the paper's §IV-C limitation).
+    BLACKHOLE = "blackhole"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A single forwarding entry."""
+
+    prefix: IPv6Prefix
+    kind: RouteKind
+    next_hop: Optional[IPv6Addr] = None
+    interface: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is RouteKind.NEXT_HOP and self.next_hop is None:
+            raise ValueError("NEXT_HOP route requires a next_hop address")
+
+    def __str__(self) -> str:
+        if self.kind is RouteKind.NEXT_HOP:
+            return f"{self.prefix} via {self.next_hop}"
+        if self.kind is RouteKind.CONNECTED:
+            return f"{self.prefix} dev {self.interface or 'local'}"
+        return f"{self.prefix} unreachable"
+
+
+class BaseRoutingTable(ABC):
+    """Interface shared by the trie and hash LPM implementations."""
+
+    @abstractmethod
+    def add(self, route: Route) -> None: ...
+
+    @abstractmethod
+    def remove(self, prefix: IPv6Prefix) -> bool: ...
+
+    @abstractmethod
+    def lookup(self, addr: IPv6Addr | int) -> Optional[Route]: ...
+
+    @abstractmethod
+    def routes(self) -> Iterator[Route]: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def add_connected(self, prefix: IPv6Prefix, interface: str = "") -> None:
+        self.add(Route(prefix, RouteKind.CONNECTED, interface=interface))
+
+    def add_next_hop(self, prefix: IPv6Prefix, next_hop: IPv6Addr) -> None:
+        self.add(Route(prefix, RouteKind.NEXT_HOP, next_hop=next_hop))
+
+    def add_unreachable(self, prefix: IPv6Prefix) -> None:
+        self.add(Route(prefix, RouteKind.UNREACHABLE))
+
+    def add_blackhole(self, prefix: IPv6Prefix) -> None:
+        self.add(Route(prefix, RouteKind.BLACKHOLE))
+
+    def add_default(self, next_hop: IPv6Addr) -> None:
+        self.add_next_hop(IPv6Prefix(0, 0), next_hop)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in sorted(
+            self.routes(), key=lambda r: (r.prefix.network, r.prefix.length)
+        ))
+
+
+class _Node:
+    __slots__ = ("zero", "one", "route")
+
+    def __init__(self) -> None:
+        self.zero: Optional[_Node] = None
+        self.one: Optional[_Node] = None
+        self.route: Optional[Route] = None
+
+
+class RoutingTable(BaseRoutingTable):
+    """A binary-trie forwarding table with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._count = 0
+
+    def add(self, route: Route) -> None:
+        """Insert a route, replacing any existing route for the same prefix."""
+        node = self._root
+        prefix = route.prefix
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (127 - depth)) & 1
+            if bit:
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if node.route is None:
+            self._count += 1
+        node.route = route
+
+    def remove(self, prefix: IPv6Prefix) -> bool:
+        """Remove the route for an exact prefix.  Returns True if removed."""
+        node: Optional[_Node] = self._root
+        for depth in range(prefix.length):
+            if node is None:
+                return False
+            bit = (prefix.network >> (127 - depth)) & 1
+            node = node.one if bit else node.zero
+        if node is None or node.route is None:
+            return False
+        node.route = None
+        self._count -= 1
+        return True
+
+    def lookup(self, addr: IPv6Addr | int) -> Optional[Route]:
+        """The most specific route covering ``addr``, or None."""
+        value = addr.value if isinstance(addr, IPv6Addr) else addr
+        node: Optional[_Node] = self._root
+        best = self._root.route
+        for depth in range(128):
+            bit = (value >> (127 - depth)) & 1
+            node = node.one if bit else node.zero  # type: ignore[union-attr]
+            if node is None:
+                break
+            if node.route is not None:
+                best = node.route
+        return best
+
+    def routes(self) -> Iterator[Route]:
+        """All routes, in trie (prefix-ordered) traversal order."""
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.route is not None:
+                yield node.route
+            if node.one is not None:
+                stack.append(node.one)
+            if node.zero is not None:
+                stack.append(node.zero)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class HashRoutingTable(BaseRoutingTable):
+    """A length-bucketed hash LPM table.
+
+    Routes are grouped by prefix length into ``{network_int: Route}`` dicts;
+    lookup masks the address at each present length, longest first.  Real
+    deployments have very few distinct prefix lengths per device (a CPE has
+    /128 + /64 + /60 + /0; an ISP access router has /64 + /60 + /32), so
+    lookups cost O(distinct lengths) dict probes, and memory is one dict
+    entry per route — far lighter than a trie when the simulator instantiates
+    tens of thousands of CPE tables.
+
+    The unit tests cross-validate this implementation against the trie on
+    randomly generated route sets.
+    """
+
+    def __init__(self) -> None:
+        self._by_length: Dict[int, Dict[int, Route]] = {}
+        self._lengths_desc: List[int] = []
+
+    def add(self, route: Route) -> None:
+        length = route.prefix.length
+        bucket = self._by_length.get(length)
+        if bucket is None:
+            bucket = self._by_length[length] = {}
+            self._lengths_desc = sorted(self._by_length, reverse=True)
+        bucket[route.prefix.network] = route
+
+    def remove(self, prefix: IPv6Prefix) -> bool:
+        bucket = self._by_length.get(prefix.length)
+        if bucket is None or prefix.network not in bucket:
+            return False
+        del bucket[prefix.network]
+        if not bucket:
+            del self._by_length[prefix.length]
+            self._lengths_desc = sorted(self._by_length, reverse=True)
+        return True
+
+    def lookup(self, addr: IPv6Addr | int) -> Optional[Route]:
+        value = addr.value if isinstance(addr, IPv6Addr) else addr
+        for length in self._lengths_desc:
+            masked = value >> (128 - length) << (128 - length) if length else 0
+            route = self._by_length[length].get(masked)
+            if route is not None:
+                return route
+        return None
+
+    def routes(self) -> Iterator[Route]:
+        for bucket in self._by_length.values():
+            yield from bucket.values()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_length.values())

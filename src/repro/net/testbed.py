@@ -1,0 +1,79 @@
+"""A minimal hand-built topology for demos and tests.
+
+One ISP (/32 block), one correct CPE, one fully vulnerable CPE, and one UE —
+the smallest network exhibiting every behaviour in the paper: same-/64 and
+different-/64 unreachables, echo replies, blackholed unassigned space, and
+the WAN/LAN routing loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.device import CpeRouter, Host, IspRouter, Router, UeDevice
+from repro.net.network import Network
+
+
+@dataclass
+class MiniTopology:
+    network: Network
+    vantage: Host
+    core: Router
+    isp: IspRouter
+    cpe_ok: CpeRouter
+    cpe_vuln: CpeRouter
+    ue: UeDevice
+
+    BLOCK = IPv6Prefix.from_string("2001:db8::/32")
+    WAN_OK = IPv6Prefix.from_string("2001:db8:0:5::/64")
+    LAN_OK = IPv6Prefix.from_string("2001:db8:1:50::/60")
+    SUBNET_OK = IPv6Prefix.from_string("2001:db8:1:50::/64")
+    WAN_VULN = IPv6Prefix.from_string("2001:db8:0:6::/64")
+    LAN_VULN = IPv6Prefix.from_string("2001:db8:1:60::/60")
+    SUBNET_VULN = IPv6Prefix.from_string("2001:db8:1:60::/64")
+    UE_PREFIX = IPv6Prefix.from_string("2001:db8:2:7::/64")
+
+
+def build_mini(seed: int = 1, **network_kwargs) -> MiniTopology:
+    """Build the demo network; extra kwargs go to :class:`Network`."""
+    net = Network(seed=seed, **network_kwargs)
+    vantage = Host("vantage", IPv6Addr.from_string("2001:4860::100"))
+    core = Router("core", IPv6Addr.from_string("2001:4860::1"))
+    net.register(core)
+    net.attach_host(vantage, core)
+    core.table.add_connected(vantage.primary_address.prefix(128), "v")
+
+    isp = IspRouter("isp", MiniTopology.BLOCK.address(1), MiniTopology.BLOCK)
+    net.register(isp)
+    core.table.add_next_hop(MiniTopology.BLOCK, isp.primary_address)
+    isp.table.add_default(core.primary_address)
+
+    wan_ok_addr = MiniTopology.WAN_OK.address(0xDEADBEEF)
+    cpe_ok = CpeRouter(
+        "cpe-ok", wan_ok_addr, MiniTopology.WAN_OK, MiniTopology.LAN_OK,
+        subnet_prefix=MiniTopology.SUBNET_OK, isp_address=isp.primary_address,
+    )
+    net.register(cpe_ok)
+    isp.delegate(MiniTopology.WAN_OK, wan_ok_addr)
+    isp.delegate(MiniTopology.LAN_OK, wan_ok_addr)
+
+    wan_vuln_addr = MiniTopology.WAN_VULN.address(0x1234)
+    cpe_vuln = CpeRouter(
+        "cpe-vuln", wan_vuln_addr, MiniTopology.WAN_VULN,
+        MiniTopology.LAN_VULN, subnet_prefix=MiniTopology.SUBNET_VULN,
+        isp_address=isp.primary_address,
+        vulnerable_wan=True, vulnerable_lan=True,
+    )
+    net.register(cpe_vuln)
+    isp.delegate(MiniTopology.WAN_VULN, wan_vuln_addr)
+    isp.delegate(MiniTopology.LAN_VULN, wan_vuln_addr)
+
+    ue = UeDevice(
+        "ue", MiniTopology.UE_PREFIX.address(0x42), MiniTopology.UE_PREFIX,
+        isp_address=isp.primary_address,
+    )
+    net.register(ue)
+    isp.delegate(MiniTopology.UE_PREFIX, ue.ue_address)
+
+    return MiniTopology(net, vantage, core, isp, cpe_ok, cpe_vuln, ue)

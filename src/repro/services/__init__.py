@@ -1,0 +1,24 @@
+"""Application-layer substrate for the exposed-services study (§V).
+
+Each module simulates one of the paper's probed services (Table VI) with a
+request→response handler that speaks enough of the real protocol for the
+scanner to extract software name and version — the signal Table VIII's CVE
+analysis is built on.  :mod:`repro.services.zgrab` is the ZGrab2-equivalent
+application scanner; :mod:`repro.services.cve` is the CVE-count database.
+"""
+
+from repro.services.base import Service, ServiceSpec, Software, SERVICE_SPECS
+from repro.services.zgrab import AppScanner, AppScanResult, ServiceObservation
+from repro.services.cve import CveDatabase, DEFAULT_CVE_DB
+
+__all__ = [
+    "Service",
+    "ServiceSpec",
+    "Software",
+    "SERVICE_SPECS",
+    "AppScanner",
+    "AppScanResult",
+    "ServiceObservation",
+    "CveDatabase",
+    "DEFAULT_CVE_DB",
+]

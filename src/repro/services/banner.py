@@ -1,0 +1,75 @@
+"""Banner-style TCP services: FTP, SSH, and TELNET.
+
+Real FTP/SSH/TELNET servers greet on connect.  The simulator's TCP model is
+request/response, so the app-layer scanner sends a single CRLF ("request for
+connecting" in Table VI) and the service answers with its greeting — the
+banner that carries the software identity Table VIII buckets (dropbear 0.46,
+GNU Inetutils 1.4.1, …).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.services.base import Service, ServiceSpec, Software, SERVICE_SPECS
+
+
+class FtpServer(Service):
+    """FTP (TCP/21): `220` greeting naming the server software."""
+
+    def __init__(self, software: Software,
+                 spec: ServiceSpec = SERVICE_SPECS["FTP/21"]) -> None:
+        super().__init__(spec, software)
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        text = request.decode("latin-1", "replace").strip().upper()
+        if text.startswith("USER"):
+            return b"331 Password required.\r\n"
+        if text.startswith("QUIT"):
+            return b"221 Goodbye.\r\n"
+        return f"220 {self.software.banner} FTP server ready.\r\n".encode()
+
+
+class SshServer(Service):
+    """SSH (TCP/22): RFC 4253 identification-string exchange."""
+
+    def __init__(self, software: Software,
+                 spec: ServiceSpec = SERVICE_SPECS["SSH/22"],
+                 host_key_fingerprint: str = "") -> None:
+        super().__init__(spec, software)
+        self.host_key_fingerprint = host_key_fingerprint
+
+    @property
+    def identification(self) -> str:
+        # dropbear banners look like "SSH-2.0-dropbear_0.46"
+        name = self.software.name.replace(" ", "_")
+        return f"SSH-2.0-{name}_{self.software.version}"
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        reply = self.identification
+        if self.host_key_fingerprint:
+            reply += f"\r\nhostkey:{self.host_key_fingerprint}"
+        return (reply + "\r\n").encode()
+
+
+IAC, WILL, WONT, DO, DONT = 255, 251, 252, 253, 254
+OPT_ECHO, OPT_SGA = 1, 3
+
+
+class TelnetServer(Service):
+    """TELNET (TCP/23): IAC option negotiation plus a login prompt.
+
+    The login banner may name the device vendor — the paper recognised 37k
+    devices by "forthright vendor banners" (China Unicom, Yocto, OpenWrt).
+    """
+
+    def __init__(self, software: Software,
+                 spec: ServiceSpec = SERVICE_SPECS["TELNET/23"],
+                 vendor_banner: str = "") -> None:
+        super().__init__(spec, software)
+        self.vendor_banner = vendor_banner
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        negotiation = bytes([IAC, WILL, OPT_ECHO, IAC, WILL, OPT_SGA])
+        banner = f"{self.vendor_banner}\r\n" if self.vendor_banner else ""
+        return negotiation + f"{banner}login: ".encode()

@@ -1,0 +1,100 @@
+"""Service framework: specs, software identities, and the handler API.
+
+The paper probes seven distinct services on eight ports (Table VI):
+
+====================  =========================  =======================
+Service/Port          Request                    Valid response
+====================  =========================  =======================
+DNS (UDP/53)          "A" or version query       answers
+NTP (UDP/123)         version query              version reply
+FTP (TCP/21)          request for connecting     successful response
+SSH (TCP/22)          version, key request       version, key
+TELNET (TCP/23)       request for login          response for login
+HTTP (TCP/80)         HTTP GET request           header, version, body
+TLS (TCP/443)         certificate request        certificate, cipher suite
+HTTP (TCP/8080)       HTTP GET request           header, version, body
+====================  =========================  =======================
+
+A :class:`Service` instance is bound to a device port by
+:meth:`repro.net.device.Device.bind_service` and answers the raw request
+bytes the app-layer scanner sends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Software:
+    """A software identity: name plus version string (e.g. dnsmasq 2.45)."""
+
+    name: str
+    version: str
+
+    @property
+    def banner(self) -> str:
+        return f"{self.name} {self.version}" if self.version else self.name
+
+    def __str__(self) -> str:
+        return self.banner
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A probe-able service: name, port, transports (Table VI)."""
+
+    name: str
+    port: int
+    tcp: bool = True
+    udp: bool = False
+
+    @property
+    def label(self) -> str:
+        proto = "UDP" if self.udp and not self.tcp else "TCP"
+        return f"{self.name} ({proto}/{self.port})"
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}/{self.port}"
+
+
+#: The eight probed service/port pairs, in the paper's table order.
+SERVICE_SPECS: Dict[str, ServiceSpec] = {
+    "DNS/53": ServiceSpec("DNS", 53, tcp=False, udp=True),
+    "NTP/123": ServiceSpec("NTP", 123, tcp=False, udp=True),
+    "FTP/21": ServiceSpec("FTP", 21),
+    "SSH/22": ServiceSpec("SSH", 22),
+    "TELNET/23": ServiceSpec("TELNET", 23),
+    "HTTP/80": ServiceSpec("HTTP", 80),
+    "TLS/443": ServiceSpec("TLS", 443),
+    "HTTP/8080": ServiceSpec("HTTP-ALT", 8080),
+}
+
+SERVICE_ORDER = list(SERVICE_SPECS)
+
+
+class Service(ABC):
+    """A simulated listener bound to one device port."""
+
+    def __init__(self, spec: ServiceSpec, software: Software) -> None:
+        self.spec = spec
+        self.software = software
+
+    def handle_udp(self, request: bytes) -> Optional[bytes]:
+        """Answer a UDP request, or None to stay silent."""
+        if not self.spec.udp:
+            return None
+        return self.handle(request)
+
+    def handle_tcp(self, request: bytes) -> Optional[bytes]:
+        """Answer TCP application data, or None to stay silent."""
+        if not self.spec.tcp:
+            return None
+        return self.handle(request)
+
+    @abstractmethod
+    def handle(self, request: bytes) -> Optional[bytes]:
+        """Protocol-specific request handling."""

@@ -1,0 +1,214 @@
+"""A DNS forwarder (UDP/53) with a real wire-format codec.
+
+CPE DNS services are dnsmasq-style forwarders.  The simulated resolver
+answers:
+
+* ``A``/``AAAA`` queries for any name — with a synthetic answer, modelling an
+  *open resolver* (the paper found 741k of them);
+* ``version.bind`` ``TXT``/``CH`` queries — with the software banner, which
+  is how the survey attributes dnsmasq versions in Table VIII.
+
+The codec implements the RFC 1035 header, QNAME compression-free question
+section, and simple answer records; round-trips are property-tested.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.services.base import Service, ServiceSpec, Software, SERVICE_SPECS
+
+QTYPE_A = 1
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+QCLASS_IN = 1
+QCLASS_CHAOS = 3
+
+
+class DnsError(ValueError):
+    """Raised for malformed DNS messages."""
+
+
+def encode_name(name: str) -> bytes:
+    if name in ("", "."):
+        return b"\x00"
+    out = bytearray()
+    for label in name.rstrip(".").split("."):
+        raw = label.encode("ascii")
+        if not 0 < len(raw) < 64:
+            raise DnsError(f"bad label {label!r}")
+        out.append(len(raw))
+        out += raw
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    labels: List[str] = []
+    while True:
+        if offset >= len(data):
+            raise DnsError("truncated name")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        if length & 0xC0:
+            raise DnsError("compression pointers unsupported")
+        if offset + length > len(data):
+            raise DnsError("truncated label")
+        labels.append(data[offset : offset + length].decode("ascii"))
+        offset += length
+    return ".".join(labels), offset
+
+
+@dataclass(frozen=True)
+class DnsQuestion:
+    name: str
+    qtype: int
+    qclass: int = QCLASS_IN
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    name: str
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: bytes
+
+
+@dataclass
+class DnsMessage:
+    ident: int
+    flags: int = 0
+    questions: List[DnsQuestion] = field(default_factory=list)
+    answers: List[DnsRecord] = field(default_factory=list)
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & 0x8000)
+
+    @property
+    def rcode(self) -> int:
+        return self.flags & 0xF
+
+    def encode(self) -> bytes:
+        out = bytearray(
+            struct.pack(
+                "!HHHHHH",
+                self.ident,
+                self.flags,
+                len(self.questions),
+                len(self.answers),
+                0,
+                0,
+            )
+        )
+        for q in self.questions:
+            out += encode_name(q.name)
+            out += struct.pack("!HH", q.qtype, q.qclass)
+        for r in self.answers:
+            out += encode_name(r.name)
+            out += struct.pack("!HHIH", r.rtype, r.rclass, r.ttl, len(r.rdata))
+            out += r.rdata
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        if len(data) < 12:
+            raise DnsError("message shorter than header")
+        ident, flags, qd, an, ns, ar = struct.unpack("!HHHHHH", data[:12])
+        if ns or ar:
+            raise DnsError("authority/additional sections unsupported")
+        offset = 12
+        questions: List[DnsQuestion] = []
+        for _ in range(qd):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise DnsError("truncated question")
+            qtype, qclass = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            questions.append(DnsQuestion(name, qtype, qclass))
+        answers: List[DnsRecord] = []
+        for _ in range(an):
+            name, offset = decode_name(data, offset)
+            if offset + 10 > len(data):
+                raise DnsError("truncated record")
+            rtype, rclass, ttl, rdlen = struct.unpack_from("!HHIH", data, offset)
+            offset += 10
+            if offset + rdlen > len(data):
+                raise DnsError("truncated rdata")
+            answers.append(
+                DnsRecord(name, rtype, rclass, ttl, data[offset : offset + rdlen])
+            )
+            offset += rdlen
+        return cls(ident, flags, questions, answers)
+
+
+def make_query(ident: int, name: str, qtype: int, qclass: int = QCLASS_IN) -> bytes:
+    """A standard recursive query (RD set)."""
+    return DnsMessage(
+        ident, flags=0x0100, questions=[DnsQuestion(name, qtype, qclass)]
+    ).encode()
+
+
+def version_bind_query(ident: int = 0x5656) -> bytes:
+    return make_query(ident, "version.bind", QTYPE_TXT, QCLASS_CHAOS)
+
+
+def txt_rdata(text: str) -> bytes:
+    raw = text.encode("ascii")[:255]
+    return bytes([len(raw)]) + raw
+
+
+class DnsForwarder(Service):
+    """The dnsmasq-style resolver bound to periphery UDP/53."""
+
+    def __init__(self, software: Software,
+                 spec: ServiceSpec = SERVICE_SPECS["DNS/53"]) -> None:
+        super().__init__(spec, software)
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        try:
+            query = DnsMessage.decode(request)
+        except DnsError:
+            return None
+        if query.is_response or not query.questions:
+            return None
+        question = query.questions[0]
+        reply = DnsMessage(query.ident, flags=0x8180, questions=[question])
+
+        if (
+            question.qclass == QCLASS_CHAOS
+            and question.qtype == QTYPE_TXT
+            and question.name.lower() == "version.bind"
+        ):
+            reply.answers.append(
+                DnsRecord(
+                    question.name,
+                    QTYPE_TXT,
+                    QCLASS_CHAOS,
+                    0,
+                    txt_rdata(self.software.banner),
+                )
+            )
+        elif question.qclass == QCLASS_IN and question.qtype == QTYPE_A:
+            # Open-resolver behaviour: answer anything (synthetic address).
+            reply.answers.append(
+                DnsRecord(question.name, QTYPE_A, QCLASS_IN, 300, b"\xc0\x00\x02\x01")
+            )
+        elif question.qclass == QCLASS_IN and question.qtype == QTYPE_AAAA:
+            reply.answers.append(
+                DnsRecord(
+                    question.name,
+                    QTYPE_AAAA,
+                    QCLASS_IN,
+                    300,
+                    (0x20010DB8 << 96 | 1).to_bytes(16, "big"),
+                )
+            )
+        else:
+            reply.flags = 0x8184  # NOTIMP-ish: respond but refuse
+        return reply.encode()

@@ -1,0 +1,126 @@
+"""HTTP (TCP/80, TCP/8080) and TLS (TCP/443) endpoints.
+
+The web management page is the paper's strongest identification signal: the
+``Server`` header names the embedded web server (Jetty, MiniWeb, micro_httpd,
+GoAhead — Table VIII) and the login-page body names the vendor/model.  The
+paper identified 1.1M routers by "login keywords along with manual
+validation"; the simulated page carries the same keywords.
+
+TLS is modelled as a certificate-summary exchange: a ClientHello-shaped
+request (first byte 0x16, the TLS handshake content type) is answered with a
+pseudo ServerHello naming the negotiated cipher suite and the certificate
+subject CN.  A full TLS stack is out of scope — the measurement only needs
+"certificate, cipher suite" back (Table VI), and the analysis only consumes
+the subject CN and software identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.services.base import Service, ServiceSpec, Software, SERVICE_SPECS
+
+#: Keywords the survey greps for to call a page a router login page.
+LOGIN_KEYWORDS = ("login", "password", "router")
+
+
+def make_get_request(host: str = "periphery", path: str = "/") -> bytes:
+    return (
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+        "User-Agent: repro-zgrab/1.0\r\nAccept: */*\r\n\r\n"
+    ).encode()
+
+
+class HttpServer(Service):
+    """An embedded web server exposing the router login page."""
+
+    def __init__(
+        self,
+        software: Software,
+        spec: ServiceSpec = SERVICE_SPECS["HTTP/80"],
+        vendor: str = "",
+        model: str = "",
+        login_page: bool = True,
+        requires_auth: bool = False,
+    ) -> None:
+        super().__init__(spec, software)
+        self.vendor = vendor
+        self.model = model
+        self.login_page = login_page
+        #: Some firmware gates the page behind HTTP Basic auth: the survey
+        #: still sees a valid response (alive) but no login keywords and no
+        #: vendor title — the gap between the paper's 1.3M reachable pages
+        #: and 1.1M identified login pages.
+        self.requires_auth = requires_auth
+
+    def _body(self) -> str:
+        title = f"{self.vendor} {self.model}".strip() or "Device"
+        if self.login_page:
+            return (
+                f"<html><head><title>{title} Router Login</title></head>"
+                "<body><form name='login'>"
+                "<input name='username'/><input type='password' name='password'/>"
+                f"</form><p>{title} management console</p></body></html>"
+            )
+        return f"<html><body><h1>{title}</h1></body></html>"
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        text = request.decode("latin-1", "replace")
+        if not text.startswith(("GET ", "HEAD ", "POST ")):
+            return b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
+        if self.requires_auth:
+            return (
+                "HTTP/1.1 401 Unauthorized\r\n"
+                f"Server: {self.software.banner}\r\n"
+                'WWW-Authenticate: Basic realm="device"\r\n'
+                "Content-Length: 0\r\n\r\n"
+            ).encode()
+        body = self._body()
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Server: {self.software.banner}\r\n"
+            "Content-Type: text/html\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        if text.startswith("HEAD "):
+            return head.encode()
+        return (head + body).encode()
+
+
+TLS_HANDSHAKE = 0x16
+
+
+def make_client_hello() -> bytes:
+    """A ClientHello-shaped certificate request (content type 0x16)."""
+    return bytes([TLS_HANDSHAKE, 0x03, 0x03]) + b"\x00\x2e" + b"\x01" + b"\x00" * 46
+
+
+class TlsServer(Service):
+    """The HTTPS management endpoint (certificate-summary model)."""
+
+    def __init__(
+        self,
+        software: Software,
+        spec: ServiceSpec = SERVICE_SPECS["TLS/443"],
+        vendor: str = "",
+        model: str = "",
+        cipher: str = "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    ) -> None:
+        super().__init__(spec, software)
+        self.vendor = vendor
+        self.model = model
+        self.cipher = cipher
+
+    @property
+    def certificate_cn(self) -> str:
+        return f"{self.vendor} {self.model}".strip() or "periphery.local"
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        if not request or request[0] != TLS_HANDSHAKE:
+            return None
+        summary = (
+            f"TLSv1.2\ncipher={self.cipher}\n"
+            f"cert-cn={self.certificate_cn}\n"
+            f"server={self.software.banner}\n"
+        )
+        return bytes([TLS_HANDSHAKE, 0x03, 0x03]) + summary.encode()

@@ -1,0 +1,59 @@
+"""An NTP (UDP/123) responder.
+
+The paper's NTP probe is a visibility check: send a version query (a client
+mode-3 packet), expect a version reply (server mode-4 with the same version
+number).  All exposed servers it found ran NTPv4.  The 48-byte RFC 5905
+header is encoded for real; timestamps are derived from the simulator clock.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.services.base import Service, ServiceSpec, Software, SERVICE_SPECS
+
+NTP_PACKET_LEN = 48
+MODE_CLIENT = 3
+MODE_SERVER = 4
+
+
+def make_client_query(version: int = 4) -> bytes:
+    """A minimal NTP client request (LI=0, VN=version, Mode=3)."""
+    first = (version << 3) | MODE_CLIENT
+    return bytes([first]) + b"\x00" * (NTP_PACKET_LEN - 1)
+
+
+def parse_header(packet: bytes) -> tuple[int, int, int]:
+    """(leap, version, mode) from an NTP packet's first byte."""
+    if len(packet) < NTP_PACKET_LEN:
+        raise ValueError("short NTP packet")
+    first = packet[0]
+    return first >> 6, (first >> 3) & 0x7, first & 0x7
+
+
+class NtpServer(Service):
+    def __init__(self, software: Software,
+                 spec: ServiceSpec = SERVICE_SPECS["NTP/123"],
+                 version: int = 4, stratum: int = 3) -> None:
+        super().__init__(spec, software)
+        self.version = version
+        self.stratum = stratum
+
+    def handle(self, request: bytes) -> Optional[bytes]:
+        try:
+            _leap, version, mode = parse_header(request)
+        except ValueError:
+            return None
+        if mode != MODE_CLIENT:
+            return None
+        reply_version = min(version, self.version)
+        first = (reply_version << 3) | MODE_SERVER
+        header = struct.pack(
+            "!BBBb", first, self.stratum, 6, -20
+        )  # poll=6, precision=2^-20
+        body = struct.pack("!II4s", 0, 0, b"LOCL")  # delay, dispersion, refid
+        # reference/origin/receive/transmit timestamps (zeros are accepted by
+        # the visibility probe, which only checks header fields)
+        timestamps = b"\x00" * 32
+        return header + body + timestamps

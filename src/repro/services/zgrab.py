@@ -1,0 +1,325 @@
+"""The application-layer scanner (ZGrab2 equivalent, §V-A).
+
+For each discovered periphery and each of the eight service/port pairs the
+scanner issues exactly one application-specific request (Table VI) and
+records whether a *valid* response came back, plus whatever software identity
+and vendor hints the response carries.  Per the paper's ethics section the
+probe rate defaults to 1000 pps and no follow-up/exploitation traffic is
+sent.
+
+TCP services are probed in two steps, as the paper describes: a SYN to check
+port openness, then the application request on an open port.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.ratelimit import VirtualPacer
+from repro.net.addr import IPv6Addr
+from repro.net.device import Device
+from repro.net.network import Network
+from repro.net.packet import Packet, TcpFlags, TcpSegment, UdpDatagram
+from repro.services.base import SERVICE_ORDER, SERVICE_SPECS, ServiceSpec, Software
+from repro.services.dns import DnsError, DnsMessage, version_bind_query
+from repro.services.http import make_client_hello, make_get_request
+from repro.services.ntp import MODE_SERVER, make_client_query, parse_header
+
+EPHEMERAL_PORT = 54321
+
+
+@dataclass
+class ServiceObservation:
+    """One (target, service) probe outcome."""
+
+    target: IPv6Addr
+    service: str  # SERVICE_SPECS key, e.g. "DNS/53"
+    alive: bool
+    software: Optional[Software] = None
+    banner: str = ""
+    vendor_hint: str = ""
+    login_page: bool = False
+
+
+@dataclass
+class AppScanResult:
+    """All observations from one application-layer sweep."""
+
+    observations: List[ServiceObservation] = field(default_factory=list)
+
+    def alive(self) -> List[ServiceObservation]:
+        return [o for o in self.observations if o.alive]
+
+    def alive_targets(self) -> set:
+        return {o.target for o in self.observations if o.alive}
+
+    def by_service(self) -> Dict[str, List[ServiceObservation]]:
+        out: Dict[str, List[ServiceObservation]] = {k: [] for k in SERVICE_ORDER}
+        for obs in self.observations:
+            if obs.alive:
+                out[obs.service].append(obs)
+        return out
+
+    def software_counts(self) -> Dict[str, Dict[str, int]]:
+        """service → software banner → device count (Table VIII input)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for obs in self.observations:
+            if not obs.alive or obs.software is None:
+                continue
+            bucket = out.setdefault(obs.service, {})
+            bucket[obs.software.banner] = bucket.get(obs.software.banner, 0) + 1
+        return out
+
+
+class AppScanner:
+    """Issues Table VI's requests against discovered peripheries."""
+
+    def __init__(
+        self,
+        network: Network,
+        vantage: Device,
+        rate_pps: float = 1000.0,
+    ) -> None:
+        self.network = network
+        self.vantage = vantage
+        self.pacer = VirtualPacer(network, rate_pps)
+        self._dns_ident = 0x1000
+
+    # -- transport helpers -----------------------------------------------------
+
+    def _exchange(self, packet: Packet) -> List[Packet]:
+        self.pacer.pace()
+        inbox, _trace = self.network.inject(packet, self.vantage)
+        return inbox
+
+    def _udp_request(self, target: IPv6Addr, port: int, payload: bytes) -> Optional[bytes]:
+        request = Packet(
+            src=self.vantage.primary_address,
+            dst=target,
+            payload=UdpDatagram(EPHEMERAL_PORT, port, payload),
+        )
+        for reply in self._exchange(request):
+            datagram = reply.payload
+            if (
+                isinstance(datagram, UdpDatagram)
+                and datagram.sport == port
+                and datagram.dport == EPHEMERAL_PORT
+                and reply.src == target
+            ):
+                return datagram.payload
+        return None
+
+    def _tcp_port_open(self, target: IPv6Addr, port: int) -> bool:
+        syn = Packet(
+            src=self.vantage.primary_address,
+            dst=target,
+            payload=TcpSegment(EPHEMERAL_PORT, port, seq=1, flags=int(TcpFlags.SYN)),
+        )
+        for reply in self._exchange(syn):
+            segment = reply.payload
+            if not isinstance(segment, TcpSegment) or segment.sport != port:
+                continue
+            if segment.has_flag(TcpFlags.SYN) and segment.has_flag(TcpFlags.ACK):
+                return True
+        return False
+
+    def _tcp_request(self, target: IPv6Addr, port: int, payload: bytes) -> Optional[bytes]:
+        if not self._tcp_port_open(target, port):
+            return None
+        data = Packet(
+            src=self.vantage.primary_address,
+            dst=target,
+            payload=TcpSegment(
+                EPHEMERAL_PORT,
+                port,
+                seq=2,
+                flags=int(TcpFlags.PSH) | int(TcpFlags.ACK),
+                payload=payload,
+            ),
+        )
+        for reply in self._exchange(data):
+            segment = reply.payload
+            if (
+                isinstance(segment, TcpSegment)
+                and segment.sport == port
+                and segment.payload
+                and reply.src == target
+            ):
+                return segment.payload
+        return None
+
+    # -- per-service probes ---------------------------------------------------
+
+    def probe_service(self, target: IPv6Addr, service_key: str) -> ServiceObservation:
+        spec = SERVICE_SPECS[service_key]
+        prober = _PROBERS[service_key]
+        return prober(self, target, service_key, spec)
+
+    def scan(
+        self,
+        targets: Iterable[IPv6Addr],
+        services: Iterable[str] = tuple(SERVICE_ORDER),
+    ) -> AppScanResult:
+        result = AppScanResult()
+        services = list(services)
+        for target in targets:
+            for service_key in services:
+                result.observations.append(self.probe_service(target, service_key))
+        return result
+
+
+# -- response parsers -----------------------------------------------------------
+
+
+def _parse_software(banner: str) -> Optional[Software]:
+    match = re.match(r"^([A-Za-z][\w!. -]*?)[ _/]v?(\d[\w.\-]*)$", banner.strip())
+    if not match:
+        return None
+    return Software(match.group(1).strip(), match.group(2))
+
+
+def _probe_dns(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    scanner._dns_ident = (scanner._dns_ident + 1) & 0xFFFF
+    payload = scanner._udp_request(target, spec.port, version_bind_query(scanner._dns_ident))
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    try:
+        message = DnsMessage.decode(payload)
+    except DnsError:
+        return ServiceObservation(target, key, alive=False)
+    if not message.is_response or message.ident != scanner._dns_ident:
+        return ServiceObservation(target, key, alive=False)
+    banner = ""
+    if message.answers and message.answers[0].rdata:
+        raw = message.answers[0].rdata
+        banner = raw[1 : 1 + raw[0]].decode("ascii", "replace")
+    return ServiceObservation(
+        target, key, alive=True, banner=banner, software=_parse_software(banner)
+    )
+
+
+def _probe_ntp(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    payload = scanner._udp_request(target, spec.port, make_client_query())
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    try:
+        _leap, version, mode = parse_header(payload)
+    except ValueError:
+        return ServiceObservation(target, key, alive=False)
+    if mode != MODE_SERVER:
+        return ServiceObservation(target, key, alive=False)
+    return ServiceObservation(
+        target,
+        key,
+        alive=True,
+        banner=f"NTP version {version}",
+        software=Software("NTP", str(version)),
+    )
+
+
+def _probe_ftp(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    payload = scanner._tcp_request(target, spec.port, b"\r\n")
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    text = payload.decode("latin-1", "replace").strip()
+    if not text.startswith("220"):
+        return ServiceObservation(target, key, alive=False)
+    banner = text[4:].replace(" FTP server ready.", "").strip()
+    return ServiceObservation(
+        target, key, alive=True, banner=banner, software=_parse_software(banner)
+    )
+
+
+def _probe_ssh(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    payload = scanner._tcp_request(target, spec.port, b"SSH-2.0-repro_scanner\r\n")
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    text = payload.decode("latin-1", "replace").strip().splitlines()[0]
+    if not text.startswith("SSH-"):
+        return ServiceObservation(target, key, alive=False)
+    ident = text.split("-", 2)[-1]  # e.g. "dropbear_0.46"
+    software = _parse_software(ident.replace("_", " "))
+    return ServiceObservation(
+        target, key, alive=True, banner=text, software=software
+    )
+
+
+def _probe_telnet(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    payload = scanner._tcp_request(target, spec.port, b"\r\n")
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    text = payload.decode("latin-1", "replace")
+    if "login" not in text.lower():
+        return ServiceObservation(target, key, alive=False)
+    printable = "".join(ch for ch in text if ch.isprintable()).strip()
+    vendor_hint = printable.replace("login:", "").strip()
+    return ServiceObservation(
+        target, key, alive=True, banner=printable, vendor_hint=vendor_hint
+    )
+
+
+_SERVER_RE = re.compile(r"^Server:\s*(.+)$", re.IGNORECASE | re.MULTILINE)
+_TITLE_RE = re.compile(r"<title>(.*?)</title>", re.IGNORECASE | re.DOTALL)
+
+
+def _probe_http(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    payload = scanner._tcp_request(target, spec.port, make_get_request())
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    text = payload.decode("latin-1", "replace")
+    if not text.startswith("HTTP/"):
+        return ServiceObservation(target, key, alive=False)
+    server_match = _SERVER_RE.search(text)
+    banner = server_match.group(1).strip() if server_match else ""
+    title_match = _TITLE_RE.search(text)
+    vendor_hint = ""
+    login_page = False
+    if title_match:
+        title = title_match.group(1).strip()
+        lowered = text.lower()
+        login_page = "password" in lowered and "login" in lowered
+        vendor_hint = re.sub(r"\s*Router Login\s*$", "", title).strip()
+    return ServiceObservation(
+        target,
+        key,
+        alive=True,
+        banner=banner,
+        software=_parse_software(banner),
+        vendor_hint=vendor_hint,
+        login_page=login_page,
+    )
+
+
+def _probe_tls(scanner: AppScanner, target: IPv6Addr, key: str, spec: ServiceSpec) -> ServiceObservation:
+    payload = scanner._tcp_request(target, spec.port, make_client_hello())
+    if payload is None:
+        return ServiceObservation(target, key, alive=False)
+    if not payload or payload[0] != 0x16:
+        return ServiceObservation(target, key, alive=False)
+    text = payload[3:].decode("latin-1", "replace")
+    fields = dict(
+        line.split("=", 1) for line in text.splitlines() if "=" in line
+    )
+    banner = fields.get("server", "").strip()
+    return ServiceObservation(
+        target,
+        key,
+        alive=True,
+        banner=banner,
+        software=_parse_software(banner),
+        vendor_hint=fields.get("cert-cn", "").strip(),
+    )
+
+
+_PROBERS = {
+    "DNS/53": _probe_dns,
+    "NTP/123": _probe_ntp,
+    "FTP/21": _probe_ftp,
+    "SSH/22": _probe_ssh,
+    "TELNET/23": _probe_telnet,
+    "HTTP/80": _probe_http,
+    "TLS/443": _probe_tls,
+    "HTTP/8080": _probe_http,
+}

@@ -1,0 +1,34 @@
+"""Shared fixtures: small deterministic deployments reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isp.builder import build_deployment
+from repro.isp.profiles import profile_by_key
+
+
+@pytest.fixture(scope="session")
+def mini_deployment():
+    """A heavily scaled-down full deployment (all fifteen blocks)."""
+    return build_deployment(scale=100_000, seed=42, min_devices=30)
+
+
+@pytest.fixture(scope="session")
+def cn_mobile_deployment():
+    """One /60-delegation block with loops and services, moderately sized."""
+    return build_deployment(
+        profiles=[profile_by_key("cn-mobile-broadband")],
+        scale=20_000,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def jio_deployment():
+    """One /64-delegation, same-dominant block."""
+    return build_deployment(
+        profiles=[profile_by_key("in-jio-broadband")],
+        scale=20_000,
+        seed=7,
+    )

@@ -1,0 +1,227 @@
+"""Address/prefix arithmetic, cross-validated against the stdlib."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import (
+    AddressError,
+    IPv6Addr,
+    IPv6Prefix,
+    MacAddress,
+    format_ipv6,
+    is_eui64_iid,
+    parse_ipv6,
+)
+
+addr_values = st.integers(min_value=0, max_value=(1 << 128) - 1)
+mac_values = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestParseFormat:
+    def test_parse_full_form(self):
+        value = parse_ipv6("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == 0x20010DB8000000000000000000000001
+
+    def test_parse_compressed(self):
+        assert parse_ipv6("2001:db8::1") == 0x20010DB8000000000000000000000001
+
+    def test_parse_all_zero(self):
+        assert parse_ipv6("::") == 0
+
+    def test_parse_leading_compression(self):
+        assert parse_ipv6("::1") == 1
+
+    def test_parse_trailing_compression(self):
+        assert parse_ipv6("2001:db8::") == 0x20010DB8 << 96
+
+    def test_parse_embedded_ipv4(self):
+        assert parse_ipv6("::ffff:192.0.2.1") == 0xFFFF_C0000201
+
+    def test_parse_rejects_double_compression(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("2001::db8::1")
+
+    def test_parse_rejects_too_many_groups(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("1:2:3:4:5:6:7:8:9")
+
+    def test_parse_rejects_bad_hex(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("2001:xyz::1")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("")
+
+    def test_parse_rejects_bad_ipv4_octet(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("::ffff:300.0.0.1")
+
+    def test_format_canonical_compression(self):
+        assert format_ipv6(0x20010DB8000000000000000000000001) == "2001:db8::1"
+
+    def test_format_no_single_group_compression(self):
+        # RFC 5952: a lone zero group is not compressed.
+        value = parse_ipv6("2001:db8:0:1:1:1:1:1")
+        assert format_ipv6(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_format_leftmost_longest_run(self):
+        value = parse_ipv6("2001:0:0:1:0:0:0:1")
+        assert format_ipv6(value) == "2001:0:0:1::1"
+
+    @given(addr_values)
+    def test_roundtrip_matches_stdlib(self, value):
+        ours = format_ipv6(value)
+        stdlib = str(ipaddress.IPv6Address(value))
+        assert ours == stdlib
+        assert parse_ipv6(ours) == value
+
+    @given(addr_values)
+    def test_parse_stdlib_output(self, value):
+        assert parse_ipv6(str(ipaddress.IPv6Address(value))) == value
+
+
+class TestMacAddress:
+    def test_from_string(self):
+        mac = MacAddress.from_string("00:1a:2b:3c:4d:5e")
+        assert mac.value == 0x001A2B3C4D5E
+        assert str(mac) == "00:1a:2b:3c:4d:5e"
+
+    def test_from_string_dashes(self):
+        assert MacAddress.from_string("00-1A-2B-3C-4D-5E").value == 0x001A2B3C4D5E
+
+    def test_oui(self):
+        assert MacAddress(0x001A2B3C4D5E).oui == 0x001A2B
+
+    def test_rejects_malformed(self):
+        with pytest.raises(AddressError):
+            MacAddress.from_string("00:11:22:33:44")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+
+    def test_eui64_known_vector(self):
+        # RFC 4291 App. A example: 34-56-78-9A-BC-DE -> 3656:78ff:fe9a:bcde
+        mac = MacAddress.from_string("34:56:78:9a:bc:de")
+        assert mac.to_eui64_iid() == 0x365678FFFE9ABCDE
+
+    @given(mac_values)
+    def test_eui64_roundtrip(self, value):
+        mac = MacAddress(value)
+        iid = mac.to_eui64_iid()
+        assert is_eui64_iid(iid)
+        assert MacAddress.from_eui64_iid(iid) == mac
+
+    def test_from_eui64_rejects_non_eui(self):
+        with pytest.raises(AddressError):
+            MacAddress.from_eui64_iid(0x1234)
+
+
+class TestIPv6Addr:
+    def test_bytes_roundtrip(self):
+        addr = IPv6Addr.from_string("2001:db8::42")
+        assert IPv6Addr.from_bytes(addr.to_bytes()) == addr
+
+    def test_from_bytes_rejects_wrong_length(self):
+        with pytest.raises(AddressError):
+            IPv6Addr.from_bytes(b"\x00" * 15)
+
+    def test_iid_extraction(self):
+        addr = IPv6Addr.from_string("2001:db8::dead:beef")
+        assert addr.iid == 0xDEADBEEF
+
+    def test_slash64(self):
+        addr = IPv6Addr.from_string("2001:db8:1:2:3:4:5:6")
+        assert str(addr.slash64) == "2001:db8:1:2::/64"
+
+    def test_embedded_mac(self):
+        mac = MacAddress.from_string("34:56:78:9a:bc:de")
+        prefix = IPv6Prefix.from_string("2001:db8::/64")
+        addr = IPv6Addr.from_eui64(prefix, mac)
+        assert addr.embedded_mac() == mac
+
+    def test_embedded_mac_absent(self):
+        assert IPv6Addr.from_string("2001:db8::1").embedded_mac() is None
+
+    def test_from_parts_rejects_oversize_iid(self):
+        prefix = IPv6Prefix.from_string("2001:db8::/96")
+        with pytest.raises(AddressError):
+            IPv6Addr.from_parts(prefix, 1 << 40)
+
+    def test_eui64_requires_slash64(self):
+        with pytest.raises(AddressError):
+            IPv6Addr.from_eui64(
+                IPv6Prefix.from_string("2001:db8::/60"), MacAddress(1)
+            )
+
+    def test_ordering(self):
+        a = IPv6Addr.from_string("2001:db8::1")
+        b = IPv6Addr.from_string("2001:db8::2")
+        assert a < b
+
+
+class TestIPv6Prefix:
+    def test_parse(self):
+        prefix = IPv6Prefix.from_string("2001:db8::/32")
+        assert prefix.length == 32
+        assert str(prefix) == "2001:db8::/32"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            IPv6Prefix.from_string("2001:db8::1/32")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(AddressError):
+            IPv6Prefix.from_string("2001:db8::")
+
+    def test_contains(self):
+        prefix = IPv6Prefix.from_string("2001:db8::/32")
+        assert prefix.contains(IPv6Addr.from_string("2001:db8:ffff::1"))
+        assert not prefix.contains(IPv6Addr.from_string("2001:db9::1"))
+
+    def test_contains_prefix(self):
+        outer = IPv6Prefix.from_string("2001:db8::/32")
+        inner = IPv6Prefix.from_string("2001:db8:1::/48")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_subprefix(self):
+        block = IPv6Prefix.from_string("2001:db8::/32")
+        assert str(block.subprefix(5, 64)) == "2001:db8:0:5::/64"
+
+    def test_subprefix_index_inverse(self):
+        block = IPv6Prefix.from_string("2001:db8::/32")
+        sub = block.subprefix(12345, 64)
+        assert block.subprefix_index(sub.network, 64) == 12345
+
+    def test_subprefix_out_of_range(self):
+        block = IPv6Prefix.from_string("2001:db8::/32")
+        with pytest.raises(AddressError):
+            block.subprefix(1 << 32, 64)
+
+    def test_subprefixes_enumeration(self):
+        block = IPv6Prefix.from_string("2001:db8::/32")
+        subs = list(block.subprefixes(36))
+        assert len(subs) == 16
+        assert subs[0].network == block.network
+        assert all(block.contains_prefix(s) for s in subs)
+
+    def test_first_last(self):
+        prefix = IPv6Prefix.from_string("2001:db8::/64")
+        assert str(prefix.first) == "2001:db8::"
+        assert str(prefix.last) == "2001:db8::ffff:ffff:ffff:ffff"
+
+    def test_num_addresses(self):
+        assert IPv6Prefix.from_string("2001:db8::/120").num_addresses == 256
+
+    @given(addr_values, st.integers(min_value=0, max_value=128))
+    def test_prefix_of_address_contains_it(self, value, length):
+        addr = IPv6Addr(value)
+        prefix = addr.prefix(length)
+        assert prefix.contains(addr)
+        # Cross-check the mask against the stdlib network computation.
+        stdlib = ipaddress.IPv6Network((value, length), strict=False)
+        assert prefix.network == int(stdlib.network_address)

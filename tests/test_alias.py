@@ -1,0 +1,66 @@
+"""Aliased-prefix detection (the 'non-aliased' qualifier of Table II)."""
+
+import pytest
+
+from repro.discovery.alias import (
+    AliasedResponder,
+    aliased_prefixes,
+    check_aliased,
+)
+from repro.net.addr import IPv6Prefix
+
+from tests.topo import MiniTopology, build_mini
+
+
+@pytest.fixture
+def world_with_alias():
+    topo = build_mini()
+    alias_prefix = IPv6Prefix.from_string("2001:db8:3:30::/64")
+    responder = AliasedResponder("cdn", alias_prefix)
+    responder.gateway = topo.isp  # a host needs a first-hop for replies
+    topo.network.register(responder)
+    topo.isp.delegate(alias_prefix, responder.primary_address)
+    return topo, alias_prefix
+
+
+class TestAliasDetection:
+    def test_aliased_prefix_flagged(self, world_with_alias):
+        topo, alias_prefix = world_with_alias
+        checks = check_aliased(
+            topo.network, topo.vantage, [alias_prefix], samples=4
+        )
+        assert len(checks) == 1
+        assert checks[0].aliased
+        assert checks[0].echo_replies == 4
+
+    def test_real_periphery_prefixes_not_flagged(self, world_with_alias):
+        topo, alias_prefix = world_with_alias
+        # The correct CPE's delegation: probes draw unreachables, not echoes.
+        flagged = aliased_prefixes(
+            topo.network, topo.vantage,
+            [MiniTopology.LAN_OK, MiniTopology.UE_PREFIX, alias_prefix],
+        )
+        assert flagged == {alias_prefix}
+
+    def test_empty_space_not_flagged(self, world_with_alias):
+        topo, _ = world_with_alias
+        empty = IPv6Prefix.from_string("2001:db8:77::/64")
+        assert aliased_prefixes(topo.network, topo.vantage, [empty]) == set()
+
+    def test_loop_prefix_not_flagged(self, world_with_alias):
+        """Time Exceeded from looping space is not an echo: no alias."""
+        topo, _ = world_with_alias
+        assert aliased_prefixes(
+            topo.network, topo.vantage, [MiniTopology.LAN_VULN]
+        ) == set()
+
+    def test_alias_responder_answers_any_address(self, world_with_alias):
+        topo, alias_prefix = world_with_alias
+        from repro.net.packet import Icmpv6Type, echo_request
+
+        for iid in (0x1, 0xDEAD, 0xFFFF_FFFF):
+            probe = echo_request(
+                topo.vantage.primary_address, alias_prefix.address(iid), 1, 1
+            )
+            inbox, _trace = topo.network.inject(probe, topo.vantage)
+            assert inbox and inbox[0].payload.type == Icmpv6Type.ECHO_REPLY

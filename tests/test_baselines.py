@@ -1,0 +1,70 @@
+"""Baseline discovery techniques vs XMap on the mini topology."""
+
+import pytest
+
+from repro.baselines.endhost import scan_end_hosts
+from repro.baselines.traceroute_discovery import discover_by_traceroute
+from repro.discovery.periphery import discover
+
+from tests.topo import MiniTopology, build_mini
+
+
+class TestTracerouteDiscovery:
+    def test_finds_the_periphery(self):
+        topo = build_mini()
+        result = discover_by_traceroute(
+            topo.network, topo.vantage, "2001:db8:1:50::/60-64", seed=1
+        )
+        assert topo.cpe_ok.wan_address in result.last_hops
+
+    def test_costs_more_probes_than_xmap(self):
+        topo = build_mini()
+        spec = "2001:db8:1:50::/60-64"
+        tracer = discover_by_traceroute(topo.network, topo.vantage, spec, seed=1)
+        xmap = discover(topo.network, topo.vantage, spec, seed=1)
+        assert {r.last_hop for r in xmap.records} == tracer.last_hops
+        assert tracer.probes_sent > 2 * xmap.stats.sent
+
+    def test_skips_transit_infrastructure(self):
+        topo = build_mini()
+        result = discover_by_traceroute(
+            topo.network, topo.vantage, "2001:db8:1:50::/60-64", seed=1
+        )
+        assert topo.core.primary_address not in result.last_hops
+        assert topo.isp.primary_address not in result.last_hops
+
+    def test_max_targets_caps_walks(self):
+        topo = build_mini()
+        result = discover_by_traceroute(
+            topo.network, topo.vantage, "2001:db8:1:50::/60-64",
+            max_targets=3, seed=1,
+        )
+        assert result.targets_walked == 3
+
+    def test_empty_space_yields_nothing(self):
+        topo = build_mini()
+        result = discover_by_traceroute(
+            topo.network, topo.vantage, "2001:db8:77::/56-64",
+            max_targets=8, seed=1,
+        )
+        assert result.last_hops == set()
+
+
+class TestEndHostScanning:
+    def test_no_live_hosts_at_64_host_bits(self):
+        topo = build_mini()
+        report = scan_end_hosts(
+            topo.network, topo.vantage, "2001:db8:2::/48-64", seed=1
+        )
+        assert report.live_hosts == 0
+        assert report.last_hops >= 1  # the UE answered as a last hop
+        assert report.live_host_hit_rate == 0.0
+        assert report.last_hop_hit_rate > 0.0
+
+    def test_finds_host_when_probe_lands_exactly(self):
+        """Probing the device's actual /128 — the needle — does echo."""
+        topo = build_mini()
+        spec = f"{topo.ue.ue_address}/128-128"
+        report = scan_end_hosts(topo.network, topo.vantage, spec, seed=1)
+        assert report.probes == 1
+        assert report.live_hosts == 1

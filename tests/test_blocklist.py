@@ -1,0 +1,136 @@
+"""Block/allow list semantics and the radix prefix set."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocklist import DEFAULT_BLOCKED, Blocklist, PrefixSet
+from repro.net.addr import IPv6Addr, IPv6Prefix
+
+
+def _addr(text):
+    return IPv6Addr.from_string(text)
+
+
+class TestPrefixSet:
+    def test_empty(self):
+        assert _addr("::1") not in PrefixSet()
+
+    def test_covering_most_specific(self):
+        ps = PrefixSet(["2001:db8::/32", "2001:db8:1::/48"])
+        assert ps.covering(_addr("2001:db8:1::5")).length == 48
+        assert ps.covering(_addr("2001:db8:2::5")).length == 32
+        assert ps.covering(_addr("2400::1")) is None
+
+    def test_accepts_prefix_objects(self):
+        ps = PrefixSet([IPv6Prefix.from_string("2001:db8::/32")])
+        assert _addr("2001:db8::1") in ps
+
+    def test_iteration_and_len(self):
+        ps = PrefixSet(["2001:db8::/32", "2400::/16"])
+        assert len(ps) == 2
+        assert {str(p) for p in ps} == {"2001:db8::/32", "2400::/16"}
+
+    def test_duplicate_add_idempotent(self):
+        ps = PrefixSet()
+        ps.add("2001:db8::/32")
+        ps.add("2001:db8::/32")
+        assert len(ps) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 128) - 1),
+            st.sampled_from([16, 32, 48, 64, 96, 128]),
+        ),
+        min_size=1, max_size=30,
+    ), st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_matches_linear_scan(self, entries, probe):
+        prefixes = [
+            IPv6Prefix(net >> (128 - ln) << (128 - ln), ln)
+            for net, ln in entries
+        ]
+        ps = PrefixSet(prefixes)
+        naive = [p for p in prefixes if p.contains(probe)]
+        expected = max(naive, key=lambda p: p.length) if naive else None
+        got = ps.covering(probe)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None and got.length == expected.length
+
+
+class TestBlocklist:
+    def test_default_blocks_special_space(self):
+        bl = Blocklist()
+        assert not bl.is_allowed(_addr("::1"))
+        assert not bl.is_allowed(_addr("fe80::1"))
+        assert not bl.is_allowed(_addr("ff02::1"))
+        assert not bl.is_allowed(_addr("fc00::42"))
+        assert bl.is_allowed(_addr("2001:db8::1"))
+
+    def test_allowlist_restricts(self):
+        bl = Blocklist(blocked=(), allowed=["2001:db8::/32"])
+        assert bl.is_allowed(_addr("2001:db8::1"))
+        assert not bl.is_allowed(_addr("2400::1"))
+
+    def test_more_specific_allow_overrides_block(self):
+        bl = Blocklist(
+            blocked=["2001:db8::/32"], allowed=["2001:db8:1::/48"]
+        )
+        assert bl.is_allowed(_addr("2001:db8:1::5"))
+        assert not bl.is_allowed(_addr("2001:db8:2::5"))
+
+    def test_more_specific_block_overrides_allow(self):
+        bl = Blocklist(
+            blocked=["2001:db8:1::/48"], allowed=["2001:db8::/32"]
+        )
+        assert not bl.is_allowed(_addr("2001:db8:1::5"))
+        assert bl.is_allowed(_addr("2001:db8:2::5"))
+
+    def test_tie_blocks(self):
+        bl = Blocklist(blocked=["2001:db8::/32"], allowed=["2001:db8::/32"])
+        assert not bl.is_allowed(_addr("2001:db8::1"))
+
+    def test_default_blocked_constant(self):
+        assert "fe80::/10" in DEFAULT_BLOCKED
+
+
+class TestConfParsing:
+    def test_parse_conf(self):
+        from repro.core.blocklist import parse_conf
+
+        text = """
+        # reserved space
+        2001:db8::/32   # documentation
+        2400:cb00::/32
+
+        fe80::1         # bare address -> /128
+        """
+        prefixes = parse_conf(text)
+        assert [str(p) for p in prefixes] == [
+            "2001:db8::/32", "2400:cb00::/32", "fe80::1/128",
+        ]
+
+    def test_parse_conf_reports_line_numbers(self):
+        from repro.core.blocklist import parse_conf
+
+        with pytest.raises(ValueError, match="line 2"):
+            parse_conf("2001:db8::/32\nnot-a-prefix\n")
+
+    def test_from_files(self, tmp_path):
+        blocked = tmp_path / "blocked.conf"
+        blocked.write_text("2400::/16  # an operator opt-out\n")
+        allowed = tmp_path / "allowed.conf"
+        allowed.write_text("2400:1::/32\n")
+        bl = Blocklist.from_files(str(blocked), str(allowed))
+        assert bl.is_allowed(_addr("2400:1::5"))  # allow is more specific
+        assert not bl.is_allowed(_addr("2400:2::5"))  # blocked /16
+        assert not bl.is_allowed(_addr("2001:db8::1"))  # outside allowlist
+
+    def test_from_files_defaults(self, tmp_path):
+        bl = Blocklist.from_files(include_defaults=True)
+        assert not bl.is_allowed(_addr("ff02::1"))
+        bl2 = Blocklist.from_files(include_defaults=False)
+        assert bl2.is_allowed(_addr("ff02::1"))

@@ -1,0 +1,130 @@
+"""The population builder: ground truth matches the profile parameters."""
+
+import pytest
+
+from repro.discovery.iid import IidClass
+from repro.isp.builder import build_deployment
+from repro.isp.profiles import PAPER_PROFILES, profile_by_key
+from repro.isp.vendors import DEFAULT_CATALOG
+
+
+class TestDeploymentShape:
+    def test_all_fifteen_blocks(self, mini_deployment):
+        assert len(mini_deployment.isps) == 15
+        assert set(mini_deployment.isps) == {p.key for p in PAPER_PROFILES}
+
+    def test_device_counts_scale(self, mini_deployment):
+        for key, isp in mini_deployment.isps.items():
+            expected = max(30, round(isp.profile.paper_last_hops / 100_000))
+            assert isp.n_devices == expected
+            assert len(isp.truths) == isp.n_devices
+
+    def test_scan_windows_inside_blocks(self, mini_deployment):
+        for isp in mini_deployment.isps.values():
+            assert isp.profile.block_prefix.contains_prefix(isp.scan_base)
+            assert isp.scan_base.length == (
+                isp.profile.subprefix_len - isp.window_bits
+            )
+
+    def test_delegations_inside_scan_window(self, mini_deployment):
+        for isp in mini_deployment.isps.values():
+            for truth in isp.truths:
+                assert isp.scan_base.contains_prefix(truth.delegated)
+                assert truth.delegated.length == isp.profile.subprefix_len
+
+    def test_no_duplicate_delegations(self, mini_deployment):
+        for isp in mini_deployment.isps.values():
+            networks = [t.delegated.network for t in isp.truths]
+            assert len(networks) == len(set(networks))
+
+    def test_same_archetype_fraction(self, cn_mobile_deployment):
+        isp = cn_mobile_deployment.isps["cn-mobile-broadband"]
+        same = sum(1 for t in isp.truths if t.archetype == "same")
+        assert same == round(isp.n_devices * isp.profile.same_frac)
+
+    def test_eui64_fraction(self, cn_mobile_deployment):
+        isp = cn_mobile_deployment.isps["cn-mobile-broadband"]
+        eui = sum(1 for t in isp.truths if t.iid_class is IidClass.EUI64)
+        expected = isp.n_devices * isp.profile.eui64_frac
+        assert abs(eui - expected) <= 2
+
+    def test_loop_counts(self, cn_mobile_deployment):
+        isp = cn_mobile_deployment.isps["cn-mobile-broadband"]
+        loops = sum(1 for t in isp.truths if t.loop_vulnerable)
+        expected = round(isp.n_devices * isp.profile.loop_frac)
+        assert abs(loops - expected) <= 1
+        for truth in isp.truths:
+            if truth.loop_vulnerable:
+                assert truth.loop_prefix in ("wan", "lan")
+            else:
+                assert truth.loop_prefix == ""
+
+    def test_last_hop_addresses_registered(self, cn_mobile_deployment):
+        net = cn_mobile_deployment.network
+        for truth in cn_mobile_deployment.all_truths():
+            device = net.device_at(truth.last_hop)
+            assert device is not None
+            assert device.name == truth.name
+
+    def test_diff_devices_wan_outside_window(self, cn_mobile_deployment):
+        isp = cn_mobile_deployment.isps["cn-mobile-broadband"]
+        for truth in isp.truths:
+            if truth.archetype == "diff":
+                assert not isp.scan_base.contains(truth.last_hop)
+                assert isp.profile.block_prefix.contains(truth.last_hop)
+            else:
+                assert truth.delegated.contains(truth.last_hop)
+
+    def test_eui64_truth_has_mac(self, cn_mobile_deployment):
+        for truth in cn_mobile_deployment.all_truths():
+            if truth.iid_class is IidClass.EUI64:
+                assert truth.mac is not None
+                assert truth.last_hop.embedded_mac() == truth.mac
+            else:
+                assert truth.mac is None
+
+    def test_vendors_from_profile_mix(self, cn_mobile_deployment):
+        isp = cn_mobile_deployment.isps["cn-mobile-broadband"]
+        allowed = {name for name, _w in isp.profile.vendor_mix}
+        assert {t.vendor for t in isp.truths} <= allowed
+
+    def test_services_bound_to_devices(self, cn_mobile_deployment):
+        net = cn_mobile_deployment.network
+        for truth in cn_mobile_deployment.all_truths():
+            device = net.devices[truth.name]
+            for key in truth.services:
+                port = int(key.split("/")[1])
+                assert port in device.udp_services or port in device.tcp_services
+
+    def test_deterministic_in_seed(self):
+        profiles = [profile_by_key("us-comcast-broadband")]
+        a = build_deployment(profiles=profiles, scale=5_000, seed=3)
+        b = build_deployment(profiles=profiles, scale=5_000, seed=3)
+        ta = a.isps["us-comcast-broadband"].truths
+        tb = b.isps["us-comcast-broadband"].truths
+        assert [t.last_hop for t in ta] == [t.last_hop for t in tb]
+        assert [t.vendor for t in ta] == [t.vendor for t in tb]
+
+    def test_different_seed_differs(self):
+        profiles = [profile_by_key("us-comcast-broadband")]
+        a = build_deployment(profiles=profiles, scale=5_000, seed=3)
+        b = build_deployment(profiles=profiles, scale=5_000, seed=4)
+        ta = a.isps["us-comcast-broadband"].truths
+        tb = b.isps["us-comcast-broadband"].truths
+        assert [t.last_hop for t in ta] != [t.last_hop for t in tb]
+
+    def test_comcast_wan_concentration(self):
+        """Table II: Comcast last hops concentrate into few /64s (6.5%)."""
+        dep = build_deployment(
+            profiles=[profile_by_key("us-comcast-broadband")],
+            scale=1_000, seed=5,
+        )
+        isp = dep.isps["us-comcast-broadband"]
+        unique64 = {t.last_hop.slash64 for t in isp.truths}
+        ratio = len(unique64) / len(isp.truths)
+        assert ratio == pytest.approx(0.065, abs=0.02)
+
+    def test_catalog_vendor_kinds(self):
+        for profile in PAPER_PROFILES:
+            for name, _weight in profile.vendor_mix:
+                assert name in DEFAULT_CATALOG, name

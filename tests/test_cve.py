@@ -1,0 +1,86 @@
+"""CVE database and version-family bucketing."""
+
+import pytest
+
+from repro.services.cve import DEFAULT_CVE_DB, CveDatabase, family_of
+
+
+class TestFamilyOf:
+    @pytest.mark.parametrize("software,version,family", [
+        ("dnsmasq", "2.45", "2.4x"),
+        ("dnsmasq", "2.52", "2.5x"),
+        ("dnsmasq", "2.75", "2.7x"),
+        ("dropbear", "0.46", "0.4x"),
+        ("dropbear", "2012.55", "2012.5x"),
+        ("dropbear", "2017.75", "2017.7x"),
+        ("openssh", "3.5", "3.5"),
+        ("openssh", "5.8", "5.x"),
+        ("openssh", "8.2", "8.x"),
+        ("GNU Inetutils", "1.4.1", "1.4x"),
+        ("FreeBSD", "6.00ls", "6.00ls"),
+        ("vsftpd", "2.2.2", "2.2x"),
+        ("Jetty", "6.1.26", "6.1x"),
+        ("MiniWeb HTTP Server", "0.8.19", "0.8x"),
+        ("micro_httpd", "1.0", "1.0x"),
+        ("GoAhead Embedded", "2.5.0", "2.5x"),
+        ("Fritz!Box", "7.2.1", "7.2x"),
+    ])
+    def test_buckets(self, software, version, family):
+        assert family_of(software, version) == family
+
+
+class TestDefaultDatabase:
+    def test_paper_cve_totals(self):
+        """Table VIII's per-software CVE counts."""
+        db = DEFAULT_CVE_DB
+        assert db.cve_count_for_software("dnsmasq") == 16
+        assert db.cve_count_for_software("dropbear") == 10
+        assert db.cve_count_for_software("openssh") == 74
+        assert db.cve_count_for_software("FreeBSD") == 1
+        assert db.cve_count_for_software("vsftpd") == 2
+        assert db.cve_count_for_software("GNU Inetutils") == 0
+        # HTTP row: 24 CVEs across the four embedded web servers.
+        http_total = sum(
+            db.cve_count_for_software(s)
+            for s in ("Jetty", "MiniWeb HTTP Server", "micro_httpd",
+                      "GoAhead Embedded")
+        )
+        assert http_total == 24
+
+    def test_info_for_version(self):
+        info = DEFAULT_CVE_DB.info_for_version("dnsmasq", "2.45")
+        assert info is not None
+        assert info.family == "2.4x"
+        assert info.cve_count == 7
+
+    def test_release_lag(self):
+        """dnsmasq 2.4x: 'released ~8 years ago' relative to the 2020 scan."""
+        info = DEFAULT_CVE_DB.info_for_version("dnsmasq", "2.45")
+        assert info.lag_years(2020) == 8
+        dropbear = DEFAULT_CVE_DB.info_for_version("dropbear", "0.46")
+        assert dropbear.release_year <= 2006
+        openssh = DEFAULT_CVE_DB.info_for_version("openssh", "3.5")
+        assert openssh.release_year == 2002
+
+    def test_every_catalog_software_resolves(self):
+        """Every software the vendor catalogue ships must be in the CVE DB
+        (else Table VIII silently drops rows)."""
+        from repro.isp.vendors import DEFAULT_CATALOG
+
+        missing = []
+        for vendor in DEFAULT_CATALOG:
+            for service, mix in vendor.software.items():
+                for software, _weight in mix:
+                    if software.name == "NTP":
+                        continue  # visibility-only service, no CVE rows
+                    if DEFAULT_CVE_DB.info_for_version(
+                        software.name, software.version
+                    ) is None:
+                        missing.append((vendor.name, software.banner))
+        assert not missing, missing
+
+    def test_unknown_returns_none_and_zero(self):
+        db = CveDatabase()
+        assert db.info("x", "1.x") is None
+        assert db.cve_count("x", "1.x") == 0
+        assert db.families_of("x") == []

@@ -1,0 +1,346 @@
+"""Device models: the RFC 4443 behaviours the discovery technique rests on."""
+
+import pytest
+
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.device import (
+    CpeRouter,
+    Device,
+    ErrorRateLimiter,
+    Host,
+    IspRouter,
+    Router,
+    UeDevice,
+)
+from repro.net.network import Network
+from repro.net.packet import (
+    Icmpv6Message,
+    Icmpv6Type,
+    Packet,
+    TcpFlags,
+    TcpSegment,
+    TimeExceededCode,
+    UdpDatagram,
+    UnreachableCode,
+    echo_request,
+)
+from repro.services.base import Software
+from repro.services.dns import DnsForwarder, make_query, QTYPE_A
+
+
+def _addr(text):
+    return IPv6Addr.from_string(text)
+
+
+def _prefix(text):
+    return IPv6Prefix.from_string(text)
+
+
+@pytest.fixture
+def net():
+    return Network(seed=1)
+
+
+@pytest.fixture
+def host(net):
+    h = Host("h", _addr("2001:db8::10"))
+    net.register(h)
+    return h
+
+
+OUTSIDE = _addr("2001:4860::99")
+
+
+class TestLocalDelivery:
+    def test_echo_reply(self, net, host):
+        probe = echo_request(OUTSIDE, host.primary_address, 5, 6, b"p")
+        result = host.receive(probe, net)
+        assert len(result.replies) == 1
+        reply = result.replies[0]
+        assert reply.src == host.primary_address
+        assert reply.dst == OUTSIDE
+        assert isinstance(reply.payload, Icmpv6Message)
+        assert reply.payload.type == Icmpv6Type.ECHO_REPLY
+        assert reply.payload.ident == 5
+        assert reply.payload.payload == b"p"
+
+    def test_echo_reply_from_secondary_address(self, net, host):
+        secondary = _addr("2001:db8::11")
+        net.bind(secondary, host)
+        probe = echo_request(OUTSIDE, secondary, 1, 1)
+        result = host.receive(probe, net)
+        assert result.replies[0].src == secondary
+
+    def test_udp_closed_port_unreachable(self, net, host):
+        packet = Packet(src=OUTSIDE, dst=host.primary_address,
+                        payload=UdpDatagram(4000, 53, b"x"))
+        result = host.receive(packet, net)
+        assert len(result.replies) == 1
+        msg = result.replies[0].payload
+        assert msg.type == Icmpv6Type.DEST_UNREACHABLE
+        assert msg.code == UnreachableCode.PORT_UNREACHABLE
+
+    def test_udp_open_port_served(self, net, host):
+        host.bind_service(DnsForwarder(Software("dnsmasq", "2.45")))
+        query = make_query(9, "example.com", QTYPE_A)
+        packet = Packet(src=OUTSIDE, dst=host.primary_address,
+                        payload=UdpDatagram(4000, 53, query))
+        result = host.receive(packet, net)
+        assert len(result.replies) == 1
+        reply = result.replies[0].payload
+        assert isinstance(reply, UdpDatagram)
+        assert reply.sport == 53
+        assert reply.dport == 4000
+
+    def test_tcp_closed_port_rst(self, net, host):
+        packet = Packet(src=OUTSIDE, dst=host.primary_address,
+                        payload=TcpSegment(4000, 80, seq=7, flags=int(TcpFlags.SYN)))
+        result = host.receive(packet, net)
+        segment = result.replies[0].payload
+        assert segment.has_flag(TcpFlags.RST)
+        assert segment.ack == 8
+
+    def test_tcp_open_port_synack(self, net, host):
+        from repro.services.http import HttpServer
+
+        host.bind_service(HttpServer(Software("Jetty", "6.1.26")))
+        packet = Packet(src=OUTSIDE, dst=host.primary_address,
+                        payload=TcpSegment(4000, 80, seq=7, flags=int(TcpFlags.SYN)))
+        result = host.receive(packet, net)
+        segment = result.replies[0].payload
+        assert segment.has_flag(TcpFlags.SYN)
+        assert segment.has_flag(TcpFlags.ACK)
+        assert segment.ack == 8
+
+    def test_host_drops_transit(self, net, host):
+        packet = echo_request(OUTSIDE, _addr("2001:db8::999"), 1, 1)
+        result = host.receive(packet, net)
+        assert not result.replies
+        assert result.forward is None
+
+
+class TestForwarding:
+    def _router(self, net):
+        router = Router("r", _addr("2001:db8::1"))
+        net.register(router)
+        return router
+
+    def test_no_route_unreachable(self, net):
+        router = self._router(net)
+        packet = echo_request(OUTSIDE, _addr("2400::1"), 1, 1)
+        result = router.receive(packet, net)
+        msg = result.replies[0].payload
+        assert msg.type == Icmpv6Type.DEST_UNREACHABLE
+        assert msg.code == UnreachableCode.NO_ROUTE
+        assert result.replies[0].src == router.primary_address
+
+    def test_unreachable_route(self, net):
+        router = self._router(net)
+        router.table.add_unreachable(_prefix("2400::/16"))
+        result = router.receive(echo_request(OUTSIDE, _addr("2400::1"), 1, 1), net)
+        assert result.replies[0].payload.code == UnreachableCode.NO_ROUTE
+
+    def test_blackhole_is_silent(self, net):
+        router = self._router(net)
+        router.table.add_blackhole(_prefix("2400::/16"))
+        result = router.receive(echo_request(OUTSIDE, _addr("2400::1"), 1, 1), net)
+        assert not result.replies
+        assert result.forward is None
+
+    def test_next_hop_decrements(self, net):
+        router = self._router(net)
+        router.table.add_next_hop(_prefix("2400::/16"), _addr("2001:db8::2"))
+        packet = echo_request(OUTSIDE, _addr("2400::1"), 1, 1, hop_limit=9)
+        result = router.receive(packet, net)
+        next_addr, forwarded = result.forward
+        assert next_addr == _addr("2001:db8::2")
+        assert forwarded.hop_limit == 8
+
+    def test_hop_limit_exhaustion(self, net):
+        router = self._router(net)
+        router.table.add_next_hop(_prefix("2400::/16"), _addr("2001:db8::2"))
+        packet = echo_request(OUTSIDE, _addr("2400::1"), 1, 1, hop_limit=1)
+        result = router.receive(packet, net)
+        msg = result.replies[0].payload
+        assert msg.type == Icmpv6Type.TIME_EXCEEDED
+        assert msg.code == TimeExceededCode.HOP_LIMIT
+
+    def test_connected_delivers_to_neighbour(self, net):
+        router = self._router(net)
+        neighbour = Host("n", _addr("2001:db8:0:1::5"))
+        net.register(neighbour)
+        router.table.add_connected(_prefix("2001:db8:0:1::/64"))
+        packet = echo_request(OUTSIDE, neighbour.primary_address, 1, 1)
+        result = router.receive(packet, net)
+        assert result.forward[0] == neighbour.primary_address
+
+    def test_connected_neighbour_miss_unreachable(self, net):
+        """THE paper mechanism: nonexistent on-link address -> ICMPv6 error."""
+        router = self._router(net)
+        router.table.add_connected(_prefix("2001:db8:0:1::/64"))
+        packet = echo_request(OUTSIDE, _addr("2001:db8:0:1::dead"), 1, 1)
+        result = router.receive(packet, net)
+        msg = result.replies[0].payload
+        assert msg.type == Icmpv6Type.DEST_UNREACHABLE
+        assert msg.code == UnreachableCode.ADDR_UNREACHABLE
+        assert result.replies[0].src == router.primary_address
+
+    def test_no_error_for_error(self, net):
+        """RFC 4443 §2.4(e): never generate an error about an error."""
+        from repro.net.packet import icmpv6_error
+
+        router = self._router(net)
+        probe = echo_request(OUTSIDE, _addr("2400::1"), 1, 1)
+        error = icmpv6_error(
+            _addr("2400::2"), _addr("2400::3"),
+            Icmpv6Type.TIME_EXCEEDED, 0, probe,
+        )
+        result = router.receive(error, net)
+        assert not result.replies
+
+    def test_error_rate_limit(self, net):
+        router = Router(
+            "rl", _addr("2001:db8::1"),
+            error_rate_limit=ErrorRateLimiter(rate_per_second=1, burst=2),
+        )
+        net.register(router)
+        packet = echo_request(OUTSIDE, _addr("2400::1"), 1, 1)
+        allowed = sum(
+            1 for _ in range(10) if router.receive(packet, net).replies
+        )
+        assert allowed == 2
+        assert router.errors_suppressed == 8
+        net.advance(5.0)  # tokens refill with virtual time
+        assert router.receive(packet, net).replies
+
+
+class TestErrorRateLimiter:
+    def test_burst_then_throttle(self):
+        limiter = ErrorRateLimiter(rate_per_second=10, burst=3)
+        assert [limiter.allow(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refill(self):
+        limiter = ErrorRateLimiter(rate_per_second=10, burst=1)
+        assert limiter.allow(0.0)
+        assert not limiter.allow(0.0)
+        assert limiter.allow(0.2)
+
+
+class TestCpeRouter:
+    WAN = _prefix("2001:db8:0:1::/64")
+    LAN = _prefix("2001:db8:1:10::/60")
+    SUBNET = _prefix("2001:db8:1:10::/64")
+    ISP = _addr("2001:db8::1")
+
+    def _cpe(self, net, **kwargs):
+        cpe = CpeRouter(
+            "cpe", self.WAN.address(1), self.WAN, self.LAN,
+            subnet_prefix=self.SUBNET, isp_address=self.ISP, **kwargs,
+        )
+        net.register(cpe)
+        return cpe
+
+    def test_correct_firmware_installs_discard_route(self, net):
+        cpe = self._cpe(net)
+        route = cpe.table.lookup(self.LAN.subprefix(5, 64).address(1))
+        from repro.net.routing import RouteKind
+
+        assert route.kind is RouteKind.UNREACHABLE
+
+    def test_vulnerable_lan_bounces_upstream(self, net):
+        cpe = self._cpe(net, vulnerable_lan=True)
+        route = cpe.table.lookup(self.LAN.subprefix(5, 64).address(1))
+        from repro.net.routing import RouteKind
+
+        assert route.kind is RouteKind.NEXT_HOP
+        assert route.next_hop == self.ISP
+
+    def test_correct_wan_covers_whole_prefix(self, net):
+        cpe = self._cpe(net)
+        packet = echo_request(OUTSIDE, self.WAN.address(0xDEAD), 1, 1)
+        result = cpe.receive(packet, net)
+        assert result.replies[0].payload.code == UnreachableCode.ADDR_UNREACHABLE
+        assert result.replies[0].src == cpe.wan_address
+
+    def test_vulnerable_wan_bounces_upstream(self, net):
+        cpe = self._cpe(net, vulnerable_wan=True)
+        packet = echo_request(OUTSIDE, self.WAN.address(0xDEAD), 1, 1, hop_limit=30)
+        result = cpe.receive(packet, net)
+        assert result.forward is not None
+        assert result.forward[0] == self.ISP
+
+    def test_wan_address_requires_containment(self, net):
+        with pytest.raises(ValueError):
+            CpeRouter("bad", _addr("2400::1"), self.WAN, self.LAN)
+
+    def test_loop_forward_limit(self, net):
+        cpe = self._cpe(net, vulnerable_lan=True, loop_forward_limit=3)
+        packet = echo_request(
+            OUTSIDE, self.LAN.subprefix(5, 64).address(1), 1, 1, hop_limit=200
+        )
+        forwards = 0
+        for _ in range(10):
+            result = cpe.receive(packet, net)
+            if result.forward is None:
+                break
+            forwards += 1
+        assert forwards == 3
+
+
+class TestUeDevice:
+    def test_ue_answers_for_its_prefix(self, net):
+        prefix = _prefix("2001:db8:ab::/64")
+        ue = UeDevice("ue", prefix.address(0x42), prefix)
+        net.register(ue)
+        packet = echo_request(OUTSIDE, prefix.address(0x9999), 1, 1)
+        result = ue.receive(packet, net)
+        msg = result.replies[0].payload
+        assert msg.type == Icmpv6Type.DEST_UNREACHABLE
+        assert result.replies[0].src == ue.ue_address
+
+    def test_ue_address_must_be_inside_prefix(self):
+        with pytest.raises(ValueError):
+            UeDevice("ue", _addr("2400::1"), _prefix("2001:db8:ab::/64"))
+
+
+class TestIspRouter:
+    def test_blackhole_default(self, net):
+        block = _prefix("2001:db8::/32")
+        isp = IspRouter("isp", block.address(1), block)
+        net.register(isp)
+        result = isp.receive(echo_request(OUTSIDE, block.address(0xFFF), 1, 1), net)
+        assert not result.replies
+
+    def test_unreachable_behaviour(self, net):
+        block = _prefix("2001:db8::/32")
+        isp = IspRouter("isp", block.address(1), block,
+                        unassigned_behavior="unreachable")
+        net.register(isp)
+        result = isp.receive(echo_request(OUTSIDE, block.address(0xFFF), 1, 1), net)
+        assert result.replies[0].payload.type == Icmpv6Type.DEST_UNREACHABLE
+
+    def test_rejects_unknown_behaviour(self, net):
+        block = _prefix("2001:db8::/32")
+        with pytest.raises(ValueError):
+            IspRouter("isp", block.address(1), block, unassigned_behavior="x")
+
+    def test_drop_external_errors(self, net):
+        block = _prefix("2001:db8::/32")
+        isp = IspRouter("isp", block.address(1), block,
+                        unassigned_behavior="unreachable",
+                        drop_external_errors=True)
+        net.register(isp)
+        external = echo_request(OUTSIDE, block.address(0xFFF), 1, 1)
+        assert not isp.receive(external, net).replies
+        internal = echo_request(block.address(0xAAAA), block.address(0xFFF), 1, 1)
+        assert isp.receive(internal, net).replies
+
+    def test_delegate(self, net):
+        block = _prefix("2001:db8::/32")
+        isp = IspRouter("isp", block.address(1), block)
+        net.register(isp)
+        customer = _prefix("2001:db8:0:10::/60")
+        via = _addr("2001:db8:ffff::2")
+        isp.delegate(customer, via)
+        route = isp.table.lookup(customer.address(5))
+        assert route.next_hop == via

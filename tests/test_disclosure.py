@@ -1,0 +1,91 @@
+"""The responsible-disclosure report generator (§VII)."""
+
+import pytest
+
+from repro.analysis.disclosure import (
+    LOOP_FINDING,
+    SERVICE_FINDING,
+    build_disclosure_report,
+)
+from repro.discovery.periphery import discover
+from repro.discovery.vendor_id import VendorIdentifier
+from repro.loop.detector import find_loops
+from repro.services.zgrab import AppScanner
+
+
+@pytest.fixture(scope="module")
+def measured(cn_mobile_deployment):
+    dep = cn_mobile_deployment
+    isp = dep.isps["cn-mobile-broadband"]
+    census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+    app = AppScanner(dep.network, dep.vantage).scan(
+        census.last_hop_addresses()
+    )
+    loops = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=5)
+    identified = VendorIdentifier(dep.catalog).identify(
+        census.records, app.observations
+    )
+    return dep, isp, identified, loops, app
+
+
+class TestDisclosureReport:
+    def test_loop_findings_per_vendor(self, measured):
+        dep, isp, identified, loops, app = measured
+        report = build_disclosure_report(
+            identified, {"cn-mobile-broadband": loops}, app.observations
+        )
+        loop_findings = [
+            f for f in report.findings if f.kind == LOOP_FINDING
+        ]
+        assert loop_findings
+        # China Mobile has by far the most loop devices in its own AS.
+        leader = max(loop_findings, key=lambda f: f.device_count)
+        assert leader.vendor == "China Mobile"
+
+    def test_service_findings_carry_cves(self, measured):
+        dep, isp, identified, loops, app = measured
+        report = build_disclosure_report(identified, {}, app.observations)
+        dns_findings = [
+            f for f in report.findings
+            if f.kind == SERVICE_FINDING and "DNS/53" in f.detail
+            and "dnsmasq 2.4x" in f.detail
+        ]
+        assert dns_findings
+        assert all(f.cve_count == 7 for f in dns_findings)
+
+    def test_tracking_ids_unique_and_stable(self, measured):
+        dep, isp, identified, loops, app = measured
+        a = build_disclosure_report(
+            identified, {"k": loops}, app.observations
+        )
+        b = build_disclosure_report(
+            identified, {"k": loops}, app.observations
+        )
+        assert a.tracking_ids == b.tracking_ids
+        assert len(set(a.tracking_ids)) == len(a.tracking_ids)
+
+    def test_advisory_rendering(self, measured):
+        dep, isp, identified, loops, app = measured
+        report = build_disclosure_report(
+            identified, {"k": loops}, app.observations
+        )
+        advisory = report.render_advisory("China Mobile")
+        assert "Security advisory — China Mobile" in advisory
+        assert "RFC 7084" in advisory
+        summary = report.render_summary()
+        assert "vendors notified" in summary
+        assert "China Mobile" in summary
+
+    def test_min_devices_filters_noise(self, measured):
+        dep, isp, identified, loops, app = measured
+        full = build_disclosure_report(identified, {}, app.observations)
+        filtered = build_disclosure_report(
+            identified, {}, app.observations, min_devices=5
+        )
+        assert len(filtered.findings) < len(full.findings)
+        assert all(f.device_count >= 5 for f in filtered.findings)
+
+    def test_empty_inputs(self):
+        report = build_disclosure_report([])
+        assert report.findings == []
+        assert "vendors notified : 0" in report.render_summary()

@@ -1,0 +1,148 @@
+"""Discovery pipeline: census vs ground truth, subnet inference, vendor ID."""
+
+import pytest
+
+from repro.discovery.iid import IidClass
+from repro.discovery.periphery import discover
+from repro.discovery.subnet import infer_subprefix_length
+from repro.discovery.vendor_id import VendorIdentifier
+from repro.services.zgrab import AppScanner
+
+
+class TestPeripheryCensus:
+    def test_finds_every_device(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        truth_addrs = {t.last_hop.value for t in isp.truths}
+        found = {r.last_hop.value for r in census.records}
+        assert found == truth_addrs
+
+    def test_same_diff_classification_matches_truth(self, jio_deployment):
+        dep = jio_deployment
+        isp = dep.isps["in-jio-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        truth = isp.truth_by_last_hop()
+        for record in census.records:
+            archetype = truth[record.last_hop.value].archetype
+            assert record.same_slash64 == (archetype == "same")
+
+    def test_iid_classes_match_truth(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        truth = isp.truth_by_last_hop()
+        for record in census.records:
+            assert record.iid_class is truth[record.last_hop.value].iid_class
+
+    def test_loop_devices_surface_as_time_exceeded(self, cn_mobile_deployment):
+        from repro.core.probes.base import ReplyKind
+
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        truth = isp.truth_by_last_hop()
+        te = [r for r in census.records if r.reply_kind is ReplyKind.TIME_EXCEEDED]
+        assert te, "expected looping devices among the discoveries"
+        # The overwhelming majority of Time Exceeded responders are truly
+        # loop-vulnerable (a correct device can also reply Time Exceeded only
+        # if probed at exactly its subnet during a transient; none here).
+        assert all(truth[r.last_hop.value].loop_vulnerable for r in te)
+
+    def test_census_statistics(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        profile = isp.profile
+        assert census.eui64_pct == pytest.approx(profile.eui64_frac * 100, abs=3)
+        assert census.unique64_pct > 95
+        assert census.mac_unique_pct == pytest.approx(
+            profile.mac_unique_frac * 100, abs=4
+        )
+
+    def test_merged_census_dedups(self, jio_deployment):
+        dep = jio_deployment
+        isp = dep.isps["in-jio-broadband"]
+        a = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        merged = a.merged_with(a)
+        assert merged.n_unique == a.n_unique
+
+
+class TestSubnetInference:
+    def test_infers_64(self, jio_deployment):
+        dep = jio_deployment
+        isp = dep.isps["in-jio-broadband"]
+        result = infer_subprefix_length(
+            dep.network, dep.vantage, isp.scan_base, seed=11
+        )
+        assert result.boundary_length == 64
+        assert result.confident
+
+    def test_infers_60(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        result = infer_subprefix_length(
+            dep.network, dep.vantage, isp.scan_base, seed=11
+        )
+        assert result.boundary_length == 60
+
+    def test_uses_few_probes(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        result = infer_subprefix_length(
+            dep.network, dep.vantage, isp.scan_base, seed=11
+        )
+        # The whole point of §IV-A: orders of magnitude below exhaustion.
+        assert result.probes_sent < 300
+
+    def test_rejects_overlong_base(self, jio_deployment):
+        dep = jio_deployment
+        base = dep.isps["in-jio-broadband"].scan_base
+        with pytest.raises(ValueError):
+            infer_subprefix_length(
+                dep.network, dep.vantage, base, longest=base.length - 1
+            )
+
+
+class TestVendorIdentification:
+    @pytest.fixture(scope="class")
+    def identified(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        app = AppScanner(dep.network, dep.vantage).scan(
+            census.last_hop_addresses()
+        )
+        vid = VendorIdentifier(dep.catalog)
+        return isp, census, vid.identify(census.records, app.observations)
+
+    def test_mac_identifications_are_correct(self, identified):
+        isp, census, devices = identified
+        truth = isp.truth_by_last_hop()
+        for device in devices:
+            assert device.vendor == truth[device.last_hop.value].vendor
+
+    def test_unregistered_vendors_stay_unidentified(self, identified):
+        isp, census, devices = identified
+        identified_addrs = {d.last_hop.value for d in devices}
+        for truth in isp.truths:
+            if truth.vendor in ("Generic OEM", "Generic UE"):
+                assert truth.last_hop.value not in identified_addrs
+
+    def test_banner_channel_contributes(self, identified):
+        _isp, _census, devices = identified
+        methods = {d.method for d in devices}
+        assert methods == {"mac", "banner"}
+
+    def test_kind_attribution(self, identified):
+        isp, _census, devices = identified
+        truth = isp.truth_by_last_hop()
+        for device in devices:
+            assert device.kind == truth[device.last_hop.value].kind
+
+    def test_vendor_counts_helper(self, identified):
+        _isp, _census, devices = identified
+        counts = VendorIdentifier.vendor_counts(devices)
+        assert sum(counts["CPE"].values()) + sum(counts["UE"].values()) == len(
+            devices
+        )

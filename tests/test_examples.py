@@ -1,0 +1,43 @@
+"""The runnable examples stay runnable (fast ones, as subprocesses)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, *args: str, timeout: int = 420) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py", "periphery_census.py",
+            "exposed_services_audit.py", "routing_loop_attack.py",
+            "bgp_survey.py", "longitudinal_churn.py", "custom_isp.py",
+            "full_reproduction.py",
+        } <= names
+
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Discovered" in out
+        assert "same-/64 replies" in out
+        assert "dest-unreachable" in out
+
+    def test_custom_isp(self):
+        out = _run("custom_isp.py")
+        assert "Inferred delegation length: /60" in out
+        assert "AcmeNet" in out
+        assert "Routing-loop vulnerable" in out

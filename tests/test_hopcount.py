@@ -1,0 +1,93 @@
+"""Traceroute and hop-distance estimation (the Yarrp6 substitute)."""
+
+import pytest
+
+from repro.core.probes.base import ReplyKind
+from repro.loop.hopcount import (
+    hop_distance,
+    suggest_probe_hop_limit,
+    traceroute,
+)
+
+from tests.topo import MiniTopology, build_mini
+
+
+class TestTraceroute:
+    def test_path_to_ue(self):
+        topo = build_mini()
+        result = traceroute(topo.network, topo.vantage, topo.ue.ue_address)
+        assert result.reached
+        # core -> isp -> ue: three reporting devices.
+        assert result.path[0] == topo.core.primary_address
+        assert result.path[1] == topo.isp.primary_address
+        assert result.hops[-1].kind is ReplyKind.ECHO_REPLY
+        assert len(result.hops) == 3
+
+    def test_path_to_nx_address_ends_in_unreachable(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_OK.subprefix(3, 64).address(0x99)
+        result = traceroute(topo.network, topo.vantage, target)
+        assert result.reached
+        assert result.hops[-1].kind is ReplyKind.DEST_UNREACHABLE
+        assert result.hops[-1].responder == topo.cpe_ok.wan_address
+
+    def test_blackholed_path_never_terminates(self):
+        topo = build_mini()
+        from repro.net.addr import IPv6Addr
+
+        result = traceroute(
+            topo.network, topo.vantage,
+            IPv6Addr.from_string("2001:db8:55::1"), max_hops=6,
+        )
+        assert not result.reached
+        # First two hops still report Time Exceeded before the blackhole.
+        assert result.hops[0].kind is ReplyKind.TIME_EXCEEDED
+
+
+class TestHopDistance:
+    def test_distance_to_ue(self):
+        topo = build_mini()
+        assert hop_distance(topo.network, topo.vantage, topo.ue.ue_address) == 3
+
+    def test_distance_to_cpe_lan_space(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_OK.subprefix(3, 64).address(0x99)
+        assert hop_distance(topo.network, topo.vantage, target) == 3
+
+    def test_looping_path_has_no_distance(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_VULN.subprefix(3, 64).address(0x99)
+        assert hop_distance(topo.network, topo.vantage, target) is None
+
+    def test_silent_path_has_no_distance(self):
+        topo = build_mini()
+        from repro.net.addr import IPv6Addr
+
+        assert hop_distance(
+            topo.network, topo.vantage, IPv6Addr.from_string("2001:db8:55::1")
+        ) is None
+
+
+class TestSuggestedHopLimit:
+    def test_is_odd_and_covers_distance(self):
+        topo = build_mini()
+        samples = [
+            topo.ue.ue_address,
+            MiniTopology.LAN_OK.subprefix(2, 64).address(0x7),
+        ]
+        h = suggest_probe_hop_limit(topo.network, topo.vantage, samples)
+        assert h % 2 == 1
+        assert h >= 33
+
+    def test_detector_accepts_suggestion(self):
+        from repro.loop.detector import find_loops
+
+        topo = build_mini()
+        h = suggest_probe_hop_limit(
+            topo.network, topo.vantage, [topo.ue.ue_address]
+        )
+        survey = find_loops(
+            topo.network, topo.vantage, "2001:db8:1:60::/60-64",
+            hop_limit=h, seed=1,
+        )
+        assert survey.n_unique == 1

@@ -1,0 +1,92 @@
+"""IID classification and the generator/classifier inverse property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.discovery.iid import (
+    IidClass,
+    IidGenerator,
+    classify_iid,
+    iid_breakdown,
+)
+from repro.net.addr import IPv6Addr, MacAddress
+
+
+class TestClassifier:
+    def test_eui64(self):
+        mac = MacAddress.from_string("34:56:78:9a:bc:de")
+        assert classify_iid(mac.to_eui64_iid()) is IidClass.EUI64
+
+    @pytest.mark.parametrize("iid", [1, 0xFF, 0x1234, 0xFFFF])
+    def test_low_byte(self, iid):
+        assert classify_iid(iid) is IidClass.LOW_BYTE
+
+    def test_zero_is_low_byte(self):
+        # The subnet-router anycast address: a run of zeroes.
+        assert classify_iid(0) is IidClass.LOW_BYTE
+
+    @pytest.mark.parametrize("octets", [(192, 168, 1, 1), (10, 0, 0, 3),
+                                         (203, 0, 113, 99)])
+    def test_embed_ipv4(self, octets):
+        a, b, c, d = octets
+        iid = (a << 24) | (b << 16) | (c << 8) | d
+        assert classify_iid(iid) is IidClass.EMBED_IPV4
+
+    def test_pattern_solid(self):
+        assert classify_iid(0xABCD_ABCD_ABCD_ABCD) is IidClass.BYTE_PATTERN
+
+    def test_pattern_alternating(self):
+        assert classify_iid(0x1111_0000_1111_0000) is IidClass.BYTE_PATTERN
+
+    def test_randomized(self):
+        assert classify_iid(0x3F9A_1C5E_7B2D_9E41) is IidClass.RANDOMIZED
+
+    def test_accepts_address(self):
+        addr = IPv6Addr.from_string("2001:db8::3456:78ff:fe9a:bcde")
+        assert classify_iid(addr) is IidClass.EUI64
+
+    def test_eui64_beats_pattern(self):
+        # ff:fe marker wins even for patterned-looking MACs.
+        mac = MacAddress.from_string("11:11:11:11:11:11")
+        assert classify_iid(mac.to_eui64_iid()) is IidClass.EUI64
+
+
+class TestGeneratorInverse:
+    @pytest.mark.parametrize("cls", [c for c in IidClass if c is not IidClass.EUI64])
+    def test_generate_classifies_back(self, cls):
+        gen = IidGenerator(random.Random(7))
+        for _ in range(200):
+            assert classify_iid(gen.generate(cls)) is cls
+
+    def test_eui64_needs_mac(self):
+        gen = IidGenerator(random.Random(7))
+        with pytest.raises(ValueError):
+            gen.generate(IidClass.EUI64)
+        mac = MacAddress(0x001A2B3C4D5E)
+        assert classify_iid(gen.generate(IidClass.EUI64, mac=mac)) is IidClass.EUI64
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_deterministic_per_seed(self, seed):
+        a = IidGenerator(random.Random(seed)).generate(IidClass.RANDOMIZED)
+        b = IidGenerator(random.Random(seed)).generate(IidClass.RANDOMIZED)
+        assert a == b
+
+
+class TestBreakdown:
+    def test_counts(self):
+        gen = IidGenerator(random.Random(1))
+        iids = (
+            [gen.generate(IidClass.LOW_BYTE) for _ in range(3)]
+            + [gen.generate(IidClass.RANDOMIZED) for _ in range(5)]
+        )
+        counts = iid_breakdown(iids)
+        assert counts[IidClass.LOW_BYTE] == 3
+        assert counts[IidClass.RANDOMIZED] == 5
+        assert counts[IidClass.EUI64] == 0
+
+    def test_accepts_addresses(self):
+        addrs = [IPv6Addr.from_string("2001:db8::1")]
+        assert iid_breakdown(addrs)[IidClass.LOW_BYTE] == 1

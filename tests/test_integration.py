@@ -1,0 +1,92 @@
+"""End-to-end integration: the paper's three pipelines on one deployment."""
+
+import pytest
+
+from repro.core.probes.base import ReplyKind
+from repro.discovery.periphery import discover
+from repro.discovery.subnet import infer_subprefix_length
+from repro.discovery.vendor_id import VendorIdentifier
+from repro.isp.builder import build_deployment
+from repro.isp.profiles import profile_by_key
+from repro.loop.attack import run_loop_attack
+from repro.loop.detector import find_loops
+from repro.net.packet import MAX_HOP_LIMIT
+from repro.services.zgrab import AppScanner
+
+
+@pytest.fixture(scope="module")
+def dep():
+    return build_deployment(
+        profiles=[
+            profile_by_key("cn-unicom-broadband"),
+            profile_by_key("cn-unicom-mobile"),
+        ],
+        scale=20_000,
+        seed=13,
+    )
+
+
+class TestFullPipeline:
+    def test_inference_then_discovery_then_audit_then_attack(self, dep):
+        isp = dep.isps["cn-unicom-broadband"]
+
+        # 1. Infer the delegation length, as a fresh measurement would.
+        inference = infer_subprefix_length(
+            dep.network, dep.vantage, isp.scan_base, seed=2
+        )
+        assert inference.boundary_length == 60
+
+        # 2. Discover the periphery.
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        assert census.n_unique == isp.n_devices
+
+        # 3. Audit services on the discoveries.
+        app = AppScanner(dep.network, dep.vantage).scan(
+            census.last_hop_addresses()
+        )
+        alive = app.alive_targets()
+        assert alive  # Unicom broadband is a service hot spot (24.6%)
+        alive_rate = len(alive) / census.n_unique
+        assert 0.05 < alive_rate < 0.6
+
+        # 4. Identify vendors over both channels.
+        identified = VendorIdentifier(dep.catalog).identify(
+            census.records, app.observations
+        )
+        truth = isp.truth_by_last_hop()
+        for device in identified:
+            assert device.vendor == truth[device.last_hop.value].vendor
+
+        # 5. Find loops and attack one.
+        survey = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=4)
+        assert survey.n_unique > 0.5 * isp.n_devices  # paper: 78.8%
+        victim = truth[survey.records[0].last_hop.value]
+        target = victim.delegated.subprefix(3, 64).address(0x5555)
+        report = run_loop_attack(
+            dep.network, dep.vantage, target, isp.router.name, victim.name,
+            hop_limit=MAX_HOP_LIMIT,
+        )
+        assert report.amplification > 200
+
+    def test_mobile_block_shape(self, dep):
+        isp = dep.isps["cn-unicom-mobile"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=5)
+        assert census.same_pct > 90  # UE-model: replies share the probed /64
+        # Nearly no loops (paper: 190 of 3.7M).
+        survey = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=6)
+        assert survey.n_unique <= 2
+
+    def test_rescan_is_stable(self, dep):
+        """Two scans with different secrets discover the same population."""
+        isp = dep.isps["cn-unicom-broadband"]
+        a = discover(dep.network, dep.vantage, isp.scan_spec, seed=21)
+        b = discover(dep.network, dep.vantage, isp.scan_spec, seed=22)
+        assert {r.last_hop for r in a.records} == {r.last_hop for r in b.records}
+
+    def test_census_reply_kind_mix(self, dep):
+        isp = dep.isps["cn-unicom-broadband"]
+        census = discover(dep.network, dep.vantage, isp.scan_spec, seed=3)
+        kinds = {r.reply_kind for r in census.records}
+        # Loop-heavy block: both unreachables and time-exceeded discoveries.
+        assert ReplyKind.DEST_UNREACHABLE in kinds
+        assert ReplyKind.TIME_EXCEEDED in kinds

@@ -1,0 +1,160 @@
+"""Routing loops: detector recall, amplification, spoofing, case study."""
+
+import pytest
+
+from repro.loop.attack import run_loop_attack
+from repro.loop.casestudy import (
+    CASE_STUDY_ROUTERS,
+    RouterModel,
+    run_case_study,
+    test_router as bench_router,
+)
+from repro.loop.detector import find_loops
+from repro.net.addr import IPv6Addr
+from repro.net.packet import MAX_HOP_LIMIT
+
+from tests.topo import MiniTopology, build_mini
+
+
+class TestDetector:
+    def test_finds_loop_devices(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        survey = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=5)
+        truth = isp.truth_by_last_hop()
+        # Every confirmed finding is genuinely vulnerable: no false positives.
+        for record in survey.records:
+            assert truth[record.last_hop.value].loop_vulnerable
+        # Recall: probes land in the not-used space of a /60 delegation with
+        # probability 15/16, so only a small fraction of loop devices can be
+        # missed per scan.
+        n_vulnerable = sum(1 for t in isp.truths if t.loop_vulnerable)
+        assert survey.n_unique >= 0.85 * n_vulnerable
+
+    def test_correct_devices_never_flagged(self, jio_deployment):
+        dep = jio_deployment
+        isp = dep.isps["in-jio-broadband"]
+        survey = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=5)
+        truth = isp.truth_by_last_hop()
+        for record in survey.records:
+            assert truth[record.last_hop.value].loop_vulnerable
+
+    def test_candidates_at_least_confirmed(self, cn_mobile_deployment):
+        dep = cn_mobile_deployment
+        isp = dep.isps["cn-mobile-broadband"]
+        survey = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=5)
+        assert survey.candidates >= survey.n_unique
+
+    def test_mini_topology_detection(self):
+        topo = build_mini()
+        survey = find_loops(
+            topo.network, topo.vantage, "2001:db8:1:60::/60-64", seed=1
+        )
+        assert survey.n_unique == 1
+        assert survey.records[0].last_hop == topo.cpe_vuln.wan_address
+
+
+class TestAmplification:
+    def test_unspoofed_factor(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+        report = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln"
+        )
+        # One extra crossing comes from the final Time Exceeded leaving.
+        assert report.theoretical <= report.amplification <= report.theoretical + 1
+        assert report.amplification > 200  # the paper's headline claim
+
+    def test_hop_limit_scales_amplification(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+        small = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln", hop_limit=64
+        )
+        big = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln",
+            hop_limit=MAX_HOP_LIMIT,
+        )
+        assert big.amplification > small.amplification
+        assert small.amplification == pytest.approx(62, abs=2)
+
+    def test_spoofed_source_doubles(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+        spoofed_src = MiniTopology.LAN_VULN.subprefix(10, 64).address(0xFACE)
+        plain = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln"
+        )
+        spoofed = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln",
+            spoofed_source=spoofed_src,
+        )
+        assert spoofed.spoofed
+        assert spoofed.amplification >= 1.8 * plain.amplification
+
+    def test_correct_cpe_does_not_amplify(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_OK.subprefix(9, 64).address(0xBAD)
+        report = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-ok"
+        )
+        assert report.amplification <= 2
+
+    def test_per_router_forwards(self):
+        topo = build_mini()
+        target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+        report = run_loop_attack(
+            topo.network, topo.vantage, target, "isp", "cpe-vuln"
+        )
+        # The paper: each router forwards the packet (255-n)/2 times.
+        assert report.per_router_forwards == pytest.approx(
+            (255 - report.hops_before_isp) / 2, abs=1
+        )
+
+
+class TestCaseStudy:
+    def test_roster_size(self):
+        hardware = [u for u in CASE_STUDY_ROUTERS if not u.is_os]
+        oses = [u for u in CASE_STUDY_ROUTERS if u.is_os]
+        assert len(hardware) == 95
+        assert len(oses) == 4
+        assert len(CASE_STUDY_ROUTERS) == 99
+
+    def test_tplink_dominates_roster(self):
+        brands = [u.brand for u in CASE_STUDY_ROUTERS]
+        assert brands.count("TP-Link") == 42
+        assert brands.count("Mercury") == 8
+
+    def test_all_routers_vulnerable(self):
+        """The paper: all 99 units are vulnerable to the loop attack."""
+        results = run_case_study()
+        assert len(results) == 99
+        assert all(r.vulnerable for r in results)
+
+    def test_showcased_verdicts_match_table12(self):
+        verdicts = {}
+        for unit in CASE_STUDY_ROUTERS:
+            result = bench_router(unit)
+            verdicts[(unit.brand, unit.model)] = (
+                result.wan_loops, result.lan_loops
+            )
+        assert verdicts[("ASUS", "GT-AC5300")] == (True, False)
+        assert verdicts[("Huawei", "WS5100")] == (True, True)
+        assert verdicts[("Netgear", "R6400v2")] == (True, True)
+        assert verdicts[("Xiaomi", "AX5")] == (True, False)
+        assert verdicts[("Tenda", "AC23")] == (True, False)
+
+    def test_immune_prefix_answers_unreachable(self):
+        unit = RouterModel("X", "M", "1.0", True, False)
+        result = bench_router(unit)
+        assert result.immune_prefix_unreachable
+
+    def test_loop_cap_firmware(self):
+        capped = bench_router(
+            RouterModel("Xiaomi", "AX5", "1.0.33", True, False, 10)
+        )
+        uncapped = bench_router(
+            RouterModel("Huawei", "WS5100", "10.0.2.8", True, True)
+        )
+        assert 10 <= capped.wan_crossings <= 25  # ">10 times"
+        assert uncapped.wan_crossings > 200  # (255-n)/2 forwards per router

@@ -1,0 +1,127 @@
+"""Neighbor Discovery: message formats, cache behaviour, resolution path."""
+
+import pytest
+
+from repro.net.addr import IPv6Addr, IPv6Prefix, MacAddress
+from repro.net.device import Host, Router
+from repro.net.ndp import (
+    NEGATIVE_TIME,
+    NeighborAdvertisement,
+    NeighborCache,
+    NeighborSolicitation,
+    resolve,
+)
+from repro.net.network import Network
+
+TARGET = IPv6Addr.from_string("2001:db8::42")
+MAC = MacAddress.from_string("34:56:78:9a:bc:de")
+
+
+class TestMessageFormats:
+    def test_solicitation_roundtrip(self):
+        ns = NeighborSolicitation(target=TARGET, source_lladdr=MAC)
+        back = NeighborSolicitation.from_message(ns.to_message())
+        assert back.target == TARGET
+        assert back.source_lladdr == MAC
+
+    def test_solicitation_without_lladdr(self):
+        ns = NeighborSolicitation(target=TARGET)
+        back = NeighborSolicitation.from_message(ns.to_message())
+        assert back.source_lladdr is None
+
+    def test_advertisement_roundtrip(self):
+        na = NeighborAdvertisement(target=TARGET, target_lladdr=MAC,
+                                   solicited=True, override=False)
+        back = NeighborAdvertisement.from_message(na.to_message())
+        assert back.target == TARGET
+        assert back.target_lladdr == MAC
+        assert back.solicited
+        assert not back.override
+
+    def test_type_mismatch_rejected(self):
+        na = NeighborAdvertisement(target=TARGET)
+        with pytest.raises(ValueError):
+            NeighborSolicitation.from_message(na.to_message())
+
+
+class TestNeighborCache:
+    def test_miss_then_hit(self):
+        cache = NeighborCache()
+        assert cache.lookup(TARGET, now=0.0) is None
+        cache.store(TARGET, MAC, reachable=True, now=0.0)
+        entry = cache.lookup(TARGET, now=1.0)
+        assert entry is not None and entry.reachable
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_positive_entry_expires(self):
+        cache = NeighborCache(reachable_time=5.0)
+        cache.store(TARGET, MAC, reachable=True, now=0.0)
+        assert cache.lookup(TARGET, now=4.9) is not None
+        assert cache.lookup(TARGET, now=5.1) is None
+
+    def test_negative_entry_short_lived(self):
+        cache = NeighborCache()
+        cache.store(TARGET, None, reachable=False, now=0.0)
+        entry = cache.lookup(TARGET, now=1.0)
+        assert entry is not None and not entry.reachable
+        assert cache.lookup(TARGET, now=NEGATIVE_TIME + 0.1) is None
+
+    def test_flush(self):
+        cache = NeighborCache()
+        cache.store(TARGET, MAC, reachable=True, now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+
+class TestResolution:
+    def _world(self):
+        net = Network()
+        router = Router("r", IPv6Addr.from_string("2001:db8::1"))
+        net.register(router)
+        host = Host("h", TARGET)
+        host.lladdr = MAC
+        net.register(host)
+        return net, router, host
+
+    def test_resolves_existing_neighbor(self):
+        net, router, host = self._world()
+        assert resolve(router, TARGET, net)
+        entry = router.neighbor_cache.lookup(TARGET, net.clock)
+        assert entry.reachable
+        assert entry.lladdr == MAC
+
+    def test_fails_for_missing_neighbor(self):
+        net, router, _host = self._world()
+        ghost = IPv6Addr.from_string("2001:db8::dead")
+        assert not resolve(router, ghost, net)
+        assert not router.neighbor_cache.lookup(ghost, net.clock).reachable
+
+    def test_cache_suppresses_repeat_solicitations(self):
+        net, router, _host = self._world()
+        resolve(router, TARGET, net)
+        resolve(router, TARGET, net)
+        assert router.neighbor_cache.solicitations == 1
+
+    def test_negative_cache_retries_after_expiry(self):
+        net, router, _host = self._world()
+        ghost = IPv6Addr.from_string("2001:db8::dead")
+        resolve(router, ghost, net)
+        net.advance(NEGATIVE_TIME + 1.0)
+        resolve(router, ghost, net)
+        assert router.neighbor_cache.solicitations == 2
+
+    def test_forwarding_uses_ndp(self):
+        """The CONNECTED path consults the cache (end-to-end check)."""
+        from repro.net.packet import echo_request
+
+        net, router, host = self._world()
+        router.table.add_connected(IPv6Prefix.from_string("2001:db8::/64"))
+        probe = echo_request(
+            IPv6Addr.from_string("2001:4860::1"), TARGET, 1, 1
+        )
+        result = router.receive(probe, net)
+        assert result.forward is not None
+        assert router.neighbor_cache.solicitations == 1
+        # Second packet to the same neighbour: served from the cache.
+        router.receive(probe, net)
+        assert router.neighbor_cache.solicitations == 1

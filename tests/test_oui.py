@@ -1,0 +1,71 @@
+"""The synthetic OUI registry."""
+
+import pytest
+
+from repro.net.addr import MacAddress
+from repro.net.oui import OuiRegistry
+
+
+class TestOuiRegistry:
+    def test_register_and_lookup(self):
+        registry = OuiRegistry()
+        registry.register("ZTE", count=2)
+        mac = registry.make_mac("ZTE", nic=7)
+        assert registry.vendor_of(mac) == "ZTE"
+
+    def test_count_registers_exactly(self):
+        registry = OuiRegistry()
+        registry.register("Acme", count=3)
+        assert len(registry.ouis_for("Acme")) == 3
+        assert len(registry) == 3
+
+    def test_register_is_incremental(self):
+        registry = OuiRegistry()
+        registry.register("Acme", count=1)
+        registry.register("Acme", count=2)
+        assert len(registry.ouis_for("Acme")) == 3
+
+    def test_deterministic_across_instances(self):
+        a, b = OuiRegistry(), OuiRegistry()
+        a.register("ZTE")
+        b.register("ZTE")
+        assert a.ouis_for("ZTE") == b.ouis_for("ZTE")
+
+    def test_ouis_are_unicast_global(self):
+        registry = OuiRegistry()
+        registry.register_all(["A", "B", "C"], count=2)
+        for vendor in registry.vendors():
+            for oui in registry.ouis_for(vendor):
+                first_octet = oui >> 16
+                assert first_octet & 0x01 == 0  # not multicast
+                assert first_octet & 0x02 == 0  # not locally administered
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(KeyError):
+            OuiRegistry().ouis_for("nobody")
+
+    def test_unknown_mac_resolves_to_none(self):
+        registry = OuiRegistry()
+        registry.register("ZTE")
+        assert registry.vendor_of(MacAddress(0xFFFFFF000001)) is None
+
+    def test_make_mac_nic_range(self):
+        registry = OuiRegistry()
+        registry.register("ZTE")
+        with pytest.raises(ValueError):
+            registry.make_mac("ZTE", nic=1 << 24)
+
+    def test_oui_index_cycles(self):
+        registry = OuiRegistry()
+        registry.register("ZTE", count=2)
+        a = registry.make_mac("ZTE", 0, oui_index=0)
+        b = registry.make_mac("ZTE", 0, oui_index=1)
+        c = registry.make_mac("ZTE", 0, oui_index=2)  # wraps to index 0
+        assert a.oui != b.oui
+        assert c.oui == a.oui
+
+    def test_contains(self):
+        registry = OuiRegistry()
+        registry.register("ZTE")
+        assert "ZTE" in registry
+        assert "Acme" not in registry

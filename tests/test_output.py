@@ -1,0 +1,96 @@
+"""Output writers and mitigation behaviour."""
+
+import csv
+import io
+import json
+
+from repro.core.output import (
+    render_csv,
+    write_census_csv,
+    write_loops_csv,
+    write_scan_csv,
+    write_scan_jsonl,
+)
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.scanner import ScanConfig, Scanner
+from repro.core.target import ScanRange
+from repro.core.validate import Validator
+from repro.discovery.periphery import census_from_scan
+from repro.loop.detector import find_loops
+from repro.net.packet import MAX_HOP_LIMIT, Icmpv6Type, echo_request
+
+from tests.topo import MiniTopology, build_mini
+
+
+def _scan(topo, spec="2001:db8:1:50::/60-64"):
+    probe = IcmpEchoProbe(Validator(bytes(range(16))), hop_limit=255)
+    config = ScanConfig(scan_range=ScanRange.parse(spec), seed=5)
+    return Scanner(topo.network, topo.vantage, probe, config).run()
+
+
+class TestOutputWriters:
+    def test_scan_csv_round_trips(self):
+        topo = build_mini()
+        result = _scan(topo)
+        text = render_csv(write_scan_csv, result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(result.results)
+        assert rows[0]["responder"] == str(result.results[0].responder)
+        assert rows[0]["kind"] == result.results[0].kind.value
+
+    def test_scan_jsonl(self):
+        topo = build_mini()
+        result = _scan(topo)
+        text = render_csv(write_scan_jsonl, result)
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert len(lines) == len(result.results)
+        assert {"target", "responder", "kind"} <= set(lines[0])
+
+    def test_census_csv(self):
+        topo = build_mini()
+        census = census_from_scan(_scan(topo))
+        text = render_csv(write_census_csv, census)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == census.n_unique
+        assert rows[0]["iid_class"]
+
+    def test_loops_csv(self):
+        topo = build_mini()
+        survey = find_loops(
+            topo.network, topo.vantage, "2001:db8:1:60::/60-64", seed=1
+        )
+        text = render_csv(write_loops_csv, survey)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == survey.n_unique == 1
+
+
+class TestMitigation:
+    def test_rfc7084_fix_stops_the_loop(self):
+        """§VII: adding the discard route converts the loop into a clean
+        Destination Unreachable."""
+        topo = build_mini()
+        target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
+        probe = echo_request(
+            topo.vantage.primary_address, target, 1, 1,
+            hop_limit=MAX_HOP_LIMIT,
+        )
+        _inbox, before = topo.network.inject(probe, topo.vantage)
+        assert before.crossings("isp", "cpe-vuln") > 200
+
+        topo.cpe_vuln.apply_rfc7084_fix()
+        topo.network.advance(1.0)
+        inbox, after = topo.network.inject(probe, topo.vantage)
+        assert after.crossings("isp", "cpe-vuln") <= 2
+        assert inbox
+        assert inbox[0].payload.type == Icmpv6Type.DEST_UNREACHABLE
+
+    def test_fix_also_covers_wan(self):
+        topo = build_mini()
+        target = MiniTopology.WAN_VULN.address(0xDEAD)
+        topo.cpe_vuln.apply_rfc7084_fix()
+        probe = echo_request(
+            topo.vantage.primary_address, target, 1, 1, hop_limit=255
+        )
+        inbox, trace = topo.network.inject(probe, topo.vantage)
+        assert trace.crossings("isp", "cpe-vuln") <= 2
+        assert inbox[0].payload.type == Icmpv6Type.DEST_UNREACHABLE

@@ -1,0 +1,185 @@
+"""Wire formats: checksums, encode/decode inverses, error semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPv6Addr
+from repro.net.packet import (
+    Icmpv6Message,
+    Icmpv6Type,
+    NextHeader,
+    Packet,
+    PacketError,
+    TcpFlags,
+    TcpSegment,
+    UdpDatagram,
+    UnreachableCode,
+    echo_request,
+    icmpv6_error,
+    internet_checksum,
+    pseudo_header,
+)
+
+SRC = IPv6Addr.from_string("2001:db8::1")
+DST = IPv6Addr.from_string("2001:db8::2")
+
+payloads = st.binary(max_size=256)
+ports = st.integers(min_value=1, max_value=65535)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # RFC 1071 example bytes: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2 -> ~ = 220d
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_pseudo_header_length(self):
+        assert len(pseudo_header(SRC, DST, 8, 58)) == 40
+
+
+class TestIcmpv6:
+    def test_echo_roundtrip(self):
+        msg = Icmpv6Message(
+            int(Icmpv6Type.ECHO_REQUEST), ident=0x1234, seq=7, payload=b"hi"
+        )
+        wire = msg.encode(SRC, DST)
+        back = Icmpv6Message.decode(wire, SRC, DST)
+        assert back.ident == 0x1234
+        assert back.seq == 7
+        assert back.payload == b"hi"
+
+    def test_checksum_rejected_on_corruption(self):
+        wire = bytearray(
+            Icmpv6Message(int(Icmpv6Type.ECHO_REQUEST), ident=1).encode(SRC, DST)
+        )
+        wire[-1] ^= 0xFF
+        with pytest.raises(PacketError):
+            Icmpv6Message.decode(bytes(wire), SRC, DST)
+
+    def test_checksum_binds_addresses(self):
+        # The pseudo-header makes the checksum address-dependent.
+        wire = Icmpv6Message(int(Icmpv6Type.ECHO_REQUEST), ident=1).encode(SRC, DST)
+        other = IPv6Addr.from_string("2001:db8::3")
+        with pytest.raises(PacketError):
+            Icmpv6Message.decode(wire, SRC, other)
+
+    def test_error_carries_invoking(self):
+        probe = echo_request(SRC, DST, 1, 2, b"x")
+        error = icmpv6_error(
+            DST, SRC, Icmpv6Type.DEST_UNREACHABLE,
+            int(UnreachableCode.NO_ROUTE), probe,
+        )
+        assert isinstance(error.payload, Icmpv6Message)
+        inner = Packet.decode(error.payload.invoking)
+        assert inner.dst == DST
+        assert isinstance(inner.payload, Icmpv6Message)
+        assert inner.payload.ident == 1
+
+    def test_error_truncates_to_min_mtu(self):
+        big = Packet(src=SRC, dst=DST, payload=b"\x00" * 2000)
+        error = icmpv6_error(DST, SRC, Icmpv6Type.TIME_EXCEEDED, 0, big)
+        assert len(error.encode()) <= 1280
+
+    def test_is_error_classification(self):
+        assert Icmpv6Message(int(Icmpv6Type.DEST_UNREACHABLE)).is_error
+        assert not Icmpv6Message(int(Icmpv6Type.ECHO_REPLY)).is_error
+
+    def test_short_message_rejected(self):
+        with pytest.raises(PacketError):
+            Icmpv6Message.decode(b"\x80\x00\x00", SRC, DST)
+
+
+class TestUdp:
+    @given(ports, ports, payloads)
+    def test_roundtrip(self, sport, dport, payload):
+        datagram = UdpDatagram(sport, dport, payload)
+        back = UdpDatagram.decode(datagram.encode(SRC, DST), SRC, DST)
+        assert back == datagram
+
+    def test_corrupt_checksum_rejected(self):
+        wire = bytearray(UdpDatagram(1, 2, b"abc").encode(SRC, DST))
+        wire[-1] ^= 0x55
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(bytes(wire), SRC, DST)
+
+    def test_length_mismatch_rejected(self):
+        wire = UdpDatagram(1, 2, b"abc").encode(SRC, DST) + b"zz"
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(wire, SRC, DST)
+
+
+class TestTcp:
+    @given(ports, ports, st.integers(min_value=0, max_value=0xFFFFFFFF), payloads)
+    def test_roundtrip(self, sport, dport, seq, payload):
+        segment = TcpSegment(
+            sport, dport, seq=seq, flags=int(TcpFlags.SYN), payload=payload
+        )
+        back = TcpSegment.decode(segment.encode(SRC, DST), SRC, DST)
+        assert back.sport == sport
+        assert back.dport == dport
+        assert back.seq == seq
+        assert back.payload == payload
+        assert back.has_flag(TcpFlags.SYN)
+
+    def test_flags(self):
+        segment = TcpSegment(1, 2, flags=int(TcpFlags.SYN) | int(TcpFlags.ACK))
+        assert segment.has_flag(TcpFlags.SYN)
+        assert segment.has_flag(TcpFlags.ACK)
+        assert not segment.has_flag(TcpFlags.RST)
+
+    def test_corrupt_checksum_rejected(self):
+        wire = bytearray(TcpSegment(1, 2, payload=b"xyz").encode(SRC, DST))
+        wire[-2] ^= 0x10
+        with pytest.raises(PacketError):
+            TcpSegment.decode(bytes(wire), SRC, DST)
+
+
+class TestPacket:
+    def test_echo_request_roundtrip(self):
+        packet = echo_request(SRC, DST, 7, 9, b"payload", hop_limit=77)
+        back = Packet.decode(packet.encode())
+        assert back.src == SRC
+        assert back.dst == DST
+        assert back.hop_limit == 77
+        assert isinstance(back.payload, Icmpv6Message)
+        assert back.payload.ident == 7
+
+    @given(payloads)
+    def test_opaque_payload_roundtrip(self, payload):
+        packet = Packet(src=SRC, dst=DST, payload=payload)
+        back = Packet.decode(packet.encode())
+        assert back.payload == payload
+        assert back.next_header == 59
+
+    def test_next_header_mapping(self):
+        assert Packet(src=SRC, dst=DST, payload=UdpDatagram(1, 2)).next_header == int(NextHeader.UDP)
+        assert Packet(src=SRC, dst=DST, payload=TcpSegment(1, 2)).next_header == int(NextHeader.TCP)
+
+    def test_traffic_class_flow_label_roundtrip(self):
+        packet = Packet(
+            src=SRC, dst=DST, payload=b"", traffic_class=0xAB, flow_label=0xCDEF5
+        )
+        back = Packet.decode(packet.encode())
+        assert back.traffic_class == 0xAB
+        assert back.flow_label == 0xCDEF5
+
+    def test_with_hop_limit(self):
+        packet = echo_request(SRC, DST, 1, 1)
+        assert packet.with_hop_limit(3).hop_limit == 3
+
+    def test_rejects_non_v6(self):
+        with pytest.raises(PacketError):
+            Packet.decode(b"\x45" + b"\x00" * 60)
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketError):
+            Packet.decode(b"\x60" + b"\x00" * 10)
+
+    def test_rejects_length_mismatch(self):
+        wire = bytearray(Packet(src=SRC, dst=DST, payload=b"abc").encode())
+        wire[5] = 99  # payload length field
+        with pytest.raises(PacketError):
+            Packet.decode(bytes(wire))

@@ -1,0 +1,123 @@
+"""Scan-space permutations: bijectivity, sharding, determinism, backends."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cyclic import CyclicGroupPermutation
+from repro.core.feistel import FeistelPermutation
+from repro.core.permutation import make_permutation
+
+sizes = st.integers(min_value=1, max_value=4000)
+seeds = st.integers(min_value=0, max_value=2**32)
+
+BACKENDS = [CyclicGroupPermutation, FeistelPermutation]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPermutationContract:
+    @settings(max_examples=40, deadline=None)
+    @given(size=sizes, seed=seeds)
+    def test_full_cycle_bijection(self, backend, size, seed):
+        perm = backend(size, seed)
+        values = list(perm)
+        assert sorted(values) == list(range(size))
+
+    @settings(max_examples=25, deadline=None)
+    @given(size=st.integers(min_value=1, max_value=1200), seed=seeds,
+           shards=st.integers(min_value=1, max_value=7))
+    def test_shards_partition(self, backend, size, seed, shards):
+        perm = backend(size, seed)
+        union = []
+        for shard in range(shards):
+            union.extend(perm.indices(shard, shards))
+        assert sorted(union) == list(range(size))
+
+    @given(size=st.integers(min_value=2, max_value=2000), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, backend, size, seed):
+        assert list(backend(size, seed)) == list(backend(size, seed))
+
+    def test_different_seeds_differ(self, backend):
+        a = list(backend(1000, seed=1))
+        b = list(backend(1000, seed=2))
+        assert a != b
+
+    def test_rejects_nonpositive_size(self, backend):
+        with pytest.raises(ValueError):
+            backend(0)
+
+    def test_rejects_bad_shard(self, backend):
+        perm = backend(10)
+        with pytest.raises(ValueError):
+            list(perm.indices(3, 3))
+
+    def test_len(self, backend):
+        assert len(backend(17)) == 17
+
+    def test_looks_shuffled(self, backend):
+        # Not identity and not reversal for a non-trivial size.
+        values = list(backend(2048, seed=3))
+        assert values != list(range(2048))
+        assert values != list(reversed(range(2048)))
+        # Probes spread: first 100 values span a wide range of the space.
+        window = values[:100]
+        assert max(window) - min(window) > 1024
+
+
+class TestCyclicSpecifics:
+    def test_prime_just_above_size(self):
+        perm = CyclicGroupPermutation(1000, seed=1)
+        assert perm.prime is not None
+        assert perm.prime >= 1001
+        assert perm.prime - 1000 < 100
+
+    def test_tiny_sizes(self):
+        for size in (1, 2):
+            assert sorted(CyclicGroupPermutation(size, 5)) == list(range(size))
+
+    def test_generator_has_full_order(self):
+        perm = CyclicGroupPermutation(500, seed=9)
+        p, g = perm.prime, perm.generator
+        seen = set()
+        x = 1
+        for _ in range(p - 1):
+            x = x * g % p
+            seen.add(x)
+        assert len(seen) == p - 1
+
+
+class TestFeistelSpecifics:
+    def test_random_access_matches_iteration(self):
+        perm = FeistelPermutation(777, seed=4)
+        assert [perm.permute(i) for i in range(777)] == list(perm)
+
+    def test_rejects_too_few_rounds(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(10, rounds=1)
+
+    def test_wide_domain(self):
+        # A 2^72-sized space: only spot-check injectivity of random access.
+        perm = FeistelPermutation(1 << 72, seed=8)
+        outputs = {perm.permute(i) for i in range(2000)}
+        assert len(outputs) == 2000
+        assert all(0 <= v < (1 << 72) for v in outputs)
+
+
+class TestBackendSelection:
+    def test_auto_small_is_cyclic(self):
+        assert isinstance(make_permutation(1 << 16), CyclicGroupPermutation)
+
+    def test_auto_huge_is_feistel(self):
+        assert isinstance(make_permutation(1 << 100), FeistelPermutation)
+
+    def test_explicit_backends(self):
+        assert isinstance(
+            make_permutation(100, backend="cyclic"), CyclicGroupPermutation
+        )
+        assert isinstance(
+            make_permutation(100, backend="feistel"), FeistelPermutation
+        )
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_permutation(10, backend="nope")

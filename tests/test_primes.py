@@ -1,0 +1,103 @@
+"""Number theory behind the cyclic-group permutation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.primes import factorize, is_prime, next_prime, primitive_root
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 4, 100, 561, 41041, 2**32 + 1, 3215031751]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        # 561 and 41041 are Carmichael numbers; 3215031751 is a strong
+        # pseudoprime to bases 2,3,5,7.
+        assert not is_prime(n)
+
+    def test_negative_and_zero(self):
+        assert not is_prime(0)
+        assert not is_prime(-7)
+
+    def test_agrees_with_sieve(self):
+        limit = 2000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_prime(n) == sieve[n], n
+
+
+class TestNextPrime:
+    def test_small(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+        assert next_prime(4) == 5
+        assert next_prime(90) == 97
+
+    @given(st.integers(min_value=2, max_value=10**12))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_prime_and_minimal_gap(self, n):
+        p = next_prime(n)
+        assert p >= n
+        assert is_prime(p)
+        assert p - n < 2000  # prime gaps at this size are far smaller
+
+
+class TestFactorize:
+    @given(st.integers(min_value=1, max_value=10**12))
+    @settings(max_examples=60, deadline=None)
+    def test_product_reconstructs(self, n):
+        factors = factorize(n)
+        product = 1
+        for prime, exponent in factors.items():
+            assert is_prime(prime)
+            product *= prime**exponent
+        assert product == n
+
+    def test_semiprime(self):
+        p, q = 1_000_003, 1_000_033
+        assert factorize(p * q) == {p: 1, q: 1}
+
+    def test_prime_power(self):
+        assert factorize(2**20) == {2: 20}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+
+class TestPrimitiveRoot:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 101, 7919, 104729])
+    def test_generates_full_group(self, p):
+        g = primitive_root(p)
+        if p <= 7919:
+            seen = set()
+            x = 1
+            for _ in range(p - 1):
+                x = x * g % p
+                seen.add(x)
+            assert len(seen) == p - 1
+        else:
+            factors = factorize(p - 1)
+            assert all(pow(g, (p - 1) // q, p) != 1 for q in factors)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            primitive_root(10)
+
+    def test_p_equals_two(self):
+        assert primitive_root(2) == 1

@@ -1,0 +1,184 @@
+"""Probe modules: build/classify round trips and validation rejection."""
+
+import pytest
+
+from repro.core.probes import IcmpEchoProbe, ReplyKind, TcpSynProbe, UdpProbe
+from repro.core.validate import Validator
+from repro.net.addr import IPv6Addr
+from repro.net.packet import (
+    Icmpv6Message,
+    Icmpv6Type,
+    Packet,
+    TcpFlags,
+    TcpSegment,
+    UdpDatagram,
+    echo_request,
+    icmpv6_error,
+)
+
+SECRET = bytes(range(16))
+SRC = IPv6Addr.from_string("2001:4860::100")
+DST = IPv6Addr.from_string("2001:db8::5")
+ROUTER = IPv6Addr.from_string("2001:db8:ffff::1")  # different /64 than DST
+
+
+@pytest.fixture
+def validator():
+    return Validator(SECRET)
+
+
+class TestIcmpEchoProbe:
+    def test_build_uses_derived_fields(self, validator):
+        probe = IcmpEchoProbe(validator, hop_limit=99)
+        packet = probe.build(SRC, DST)
+        fields = validator.fields(DST)
+        assert packet.payload.ident == fields.ident
+        assert packet.payload.seq == fields.seq
+        assert packet.hop_limit == 99
+
+    def test_classify_echo_reply(self, validator):
+        probe = IcmpEchoProbe(validator)
+        fields = validator.fields(DST)
+        reply = Packet(
+            src=DST, dst=SRC,
+            payload=Icmpv6Message(
+                int(Icmpv6Type.ECHO_REPLY), ident=fields.ident, seq=fields.seq
+            ),
+        )
+        result = probe.classify(reply)
+        assert result is not None
+        assert result.kind is ReplyKind.ECHO_REPLY
+        assert result.responder == DST
+        assert result.target == DST
+
+    def test_classify_rejects_forged_reply(self, validator):
+        probe = IcmpEchoProbe(validator)
+        reply = Packet(
+            src=DST, dst=SRC,
+            payload=Icmpv6Message(int(Icmpv6Type.ECHO_REPLY), ident=1, seq=2),
+        )
+        assert probe.classify(reply) is None
+
+    def test_classify_unreachable_error(self, validator):
+        probe = IcmpEchoProbe(validator)
+        original = probe.build(SRC, DST)
+        error = icmpv6_error(ROUTER, SRC, Icmpv6Type.DEST_UNREACHABLE, 0, original)
+        result = probe.classify(error)
+        assert result is not None
+        assert result.kind is ReplyKind.DEST_UNREACHABLE
+        assert result.responder == ROUTER
+        assert result.target == DST
+        assert not result.same_slash64
+
+    def test_classify_time_exceeded(self, validator):
+        probe = IcmpEchoProbe(validator)
+        original = probe.build(SRC, DST)
+        error = icmpv6_error(ROUTER, SRC, Icmpv6Type.TIME_EXCEEDED, 0, original)
+        assert probe.classify(error).kind is ReplyKind.TIME_EXCEEDED
+
+    def test_classify_rejects_error_quoting_foreign_probe(self, validator):
+        probe = IcmpEchoProbe(validator)
+        foreign = echo_request(SRC, DST, 111, 222)  # not validator-derived
+        error = icmpv6_error(ROUTER, SRC, Icmpv6Type.DEST_UNREACHABLE, 0, foreign)
+        assert probe.classify(error) is None
+
+    def test_same_slash64_detection(self, validator):
+        probe = IcmpEchoProbe(validator)
+        original = probe.build(SRC, DST)
+        same64_router = IPv6Addr.from_string("2001:db8::ff")
+        error = icmpv6_error(
+            same64_router, SRC, Icmpv6Type.DEST_UNREACHABLE, 3, original
+        )
+        assert probe.classify(error).same_slash64
+
+    def test_wire_roundtrip(self, validator):
+        probe = IcmpEchoProbe(validator)
+        packet = Packet.decode(probe.build(SRC, DST).encode())
+        original = probe.build(SRC, DST)
+        assert packet == original
+
+
+class TestTcpSynProbe:
+    def test_build(self, validator):
+        probe = TcpSynProbe(validator, 80)
+        packet = probe.build(SRC, DST)
+        fields = validator.fields(DST)
+        assert packet.payload.dport == 80
+        assert packet.payload.sport == fields.sport
+        assert packet.payload.seq == fields.tcp_seq
+
+    def test_rejects_bad_port(self, validator):
+        with pytest.raises(ValueError):
+            TcpSynProbe(validator, 0)
+
+    def test_classify_synack(self, validator):
+        probe = TcpSynProbe(validator, 80)
+        fields = validator.fields(DST)
+        synack = Packet(
+            src=DST, dst=SRC,
+            payload=TcpSegment(
+                80, fields.sport, seq=5,
+                ack=(fields.tcp_seq + 1) & 0xFFFFFFFF,
+                flags=int(TcpFlags.SYN) | int(TcpFlags.ACK),
+            ),
+        )
+        assert probe.classify(synack).kind is ReplyKind.TCP_SYNACK
+
+    def test_classify_rst(self, validator):
+        probe = TcpSynProbe(validator, 80)
+        fields = validator.fields(DST)
+        rst = Packet(
+            src=DST, dst=SRC,
+            payload=TcpSegment(
+                80, fields.sport, ack=(fields.tcp_seq + 1) & 0xFFFFFFFF,
+                flags=int(TcpFlags.RST) | int(TcpFlags.ACK),
+            ),
+        )
+        assert probe.classify(rst).kind is ReplyKind.TCP_RST
+
+    def test_classify_rejects_wrong_ack(self, validator):
+        probe = TcpSynProbe(validator, 80)
+        fields = validator.fields(DST)
+        bad = Packet(
+            src=DST, dst=SRC,
+            payload=TcpSegment(
+                80, fields.sport, ack=fields.tcp_seq + 2,
+                flags=int(TcpFlags.SYN) | int(TcpFlags.ACK),
+            ),
+        )
+        assert probe.classify(bad) is None
+
+    def test_classify_error_on_tcp_probe(self, validator):
+        probe = TcpSynProbe(validator, 80)
+        original = probe.build(SRC, DST)
+        error = icmpv6_error(ROUTER, SRC, Icmpv6Type.DEST_UNREACHABLE, 0, original)
+        result = probe.classify(error)
+        assert result.kind is ReplyKind.DEST_UNREACHABLE
+        assert result.target == DST
+
+
+class TestUdpProbe:
+    def test_build_with_payload(self, validator):
+        probe = UdpProbe(validator, 53, payload=b"\x12\x34")
+        packet = probe.build(SRC, DST)
+        assert packet.payload.dport == 53
+        assert packet.payload.payload == b"\x12\x34"
+
+    def test_classify_udp_reply(self, validator):
+        probe = UdpProbe(validator, 53)
+        fields = validator.fields(DST)
+        reply = Packet(
+            src=DST, dst=SRC, payload=UdpDatagram(53, fields.sport, b"resp")
+        )
+        assert probe.classify(reply).kind is ReplyKind.UDP_REPLY
+
+    def test_classify_rejects_wrong_sport(self, validator):
+        probe = UdpProbe(validator, 53)
+        reply = Packet(src=DST, dst=SRC, payload=UdpDatagram(53, 9999, b"r"))
+        assert probe.classify(reply) is None
+
+    def test_classify_port_unreachable(self, validator):
+        probe = UdpProbe(validator, 53)
+        original = probe.build(SRC, DST)
+        error = icmpv6_error(DST, SRC, Icmpv6Type.DEST_UNREACHABLE, 4, original)
+        assert probe.classify(error).kind is ReplyKind.PORT_UNREACHABLE

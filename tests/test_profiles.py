@@ -1,0 +1,113 @@
+"""Profile data invariants: the paper-derived parameter sets are coherent."""
+
+import pytest
+
+from repro.isp.profiles import (
+    PAPER_PROFILES,
+    PAPER_TOTALS,
+    SERVICE_KEYS,
+    profile_by_index,
+    profile_by_key,
+)
+from repro.isp.vendors import DEFAULT_CATALOG
+
+
+class TestProfileInvariants:
+    def test_fifteen_blocks_twelve_isps(self):
+        assert len(PAPER_PROFILES) == 15
+        assert len({p.isp for p in PAPER_PROFILES}) == 12
+
+    def test_indices_are_paper_rows(self):
+        assert sorted(p.index for p in PAPER_PROFILES) == list(range(1, 16))
+
+    def test_countries(self):
+        by_country = {}
+        for p in PAPER_PROFILES:
+            by_country.setdefault(p.country, []).append(p)
+        assert set(by_country) == {"IN", "US", "CN"}
+        assert len(by_country["IN"]) == 4
+        assert len(by_country["US"]) == 6
+        assert len(by_country["CN"]) == 5
+
+    def test_blocks_do_not_overlap(self):
+        prefixes = [p.block_prefix for p in PAPER_PROFILES]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.contains_prefix(b) and not b.contains_prefix(a)
+
+    def test_fractions_in_range(self):
+        for p in PAPER_PROFILES:
+            for value in (p.same_frac, p.unique64_frac, p.eui64_frac,
+                          p.mac_unique_frac, p.loop_same_frac):
+                assert 0.0 <= value <= 1.0, p.key
+            assert 0.0 <= p.loop_frac <= 1.0, p.key
+
+    def test_mobile_blocks_are_slash64(self):
+        for p in PAPER_PROFILES:
+            if p.is_mobile:
+                assert p.subprefix_len == 64, p.key
+
+    def test_subprefix_at_most_64(self):
+        """Table I: every ISP assigns prefixes of length at most 64."""
+        for p in PAPER_PROFILES:
+            assert p.block_prefix.length < p.subprefix_len <= 64, p.key
+
+    def test_service_totals_consistent(self):
+        for p in PAPER_PROFILES:
+            total_counts = sum(p.service_counts.values())
+            # One device can expose several services, never fewer than one.
+            assert p.service_total <= total_counts or p.service_total < 10, p.key
+            assert p.service_total <= p.paper_last_hops, p.key
+
+    def test_service_rates_are_probabilities(self):
+        for p in PAPER_PROFILES:
+            for key in SERVICE_KEYS:
+                assert 0.0 <= p.service_rate(key) <= 1.0, (p.key, key)
+
+    def test_loop_counts_bounded(self):
+        for p in PAPER_PROFILES:
+            assert p.loop_count <= p.paper_last_hops, p.key
+
+    def test_vendor_mixes_resolve_and_sum(self):
+        for p in PAPER_PROFILES:
+            total = 0.0
+            for name, weight in p.vendor_mix:
+                assert name in DEFAULT_CATALOG, (p.key, name)
+                assert weight > 0
+                total += weight
+            assert total == pytest.approx(1.0, abs=0.05), p.key
+
+    def test_mobile_mixes_are_ue(self):
+        for p in PAPER_PROFILES:
+            kinds = {
+                DEFAULT_CATALOG.get(name).kind for name, _w in p.vendor_mix
+            }
+            if p.is_mobile:
+                assert kinds == {"UE"}, p.key
+            else:
+                assert kinds == {"CPE"}, p.key
+
+    def test_scan_labels(self):
+        assert profile_by_key("in-jio-broadband").scan_label == "/32-64"
+        assert profile_by_key("us-comcast-broadband").scan_label == "/24-56"
+        assert profile_by_key("cn-telecom-broadband").scan_label == "/28-60"
+
+    def test_lookup_helpers(self):
+        assert profile_by_index(13).key == "cn-mobile-broadband"
+        with pytest.raises(KeyError):
+            profile_by_key("nope")
+
+    def test_paper_grand_totals(self):
+        # The paper's printed per-row values do not sum exactly to its
+        # printed totals (off by ~0.4%); the profiles carry the rows as
+        # published, so compare within that tolerance.
+        last_hops = sum(p.paper_last_hops for p in PAPER_PROFILES)
+        assert last_hops == pytest.approx(PAPER_TOTALS["last_hops"], rel=0.005)
+        loops = sum(p.loop_count for p in PAPER_PROFILES)
+        assert loops == pytest.approx(PAPER_TOTALS["loop"], rel=0.005)
+
+    def test_same_counts_roughly_match_total_split(self):
+        """Table II's 77.2% same emerges from the per-ISP rows."""
+        total = PAPER_TOTALS["last_hops"]
+        same = sum(p.paper_last_hops * p.same_frac for p in PAPER_PROFILES)
+        assert 100 * same / total == pytest.approx(77.2, abs=1.0)

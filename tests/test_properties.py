@@ -1,0 +1,97 @@
+"""Cross-module property and fuzz tests."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cyclic import CyclicGroupPermutation
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.validate import Validator
+from repro.discovery.iid import IidClass, classify_iid
+from repro.net.addr import IPv6Addr
+from repro.net.packet import Packet, PacketError
+
+
+class TestDecoderRobustness:
+    """Wire decoders never crash on garbage: they parse or raise PacketError."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_packet_decode_total(self, data):
+        try:
+            Packet.decode(data)
+        except PacketError:
+            pass  # rejected cleanly
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(min_size=40, max_size=120),
+           st.integers(min_value=0, max_value=119),
+           st.integers(min_value=0, max_value=255))
+    def test_mutated_real_packet(self, payload, position, value):
+        from repro.net.packet import echo_request
+
+        src = IPv6Addr.from_string("2001:db8::1")
+        dst = IPv6Addr.from_string("2001:db8::2")
+        wire = bytearray(echo_request(src, dst, 1, 2, payload[:32]).encode())
+        position %= len(wire)
+        wire[position] = value
+        try:
+            Packet.decode(bytes(wire))
+        except PacketError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=120))
+    def test_classifier_never_crashes(self, data):
+        """The probe classifier treats arbitrary packets as data."""
+        probe = IcmpEchoProbe(Validator(bytes(16)))
+        try:
+            packet = Packet.decode(data)
+        except PacketError:
+            return
+        probe.classify(packet)  # must not raise
+
+
+class TestIidPartition:
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_every_iid_classifies_deterministically(self, iid):
+        first = classify_iid(iid)
+        assert classify_iid(iid) is first
+        assert first in IidClass
+
+
+class TestPermutationUniformity:
+    def test_first_probe_positions_spread(self):
+        """Across seeds, the first probed index is roughly uniform — the
+        property that spreads scan load across target sub-networks."""
+        size = 1 << 12
+        buckets = [0] * 8
+        for seed in range(400):
+            first = next(iter(CyclicGroupPermutation(size, seed)))
+            buckets[first * 8 // size] += 1
+        expected = 400 / 8
+        for count in buckets:
+            assert 0.4 * expected < count < 1.9 * expected, buckets
+
+    def test_sequential_outputs_decorrelated(self):
+        perm = CyclicGroupPermutation(1 << 12, seed=5)
+        values = list(perm)
+        # Adjacent outputs should not be adjacent indices.
+        adjacent = sum(
+            1 for a, b in zip(values, values[1:]) if abs(a - b) == 1
+        )
+        assert adjacent < len(values) * 0.01
+
+
+class TestValidatorProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_distinct_destinations_rarely_collide(self, a, b):
+        if a == b:
+            return
+        validator = Validator(bytes(range(16)))
+        fa, fb = validator.fields(a), validator.fields(b)
+        # The full 64-bit tags must differ (16-bit subfields may collide).
+        assert validator.tag(a) != validator.tag(b)

@@ -1,0 +1,57 @@
+"""Token-bucket pacing over the virtual clock."""
+
+import pytest
+
+from repro.core.ratelimit import TokenBucket, VirtualPacer
+from repro.net.network import Network
+
+
+class TestTokenBucket:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0)
+
+    def test_first_send_immediate(self):
+        bucket = TokenBucket(100)
+        assert bucket.consume(0.0) == 0.0
+
+    def test_sustained_rate(self):
+        bucket = TokenBucket(1000)
+        now = 0.0
+        for _ in range(500):
+            now = bucket.consume(now)
+        # 500 packets at 1000 pps take ~0.5 virtual seconds.
+        assert now == pytest.approx(0.5, rel=0.02)
+
+    def test_burst_allows_initial_clump(self):
+        bucket = TokenBucket(10, burst=5)
+        times = [bucket.consume(0.0) for _ in range(5)]
+        assert times == [0.0] * 5
+        assert bucket.consume(0.0) > 0.0
+
+    def test_idle_refills_up_to_burst(self):
+        bucket = TokenBucket(10, burst=2)
+        bucket.consume(0.0)
+        bucket.consume(0.0)
+        # After a long idle period only `burst` tokens are available.
+        assert bucket.consume(100.0) == 100.0
+        assert bucket.consume(100.0) == 100.0
+        assert bucket.consume(100.0) > 100.0
+
+
+class TestVirtualPacer:
+    def test_advances_network_clock(self):
+        network = Network()
+        pacer = VirtualPacer(network, rate_pps=100)
+        for _ in range(200):
+            pacer.pace()
+        assert network.clock == pytest.approx(199 / 100, rel=0.05)
+
+    def test_clock_never_goes_backwards(self):
+        network = Network()
+        pacer = VirtualPacer(network, rate_pps=10)
+        previous = network.clock
+        for _ in range(50):
+            pacer.pace()
+            assert network.clock >= previous
+            previous = network.clock

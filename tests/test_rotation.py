@@ -1,0 +1,106 @@
+"""Prefix rotation / churn between measurement campaigns."""
+
+import pytest
+
+from repro.discovery.periphery import discover
+from repro.isp.builder import build_deployment
+from repro.isp.profiles import profile_by_key
+from repro.isp.rotation import rotate_delegations
+from repro.loop.detector import find_loops
+
+
+@pytest.fixture
+def world():
+    dep = build_deployment(
+        profiles=[profile_by_key("cn-unicom-broadband")], scale=20_000, seed=4
+    )
+    return dep, dep.isps["cn-unicom-broadband"]
+
+
+class TestRotation:
+    def test_rejects_bad_fraction(self, world):
+        dep, isp = world
+        with pytest.raises(ValueError):
+            rotate_delegations(dep, isp, 1.5)
+
+    def test_population_size_preserved(self, world):
+        dep, isp = world
+        before = discover(dep.network, dep.vantage, isp.scan_spec, seed=1)
+        report = rotate_delegations(dep, isp, 0.5, seed=2)
+        after = discover(dep.network, dep.vantage, isp.scan_spec, seed=1)
+        assert report.fraction == pytest.approx(0.5, abs=0.05)
+        assert after.n_unique == before.n_unique == isp.n_devices
+
+    def test_same_devices_change_address(self, world):
+        """Rotated same-model customers appear under new last hops."""
+        dep, isp = world
+        same_before = {
+            t.name: t.last_hop for t in isp.truths if t.archetype == "same"
+        }
+        rotate_delegations(dep, isp, 1.0, seed=2)
+        changed = sum(
+            1 for t in isp.truths
+            if t.archetype == "same" and same_before[t.name] != t.last_hop
+        )
+        assert changed >= 0.8 * len(same_before)
+
+    def test_diff_devices_keep_wan_address(self, world):
+        """A PD rebind changes the delegation, not the WAN tenancy."""
+        dep, isp = world
+        wan_before = {
+            t.name: t.last_hop for t in isp.truths if t.archetype == "diff"
+        }
+        rotate_delegations(dep, isp, 1.0, seed=2)
+        for truth in isp.truths:
+            if truth.archetype == "diff":
+                assert truth.last_hop == wan_before[truth.name]
+
+    def test_delegations_actually_move(self, world):
+        dep, isp = world
+        before = {t.name: t.delegated for t in isp.truths}
+        report = rotate_delegations(dep, isp, 0.6, seed=3)
+        moved = sum(
+            1 for t in isp.truths if before[t.name] != t.delegated
+        )
+        assert moved == report.rotated > 0
+
+    def test_released_prefixes_go_dark(self, world):
+        dep, isp = world
+        report = rotate_delegations(dep, isp, 0.4, seed=5)
+        assert report.released_prefixes
+        from repro.net.packet import echo_request
+
+        for prefix in report.released_prefixes[:5]:
+            # A prefix no longer delegated to anyone: probes are blackholed
+            # by the ISP aggregate (route removed during rotation).
+            probe = echo_request(
+                dep.vantage.primary_address, prefix.address(0x1234), 1, 1,
+                hop_limit=255,
+            )
+            inbox, _trace = dep.network.inject(probe, dep.vantage)
+            assert inbox == []
+
+    def test_loop_behaviour_survives_rotation(self, world):
+        dep, isp = world
+        before = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=6)
+        rotate_delegations(dep, isp, 0.8, seed=7)
+        after = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=8)
+        # Vulnerability travels with the firmware, not the prefix.
+        assert after.n_unique == pytest.approx(before.n_unique, abs=6)
+
+    def test_services_survive_rotation(self, world):
+        from repro.services.zgrab import AppScanner
+
+        dep, isp = world
+        census_before = discover(dep.network, dep.vantage, isp.scan_spec, seed=1)
+        app_before = AppScanner(dep.network, dep.vantage).scan(
+            census_before.last_hop_addresses()
+        )
+        rotate_delegations(dep, isp, 0.7, seed=9)
+        census_after = discover(dep.network, dep.vantage, isp.scan_spec, seed=1)
+        app_after = AppScanner(dep.network, dep.vantage).scan(
+            census_after.last_hop_addresses()
+        )
+        assert len(app_after.alive_targets()) == pytest.approx(
+            len(app_before.alive_targets()), abs=4
+        )

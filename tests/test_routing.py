@@ -1,0 +1,145 @@
+"""Routing tables: LPM semantics, both implementations cross-validated."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.routing import (
+    HashRoutingTable,
+    Route,
+    RouteKind,
+    RoutingTable,
+)
+
+
+def _prefix(text: str) -> IPv6Prefix:
+    return IPv6Prefix.from_string(text)
+
+
+def _addr(text: str) -> IPv6Addr:
+    return IPv6Addr.from_string(text)
+
+
+@pytest.fixture(params=[RoutingTable, HashRoutingTable])
+def table(request):
+    return request.param()
+
+
+class TestLpmSemantics:
+    def test_empty_lookup(self, table):
+        assert table.lookup(_addr("2001:db8::1")) is None
+
+    def test_exact_match(self, table):
+        table.add_connected(_prefix("2001:db8::/64"))
+        route = table.lookup(_addr("2001:db8::42"))
+        assert route is not None
+        assert route.kind is RouteKind.CONNECTED
+
+    def test_longest_prefix_wins(self, table):
+        nh_a = _addr("2001:db8:ffff::a")
+        nh_b = _addr("2001:db8:ffff::b")
+        table.add_next_hop(_prefix("2001:db8::/32"), nh_a)
+        table.add_next_hop(_prefix("2001:db8:1::/48"), nh_b)
+        assert table.lookup(_addr("2001:db8:1::5")).next_hop == nh_b
+        assert table.lookup(_addr("2001:db8:2::5")).next_hop == nh_a
+
+    def test_default_route(self, table):
+        gw = _addr("fe80::1")
+        table.add_default(gw)
+        assert table.lookup(_addr("2400::1")).next_hop == gw
+
+    def test_more_specific_beats_default(self, table):
+        table.add_default(_addr("fe80::1"))
+        table.add_unreachable(_prefix("2001:db8::/32"))
+        assert table.lookup(_addr("2001:db8::1")).kind is RouteKind.UNREACHABLE
+
+    def test_replace_same_prefix(self, table):
+        table.add_unreachable(_prefix("2001:db8::/64"))
+        table.add_connected(_prefix("2001:db8::/64"))
+        assert table.lookup(_addr("2001:db8::1")).kind is RouteKind.CONNECTED
+        assert len(table) == 1
+
+    def test_remove(self, table):
+        table.add_connected(_prefix("2001:db8::/64"))
+        assert table.remove(_prefix("2001:db8::/64"))
+        assert table.lookup(_addr("2001:db8::1")) is None
+        assert not table.remove(_prefix("2001:db8::/64"))
+
+    def test_remove_keeps_covering(self, table):
+        table.add_unreachable(_prefix("2001:db8::/32"))
+        table.add_connected(_prefix("2001:db8::/64"))
+        table.remove(_prefix("2001:db8::/64"))
+        assert table.lookup(_addr("2001:db8::1")).kind is RouteKind.UNREACHABLE
+
+    def test_zero_length_prefix(self, table):
+        table.add(Route(IPv6Prefix(0, 0), RouteKind.UNREACHABLE))
+        assert table.lookup(_addr("::1")).kind is RouteKind.UNREACHABLE
+
+    def test_slash128_host_route(self, table):
+        host = _addr("2001:db8::5")
+        table.add_connected(host.prefix(128), "lo")
+        assert table.lookup(host) is not None
+        assert table.lookup(_addr("2001:db8::6")) is None
+
+    def test_routes_enumeration(self, table):
+        table.add_connected(_prefix("2001:db8::/64"))
+        table.add_unreachable(_prefix("2001:db8::/32"))
+        assert len(list(table.routes())) == 2
+
+    def test_next_hop_requires_address(self):
+        with pytest.raises(ValueError):
+            Route(_prefix("2001:db8::/32"), RouteKind.NEXT_HOP)
+
+
+@st.composite
+def route_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    routes = []
+    for _ in range(count):
+        length = draw(st.sampled_from([0, 16, 32, 48, 56, 60, 64, 128]))
+        network = draw(st.integers(min_value=0, max_value=(1 << 128) - 1))
+        network = network >> (128 - length) << (128 - length) if length else 0
+        routes.append(Route(IPv6Prefix(network, length), RouteKind.UNREACHABLE))
+    return routes
+
+
+class TestCrossValidation:
+    @settings(max_examples=60, deadline=None)
+    @given(route_sets(), st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_trie_and_hash_agree(self, routes, probe):
+        trie = RoutingTable()
+        hashed = HashRoutingTable()
+        for route in routes:
+            trie.add(route)
+            hashed.add(route)
+        a = trie.lookup(probe)
+        b = hashed.lookup(probe)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.prefix == b.prefix
+
+    def test_agree_on_route_set_neighbourhood(self):
+        rng = random.Random(5)
+        trie, hashed = RoutingTable(), HashRoutingTable()
+        prefixes = []
+        for _ in range(200):
+            length = rng.choice([32, 48, 60, 64])
+            network = rng.getrandbits(128) >> (128 - length) << (128 - length)
+            prefix = IPv6Prefix(network, length)
+            prefixes.append(prefix)
+            trie.add(Route(prefix, RouteKind.UNREACHABLE))
+            hashed.add(Route(prefix, RouteKind.UNREACHABLE))
+        # Probe near every stored prefix (first, last, neighbours).
+        for prefix in prefixes:
+            for value in (
+                prefix.network,
+                prefix.last.value,
+                prefix.network - 1 if prefix.network else 0,
+                (prefix.last.value + 1) & ((1 << 128) - 1),
+            ):
+                a, b = trie.lookup(value), hashed.lookup(value)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.prefix == b.prefix

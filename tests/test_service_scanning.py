@@ -1,0 +1,101 @@
+"""Port-openness scanning via the XMap engine (Table VI's first stage)."""
+
+import pytest
+
+from repro.core.probes import ReplyKind, TcpSynProbe, UdpProbe
+from repro.core.scanner import ScanConfig, Scanner
+from repro.core.target import IidStrategy, ScanRange
+from repro.core.validate import Validator
+from repro.services.base import Software
+from repro.services.dns import DnsForwarder, make_query, QTYPE_A
+from repro.services.http import HttpServer
+
+from tests.topo import build_mini
+
+SECRET = bytes(range(16))
+
+
+@pytest.fixture
+def topo_with_services():
+    topo = build_mini()
+    topo.ue.bind_service(HttpServer(Software("GoAhead Embedded", "2.5.0")))
+    topo.ue.bind_service(DnsForwarder(Software("dnsmasq", "2.75")))
+    return topo
+
+
+def _scan(topo, probe, spec, **kwargs):
+    config = ScanConfig(scan_range=ScanRange.parse(spec), seed=5, **kwargs)
+    return Scanner(topo.network, topo.vantage, probe, config).run()
+
+
+class TestTcpSynScanning:
+    def test_open_port_yields_synack(self, topo_with_services):
+        topo = topo_with_services
+        # Target the UE's exact address (FIXED IID = the UE's own IID).
+        probe = TcpSynProbe(Validator(SECRET), 80)
+        result = _scan(
+            topo, probe, "2001:db8:2:7::/64-64",
+            iid_strategy=IidStrategy.FIXED, fixed_iid=0x42,
+        )
+        kinds = result.by_kind()
+        assert kinds.get(ReplyKind.TCP_SYNACK) == 1
+
+    def test_closed_port_yields_rst(self, topo_with_services):
+        topo = topo_with_services
+        probe = TcpSynProbe(Validator(SECRET), 22)  # no SSH bound
+        result = _scan(
+            topo, probe, "2001:db8:2:7::/64-64",
+            iid_strategy=IidStrategy.FIXED, fixed_iid=0x42,
+        )
+        assert result.by_kind().get(ReplyKind.TCP_RST) == 1
+
+    def test_nonexistent_host_yields_unreachable(self, topo_with_services):
+        topo = topo_with_services
+        probe = TcpSynProbe(Validator(SECRET), 80)
+        result = _scan(
+            topo, probe, "2001:db8:2:7::/64-64",
+            iid_strategy=IidStrategy.FIXED, fixed_iid=0x4343,
+        )
+        assert result.by_kind().get(ReplyKind.DEST_UNREACHABLE) == 1
+        # The error still identifies the periphery: TCP probes discover too.
+        assert result.last_hops()[0].responder == topo.ue.ue_address
+
+
+class TestUdpScanning:
+    def test_dns_probe_yields_udp_reply(self, topo_with_services):
+        topo = topo_with_services
+        probe = UdpProbe(
+            Validator(SECRET), 53, payload=make_query(7, "example.com", QTYPE_A)
+        )
+        result = _scan(
+            topo, probe, "2001:db8:2:7::/64-64",
+            iid_strategy=IidStrategy.FIXED, fixed_iid=0x42,
+        )
+        assert result.by_kind().get(ReplyKind.UDP_REPLY) == 1
+
+    def test_closed_udp_port_yields_port_unreachable(self, topo_with_services):
+        topo = topo_with_services
+        probe = UdpProbe(Validator(SECRET), 123)  # no NTP bound
+        result = _scan(
+            topo, probe, "2001:db8:2:7::/64-64",
+            iid_strategy=IidStrategy.FIXED, fixed_iid=0x42,
+        )
+        assert result.by_kind().get(ReplyKind.PORT_UNREACHABLE) == 1
+
+    def test_udp_probe_discovers_peripheries_like_icmp(self, topo_with_services):
+        """Any probe type elicits the RFC 4443 unreachable from NX space —
+        the discovery technique is transport-agnostic."""
+        topo = topo_with_services
+        probe = UdpProbe(Validator(SECRET), 53)
+        result = _scan(topo, probe, "2001:db8:1:50::/60-64")
+        responders = {r.responder for r in result.last_hops()}
+        assert topo.cpe_ok.wan_address in responders
+
+    def test_wire_mode_tcp(self, topo_with_services):
+        topo = topo_with_services
+        probe = TcpSynProbe(Validator(SECRET), 80)
+        result = _scan(
+            topo, probe, "2001:db8:2:7::/64-64",
+            iid_strategy=IidStrategy.FIXED, fixed_iid=0x42, wire_mode=True,
+        )
+        assert result.by_kind().get(ReplyKind.TCP_SYNACK) == 1

@@ -1,0 +1,232 @@
+"""Application services: codecs, handlers, and the zgrab prober parsers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPv6Addr
+from repro.services.banner import FtpServer, SshServer, TelnetServer
+from repro.services.base import SERVICE_SPECS, Software
+from repro.services.dns import (
+    DnsError,
+    DnsForwarder,
+    DnsMessage,
+    DnsQuestion,
+    DnsRecord,
+    QTYPE_A,
+    QTYPE_AAAA,
+    QTYPE_TXT,
+    QCLASS_CHAOS,
+    decode_name,
+    encode_name,
+    make_query,
+    version_bind_query,
+)
+from repro.services.http import HttpServer, TlsServer, make_client_hello, make_get_request
+from repro.services.ntp import MODE_SERVER, NtpServer, make_client_query, parse_header
+from repro.services.zgrab import _parse_software
+
+DNSMASQ = Software("dnsmasq", "2.45")
+
+
+class TestDnsCodec:
+    def test_name_roundtrip(self):
+        wire = encode_name("www.example.com")
+        name, offset = decode_name(wire, 0)
+        assert name == "www.example.com"
+        assert offset == len(wire)
+
+    def test_root_name(self):
+        assert encode_name(".") == b"\x00"
+        assert decode_name(b"\x00", 0) == ("", 1)
+
+    def test_rejects_oversize_label(self):
+        with pytest.raises(DnsError):
+            encode_name("a" * 64 + ".com")
+
+    def test_rejects_truncated_name(self):
+        with pytest.raises(DnsError):
+            decode_name(b"\x05ab", 0)
+
+    @given(st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+                max_size=20),
+        min_size=1, max_size=5,
+    ))
+    def test_message_roundtrip(self, labels):
+        name = ".".join(labels)
+        message = DnsMessage(
+            ident=0x1234, flags=0x8180,
+            questions=[DnsQuestion(name, QTYPE_A)],
+            answers=[DnsRecord(name, QTYPE_A, 1, 300, b"\x01\x02\x03\x04")],
+        )
+        back = DnsMessage.decode(message.encode())
+        assert back.ident == 0x1234
+        assert back.questions[0].name == name
+        assert back.answers[0].rdata == b"\x01\x02\x03\x04"
+
+    def test_decode_rejects_short(self):
+        with pytest.raises(DnsError):
+            DnsMessage.decode(b"\x00" * 5)
+
+
+class TestDnsForwarder:
+    def test_answers_a_query_open_resolver(self):
+        service = DnsForwarder(DNSMASQ)
+        reply = DnsMessage.decode(service.handle(make_query(7, "example.com", QTYPE_A)))
+        assert reply.is_response
+        assert reply.ident == 7
+        assert reply.answers and reply.answers[0].rtype == QTYPE_A
+
+    def test_answers_aaaa(self):
+        service = DnsForwarder(DNSMASQ)
+        reply = DnsMessage.decode(
+            service.handle(make_query(8, "example.com", QTYPE_AAAA))
+        )
+        assert len(reply.answers[0].rdata) == 16
+
+    def test_version_bind(self):
+        service = DnsForwarder(DNSMASQ)
+        reply = DnsMessage.decode(service.handle(version_bind_query(9)))
+        rdata = reply.answers[0].rdata
+        assert rdata[1 : 1 + rdata[0]] == b"dnsmasq 2.45"
+        assert reply.answers[0].rclass == QCLASS_CHAOS
+
+    def test_ignores_responses(self):
+        service = DnsForwarder(DNSMASQ)
+        response = DnsMessage(1, flags=0x8180,
+                              questions=[DnsQuestion("x", QTYPE_A)]).encode()
+        assert service.handle(response) is None
+
+    def test_ignores_garbage(self):
+        assert DnsForwarder(DNSMASQ).handle(b"\x01\x02") is None
+
+    def test_unsupported_qtype_refused_not_silent(self):
+        service = DnsForwarder(DNSMASQ)
+        reply = DnsMessage.decode(service.handle(make_query(5, "x", QTYPE_TXT)))
+        assert reply.rcode != 0
+
+    def test_udp_only(self):
+        service = DnsForwarder(DNSMASQ)
+        assert service.handle_tcp(make_query(5, "x", QTYPE_A)) is None
+        assert service.handle_udp(make_query(5, "x", QTYPE_A)) is not None
+
+
+class TestNtp:
+    def test_client_query_shape(self):
+        query = make_client_query()
+        leap, version, mode = parse_header(query)
+        assert (version, mode) == (4, 3)
+
+    def test_server_reply(self):
+        service = NtpServer(Software("NTP", "4"))
+        reply = service.handle(make_client_query())
+        assert len(reply) == 48
+        _leap, version, mode = parse_header(reply)
+        assert mode == MODE_SERVER
+        assert version == 4
+
+    def test_ignores_non_client(self):
+        service = NtpServer(Software("NTP", "4"))
+        reply = service.handle(service.handle(make_client_query()))
+        assert reply is None
+
+    def test_short_packet(self):
+        assert NtpServer(Software("NTP", "4")).handle(b"\x00" * 4) is None
+
+
+class TestBannerServices:
+    def test_ftp_greeting(self):
+        service = FtpServer(Software("GNU Inetutils", "1.4.1"))
+        reply = service.handle(b"\r\n").decode()
+        assert reply.startswith("220 GNU Inetutils 1.4.1")
+
+    def test_ftp_user_flow(self):
+        service = FtpServer(Software("vsftpd", "3.0.3"))
+        assert service.handle(b"USER admin\r\n").startswith(b"331")
+        assert service.handle(b"QUIT\r\n").startswith(b"221")
+
+    def test_ssh_identification(self):
+        service = SshServer(Software("dropbear", "0.46"))
+        reply = service.handle(b"SSH-2.0-scanner\r\n").decode()
+        assert reply.splitlines()[0] == "SSH-2.0-dropbear_0.46"
+
+    def test_ssh_hostkey(self):
+        service = SshServer(Software("openssh", "3.5"),
+                            host_key_fingerprint="aa:bb")
+        assert "hostkey:aa:bb" in service.handle(b"x").decode()
+
+    def test_telnet_negotiation_and_banner(self):
+        service = TelnetServer(Software("telnetd", ""), vendor_banner="ZTE")
+        reply = service.handle(b"\r\n")
+        assert reply[0] == 255  # IAC
+        assert b"ZTE" in reply
+        assert reply.endswith(b"login: ")
+
+
+class TestHttp:
+    def test_login_page(self):
+        service = HttpServer(
+            Software("micro_httpd", "1.0"), vendor="ZTE", model="F660"
+        )
+        reply = service.handle(make_get_request()).decode()
+        assert reply.startswith("HTTP/1.1 200 OK")
+        assert "Server: micro_httpd 1.0" in reply
+        assert "ZTE F660 Router Login" in reply
+        assert "password" in reply
+
+    def test_head_omits_body(self):
+        service = HttpServer(Software("Jetty", "6.1.26"))
+        reply = service.handle(b"HEAD / HTTP/1.1\r\n\r\n").decode()
+        assert "<html>" not in reply
+
+    def test_bad_request(self):
+        service = HttpServer(Software("Jetty", "6.1.26"))
+        assert b"400" in service.handle(b"NONSENSE")
+
+    def test_auth_gated_page(self):
+        service = HttpServer(
+            Software("micro_httpd", "1.0"), vendor="ZTE", model="F660",
+            requires_auth=True,
+        )
+        reply = service.handle(make_get_request()).decode()
+        assert reply.startswith("HTTP/1.1 401")
+        assert "Server: micro_httpd 1.0" in reply
+        assert "Router Login" not in reply
+
+    def test_anonymous_vendor_page(self):
+        service = HttpServer(Software("Jetty", "6.1.26"), vendor="", model="GW")
+        reply = service.handle(make_get_request()).decode()
+        assert "GW Router Login" in reply
+
+    def test_tls_certificate_summary(self):
+        service = TlsServer(
+            Software("GoAhead Embedded", "2.5.0"), vendor="AVM GmbH",
+            model="FRITZ!Box 7590",
+        )
+        reply = service.handle(make_client_hello())
+        assert reply[0] == 0x16
+        text = reply[3:].decode()
+        assert "cert-cn=AVM GmbH FRITZ!Box 7590" in text
+        assert "cipher=" in text
+
+    def test_tls_rejects_non_hello(self):
+        service = TlsServer(Software("x", "1"))
+        assert service.handle(b"GET / HTTP/1.1") is None
+
+
+class TestSoftwareParsing:
+    @pytest.mark.parametrize("banner,name,version", [
+        ("dnsmasq 2.45", "dnsmasq", "2.45"),
+        ("GNU Inetutils 1.4.1", "GNU Inetutils", "1.4.1"),
+        ("dropbear 0.46", "dropbear", "0.46"),
+        ("MiniWeb HTTP Server 0.8.19", "MiniWeb HTTP Server", "0.8.19"),
+        ("Fritz!Box 7.2.1", "Fritz!Box", "7.2.1"),
+        ("Jetty 6.1.26", "Jetty", "6.1.26"),
+    ])
+    def test_parses(self, banner, name, version):
+        software = _parse_software(banner)
+        assert software == Software(name, version)
+
+    def test_unparseable(self):
+        assert _parse_software("no version here") is None
+        assert _parse_software("") is None

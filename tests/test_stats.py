@@ -1,0 +1,61 @@
+"""Scan statistics and the §III-B feasibility arithmetic."""
+
+import pytest
+
+from repro.core.stats import (
+    FeasibilityRow,
+    ScanStats,
+    probes_per_second,
+    scan_duration_seconds,
+)
+
+
+class TestScanStats:
+    def test_hit_rate(self):
+        stats = ScanStats(sent=1000, validated=37)
+        assert stats.hit_rate == pytest.approx(0.037)
+
+    def test_zero_sent(self):
+        stats = ScanStats()
+        assert stats.hit_rate == 0.0
+        assert stats.virtual_pps == 0.0
+        assert stats.wall_pps == 0.0
+
+    def test_virtual_pps(self):
+        stats = ScanStats(sent=500, virtual_start=1.0, virtual_end=3.0)
+        assert stats.virtual_pps == 250.0
+
+    def test_summary_renders(self):
+        text = ScanStats(sent=10, validated=2).summary()
+        assert "sent=10" in text
+        assert "20.0000%" in text
+
+
+class TestFeasibility:
+    def test_paper_projection_slash64_in_slash24(self):
+        """§III-B: a 1 Gbps scanner covers all /64s of a /24 (2^40) in ~8
+        days."""
+        seconds = scan_duration_seconds(40, 1e9)
+        days = seconds / 86400
+        assert 6 <= days <= 13
+
+    def test_paper_projection_slash60_in_slash28(self):
+        """§III-B: all /60 sub-prefixes (2^36) in ~14 hours."""
+        seconds = scan_duration_seconds(36, 1e9)
+        hours = seconds / 3600
+        assert 9 <= hours <= 20
+
+    def test_paper_budget_25kpps(self):
+        """§IV-E: <15 Mbps uplink sustains the paper's 25 kpps budget."""
+        assert probes_per_second(15e6) >= 19_000
+
+    def test_48_hour_sample_block(self):
+        """§IV-E: a 32-bit window at ~25 kpps takes ~48 hours."""
+        seconds = (1 << 32) / 25_000
+        assert 40 <= seconds / 3600 <= 55
+
+    def test_feasibility_row_humanises(self):
+        row = FeasibilityRow("demo", 40, 1e9)
+        assert "days" in row.human
+        short = FeasibilityRow("demo", 20, 1e9)
+        assert "s" in short.human

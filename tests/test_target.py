@@ -1,0 +1,96 @@
+"""Scan-range DSL and IID fill strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.target import IidStrategy, ScanRange, TargetGenerator
+from repro.net.addr import AddressError, IPv6Addr
+
+
+class TestScanRange:
+    def test_parse_window(self):
+        sr = ScanRange.parse("2001:db8::/32-64")
+        assert sr.base.length == 32
+        assert sr.target_length == 64
+        assert sr.window_bits == 32
+        assert sr.count == 1 << 32
+        assert sr.host_bits == 64
+
+    def test_parse_bare_prefix_extends_to_128(self):
+        sr = ScanRange.parse("2001:db8::/32")
+        assert sr.target_length == 128
+        assert sr.host_bits == 0
+
+    def test_parse_rejects_reversed_window(self):
+        with pytest.raises(AddressError):
+            ScanRange.parse("2001:db8::/64-32")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(AddressError):
+            ScanRange.parse("not-a-range")
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            ScanRange.parse("2001:db8::1/32-64")
+
+    def test_subprefix_and_index(self):
+        sr = ScanRange.parse("2001:db8::/32-48")
+        sub = sr.subprefix(0xABC)
+        assert str(sub) == "2001:db8:abc::/48"
+        assert sr.index_of(sub.address(5)) == 0xABC
+
+    def test_str(self):
+        assert str(ScanRange.parse("2001:db8::/32-64")) == "2001:db8::/32-64"
+
+
+class TestTargetGenerator:
+    def _range(self):
+        return ScanRange.parse("2001:db8::/32-64")
+
+    def test_random_iids_are_deterministic_per_seed(self):
+        sr = self._range()
+        a = TargetGenerator(sr, seed=1)
+        b = TargetGenerator(sr, seed=1)
+        c = TargetGenerator(sr, seed=2)
+        assert a.address(5) == b.address(5)
+        assert a.address(5) != c.address(5)
+
+    def test_random_iids_differ_per_index(self):
+        gen = TargetGenerator(self._range(), seed=1)
+        iids = {gen.iid(i) for i in range(100)}
+        assert len(iids) == 100
+
+    def test_addresses_land_in_right_subprefix(self):
+        sr = self._range()
+        gen = TargetGenerator(sr, seed=3)
+        for index in (0, 1, 12345, sr.count - 1):
+            addr = gen.address(index)
+            assert sr.subprefix(index).contains(addr)
+
+    def test_low_byte_strategy(self):
+        gen = TargetGenerator(self._range(), strategy=IidStrategy.LOW_BYTE)
+        assert gen.iid(7) == 1
+        assert str(gen.address(7)).endswith("::1")
+
+    def test_fixed_strategy(self):
+        gen = TargetGenerator(
+            self._range(), strategy=IidStrategy.FIXED, fixed_iid=0xBEEF
+        )
+        assert gen.iid(3) == 0xBEEF
+
+    def test_zero_host_bits(self):
+        sr = ScanRange.parse("2001:db8::/120-128")
+        gen = TargetGenerator(sr, seed=1)
+        assert gen.iid(5) == 0
+        assert gen.address(5) == IPv6Addr.from_string("2001:db8::5")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_wide_host_bits_fit(self, index):
+        # A /32-44 range leaves 84 host bits: the wide-IID path.
+        sr = ScanRange.parse("2001:db8::/32-44")
+        gen = TargetGenerator(sr, seed=9)
+        index %= sr.count
+        addr = gen.address(index)
+        assert sr.base.contains(addr)
+        assert sr.subprefix(index).contains(addr)

@@ -1,0 +1,110 @@
+"""The application-layer scanner end-to-end against real devices."""
+
+import pytest
+
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.device import Host, Router
+from repro.net.network import Network
+from repro.services.banner import SshServer, TelnetServer
+from repro.services.base import SERVICE_ORDER, SERVICE_SPECS, Software
+from repro.services.dns import DnsForwarder
+from repro.services.http import HttpServer
+from repro.services.zgrab import AppScanner
+
+
+@pytest.fixture
+def world():
+    network = Network(seed=2)
+    vantage = Host("vantage", IPv6Addr.from_string("2001:4860::100"))
+    core = Router("core", IPv6Addr.from_string("2001:4860::1"))
+    network.register(core)
+    network.attach_host(vantage, core)
+    core.table.add_connected(vantage.primary_address.prefix(128), "v")
+    core.table.add_connected(IPv6Prefix.from_string("2001:db8::/64"))
+
+    target = Host("t", IPv6Addr.from_string("2001:db8::1"))
+    target.gateway = core  # type: ignore[attr-defined]
+    network.register(target)
+    return network, vantage, target
+
+
+class TestAppScanner:
+    def test_dns_probe(self, world):
+        network, vantage, target = world
+        target.bind_service(DnsForwarder(Software("dnsmasq", "2.45")))
+        scanner = AppScanner(network, vantage)
+        obs = scanner.probe_service(target.primary_address, "DNS/53")
+        assert obs.alive
+        assert obs.software == Software("dnsmasq", "2.45")
+
+    def test_closed_udp_port_not_alive(self, world):
+        network, vantage, target = world
+        scanner = AppScanner(network, vantage)
+        obs = scanner.probe_service(target.primary_address, "DNS/53")
+        assert not obs.alive
+
+    def test_closed_tcp_port_not_alive(self, world):
+        network, vantage, target = world
+        scanner = AppScanner(network, vantage)
+        for key in ("SSH/22", "HTTP/80", "TLS/443"):
+            assert not scanner.probe_service(target.primary_address, key).alive
+
+    def test_unreachable_target_not_alive(self, world):
+        network, vantage, _target = world
+        scanner = AppScanner(network, vantage)
+        ghost = IPv6Addr.from_string("2001:db8::dead")
+        for key in SERVICE_ORDER:
+            assert not scanner.probe_service(ghost, key).alive
+
+    def test_ssh_and_telnet_banners(self, world):
+        network, vantage, target = world
+        target.bind_service(SshServer(Software("dropbear", "0.48")))
+        target.bind_service(
+            TelnetServer(Software("telnetd", ""), vendor_banner="China Unicom")
+        )
+        scanner = AppScanner(network, vantage)
+        ssh = scanner.probe_service(target.primary_address, "SSH/22")
+        assert ssh.alive and ssh.software.version == "0.48"
+        telnet = scanner.probe_service(target.primary_address, "TELNET/23")
+        assert telnet.alive and "China Unicom" in telnet.vendor_hint
+
+    def test_http_8080_distinct_from_80(self, world):
+        network, vantage, target = world
+        target.bind_service(
+            HttpServer(Software("Jetty", "6.1.26"),
+                       spec=SERVICE_SPECS["HTTP/8080"], vendor="StarNet",
+                       model="SN-GW100")
+        )
+        scanner = AppScanner(network, vantage)
+        assert not scanner.probe_service(target.primary_address, "HTTP/80").alive
+        alt = scanner.probe_service(target.primary_address, "HTTP/8080")
+        assert alt.alive
+        assert alt.service == "HTTP/8080"
+        assert alt.vendor_hint == "StarNet SN-GW100"
+
+    def test_scan_aggregation(self, world):
+        network, vantage, target = world
+        target.bind_service(DnsForwarder(Software("dnsmasq", "2.45")))
+        target.bind_service(HttpServer(Software("micro_httpd", "1.0")))
+        scanner = AppScanner(network, vantage)
+        result = scanner.scan([target.primary_address])
+        assert len(result.observations) == len(SERVICE_ORDER)
+        assert result.alive_targets() == {target.primary_address}
+        by_service = result.by_service()
+        assert len(by_service["DNS/53"]) == 1
+        assert len(by_service["HTTP/80"]) == 1
+        assert len(by_service["SSH/22"]) == 0
+
+    def test_software_counts(self, world):
+        network, vantage, target = world
+        target.bind_service(DnsForwarder(Software("dnsmasq", "2.66")))
+        scanner = AppScanner(network, vantage)
+        result = scanner.scan([target.primary_address], services=("DNS/53",))
+        assert result.software_counts()["DNS/53"] == {"dnsmasq 2.66": 1}
+
+    def test_pacing_advances_clock(self, world):
+        network, vantage, target = world
+        scanner = AppScanner(network, vantage, rate_pps=10)
+        before = network.clock
+        scanner.scan([target.primary_address])
+        assert network.clock > before

@@ -1,0 +1,5 @@
+"""Test alias for the library's demo topology (repro.net.testbed)."""
+
+from repro.net.testbed import MiniTopology, build_mini
+
+__all__ = ["MiniTopology", "build_mini"]
