@@ -17,7 +17,11 @@ from typing import Dict, List, Optional
 
 from repro.analysis import figures, tables
 from repro.analysis.report import ComparisonTable
-from repro.discovery.periphery import PeripheryCensus, discover
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.discovery.periphery import PeripheryCensus, census_from_scan, discover
+from repro.engine import Campaign, ProbeSpec
+from repro.net.spec import BuiltTopology, TopologySpec
 from repro.discovery.subnet import infer_subprefix_length
 from repro.discovery.vendor_id import IdentifiedDevice, VendorIdentifier
 from repro.isp.builder import Deployment, build_deployment
@@ -71,11 +75,26 @@ def reproduce_all(
     run.sections.append(tables.table1_subnet_inference(inferences).render())
 
     # -- Table II / III ------------------------------------------------------------
+    # The multi-ISP sweep runs through the orchestration engine: one
+    # campaign over all fifteen delegated windows, merged per range.  The
+    # serial executor reuses the live deployment (same network, same virtual
+    # clock) and the probe spec matches ``discover()``'s seed-derived
+    # validator, so the censuses are identical to fifteen single-shot scans.
     say("running the fifteen discovery scans (Table II)")
-    for key, isp in deployment.isps.items():
-        run.censuses[key] = discover(
-            deployment.network, deployment.vantage, isp.scan_spec, seed=seed
-        )
+    campaign = Campaign(
+        TopologySpec.deployment(
+            profiles=tuple(deployment.isps), scale=scale, seed=seed
+        ),
+        {
+            key: ScanConfig(scan_range=ScanRange.parse(isp.scan_spec), seed=seed)
+            for key, isp in deployment.isps.items()
+        },
+        probe=ProbeSpec.for_seed(seed),
+        executor="serial",
+        prebuilt=BuiltTopology(deployment.network, deployment.vantage, deployment),
+    )
+    for key, scan_result in campaign.run().results.items():
+        run.censuses[key] = census_from_scan(scan_result)
     run.sections.append(
         tables.table2_periphery(run.censuses, scale).render()
     )

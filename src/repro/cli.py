@@ -3,6 +3,7 @@
 Installed as ``repro-xmap``.  Subcommands mirror the paper's experiments:
 
 * ``census``     — Table I/II: subnet inference + periphery discovery;
+* ``scan``       — orchestrated sharded scan campaign (checkpoint/resume);
 * ``services``   — Table VII/VIII: the exposed-services audit;
 * ``loops``      — Table XI: loop location on the sample blocks;
 * ``attack``     — §VI-A: one amplification attack, with measured crossings;
@@ -12,6 +13,8 @@ Installed as ``repro-xmap``.  Subcommands mirror the paper's experiments:
 Examples::
 
     repro-xmap census --isp in-jio-broadband --scale 20000
+    repro-xmap scan --isp in-jio-broadband --shards 4 --executor process
+    repro-xmap scan --shards 8 --checkpoint-dir state/ --resume
     repro-xmap services --isp cn-mobile-broadband --csv out.csv
     repro-xmap loops --scale 50000
     repro-xmap attack
@@ -73,6 +76,90 @@ def cmd_census(args) -> int:
             for census in censuses.values():
                 write_census_csv(census, handle)
         print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_scan(args) -> int:
+    """Run an orchestrated scan campaign through ``repro.engine``."""
+    from repro.core.scanner import ScanConfig
+    from repro.core.target import ScanRange
+    from repro.engine import Campaign, CampaignError, ProgressMonitor
+    from repro.net.addr import AddressError
+    from repro.net.spec import TopologySpec
+
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    for text in args.range or ():
+        try:
+            ScanRange.parse(text)
+        except (AddressError, ValueError) as exc:
+            print(f"error: invalid --range {text!r}: {exc}", file=sys.stderr)
+            return 2
+
+    profiles = _profiles(args)
+    keys = tuple(p.key for p in profiles)
+    spec = TopologySpec.deployment(profiles=keys, scale=args.scale,
+                                   seed=args.seed)
+    print(f"building deployment (scale 1/{args.scale:g}, "
+          f"{len(profiles)} block(s)) ...", file=sys.stderr)
+    built = spec.build()
+
+    def config_for(range_text: str) -> ScanConfig:
+        return ScanConfig(
+            scan_range=ScanRange.parse(range_text),
+            rate_pps=args.rate,
+            seed=args.seed,
+            max_probes=args.max_probes,
+        )
+
+    if args.range:
+        configs = {text: config_for(text) for text in args.range}
+    else:
+        configs = {
+            key: config_for(isp.scan_spec)
+            for key, isp in built.handle.isps.items()
+        }
+
+    campaign = Campaign(
+        spec,
+        configs,
+        shards=args.shards,
+        executor=args.executor,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        monitor=ProgressMonitor(min_interval=0.5),
+        prebuilt=built if args.executor == "serial" else None,
+    )
+    try:
+        result = campaign.run()
+    except CampaignError as error:
+        print(f"campaign failed: {error}", file=sys.stderr)
+        return 1
+
+    table = ComparisonTable(
+        f"Scan campaign ({args.shards} shard(s), {args.executor} executor)",
+        ("Range", "sent", "validated", "hit-rate", "uniq responders"),
+    )
+    for label, scan_result in result.results.items():
+        table.add(
+            label,
+            scan_result.stats.sent,
+            scan_result.stats.validated,
+            f"{scan_result.stats.hit_rate:.4%}",
+            len(scan_result.unique_responders()),
+        )
+    meta = result.metadata()
+    table.note(
+        f"sent this run: {meta['sent_this_run']:,} "
+        f"({meta['shards_from_checkpoint']} shard(s) restored from "
+        f"checkpoint); wall {meta['wall_seconds']:.2f}s"
+    )
+    print(table.render())
     return 0
 
 
@@ -247,6 +334,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=25_000.0,
                    help="probe rate in pps (default 25000, the paper's)")
     p.set_defaults(func=cmd_census)
+
+    p = sub.add_parser("scan",
+                       help="orchestrated sharded scan campaign "
+                            "(checkpoint/resume)")
+    common(p)
+    p.add_argument("--range", action="append", default=None, metavar="SPEC",
+                   help="explicit scan range (repeatable), e.g. "
+                        "2001:db8::/32-64; default: each selected ISP's "
+                        "delegated window")
+    p.add_argument("--rate", type=float, default=25_000.0,
+                   help="probe rate in pps (default 25000)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shards per range (default 1)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size for thread/process executors")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   default="serial")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="directory for ZMap-style resumable state files")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint-dir instead of starting "
+                        "fresh")
+    p.add_argument("--max-probes", type=int, default=None,
+                   help="cap probes per shard")
+    p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("services", help="Tables VII-VIII: service audit")
     common(p)

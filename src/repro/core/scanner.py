@@ -14,9 +14,11 @@ directly.
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.core.blocklist import Blocklist
 from repro.core.permutation import make_permutation
@@ -44,6 +46,30 @@ class ProbeResult:
     @property
     def same_slash64(self) -> bool:
         return self.responder.slash64 == self.target.slash64
+
+    @property
+    def dedup_key(self) -> tuple:
+        """The identity used for reply dedup, in-scan and cross-shard."""
+        return (self.responder.value, self.target.value, self.kind)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": str(self.target),
+            "responder": str(self.responder),
+            "kind": self.kind.value,
+            "icmp_type": self.icmp_type,
+            "icmp_code": self.icmp_code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProbeResult":
+        return cls(
+            target=IPv6Addr.from_string(str(data["target"])),
+            responder=IPv6Addr.from_string(str(data["responder"])),
+            kind=ReplyKind(data["kind"]),
+            icmp_type=int(data["icmp_type"]),  # type: ignore[arg-type]
+            icmp_code=int(data["icmp_code"]),  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -77,14 +103,59 @@ class ScanResult:
         }
 
     def by_kind(self) -> Dict[ReplyKind, int]:
-        counts: Dict[ReplyKind, int] = {}
-        for result in self.results:
-            counts[result.kind] = counts.get(result.kind, 0) + 1
-        return counts
+        return dict(Counter(result.kind for result in self.results))
 
     def last_hops(self) -> List[ProbeResult]:
         """Replies that expose a last-hop device (ICMPv6 errors)."""
         return [r for r in self.results if r.kind.is_error]
+
+    def merge(self, other: "ScanResult") -> "ScanResult":
+        """Fold another shard's results into this one (in place).
+
+        Replies deduplicate on ``(responder, target, kind)`` — the same key
+        the in-scan dedup uses — so merging the shards of one logical scan
+        yields exactly the unsharded reply set; stats merge per
+        :meth:`ScanStats.merge`.
+        """
+        if str(other.range) != str(self.range):
+            raise ValueError(
+                f"cannot merge scan of {other.range} into scan of {self.range}"
+            )
+        seen = {result.dedup_key for result in self.results}
+        for result in other.results:
+            if result.dedup_key in seen:
+                continue
+            seen.add(result.dedup_key)
+            self.results.append(result)
+        self.stats.merge(other.stats)
+        return self
+
+    def dedup_digest(self) -> str:
+        """Order-independent SHA-256 over the deduplicated reply set."""
+        lines = sorted(
+            f"{r.responder}|{r.target}|{r.kind.value}|{r.icmp_type}|{r.icmp_code}"
+            for r in self.results
+        )
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view, invertible via :meth:`from_dict` (checkpoints)."""
+        return {
+            "range": str(self.range),
+            "results": [result.to_dict() for result in self.results],
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScanResult":
+        return cls(
+            range=ScanRange.parse(str(data["range"])),
+            results=[
+                ProbeResult.from_dict(item)  # type: ignore[arg-type]
+                for item in data.get("results", [])  # type: ignore[union-attr]
+            ],
+            stats=ScanStats.from_dict(data.get("stats", {})),  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -98,6 +169,9 @@ class ScanConfig:
     fixed_iid: int = 1
     shard: int = 0
     shards: int = 1
+    #: Shard-stream positions (permutation indices, blocked ones included)
+    #: to skip before probing — the checkpoint/resume offset.
+    skip: int = 0
     #: Copies of the probe sent per target (ZMap's ``--probes``): raises
     #: recall on lossy paths at proportional bandwidth cost.
     probes_per_target: int = 1
@@ -129,6 +203,15 @@ class Scanner:
             fixed_iid=config.fixed_iid,
         )
         self.pacer = VirtualPacer(network, config.rate_pps)
+        self.blocked_count = 0
+        #: Shard-stream positions consumed so far (skipped + blocked +
+        #: probed) — what a checkpoint records as the resume offset.
+        self.position = 0
+        #: Result being accumulated by :meth:`run` (live view for hooks).
+        self.result: Optional[ScanResult] = None
+        #: Called after each target is fully processed; the orchestration
+        #: engine hangs periodic checkpointing and failure injection here.
+        self.on_progress: Optional[Callable[["Scanner"], None]] = None
 
     @classmethod
     def with_defaults(
@@ -152,7 +235,12 @@ class Scanner:
     # -- target iteration ------------------------------------------------------
 
     def targets(self) -> Iterator[IPv6Addr]:
-        """Probe addresses in permuted order (after blocklist filtering)."""
+        """Probe addresses in permuted order (after blocklist filtering).
+
+        ``config.skip`` fast-forwards past already-scanned positions of this
+        shard's stream (checkpoint resume) without evaluating the blocklist
+        or generating addresses for them.
+        """
         permutation = make_permutation(
             self.config.scan_range.count,
             seed=self.config.seed,
@@ -161,9 +249,14 @@ class Scanner:
         blocklist = self.config.blocklist
         produced = 0
         self.blocked_count = 0
+        self.position = 0
         for index in permutation.indices(self.config.shard, self.config.shards):
+            if self.position < self.config.skip:
+                self.position += 1
+                continue
             if self.config.max_probes is not None and produced >= self.config.max_probes:
                 return
+            self.position += 1
             address = self.generator.address(index)
             if blocklist is not None and not blocklist.is_allowed(address):
                 self.blocked_count += 1
@@ -176,6 +269,7 @@ class Scanner:
     def run(self) -> ScanResult:
         config = self.config
         result = ScanResult(range=config.scan_range)
+        self.result = result
         stats = result.stats
         stats.virtual_start = self.network.clock
         started = time.perf_counter()
@@ -220,8 +314,15 @@ class Scanner:
                         icmp_code=classified.icmp_code,
                     )
                 )
+            if self.on_progress is not None:
+                # Keep the trailing counters coherent so progress hooks (and
+                # the checkpoints they write) see a consistent snapshot.
+                stats.blocked = self.blocked_count
+                stats.virtual_end = self.network.clock
+                stats.wall_seconds = time.perf_counter() - started
+                self.on_progress(self)
 
-        stats.blocked = getattr(self, "blocked_count", 0)
+        stats.blocked = self.blocked_count
         stats.virtual_end = self.network.clock
         stats.wall_seconds = time.perf_counter() - started
         return result

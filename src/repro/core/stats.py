@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 
 @dataclass
@@ -17,6 +18,62 @@ class ScanStats:
     virtual_start: float = 0.0
     virtual_end: float = 0.0
     wall_seconds: float = 0.0
+
+    _COUNTERS = ("sent", "blocked", "received", "validated", "discarded")
+
+    @property
+    def has_window(self) -> bool:
+        """Did this scan see any activity at all?  Fresh stats carry a
+        meaningless (0.0, 0.0) virtual window that must not clamp a merge."""
+        return bool(
+            self.sent or self.received
+            or self.virtual_start or self.virtual_end
+        )
+
+    def merge(self, other: "ScanStats") -> "ScanStats":
+        """Fold another shard's counters into this one (in place).
+
+        Counters sum; the virtual window widens to min(start)/max(end) of
+        the two (ignoring sides that never ran); ``wall_seconds`` sums, i.e.
+        it becomes aggregate worker-seconds, not campaign wall-clock.
+        """
+        if other.has_window:
+            if self.has_window:
+                self.virtual_start = min(self.virtual_start, other.virtual_start)
+                self.virtual_end = max(self.virtual_end, other.virtual_end)
+            else:
+                self.virtual_start = other.virtual_start
+                self.virtual_end = other.virtual_end
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.wall_seconds += other.wall_seconds
+        return self
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready view (checkpoint files, status lines)."""
+        return {
+            "sent": self.sent,
+            "blocked": self.blocked,
+            "received": self.received,
+            "validated": self.validated,
+            "discarded": self.discarded,
+            "virtual_start": self.virtual_start,
+            "virtual_end": self.virtual_end,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ScanStats":
+        return cls(
+            sent=int(data.get("sent", 0)),
+            blocked=int(data.get("blocked", 0)),
+            received=int(data.get("received", 0)),
+            validated=int(data.get("validated", 0)),
+            discarded=int(data.get("discarded", 0)),
+            virtual_start=float(data.get("virtual_start", 0.0)),
+            virtual_end=float(data.get("virtual_end", 0.0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
 
     @property
     def virtual_seconds(self) -> float:

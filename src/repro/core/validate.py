@@ -30,6 +30,16 @@ class ProbeFields:
     sport: int  # 16-bit ephemeral source port (32768..65535)
 
 
+def seed_secret(seed: int) -> bytes:
+    """The deterministic 16-byte validation secret for a scan seed.
+
+    Shared by :func:`repro.discovery.periphery.discover` and the
+    orchestration engine's :class:`~repro.engine.planner.ProbeSpec` so that
+    sharded and single-shot scans of the same seed validate identically.
+    """
+    return (((seed * 0x9E3779B9) & ((1 << 128) - 1)) or 1).to_bytes(16, "little")
+
+
 class Validator:
     """Derives and checks per-destination probe fields from a scan secret."""
 

@@ -17,7 +17,7 @@ from repro.core.probes.icmp import IcmpEchoProbe
 from repro.core.scanner import ScanConfig, Scanner, ScanResult
 from repro.core.stats import ScanStats
 from repro.core.target import ScanRange
-from repro.core.validate import Validator
+from repro.core.validate import Validator, seed_secret
 from repro.discovery.iid import IidClass, classify_iid
 from repro.net.addr import IPv6Addr, IPv6Prefix, MacAddress
 from repro.net.device import Device
@@ -156,7 +156,7 @@ def discover(
     scan_range = (
         ScanRange.parse(scan_spec) if isinstance(scan_spec, str) else scan_spec
     )
-    validator = Validator(((seed * 0x9E3779B9) & ((1 << 128) - 1) or 1).to_bytes(16, "little"))
+    validator = Validator(seed_secret(seed))
     probe = IcmpEchoProbe(validator, hop_limit=hop_limit)
     config = ScanConfig(
         scan_range=scan_range,

@@ -1,0 +1,48 @@
+"""Scan orchestration: sharding, executors, checkpoint/resume, campaigns.
+
+The single-shot :class:`~repro.core.scanner.Scanner` is one synchronous
+loop in one process; this package turns it into an orchestrated service the
+way XMap/ZMap operate at Internet scale — the permutation's disjoint shard
+streams fan out over executor backends, progress checkpoints to ZMap-style
+JSON state files, and a campaign sequences many delegated windows (the
+twelve-ISP reproduction) with per-shard retry and cross-shard dedup.
+"""
+
+from repro.engine.campaign import Campaign, CampaignError, CampaignResult
+from repro.engine.checkpoint import CheckpointStore, ShardState
+from repro.engine.executor import (
+    Executor,
+    ProcessPoolBackend,
+    SerialExecutor,
+    ThreadPoolBackend,
+    make_executor,
+)
+from repro.engine.monitor import ProgressMonitor
+from repro.engine.planner import (
+    CoverageError,
+    ProbeSpec,
+    ShardJob,
+    ShardPlanner,
+)
+from repro.engine.worker import ShardOutcome, WorkerInterrupted, execute_job
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "CheckpointStore",
+    "CoverageError",
+    "Executor",
+    "ProbeSpec",
+    "ProcessPoolBackend",
+    "ProgressMonitor",
+    "SerialExecutor",
+    "ShardJob",
+    "ShardOutcome",
+    "ShardPlanner",
+    "ShardState",
+    "ThreadPoolBackend",
+    "WorkerInterrupted",
+    "execute_job",
+    "make_executor",
+]

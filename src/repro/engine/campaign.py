@@ -1,0 +1,223 @@
+"""The campaign runner: many ranges × many shards, with retry and resume.
+
+A *campaign* is the paper's operational unit — §IV-E scans twelve ISPs'
+delegated windows back to back over 48 hours.  ``Campaign`` sequences any
+number of :class:`~repro.core.scanner.ScanConfig` ranges through an
+executor backend: each range is split into shards by the
+:class:`~repro.engine.planner.ShardPlanner`, shards run (serially or in a
+thread/process pool), failures retry with exponential backoff, and shard
+results merge back — cross-shard reply dedup included — into one
+:class:`~repro.core.scanner.ScanResult` per range plus aggregate
+:class:`~repro.core.stats.ScanStats`.
+
+With a checkpoint directory the campaign is interruptible: completed shards
+are never re-executed on resume (zero probes re-sent), and partially
+scanned shards fast-forward to their checkpointed stream position.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.scanner import ScanConfig, ScanResult
+from repro.core.stats import ScanStats
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.executor import Executor, make_executor
+from repro.engine.monitor import ProgressMonitor
+from repro.engine.planner import ProbeSpec, ShardJob, ShardPlanner
+from repro.engine.worker import ShardOutcome
+from repro.net.spec import BuiltTopology, TopologySpec
+
+
+class CampaignError(RuntimeError):
+    """A shard exhausted its retries, or resume state is inconsistent."""
+
+    def __init__(self, message: str, failures: Optional[Dict[str, Exception]] = None):
+        super().__init__(message)
+        self.failures = failures or {}
+
+
+@dataclass
+class CampaignResult:
+    """Merged per-range results plus campaign-wide accounting."""
+
+    results: Dict[str, ScanResult]  # label -> merged, deduped result
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+    stats: ScanStats = field(default_factory=ScanStats)
+    wall_seconds: float = 0.0
+
+    @property
+    def sent_this_run(self) -> int:
+        """Probes actually sent by this invocation (checkpoint skips are 0)."""
+        return sum(outcome.sent_this_run for outcome in self.outcomes)
+
+    @property
+    def shards_from_checkpoint(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_checkpoint)
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "ranges": len(self.results),
+            "shards": len(self.outcomes),
+            "shards_from_checkpoint": self.shards_from_checkpoint,
+            "sent": self.stats.sent,
+            "sent_this_run": self.sent_this_run,
+            "validated": self.stats.validated,
+            "hit_rate": self.stats.hit_rate,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class Campaign:
+    """Orchestrates sharded scans of one or many ranges.
+
+    ``configs`` maps labels to scan configs (a bare sequence gets labelled
+    by range).  ``probe`` defaults per range to the probe a single-shot
+    ``discover()`` of that config's seed would use, so engine campaigns and
+    legacy scans produce identical reply sets.
+    """
+
+    def __init__(
+        self,
+        topology: TopologySpec,
+        configs: Union[Mapping[str, ScanConfig], Sequence[ScanConfig]],
+        probe: Optional[ProbeSpec] = None,
+        shards: int = 1,
+        executor: Union[str, Executor] = "serial",
+        workers: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 256,
+        resume: bool = False,
+        monitor: Optional[ProgressMonitor] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.1,
+        prebuilt: Optional[BuiltTopology] = None,
+    ) -> None:
+        if isinstance(configs, Mapping):
+            self.configs: Dict[str, ScanConfig] = dict(configs)
+        else:
+            self.configs = {str(c.scan_range): c for c in configs}
+        if not self.configs:
+            raise ValueError("a campaign needs at least one scan range")
+        self.topology = topology
+        self.probe = probe
+        self.shards = shards
+        self.workers = workers
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.monitor = monitor
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        if isinstance(executor, Executor):
+            self.executor = executor
+        else:
+            self.executor = make_executor(executor, workers=workers, prebuilt=prebuilt)
+        self.planner = ShardPlanner(shards)
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self) -> List[ShardJob]:
+        """All shard jobs, range by range, in submission order."""
+        jobs: List[ShardJob] = []
+        for label, config in self.configs.items():
+            probe = self.probe or ProbeSpec.for_seed(config.seed)
+            jobs.extend(
+                self.planner.plan(
+                    config,
+                    self.topology,
+                    probe,
+                    label=label,
+                    checkpoint_dir=self.checkpoint_dir,
+                    checkpoint_every=self.checkpoint_every,
+                )
+            )
+        return jobs
+
+    def _prepare_store(self) -> None:
+        if self.checkpoint_dir is None:
+            return
+        store = CheckpointStore(self.checkpoint_dir)
+        manifest = {
+            "ranges": sorted(self.configs),
+            "shards": self.shards,
+            "seeds": sorted({c.seed for c in self.configs.values()}),
+        }
+        existing = store.load_manifest()
+        if self.resume:
+            if existing is not None and (
+                existing.get("ranges") != manifest["ranges"]
+                or existing.get("shards") != manifest["shards"]
+                or existing.get("seeds") != manifest["seeds"]
+            ):
+                raise CampaignError(
+                    f"checkpoint directory {self.checkpoint_dir} belongs to a "
+                    f"different campaign (manifest {existing!r}); refusing to "
+                    "resume"
+                )
+        else:
+            store.clear()
+        store.write_manifest(manifest)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, jobs: Optional[List[ShardJob]] = None) -> CampaignResult:
+        """Run (or resume) the campaign; raises CampaignError on failure."""
+        started = time.perf_counter()
+        self._prepare_store()
+        if jobs is None:
+            jobs = self.plan()
+
+        if self.monitor is not None:
+            self.monitor.campaign_started(len(jobs), len(self.configs))
+
+        attempts: Dict[str, int] = {job.job_id: 0 for job in jobs}
+        outcomes: Dict[str, ShardOutcome] = {}
+        pending = list(jobs)
+        wave = 0
+        while pending:
+            if wave and self.backoff_base:
+                time.sleep(self.backoff_base * (2 ** (wave - 1)))
+            retry: List[ShardJob] = []
+            failures: Dict[str, Exception] = {}
+            for job, outcome in self.executor.run_jobs(pending):
+                attempts[job.job_id] += 1
+                if isinstance(outcome, Exception):
+                    if attempts[job.job_id] > self.max_retries:
+                        failures[job.job_id] = outcome
+                    else:
+                        retry.append(job)
+                        if self.monitor is not None:
+                            self.monitor.shard_retry(
+                                job, outcome, attempts[job.job_id]
+                            )
+                    continue
+                outcome.attempts = attempts[job.job_id]
+                outcomes[job.job_id] = outcome
+                if self.monitor is not None:
+                    self.monitor.shard_finished(outcome)
+            if failures:
+                raise CampaignError(
+                    "shards failed after retries: "
+                    + ", ".join(sorted(failures)),
+                    failures,
+                )
+            pending = retry
+            wave += 1
+
+        ordered = [outcomes[job.job_id] for job in jobs]
+        result = CampaignResult(results={})
+        result.outcomes = ordered
+        for label, config in self.configs.items():
+            merged = ScanResult(range=config.scan_range)
+            for outcome in ordered:
+                if outcome.label == label:
+                    merged.merge(outcome.result)
+            result.results[label] = merged
+            result.stats.merge(merged.stats)
+        result.wall_seconds = time.perf_counter() - started
+        if self.monitor is not None:
+            self.monitor.campaign_finished(result.wall_seconds)
+        return result

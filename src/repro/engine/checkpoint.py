@@ -1,0 +1,145 @@
+"""ZMap-style JSON checkpoint state for interruptible campaigns.
+
+ZMap's ``--status-updates-file``/state machinery lets a 48-hour scan survive
+the scanner host dying; this is the reproduction's equivalent.  One JSON
+file per shard records the shard coordinates, the position reached in the
+shard's permutation stream (the resume offset for
+``ScanConfig.skip``), the partial :class:`~repro.core.stats.ScanStats`, the
+validated replies so far, and an order-independent SHA-256 digest of the
+deduplicated reply set.  Writes are atomic (tmp + rename) so a kill during
+a checkpoint write leaves the previous state intact, and a digest mismatch
+on load — a torn or hand-edited file — discards the state rather than
+resuming from corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.core.scanner import ScanResult
+
+STATE_VERSION = 1
+
+#: Shard status values: a ``partial`` shard resumes from ``position``; a
+#: ``done`` shard is never re-executed (zero probes on resume).
+PARTIAL = "partial"
+DONE = "done"
+
+
+@dataclass
+class ShardState:
+    """The persisted state of one shard."""
+
+    job_id: str
+    status: str  # PARTIAL | DONE
+    shard: int
+    shards: int
+    position: int  # shard-stream positions consumed (resume offset)
+    result: ScanResult
+    digest: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": STATE_VERSION,
+            "job_id": self.job_id,
+            "status": self.status,
+            "shard": self.shard,
+            "shards": self.shards,
+            "position": self.position,
+            "result": self.result.to_dict(),
+            "digest": self.digest or self.result.dedup_digest(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardState":
+        result = ScanResult.from_dict(data["result"])  # type: ignore[arg-type]
+        return cls(
+            job_id=str(data["job_id"]),
+            status=str(data["status"]),
+            shard=int(data["shard"]),  # type: ignore[arg-type]
+            shards=int(data["shards"]),  # type: ignore[arg-type]
+            position=int(data["position"]),  # type: ignore[arg-type]
+            result=result,
+            digest=str(data.get("digest", "")),
+        )
+
+
+def _filename(job_id: str) -> str:
+    """A filesystem-safe name for a shard state file."""
+    safe = job_id.replace("/", "-").replace(":", "_")
+    return f"shard-{safe}.json"
+
+
+class CheckpointStore:
+    """A directory of per-shard state files plus one campaign manifest."""
+
+    MANIFEST = "campaign.json"
+
+    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- shard state -----------------------------------------------------------
+
+    def shard_path(self, job_id: str) -> pathlib.Path:
+        return self.directory / _filename(job_id)
+
+    def write_shard(self, state: ShardState) -> None:
+        """Atomically persist one shard's state."""
+        path = self.shard_path(state.job_id)
+        payload = state.to_dict()
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+    def load_shard(self, job_id: str) -> Optional[ShardState]:
+        """Load a shard's state; None if absent, unreadable, or corrupt."""
+        path = self.shard_path(job_id)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            if data.get("version") != STATE_VERSION:
+                return None
+            state = ShardState.from_dict(data)
+        except (ValueError, KeyError, TypeError):
+            return None
+        if state.digest and state.digest != state.result.dedup_digest():
+            return None  # torn write or tampering: do not resume from it
+        return state
+
+    def iter_states(self) -> Iterator[ShardState]:
+        for path in sorted(self.directory.glob("shard-*.json")):
+            data = json.loads(path.read_text())
+            if data.get("version") == STATE_VERSION:
+                yield ShardState.from_dict(data)
+
+    # -- campaign manifest ----------------------------------------------------------
+
+    def write_manifest(self, meta: Dict[str, object]) -> None:
+        path = self.directory / self.MANIFEST
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"version": STATE_VERSION, **meta}))
+        tmp.replace(path)
+
+    def load_manifest(self) -> Optional[Dict[str, object]]:
+        path = self.directory / self.MANIFEST
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            return None
+        return data if data.get("version") == STATE_VERSION else None
+
+    def clear(self) -> None:
+        """Forget all persisted state (fresh campaign over an old directory)."""
+        for path in self.directory.glob("shard-*.json"):
+            path.unlink()
+        manifest = self.directory / self.MANIFEST
+        if manifest.exists():
+            manifest.unlink()

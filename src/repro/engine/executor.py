@@ -1,0 +1,154 @@
+"""Executor backends: serial, thread pool, and process pool.
+
+All three run the same entry point (:func:`repro.engine.worker.execute_job`)
+over a batch of shard jobs and return ``(job, outcome-or-exception)`` pairs
+in submission order, so the campaign's retry logic is backend-agnostic:
+
+* **serial** — one shard after another in the calling process.  The only
+  backend that can *reuse* a pre-built live topology (``prebuilt``), which
+  is how ``reproduce_all`` routes its sweep through the engine without
+  rebuilding the simulated Internet per range;
+* **thread** — a ``ThreadPoolExecutor``.  Each shard rebuilds its own
+  topology: a ``Network`` is single-threaded state (clock, RNG), so workers
+  must not share one.  Python threads don't parallelise the CPU-bound scan
+  loop (the GIL), but this backend exercises the full fan-out/merge path
+  cheaply and overlaps any blocking I/O;
+* **process** — a ``ProcessPoolExecutor``; true parallelism.  Jobs are
+  pickled, workers rebuild the topology from the job's ``TopologySpec``.
+
+Ordinary exceptions are captured per job (the campaign retries them);
+``KeyboardInterrupt`` — including the injected
+:class:`~repro.engine.worker.WorkerInterrupted` — propagates immediately,
+aborting the batch the way a real ^C would.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.planner import ShardJob
+from repro.engine.worker import ShardOutcome, execute_job
+from repro.net.spec import BuiltTopology
+
+JobReturn = Tuple[ShardJob, Union[ShardOutcome, Exception]]
+
+#: Test hook signature: called with the job just before it executes; raising
+#: simulates a worker failing to start (the campaign's retry path).
+FaultHook = Callable[[ShardJob], None]
+
+
+class Executor(ABC):
+    """Runs a batch of shard jobs; never raises for per-job Exceptions."""
+
+    name = "?"
+
+    @abstractmethod
+    def run_jobs(self, jobs: Sequence[ShardJob]) -> List[JobReturn]:
+        """Execute every job; outcomes/errors in submission order."""
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class SerialExecutor(Executor):
+    """In-process, one shard at a time."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        prebuilt: Optional[BuiltTopology] = None,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        self.prebuilt = prebuilt
+        self.fault_hook = fault_hook
+
+    def run_jobs(self, jobs: Sequence[ShardJob]) -> List[JobReturn]:
+        returns: List[JobReturn] = []
+        for job in jobs:
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(job)
+                returns.append((job, execute_job(job, prebuilt=self.prebuilt)))
+            except Exception as exc:  # noqa: BLE001 - retried by the campaign
+                returns.append((job, exc))
+        return returns
+
+
+class ThreadPoolBackend(Executor):
+    """Concurrent shards in threads; each rebuilds its own topology."""
+
+    name = "thread"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        self.workers = workers
+        self.fault_hook = fault_hook
+
+    def _task(self, job: ShardJob) -> ShardOutcome:
+        if self.fault_hook is not None:
+            self.fault_hook(job)
+        return execute_job(job)
+
+    def run_jobs(self, jobs: Sequence[ShardJob]) -> List[JobReturn]:
+        returns: List[JobReturn] = []
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            futures = [pool.submit(self._task, job) for job in jobs]
+            for job, future in zip(jobs, futures):
+                try:
+                    returns.append((job, future.result()))
+                except Exception as exc:  # noqa: BLE001
+                    returns.append((job, exc))
+        return returns
+
+
+class ProcessPoolBackend(Executor):
+    """Concurrent shards in worker processes (true parallelism)."""
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+
+    def run_jobs(self, jobs: Sequence[ShardJob]) -> List[JobReturn]:
+        returns: List[JobReturn] = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers
+        ) as pool:
+            futures = [pool.submit(execute_job, job) for job in jobs]
+            for job, future in zip(jobs, futures):
+                try:
+                    returns.append((job, future.result()))
+                except Exception as exc:  # noqa: BLE001
+                    returns.append((job, exc))
+        return returns
+
+
+def make_executor(
+    name: str,
+    workers: Optional[int] = None,
+    prebuilt: Optional[BuiltTopology] = None,
+    fault_hook: Optional[FaultHook] = None,
+) -> Executor:
+    """Build an executor backend by name (``serial``/``thread``/``process``)."""
+    if name == "serial":
+        return SerialExecutor(prebuilt=prebuilt, fault_hook=fault_hook)
+    if prebuilt is not None:
+        raise ValueError(
+            f"a pre-built topology cannot be shared with the {name!r} "
+            "backend; workers rebuild from the TopologySpec"
+        )
+    if name == "thread":
+        return ThreadPoolBackend(workers=workers, fault_hook=fault_hook)
+    if name == "process":
+        if fault_hook is not None:
+            raise ValueError("fault hooks are not picklable; use serial/thread")
+        return ProcessPoolBackend(workers=workers)
+    raise ValueError(f"unknown executor backend {name!r}")

@@ -1,0 +1,110 @@
+"""ZMap-style periodic status reporting through a pluggable sink.
+
+ZMap prints one status line per second — elapsed, percent complete, send
+rate, hit rate, ETA.  The engine's unit of progress is a shard, so the
+monitor emits a line as shards start/finish/retry, rate-limited by
+``min_interval`` (terminal lines always flush).  The sink is any
+``Callable[[str], None]`` — stderr by default, a list's ``append`` in
+tests, a logger in services.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Optional
+
+from repro.engine.planner import ShardJob
+from repro.engine.worker import ShardOutcome
+
+
+def _stderr_sink(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+def _hms(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+
+
+class ProgressMonitor:
+    """Aggregates shard outcomes into ZMap-style status lines."""
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[str], None]] = None,
+        min_interval: float = 0.0,
+    ) -> None:
+        self.sink = sink or _stderr_sink
+        self.min_interval = min_interval
+        self._started = 0.0
+        self._last_emit = 0.0
+        self._total_shards = 0
+        self._done = 0
+        self._from_checkpoint = 0
+        self._sent = 0
+        self._sent_total = 0  # includes checkpoint-restored shards
+        self._validated = 0
+        self._retries = 0
+        self.lines: List[str] = []  # retained for tests/inspection
+
+    # -- campaign lifecycle ------------------------------------------------------
+
+    def campaign_started(self, total_shards: int, ranges: int) -> None:
+        self._started = time.perf_counter()
+        self._total_shards = total_shards
+        self._emit(
+            f"campaign: {ranges} range(s) in {total_shards} shard(s)",
+            force=True,
+        )
+
+    def shard_finished(self, outcome: ShardOutcome) -> None:
+        self._done += 1
+        self._sent += outcome.sent_this_run
+        self._sent_total += outcome.result.stats.sent
+        self._validated += outcome.result.stats.validated
+        if outcome.from_checkpoint:
+            self._from_checkpoint += 1
+        self._status(force=self._done == self._total_shards)
+
+    def shard_retry(self, job: ShardJob, error: Exception, attempt: int) -> None:
+        self._retries += 1
+        self._emit(
+            f"retry: {job.job_id} attempt {attempt} failed: {error}",
+            force=True,
+        )
+
+    def campaign_finished(self, wall_seconds: float) -> None:
+        self._emit(
+            f"done: {self._done}/{self._total_shards} shards "
+            f"({self._from_checkpoint} from checkpoint, "
+            f"{self._retries} retries) in {_hms(wall_seconds)}; "
+            f"sent {self._sent:,} probes",
+            force=True,
+        )
+
+    # -- formatting ----------------------------------------------------------------
+
+    def _status(self, force: bool = False) -> None:
+        elapsed = time.perf_counter() - self._started
+        pct = 100.0 * self._done / self._total_shards if self._total_shards else 0.0
+        pps = self._sent / elapsed if elapsed > 0 else 0.0
+        hit = self._validated / self._sent_total if self._sent_total else 0.0
+        remaining = self._total_shards - self._done
+        eta = elapsed / self._done * remaining if self._done else 0.0
+        self._emit(
+            f"{_hms(elapsed)} {pct:3.0f}% "
+            f"(shards: {self._done}/{self._total_shards} done); "
+            f"send: {self._sent:,} ({pps:,.0f} p/s); "
+            f"hits: {self._validated:,} ({hit:.2%}); "
+            f"eta {_hms(eta)}",
+            force=force,
+        )
+
+    def _emit(self, line: str, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        self.lines.append(line)
+        self.sink(line)

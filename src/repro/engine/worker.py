@@ -1,0 +1,148 @@
+"""The shard execution entry point — runs in-process, in a thread, or in a
+pool worker.
+
+:func:`execute_job` is a module-level function taking one picklable
+:class:`~repro.engine.planner.ShardJob`, so a
+``concurrent.futures.ProcessPoolExecutor`` can ship it across process
+boundaries.  Each invocation rebuilds the simulator topology from the job's
+:class:`~repro.net.spec.TopologySpec` (the live ``Network`` is not
+picklable), rebuilds the probe from its :class:`ProbeSpec`, fast-forwards
+past any checkpointed progress via ``ScanConfig.skip``, runs the scanner,
+and persists the shard's final (or, periodically, partial) state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.scanner import Scanner, ScanResult
+from repro.engine.checkpoint import DONE, PARTIAL, CheckpointStore, ShardState
+from repro.engine.planner import ShardJob
+from repro.net.spec import BuiltTopology
+
+
+class WorkerInterrupted(KeyboardInterrupt):
+    """Injected worker death (failure injection / kill simulation).
+
+    Subclasses :class:`KeyboardInterrupt` deliberately: like a real ^C or
+    SIGKILL it must *not* be swallowed by the executors' per-shard
+    ``except Exception`` retry handling — it aborts the whole campaign,
+    leaving only what the checkpoint store already persisted.
+    """
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard execution (or checkpoint skip) produced."""
+
+    job: ShardJob
+    result: ScanResult
+    #: Probes actually sent by this invocation — 0 when the shard was
+    #: restored from a completed checkpoint (the resume guarantee).
+    sent_this_run: int
+    from_checkpoint: bool = False
+    resumed_at: int = 0  # stream position the scan fast-forwarded to
+    attempts: int = 1
+    worker: str = ""
+
+    @property
+    def label(self) -> str:
+        return self.job.label
+
+
+def _combined(prior: Optional[ScanResult], current: ScanResult) -> ScanResult:
+    """Merge checkpointed partial results with the current attempt's."""
+    if prior is None:
+        return current
+    merged = ScanResult(range=current.range)
+    merged.merge(prior)
+    merged.merge(current)
+    return merged
+
+
+def execute_job(
+    job: ShardJob, prebuilt: Optional[BuiltTopology] = None
+) -> ShardOutcome:
+    """Run one shard to completion, honouring any checkpointed progress."""
+    store = CheckpointStore(job.checkpoint_dir) if job.checkpoint_dir else None
+    prior = store.load_shard(job.job_id) if store is not None else None
+
+    if prior is not None and prior.status == DONE:
+        return ShardOutcome(
+            job=job,
+            result=prior.result,
+            sent_this_run=0,
+            from_checkpoint=True,
+            resumed_at=prior.position,
+            worker=f"pid:{os.getpid()}",
+        )
+
+    built = prebuilt if prebuilt is not None else job.topology.build()
+    probe = job.probe.build()
+    skip = prior.position if prior is not None else 0
+    config = dataclasses.replace(job.config, skip=skip)
+    scanner = Scanner(built.network, built.vantage, probe, config)
+    prior_result = prior.result if prior is not None else None
+
+    def _write(status: str) -> None:
+        assert store is not None and scanner.result is not None
+        snapshot = _combined(prior_result, scanner.result)
+        store.write_shard(
+            ShardState(
+                job_id=job.job_id,
+                status=status,
+                shard=config.shard,
+                shards=config.shards,
+                position=scanner.position,
+                result=snapshot,
+            )
+        )
+
+    if store is not None or job.interrupt_after is not None:
+        last_checkpoint = [0]
+
+        def on_progress(s: Scanner) -> None:
+            assert s.result is not None
+            sent = s.result.stats.sent
+            if (
+                job.interrupt_after is not None
+                and sent >= job.interrupt_after
+            ):
+                if store is not None:
+                    _write(PARTIAL)
+                raise WorkerInterrupted(
+                    f"{job.job_id}: injected worker death after {sent} probes"
+                )
+            if (
+                store is not None
+                and job.checkpoint_every
+                and sent - last_checkpoint[0] >= job.checkpoint_every
+            ):
+                last_checkpoint[0] = sent
+                _write(PARTIAL)
+
+        scanner.on_progress = on_progress
+
+    result = scanner.run()
+    merged = _combined(prior_result, result)
+    if store is not None:
+        store.write_shard(
+            ShardState(
+                job_id=job.job_id,
+                status=DONE,
+                shard=config.shard,
+                shards=config.shards,
+                position=scanner.position,
+                result=merged,
+            )
+        )
+    return ShardOutcome(
+        job=job,
+        result=merged,
+        sent_this_run=result.stats.sent,
+        resumed_at=skip,
+        worker=f"pid:{os.getpid()}",
+    )

@@ -1,0 +1,111 @@
+"""Deterministic, picklable topology specifications.
+
+A :class:`~repro.net.network.Network` holds live object graphs (devices,
+routing tables, bound services) that do not survive pickling, so the
+orchestration engine cannot ship a built topology to a pool worker.  It
+ships a :class:`TopologySpec` instead: a frozen recipe — builder kind plus
+keyword parameters — from which every worker deterministically rebuilds the
+identical simulated Internet.  Because the builders are seeded, two workers
+holding the same spec agree on every address, route, and defect, which is
+what lets shard results merge into exactly the unsharded reply set.
+
+The ``deployment`` kind builds on :func:`repro.isp.builder.build_deployment`;
+the import happens lazily inside :meth:`TopologySpec.build` so this module
+does not invert the net ← isp layering at import time.  Additional kinds can
+be registered with :func:`register_topology` (workers inherit registrations
+through process-fork; spawn-based pools must re-register on import).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.net.device import Device
+from repro.net.network import Network
+
+
+@dataclass
+class BuiltTopology:
+    """A live topology as the scan engine consumes it."""
+
+    network: Network
+    vantage: Device
+    #: The builder's native object (``MiniTopology``, ``Deployment``, …) for
+    #: callers that need more than network + vantage.
+    handle: object = None
+
+
+_REGISTRY: Dict[str, Callable[..., BuiltTopology]] = {}
+
+
+def register_topology(kind: str, builder: Callable[..., BuiltTopology]) -> None:
+    """Register a custom topology builder under ``kind``."""
+    _REGISTRY[kind] = builder
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A rebuildable topology description: kind + sorted keyword params."""
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def mini(cls, seed: int = 1, **network_kwargs: object) -> "TopologySpec":
+        """The hand-built demo topology (:func:`repro.net.testbed.build_mini`)."""
+        return cls("mini", tuple(sorted({"seed": seed, **network_kwargs}.items())))
+
+    @classmethod
+    def deployment(
+        cls,
+        profiles: Optional[Sequence[str]] = None,
+        scale: float = 1000.0,
+        seed: int = 0,
+        min_devices: int = 40,
+        loss_rate: float = 0.0,
+    ) -> "TopologySpec":
+        """A :func:`repro.isp.builder.build_deployment` world.
+
+        ``profiles`` are profile *keys* (None = all fifteen paper blocks);
+        the per-ISP RNG streams are keyed by (seed, profile index), so a
+        block is bit-identical whether built alone or among the fifteen.
+        """
+        params: Dict[str, object] = {
+            "scale": scale,
+            "seed": seed,
+            "min_devices": min_devices,
+            "loss_rate": loss_rate,
+        }
+        if profiles is not None:
+            params["profiles"] = tuple(profiles)
+        return cls("deployment", tuple(sorted(params.items())))
+
+    def build(self) -> BuiltTopology:
+        """Rebuild the topology this spec describes."""
+        params = dict(self.params)
+        if self.kind == "mini":
+            from repro.net.testbed import build_mini
+
+            topo = build_mini(**params)  # type: ignore[arg-type]
+            return BuiltTopology(topo.network, topo.vantage, topo)
+        if self.kind == "deployment":
+            from repro.isp.builder import build_deployment
+            from repro.isp.profiles import profile_by_key
+
+            keys = params.pop("profiles", None)
+            profiles = (
+                [profile_by_key(key) for key in keys]  # type: ignore[union-attr]
+                if keys is not None
+                else None
+            )
+            dep = build_deployment(profiles=profiles, **params)  # type: ignore[arg-type]
+            return BuiltTopology(dep.network, dep.vantage, dep)
+        builder = _REGISTRY.get(self.kind)
+        if builder is None:
+            raise ValueError(f"unknown topology kind {self.kind!r}")
+        return builder(**params)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}({inner})"

@@ -27,7 +27,7 @@ class TestExamples:
             "quickstart.py", "periphery_census.py",
             "exposed_services_audit.py", "routing_loop_attack.py",
             "bgp_survey.py", "longitudinal_churn.py", "custom_isp.py",
-            "full_reproduction.py",
+            "full_reproduction.py", "sharded_campaign.py",
         } <= names
 
     def test_quickstart(self):
@@ -35,6 +35,12 @@ class TestExamples:
         assert "Discovered" in out
         assert "same-/64 replies" in out
         assert "dest-unreachable" in out
+
+    def test_sharded_campaign(self):
+        out = _run("sharded_campaign.py")
+        assert "campaign killed" in out
+        assert "Shards from checkpoint" in out
+        assert "Unique peripheries" in out
 
     def test_custom_isp(self):
         out = _run("custom_isp.py")
