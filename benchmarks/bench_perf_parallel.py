@@ -16,7 +16,7 @@ from repro.core.target import ScanRange
 from repro.engine import Campaign, ProbeSpec
 from repro.net.spec import TopologySpec
 
-from benchmarks.conftest import SCALE, SEED, write_result
+from benchmarks.conftest import SCALE, SEED, write_bench_json, write_result
 
 WORKERS = 4
 
@@ -74,6 +74,17 @@ def test_perf_parallel_speedup(deployment):
         f"{parallel_set == serial_set}"
     )
     write_result("perf_parallel", table)
+    write_bench_json(
+        "perf_parallel",
+        workers=WORKERS,
+        cores=cores,
+        serial_wall_seconds=serial_wall,
+        parallel_wall_seconds=parallel_wall,
+        speedup=speedup,
+        sent=parallel.stats.sent,
+        validated=parallel.stats.validated,
+        reply_sets_identical=parallel_set == serial_set,
+    )
 
     # The sharded campaign is a partition, not an approximation.
     assert parallel_set == serial_set

@@ -13,7 +13,7 @@ from repro.core.stats import FeasibilityRow, probes_per_second
 from repro.core.target import ScanRange
 from repro.core.validate import Validator
 
-from benchmarks.conftest import SEED, write_result
+from benchmarks.conftest import SEED, write_bench_json, write_result
 
 
 def test_perf_scanner_throughput(benchmark, deployment):
@@ -50,6 +50,17 @@ def test_perf_scanner_throughput(benchmark, deployment):
         f"(wall clock), {result.stats.virtual_pps:,.0f} pps virtual"
     )
     write_result("perf_scanner", table)
+    write_bench_json(
+        "perf_scanner",
+        sent=result.stats.sent,
+        validated=result.stats.validated,
+        wall_pps=result.stats.wall_pps,
+        virtual_pps=result.stats.virtual_pps,
+        wall_seconds=result.stats.wall_seconds,
+        projections={
+            row.label: row.seconds for row in feasibility
+        },
+    )
 
     # §III-B numbers hold.
     assert 6 <= feasibility[0].seconds / 86400 <= 13

@@ -13,8 +13,10 @@ takes tens of minutes for the full suite.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import platform
 
 import pytest
 
@@ -38,6 +40,29 @@ def write_result(name: str, *tables) -> None:
     text = "\n\n".join(t if isinstance(t, str) else t.render() for t in tables)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def write_bench_json(name: str, **payload) -> pathlib.Path:
+    """Persist one bench's measurements machine-readably.
+
+    The rendered ``.txt`` tables are for humans; CI trend tracking wants
+    numbers.  Every bench writes a ``BENCH_<name>.json`` next to its table
+    with the run parameters (scale, seed, interpreter) and its headline
+    measurements, so artifact diffs across commits are one ``jq`` away.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "bench": name,
+        "scale": SCALE,
+        "seed": SEED,
+        "python": platform.python_version(),
+        **payload,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path
 
 
 @pytest.fixture(scope="session")

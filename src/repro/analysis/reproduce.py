@@ -12,6 +12,7 @@ assertions and timings attached.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -31,6 +32,7 @@ from repro.loop.casestudy import run_case_study
 from repro.loop.detector import LoopSurvey, find_loops
 from repro.net.packet import MAX_HOP_LIMIT
 from repro.services.zgrab import AppScanner, AppScanResult
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass
@@ -46,9 +48,19 @@ class ReproductionRun:
     loop_surveys: Dict[str, LoopSurvey] = field(default_factory=dict)
     world: Optional[GlobalInternet] = None
     sections: List[str] = field(default_factory=list)
+    #: Per-table telemetry: data-volume counters per stage, a
+    #: ``reproduce_stage_seconds`` gauge per stage, and the Table II
+    #: campaign's full scanner metrics merged in.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def report(self) -> str:
         return "\n\n".join(self.sections)
+
+    def write_metrics(self, path: str) -> None:
+        """Write the per-table metrics snapshot as NDJSON."""
+        with open(path, "w") as handle:
+            for line in self.metrics.ndjson_lines():
+                handle.write(line + "\n")
 
 
 def reproduce_all(
@@ -57,6 +69,7 @@ def reproduce_all(
     include_bgp: bool = True,
     include_case_study: bool = True,
     progress=None,
+    metrics_out: Optional[str] = None,
 ) -> ReproductionRun:
     """Run the full evaluation; returns the run with a rendered report."""
     say = progress or (lambda _msg: None)
@@ -64,6 +77,17 @@ def reproduce_all(
     say(f"building the simulated Internet (scale 1/{scale:g})")
     deployment = build_deployment(scale=scale, seed=seed)
     run = ReproductionRun(scale=scale, seed=seed, deployment=deployment)
+    metrics = run.metrics
+    _stage_t0 = [time.perf_counter()]
+
+    def stage_done(stage: str) -> None:
+        now = time.perf_counter()
+        metrics.gauge("reproduce_stage_seconds", stage=stage).set(
+            now - _stage_t0[0]
+        )
+        _stage_t0[0] = now
+
+    stage_done("build")
 
     # -- Table I ----------------------------------------------------------------
     say("inferring delegation lengths (Table I)")
@@ -73,6 +97,8 @@ def reproduce_all(
             deployment.network, deployment.vantage, isp.scan_base, seed=seed
         )
     run.sections.append(tables.table1_subnet_inference(inferences).render())
+    metrics.counter("reproduce_inferences").inc(len(inferences))
+    stage_done("table1_subnet_inference")
 
     # -- Table II / III ------------------------------------------------------------
     # The multi-ISP sweep runs through the orchestration engine: one
@@ -93,8 +119,13 @@ def reproduce_all(
         executor="serial",
         prebuilt=BuiltTopology(deployment.network, deployment.vantage, deployment),
     )
-    for key, scan_result in campaign.run().results.items():
+    campaign_result = campaign.run()
+    metrics.merge(campaign_result.metrics)
+    for key, scan_result in campaign_result.results.items():
         run.censuses[key] = census_from_scan(scan_result)
+        metrics.counter("reproduce_census_records", isp=key).inc(
+            len(run.censuses[key].records)
+        )
     run.sections.append(
         tables.table2_periphery(run.censuses, scale).render()
     )
@@ -104,6 +135,7 @@ def reproduce_all(
         for record in census.records
     ]
     run.sections.append(tables.table3_iid(all_last_hops).render())
+    stage_done("table2_periphery")
 
     # -- Tables IV/V/VII/VIII + Figures 2/3 ---------------------------------------
     say("sweeping application services (Tables V, VII, VIII)")
@@ -133,6 +165,9 @@ def reproduce_all(
     matrix = figures.vendor_service_matrix(all_identified, all_observations)
     run.sections.append(figures.figure2_top_vendors(matrix).render())
     run.sections.append(figures.figure3_service_vendors(matrix).render())
+    metrics.counter("reproduce_app_observations").inc(len(all_observations))
+    metrics.counter("reproduce_identified_devices").inc(len(all_identified))
+    stage_done("table7_services")
 
     # -- Tables XI + Figure 6 -----------------------------------------------------
     say("locating routing loops (Table XI)")
@@ -159,6 +194,10 @@ def reproduce_all(
     run.sections.append(
         figures.figure6_loop_vendors(loop_vendor_by_as).render()
     )
+    metrics.counter("reproduce_loop_records").inc(
+        sum(len(s.records) for s in run.loop_surveys.values())
+    )
+    stage_done("table11_loops")
 
     # -- the attack (§VI-A) ----------------------------------------------------------
     say("mounting the amplification attack (§VI-A)")
@@ -180,7 +219,11 @@ def reproduce_all(
         )
         attack_table.add(isp.profile.isp, report.amplification,
                          f"255-n = {report.theoretical}")
+        metrics.gauge(
+            "reproduce_attack_crossings", isp=key
+        ).set(report.amplification)
     run.sections.append(attack_table.render())
+    stage_done("attack")
 
     # -- Tables IX/X + Figure 5 ---------------------------------------------------
     if include_bgp:
@@ -222,11 +265,23 @@ def reproduce_all(
         )
         run.sections.append(asn_table.render())
         run.sections.append(country_table.render())
+        metrics.counter("reproduce_bgp_records").inc(len(world_records))
+        metrics.counter("reproduce_bgp_loop_addrs").inc(len(loop_addrs))
+        stage_done("table9_bgp")
 
     # -- Table XII -----------------------------------------------------------------
     if include_case_study:
         say("bench-testing the 99-router roster (Table XII)")
         results = run_case_study()
         run.sections.append(tables.table12_case_study(results).render())
+        metrics.counter("reproduce_case_study_units").inc(len(results))
+        metrics.counter("reproduce_case_study_vulnerable").inc(
+            sum(1 for r in results if r.vulnerable)
+        )
+        stage_done("table12_case_study")
+
+    if metrics_out:
+        run.write_metrics(metrics_out)
+        say(f"metrics snapshot written to {metrics_out}")
 
     return run

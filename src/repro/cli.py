@@ -86,12 +86,18 @@ def cmd_scan(args) -> int:
     from repro.engine import Campaign, CampaignError, ProgressMonitor
     from repro.net.addr import AddressError
     from repro.net.spec import TopologySpec
+    from repro.telemetry import ProbeTracer, TraceSpecError
 
     if args.shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        ProbeTracer.from_spec(args.trace)
+    except TraceSpecError as exc:
+        print(f"error: invalid --trace {args.trace!r}: {exc}", file=sys.stderr)
         return 2
     for text in args.range or ():
         try:
@@ -114,6 +120,7 @@ def cmd_scan(args) -> int:
             rate_pps=args.rate,
             seed=args.seed,
             max_probes=args.max_probes,
+            trace=args.trace,
         )
 
     if args.range:
@@ -132,7 +139,7 @@ def cmd_scan(args) -> int:
         workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
-        monitor=ProgressMonitor(min_interval=0.5),
+        monitor=ProgressMonitor(min_interval=0.5, json_mode=args.log_json),
         prebuilt=built if args.executor == "serial" else None,
     )
     try:
@@ -140,6 +147,16 @@ def cmd_scan(args) -> int:
     except CampaignError as error:
         print(f"campaign failed: {error}", file=sys.stderr)
         return 1
+
+    if args.metrics_out:
+        import json as _json
+
+        with open(args.metrics_out, "w") as handle:
+            for line in result.metrics.ndjson_lines():
+                handle.write(line + "\n")
+            for trace in result.traces:
+                handle.write(_json.dumps(trace, sort_keys=True) + "\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
 
     table = ComparisonTable(
         f"Scan campaign ({args.shards} shard(s), {args.executor} executor)",
@@ -155,6 +172,7 @@ def cmd_scan(args) -> int:
         )
     meta = result.metadata()
     table.note(
+        f"campaign {meta['campaign']}: "
         f"sent this run: {meta['sent_this_run']:,} "
         f"({meta['shards_from_checkpoint']} shard(s) restored from "
         f"checkpoint); wall {meta['wall_seconds']:.2f}s"
@@ -284,7 +302,8 @@ def cmd_reproduce(args) -> int:
         print(f"[{time.time() - started:6.1f}s] {message}", file=sys.stderr,
               flush=True)
 
-    run = reproduce_all(scale=args.scale, seed=args.seed, progress=progress)
+    run = reproduce_all(scale=args.scale, seed=args.seed, progress=progress,
+                        metrics_out=args.metrics_out)
     report = run.report()
     if args.out:
         with open(args.out, "w") as handle:
@@ -358,6 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "fresh")
     p.add_argument("--max-probes", type=int, default=None,
                    help="cap probes per shard")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write merged campaign metrics (and any sampled "
+                        "probe traces) as NDJSON")
+    p.add_argument("--trace", default="off", metavar="SPEC",
+                   help="probe-lifecycle tracing: off, all, or sample:N "
+                        "(default off)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit raw structured events as JSON lines instead "
+                        "of human status text")
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("services", help="Tables VII-VIII: service audit")
@@ -387,6 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=50_000.0)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", default=None, help="write the report to a file")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the per-table metrics snapshot as NDJSON")
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("feasibility", help="§III-B projections")

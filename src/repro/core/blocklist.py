@@ -12,6 +12,7 @@ point-containment queries in O(prefix length).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from repro.net.addr import IPv6Addr, IPv6Prefix
@@ -118,6 +119,22 @@ def parse_conf(text: str) -> List[IPv6Prefix]:
     return prefixes
 
 
+@dataclass(frozen=True)
+class BlockDecision:
+    """Why an address was (dis)allowed — the telemetry-facing verdict.
+
+    ``reason`` is one of ``"allowed"``, ``"blocked"`` (a blocklist entry
+    won), or ``"outside-allowlist"`` (an allowlist is configured and no
+    entry covers the address).  ``rule`` is the winning prefix when one
+    exists, so veto counters can be labelled per blocklist entry the way
+    ZMap's blocklist-hit stats are.
+    """
+
+    allowed: bool
+    reason: str
+    rule: Optional[IPv6Prefix] = None
+
+
 class Blocklist:
     """Combined allow/block policy for probe targets."""
 
@@ -150,14 +167,20 @@ class Blocklist:
         return cls(blocked=blocked, allowed=allowed)
 
     def is_allowed(self, addr: IPv6Addr | int) -> bool:
+        return self.check(addr).allowed
+
+    def check(self, addr: IPv6Addr | int) -> BlockDecision:
+        """Like :meth:`is_allowed`, but says which rule decided and why."""
         block_hit = self.blocked.covering(addr)
         allow_hit = self.allowed.covering(addr) if self.allowed else None
         if self.allowed is not None and allow_hit is None:
-            return False
+            return BlockDecision(False, "outside-allowlist")
         if block_hit is None:
-            return True
+            return BlockDecision(True, "allowed", allow_hit)
         if allow_hit is None:
-            return False
+            return BlockDecision(False, "blocked", block_hit)
         # Both lists cover the address: the more specific entry wins, the
         # blocklist winning ties (safety first).
-        return allow_hit.length > block_hit.length
+        if allow_hit.length > block_hit.length:
+            return BlockDecision(True, "allowed", allow_hit)
+        return BlockDecision(False, "blocked", block_hit)

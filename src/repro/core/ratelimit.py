@@ -40,15 +40,37 @@ class TokenBucket:
 
 
 class VirtualPacer:
-    """Advances a :class:`repro.net.network.Network` clock at a target pps."""
+    """Advances a :class:`repro.net.network.Network` clock at a target pps.
 
-    def __init__(self, network, rate_pps: float, burst: float = 1.0) -> None:
+    With a :class:`~repro.telemetry.metrics.MetricsRegistry` attached, the
+    pacer counts **stalls** (sends the token bucket had to delay) and
+    histograms the virtual wait — the "where does time go" half of the
+    scanner's telemetry: at a saturating probe rate every send stalls by
+    ~1/rate, while stall-free stretches mean the scan loop, not the rate
+    cap, is the bottleneck.
+    """
+
+    def __init__(self, network, rate_pps: float, burst: float = 1.0,
+                 metrics=None) -> None:
         self.network = network
         self.bucket = TokenBucket(rate_pps, burst)
+        if metrics is None:
+            from repro.telemetry.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        from repro.telemetry.metrics import WAIT_BUCKETS
+
+        self._stalls = metrics.counter("pacer_stalls")
+        self._waits = metrics.histogram("pacer_wait_virtual_seconds",
+                                        bounds=WAIT_BUCKETS)
 
     def pace(self) -> float:
         """Account for one probe send; returns the virtual send timestamp."""
-        send_at = self.bucket.consume(self.network.clock)
-        if send_at > self.network.clock:
+        now = self.network.clock
+        send_at = self.bucket.consume(now)
+        if send_at > now:
             self.network.clock = send_at
+            self._stalls.inc()
+            self._waits.observe(send_at - now)
         return send_at

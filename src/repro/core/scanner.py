@@ -31,6 +31,12 @@ from repro.net.addr import IPv6Addr, IPv6Prefix
 from repro.net.device import Device
 from repro.net.network import Network
 from repro.net.packet import Packet
+from repro.telemetry.metrics import (
+    HOP_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import ProbeTracer
 
 
 @dataclass(frozen=True)
@@ -180,6 +186,15 @@ class ScanConfig:
     blocklist: Optional[Blocklist] = None
     wire_mode: bool = False
     dedup_replies: bool = True
+    #: Collect per-scan telemetry counters/histograms into
+    #: :attr:`Scanner.metrics`.  Off buys back the (small) registry cost.
+    collect_metrics: bool = True
+    #: Probe-lifecycle tracing spec: ``"off"``, ``"all"``, or ``"sample:N"``
+    #: (see :class:`repro.telemetry.trace.ProbeTracer`).
+    trace: str = "off"
+    #: Call the progress hook every N targets instead of per probe, so
+    #: checkpoint-freshness bookkeeping doesn't dominate large windows.
+    progress_every: int = 1
 
 
 class Scanner:
@@ -191,6 +206,8 @@ class Scanner:
         vantage: Device,
         probe: ProbeModule,
         config: ScanConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[ProbeTracer] = None,
     ) -> None:
         self.network = network
         self.vantage = vantage
@@ -202,7 +219,20 @@ class Scanner:
             seed=config.seed,
             fixed_iid=config.fixed_iid,
         )
-        self.pacer = VirtualPacer(network, config.rate_pps)
+        #: Telemetry registry: an explicit one wins; otherwise fresh per
+        #: scan, or the shared no-op registry when collection is off.
+        if metrics is not None:
+            self.metrics = metrics
+        elif config.collect_metrics:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = NULL_REGISTRY  # type: ignore[assignment]
+        #: Probe-lifecycle tracer (off unless configured/injected).
+        self.tracer = tracer if tracer is not None else ProbeTracer.from_spec(
+            config.trace
+        )
+        self.pacer = VirtualPacer(network, config.rate_pps,
+                                  metrics=self.metrics)
         self.blocked_count = 0
         #: Shard-stream positions consumed so far (skipped + blocked +
         #: probed) — what a checkpoint records as the resume offset.
@@ -247,6 +277,8 @@ class Scanner:
             backend=self.config.permutation_backend,
         )
         blocklist = self.config.blocklist
+        metrics = self.metrics
+        veto_counters: Dict[tuple, object] = {}  # (reason, rule) -> Counter
         produced = 0
         self.blocked_count = 0
         self.position = 0
@@ -258,9 +290,20 @@ class Scanner:
                 return
             self.position += 1
             address = self.generator.address(index)
-            if blocklist is not None and not blocklist.is_allowed(address):
-                self.blocked_count += 1
-                continue
+            if blocklist is not None:
+                decision = blocklist.check(address)
+                if not decision.allowed:
+                    self.blocked_count += 1
+                    key = (decision.reason, str(decision.rule))
+                    counter = veto_counters.get(key)
+                    if counter is None:
+                        counter = veto_counters[key] = metrics.counter(
+                            "scanner_blocklist_vetoes",
+                            reason=decision.reason,
+                            rule=str(decision.rule),
+                        )
+                    counter.inc()  # type: ignore[union-attr]
+                    continue
             produced += 1
             yield address
 
@@ -276,23 +319,61 @@ class Scanner:
         seen: Set[tuple] = set()
         source = self.vantage.primary_address
 
+        # Telemetry: hoist the hot-loop metric objects so the per-probe cost
+        # is one bound-method call each, and cache the per-(kind,type,code)
+        # reply counters (label lookups are dict builds, too slow per reply).
+        metrics = self.metrics
+        tracer = self.tracer
+        tracing = tracer.enabled
+        network = self.network
+        c_sent = metrics.counter("scanner_probes_sent")
+        c_received = metrics.counter("scanner_replies_received")
+        c_validated = metrics.counter("scanner_replies_validated")
+        c_invalid = metrics.counter("scanner_replies_discarded",
+                                    reason="validation-failed")
+        c_duplicate = metrics.counter("scanner_replies_discarded",
+                                      reason="duplicate")
+        h_hops = metrics.histogram("probe_hops", bounds=HOP_BUCKETS)
+        reply_counters: Dict[tuple, object] = {}
+        stride = max(1, config.progress_every)
+        processed = 0
+
         for target in self.targets():
+            span = tracer.begin(target) if tracing else None
+            if span is not None:
+                span.add("generated", network.clock, target=str(target),
+                         position=self.position)
+                if config.blocklist is not None:
+                    span.add("blocklist_check", network.clock,
+                             verdict="allowed")
             replies = []
             for _copy in range(max(1, config.probes_per_target)):
-                self.pacer.pace()
+                send_at = self.pacer.pace()
                 probe_packet = self.probe.build(source, target)
                 if config.wire_mode:
                     probe_packet = Packet.decode(probe_packet.encode())
                 stats.sent += 1
-                inbox, _trace = self.network.inject(probe_packet, self.vantage)
+                c_sent.inc()
+                if span is not None:
+                    span.add("paced_send", send_at, copy=_copy)
+                    network.active_trace = span
+                inbox, delivery = network.inject(probe_packet, self.vantage)
+                if span is not None:
+                    network.active_trace = None
+                h_hops.observe(delivery.hops)
                 replies.extend(inbox)
             for reply in replies:
                 stats.received += 1
+                c_received.inc()
                 if config.wire_mode:
                     reply = Packet.decode(reply.encode())
                 classified = self.probe.classify(reply)
                 if classified is None:
                     stats.discarded += 1
+                    c_invalid.inc()
+                    if span is not None:
+                        span.add("verdict", network.clock,
+                                 outcome="validation-failed")
                     continue
                 if config.dedup_replies:
                     key = (
@@ -302,9 +383,34 @@ class Scanner:
                     )
                     if key in seen:
                         stats.discarded += 1
+                        c_duplicate.inc()
+                        if span is not None:
+                            span.add("verdict", network.clock,
+                                     outcome="duplicate")
                         continue
                     seen.add(key)
                 stats.validated += 1
+                c_validated.inc()
+                reply_key = (
+                    classified.kind.value,
+                    classified.icmp_type,
+                    classified.icmp_code,
+                )
+                counter = reply_counters.get(reply_key)
+                if counter is None:
+                    counter = reply_counters[reply_key] = metrics.counter(
+                        "scanner_replies",
+                        kind=classified.kind.value,
+                        icmp_type=classified.icmp_type,
+                        icmp_code=classified.icmp_code,
+                    )
+                counter.inc()  # type: ignore[union-attr]
+                if span is not None:
+                    span.add(
+                        "verdict", network.clock, outcome="validated",
+                        kind=classified.kind.value,
+                        responder=str(classified.responder),
+                    )
                 result.results.append(
                     ProbeResult(
                         target=classified.target,
@@ -314,7 +420,10 @@ class Scanner:
                         icmp_code=classified.icmp_code,
                     )
                 )
-            if self.on_progress is not None:
+            if span is not None:
+                tracer.finish(span)
+            processed += 1
+            if self.on_progress is not None and processed % stride == 0:
                 # Keep the trailing counters coherent so progress hooks (and
                 # the checkpoints they write) see a consistent snapshot.
                 stats.blocked = self.blocked_count
@@ -325,4 +434,6 @@ class Scanner:
         stats.blocked = self.blocked_count
         stats.virtual_end = self.network.clock
         stats.wall_seconds = time.perf_counter() - started
+        metrics.gauge("scanner_stream_position").set(self.position)
+        metrics.gauge("virtual_clock_seconds").set(network.clock)
         return result

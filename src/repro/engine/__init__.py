@@ -6,6 +6,11 @@ way XMap/ZMap operate at Internet scale — the permutation's disjoint shard
 streams fan out over executor backends, progress checkpoints to ZMap-style
 JSON state files, and a campaign sequences many delegated windows (the
 twelve-ISP reproduction) with per-shard retry and cross-shard dedup.
+
+Every campaign journals its lifecycle into a
+:class:`~repro.telemetry.events.EventLog` and merges per-shard
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshots into one
+campaign-wide registry (see :mod:`repro.telemetry`).
 """
 
 from repro.engine.campaign import Campaign, CampaignError, CampaignResult

@@ -13,6 +13,17 @@ results merge back — cross-shard reply dedup included — into one
 With a checkpoint directory the campaign is interruptible: completed shards
 are never re-executed on resume (zero probes re-sent), and partially
 scanned shards fast-forward to their checkpointed stream position.
+
+Telemetry: every campaign owns a structured
+:class:`~repro.telemetry.events.EventLog` (campaign start/finish, shard
+completion with shard coordinates, retries, backoff waits, checkpoint
+writes ingested from workers) and folds the per-shard
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshots shipped back
+on each :class:`~repro.engine.worker.ShardOutcome` into one campaign-wide
+registry — so a 4-shard process-pool scan reports the same probe/reply/
+veto counters as its single-shot equivalent.  A
+:class:`~repro.engine.monitor.ProgressMonitor` renders its status lines as
+a subscriber of that log.
 """
 
 from __future__ import annotations
@@ -29,6 +40,8 @@ from repro.engine.monitor import ProgressMonitor
 from repro.engine.planner import ProbeSpec, ShardJob, ShardPlanner
 from repro.engine.worker import ShardOutcome
 from repro.net.spec import BuiltTopology, TopologySpec
+from repro.telemetry.events import EventLog
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class CampaignError(RuntimeError):
@@ -47,6 +60,12 @@ class CampaignResult:
     outcomes: List[ShardOutcome] = field(default_factory=list)
     stats: ScanStats = field(default_factory=ScanStats)
     wall_seconds: float = 0.0
+    #: Campaign-wide metrics: every shard's registry snapshot merged.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Sampled probe-lifecycle traces from all shards (plain dicts).
+    traces: List[Dict[str, object]] = field(default_factory=list)
+    #: The campaign's structured event log (None only if never run).
+    events: Optional[EventLog] = None
 
     @property
     def sent_this_run(self) -> int:
@@ -59,6 +78,7 @@ class CampaignResult:
 
     def metadata(self) -> Dict[str, object]:
         return {
+            "campaign": self.events.campaign_id if self.events else "",
             "ranges": len(self.results),
             "shards": len(self.outcomes),
             "shards_from_checkpoint": self.shards_from_checkpoint,
@@ -94,6 +114,7 @@ class Campaign:
         max_retries: int = 2,
         backoff_base: float = 0.1,
         prebuilt: Optional[BuiltTopology] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if isinstance(configs, Mapping):
             self.configs: Dict[str, ScanConfig] = dict(configs)
@@ -111,6 +132,12 @@ class Campaign:
         self.monitor = monitor
         self.max_retries = max_retries
         self.backoff_base = backoff_base
+        #: Structured journal of everything the campaign does.  The monitor
+        #: renders status lines as a subscriber, so the log is the single
+        #: source of truth for progress reporting.
+        self.events = events or EventLog()
+        if monitor is not None:
+            self.events.subscribe(monitor.handle_event)
         if isinstance(executor, Executor):
             self.executor = executor
         else:
@@ -139,7 +166,9 @@ class Campaign:
     def _prepare_store(self) -> None:
         if self.checkpoint_dir is None:
             return
-        store = CheckpointStore(self.checkpoint_dir)
+        store = CheckpointStore(
+            self.checkpoint_dir, on_event=lambda rec: self.events.ingest([rec])
+        )
         manifest = {
             "ranges": sorted(self.configs),
             "shards": self.shards,
@@ -170,16 +199,21 @@ class Campaign:
         if jobs is None:
             jobs = self.plan()
 
-        if self.monitor is not None:
-            self.monitor.campaign_started(len(jobs), len(self.configs))
+        self.events.emit(
+            "campaign_started", shards=len(jobs), ranges=len(self.configs)
+        )
 
+        metrics = MetricsRegistry()
+        traces: List[Dict[str, object]] = []
         attempts: Dict[str, int] = {job.job_id: 0 for job in jobs}
         outcomes: Dict[str, ShardOutcome] = {}
         pending = list(jobs)
         wave = 0
         while pending:
             if wave and self.backoff_base:
-                time.sleep(self.backoff_base * (2 ** (wave - 1)))
+                delay = self.backoff_base * (2 ** (wave - 1))
+                self.events.emit("backoff", wave=wave, delay=delay)
+                time.sleep(delay)
             retry: List[ShardJob] = []
             failures: Dict[str, Exception] = {}
             for job, outcome in self.executor.run_jobs(pending):
@@ -189,16 +223,35 @@ class Campaign:
                         failures[job.job_id] = outcome
                     else:
                         retry.append(job)
-                        if self.monitor is not None:
-                            self.monitor.shard_retry(
-                                job, outcome, attempts[job.job_id]
-                            )
+                        self.events.emit(
+                            "shard_retry",
+                            job_id=job.job_id,
+                            attempt=attempts[job.job_id],
+                            error=str(outcome),
+                        )
                     continue
                 outcome.attempts = attempts[job.job_id]
                 outcomes[job.job_id] = outcome
-                if self.monitor is not None:
-                    self.monitor.shard_finished(outcome)
+                metrics.merge_dict(outcome.metrics)
+                traces.extend(outcome.traces)
+                self.events.ingest(outcome.events)
+                self.events.emit(
+                    "shard_finished",
+                    job_id=job.job_id,
+                    label=outcome.label,
+                    shard=job.config.shard,
+                    shards=job.config.shards,
+                    sent_this_run=outcome.sent_this_run,
+                    sent=outcome.result.stats.sent,
+                    validated=outcome.result.stats.validated,
+                    from_checkpoint=outcome.from_checkpoint,
+                    attempts=outcome.attempts,
+                    worker=outcome.worker,
+                )
             if failures:
+                self.events.emit(
+                    "campaign_failed", failed=sorted(failures)
+                )
                 raise CampaignError(
                     "shards failed after retries: "
                     + ", ".join(sorted(failures)),
@@ -210,6 +263,9 @@ class Campaign:
         ordered = [outcomes[job.job_id] for job in jobs]
         result = CampaignResult(results={})
         result.outcomes = ordered
+        result.metrics = metrics
+        result.traces = traces
+        result.events = self.events
         for label, config in self.configs.items():
             merged = ScanResult(range=config.scan_range)
             for outcome in ordered:
@@ -218,6 +274,16 @@ class Campaign:
             result.results[label] = merged
             result.stats.merge(merged.stats)
         result.wall_seconds = time.perf_counter() - started
-        if self.monitor is not None:
-            self.monitor.campaign_finished(result.wall_seconds)
+        metrics.counter("campaign_shards_completed").inc(len(ordered))
+        metrics.counter("campaign_shards_from_checkpoint").inc(
+            result.shards_from_checkpoint
+        )
+        metrics.gauge("campaign_wall_seconds").set(result.wall_seconds)
+        self.events.emit(
+            "campaign_finished",
+            wall_seconds=result.wall_seconds,
+            sent=result.stats.sent,
+            validated=result.stats.validated,
+            shards=len(ordered),
+        )
         return result

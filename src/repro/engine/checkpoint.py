@@ -75,13 +75,29 @@ def _filename(job_id: str) -> str:
 
 
 class CheckpointStore:
-    """A directory of per-shard state files plus one campaign manifest."""
+    """A directory of per-shard state files plus one campaign manifest.
+
+    ``on_event`` is an optional telemetry hook: every state transition the
+    store performs (shard write, manifest write, clear) is reported as one
+    structured-event dict, so checkpoint activity lands in the campaign's
+    :class:`~repro.telemetry.events.EventLog` (or a worker's local buffer)
+    without the store knowing anything about logging.
+    """
 
     MANIFEST = "campaign.json"
 
-    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str]",
+        on_event: "Optional[callable]" = None,
+    ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.on_event = on_event
+
+    def _event(self, event_type: str, **fields: object) -> None:
+        if self.on_event is not None:
+            self.on_event({"type": event_type, **fields})
 
     # -- shard state -----------------------------------------------------------
 
@@ -95,6 +111,13 @@ class CheckpointStore:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)
+        self._event(
+            "checkpoint_written",
+            job_id=state.job_id,
+            status=state.status,
+            position=state.position,
+            sent=state.result.stats.sent,
+        )
 
     def load_shard(self, job_id: str) -> Optional[ShardState]:
         """Load a shard's state; None if absent, unreadable, or corrupt."""
@@ -125,6 +148,7 @@ class CheckpointStore:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps({"version": STATE_VERSION, **meta}))
         tmp.replace(path)
+        self._event("manifest_written", directory=str(self.directory))
 
     def load_manifest(self) -> Optional[Dict[str, object]]:
         path = self.directory / self.MANIFEST
@@ -138,8 +162,12 @@ class CheckpointStore:
 
     def clear(self) -> None:
         """Forget all persisted state (fresh campaign over an old directory)."""
+        cleared = 0
         for path in self.directory.glob("shard-*.json"):
             path.unlink()
+            cleared += 1
         manifest = self.directory / self.MANIFEST
         if manifest.exists():
             manifest.unlink()
+        self._event("checkpoints_cleared", directory=str(self.directory),
+                    shards=cleared)

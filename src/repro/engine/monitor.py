@@ -6,16 +6,35 @@ monitor emits a line as shards start/finish/retry, rate-limited by
 ``min_interval`` (terminal lines always flush).  The sink is any
 ``Callable[[str], None]`` — stderr by default, a list's ``append`` in
 tests, a logger in services.
+
+The monitor is a *view* over the campaign's structured
+:class:`~repro.telemetry.events.EventLog`: subscribe
+:meth:`ProgressMonitor.handle_event` to the log and every status line is
+rendered from event records rather than ad-hoc method calls.  With
+``json_mode=True`` (the CLI's ``--log-json``) the monitor forwards each
+raw event as one JSON line instead of formatting human text.  The legacy
+``campaign_started``/``shard_finished``/… methods remain as thin wrappers
+that synthesise the equivalent event record, so direct callers and
+event-log subscribers render identically.
+
+Retained lines are bounded (``max_lines``) so a 48-hour campaign with
+per-shard status output cannot grow the monitor without limit.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
 
 from repro.engine.planner import ShardJob
 from repro.engine.worker import ShardOutcome
+
+#: Default retention for :attr:`ProgressMonitor.lines`; old lines fall off
+#: the front (the sink already saw them — this is only the in-memory tail).
+DEFAULT_MAX_LINES = 2000
 
 
 def _stderr_sink(line: str) -> None:
@@ -34,9 +53,12 @@ class ProgressMonitor:
         self,
         sink: Optional[Callable[[str], None]] = None,
         min_interval: float = 0.0,
+        max_lines: int = DEFAULT_MAX_LINES,
+        json_mode: bool = False,
     ) -> None:
         self.sink = sink or _stderr_sink
         self.min_interval = min_interval
+        self.json_mode = json_mode
         self._started = 0.0
         self._last_emit = 0.0
         self._total_shards = 0
@@ -46,41 +68,111 @@ class ProgressMonitor:
         self._sent_total = 0  # includes checkpoint-restored shards
         self._validated = 0
         self._retries = 0
-        self.lines: List[str] = []  # retained for tests/inspection
+        #: Bounded tail of emitted lines, for tests/inspection.
+        self.lines: Deque[str] = deque(maxlen=max_lines)
 
-    # -- campaign lifecycle ------------------------------------------------------
+    # -- event dispatch ----------------------------------------------------------
 
-    def campaign_started(self, total_shards: int, ranges: int) -> None:
+    def handle_event(self, record: Dict[str, object]) -> None:
+        """Render one structured event record (the EventLog subscriber).
+
+        Unknown event types are ignored in human mode (checkpoint writes
+        and the like are journal detail, not status) and forwarded
+        verbatim in JSON mode.
+        """
+        if self.json_mode:
+            self._emit(
+                json.dumps(record, sort_keys=True, default=str), force=True
+            )
+            return
+        handler = self._HANDLERS.get(str(record.get("type", "")))
+        if handler is not None:
+            handler(self, record)
+
+    def _on_campaign_started(self, record: Dict[str, object]) -> None:
         self._started = time.perf_counter()
-        self._total_shards = total_shards
+        self._total_shards = int(record.get("shards", 0))  # type: ignore[arg-type]
         self._emit(
-            f"campaign: {ranges} range(s) in {total_shards} shard(s)",
+            f"campaign: {record.get('ranges', 0)} range(s) "
+            f"in {self._total_shards} shard(s)",
             force=True,
         )
 
-    def shard_finished(self, outcome: ShardOutcome) -> None:
+    def _on_shard_finished(self, record: Dict[str, object]) -> None:
         self._done += 1
-        self._sent += outcome.sent_this_run
-        self._sent_total += outcome.result.stats.sent
-        self._validated += outcome.result.stats.validated
-        if outcome.from_checkpoint:
+        self._sent += int(record.get("sent_this_run", 0))  # type: ignore[arg-type]
+        self._sent_total += int(record.get("sent", 0))  # type: ignore[arg-type]
+        self._validated += int(record.get("validated", 0))  # type: ignore[arg-type]
+        if record.get("from_checkpoint"):
             self._from_checkpoint += 1
         self._status(force=self._done == self._total_shards)
 
-    def shard_retry(self, job: ShardJob, error: Exception, attempt: int) -> None:
+    def _on_shard_retry(self, record: Dict[str, object]) -> None:
         self._retries += 1
         self._emit(
-            f"retry: {job.job_id} attempt {attempt} failed: {error}",
+            f"retry: {record.get('job_id')} attempt "
+            f"{record.get('attempt')} failed: {record.get('error')}",
             force=True,
         )
 
-    def campaign_finished(self, wall_seconds: float) -> None:
+    def _on_campaign_finished(self, record: Dict[str, object]) -> None:
+        wall = float(record.get("wall_seconds", 0.0))  # type: ignore[arg-type]
         self._emit(
             f"done: {self._done}/{self._total_shards} shards "
             f"({self._from_checkpoint} from checkpoint, "
-            f"{self._retries} retries) in {_hms(wall_seconds)}; "
+            f"{self._retries} retries) in {_hms(wall)}; "
             f"sent {self._sent:,} probes",
             force=True,
+        )
+
+    _HANDLERS = {
+        "campaign_started": _on_campaign_started,
+        "shard_finished": _on_shard_finished,
+        "shard_retry": _on_shard_retry,
+        "campaign_finished": _on_campaign_finished,
+    }
+
+    # -- campaign lifecycle (legacy direct-call API) -----------------------------
+
+    def campaign_started(self, total_shards: int, ranges: int) -> None:
+        self.handle_event(
+            {
+                "type": "campaign_started",
+                "shards": total_shards,
+                "ranges": ranges,
+            }
+        )
+
+    def shard_finished(self, outcome: ShardOutcome) -> None:
+        self.handle_event(
+            {
+                "type": "shard_finished",
+                "job_id": outcome.job.job_id,
+                "label": outcome.label,
+                "shard": outcome.job.config.shard,
+                "shards": outcome.job.config.shards,
+                "sent_this_run": outcome.sent_this_run,
+                "sent": outcome.result.stats.sent,
+                "validated": outcome.result.stats.validated,
+                "from_checkpoint": outcome.from_checkpoint,
+                "attempts": outcome.attempts,
+                "worker": outcome.worker,
+            }
+        )
+
+    def shard_retry(self, job: ShardJob, error: Exception, attempt: int) -> None:
+        self.handle_event(
+            {
+                "type": "shard_retry",
+                "job_id": job.job_id,
+                "attempt": attempt,
+                "error": str(error),
+            }
+        )
+
+    def campaign_finished(self, wall_seconds: float) -> None:
+        self.handle_event(
+            {"type": "campaign_finished", "wall_seconds": wall_seconds}
         )
 
     # -- formatting ----------------------------------------------------------------

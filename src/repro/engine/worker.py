@@ -15,13 +15,16 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.core.scanner import Scanner, ScanResult
 from repro.engine.checkpoint import DONE, PARTIAL, CheckpointStore, ShardState
 from repro.engine.planner import ShardJob
 from repro.net.spec import BuiltTopology
+from repro.telemetry.events import WorkerEventBuffer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import ProbeTracer
 
 
 class WorkerInterrupted(KeyboardInterrupt):
@@ -47,6 +50,14 @@ class ShardOutcome:
     resumed_at: int = 0  # stream position the scan fast-forwarded to
     attempts: int = 1
     worker: str = ""
+    #: Exported :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot
+    #: (picklable dict); None when the shard collected no metrics.
+    metrics: Optional[Dict[str, object]] = None
+    #: Sampled probe-lifecycle traces (picklable dicts).
+    traces: List[Dict[str, object]] = field(default_factory=list)
+    #: Worker-local structured events (checkpoint writes, restores, …)
+    #: for the campaign's EventLog to ingest.
+    events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def label(self) -> str:
@@ -67,10 +78,19 @@ def execute_job(
     job: ShardJob, prebuilt: Optional[BuiltTopology] = None
 ) -> ShardOutcome:
     """Run one shard to completion, honouring any checkpointed progress."""
-    store = CheckpointStore(job.checkpoint_dir) if job.checkpoint_dir else None
+    buffer = WorkerEventBuffer()
+    store = (
+        CheckpointStore(job.checkpoint_dir, on_event=buffer.records.append)
+        if job.checkpoint_dir
+        else None
+    )
     prior = store.load_shard(job.job_id) if store is not None else None
 
     if prior is not None and prior.status == DONE:
+        buffer.emit(
+            "shard_restored", job_id=job.job_id, position=prior.position,
+            worker=f"pid:{os.getpid()}",
+        )
         return ShardOutcome(
             job=job,
             result=prior.result,
@@ -78,14 +98,20 @@ def execute_job(
             from_checkpoint=True,
             resumed_at=prior.position,
             worker=f"pid:{os.getpid()}",
+            events=buffer.records,
         )
 
     built = prebuilt if prebuilt is not None else job.topology.build()
     probe = job.probe.build()
     skip = prior.position if prior is not None else 0
     config = dataclasses.replace(job.config, skip=skip)
-    scanner = Scanner(built.network, built.vantage, probe, config)
+    registry = MetricsRegistry() if config.collect_metrics else None
+    tracer = ProbeTracer.from_spec(config.trace)
+    scanner = Scanner(built.network, built.vantage, probe, config,
+                      metrics=registry, tracer=tracer)
     prior_result = prior.result if prior is not None else None
+    if skip:
+        buffer.emit("shard_resumed", job_id=job.job_id, position=skip)
 
     def _write(status: str) -> None:
         assert store is not None and scanner.result is not None
@@ -145,4 +171,7 @@ def execute_job(
         sent_this_run=result.stats.sent,
         resumed_at=skip,
         worker=f"pid:{os.getpid()}",
+        metrics=registry.to_dict() if registry is not None else None,
+        traces=tracer.to_dicts(),
+        events=buffer.records,
     )

@@ -211,7 +211,19 @@ class Device:
 
     def _forward(self, packet: Packet, network: "Network") -> ReceiveResult:
         route = self.table.lookup(packet.dst)
+        if network.active_trace is not None:
+            # The longest-prefix-match decision, exactly as taken.
+            network.trace_event(
+                "route_lookup",
+                device=self.name,
+                dst=str(packet.dst),
+                route=str(route) if route is not None else "no-route",
+                kind=route.kind.value if route is not None else "none",
+            )
         if route is not None and route.kind is RouteKind.BLACKHOLE:
+            if network.active_trace is not None:
+                network.trace_event("drop", device=self.name,
+                                    reason="blackhole-route")
             return ReceiveResult()  # silent discard
         if route is None or route.kind is RouteKind.UNREACHABLE:
             error = self._make_error(
@@ -223,6 +235,9 @@ class Device:
             return ReceiveResult(replies=[error] if error else [])
 
         if packet.hop_limit <= 1:
+            if network.active_trace is not None:
+                network.trace_event("hop_limit_exhausted", device=self.name,
+                                    hop_limit=packet.hop_limit)
             error = self._make_error(
                 packet,
                 Icmpv6Type.TIME_EXCEEDED,
@@ -232,6 +247,9 @@ class Device:
             return ReceiveResult(replies=[error] if error else [])
 
         forwarded = packet.with_hop_limit(packet.hop_limit - 1)
+        if network.active_trace is not None:
+            network.trace_event("hop_limit_decrement", device=self.name,
+                                hop_limit=forwarded.hop_limit)
         if route.kind is RouteKind.CONNECTED:
             # On-link delivery: RFC 4861 address resolution must find the
             # target; a failed resolution is reported as ICMPv6 address-
@@ -264,7 +282,18 @@ class Device:
             return None  # RFC 4443 §2.4(e): never error an error
         if not self.error_limiter.allow(network.clock):
             self.errors_suppressed += 1
+            if network.active_trace is not None:
+                network.trace_event(
+                    "icmpv6_error_suppressed", device=self.name,
+                    error_type=int(error_type), code=code,
+                )
             return None
+        if network.active_trace is not None:
+            network.trace_event(
+                "icmpv6_error", device=self.name,
+                error_type=int(error_type), code=code,
+                source=str(self.primary_address),
+            )
         return icmpv6_error(
             self.primary_address, invoking.src, error_type, code, invoking
         )
@@ -324,6 +353,11 @@ class IspRouter(Router):
 
     def _make_error(self, invoking, error_type, code, network):
         if self.drop_external_errors and not self.block.contains(invoking.src):
+            if network.active_trace is not None:
+                network.trace_event(
+                    "icmpv6_error_filtered", device=self.name,
+                    error_type=int(error_type), code=code,
+                )
             return None
         return super()._make_error(invoking, error_type, code, network)
 

@@ -25,6 +25,9 @@ from repro.net.addr import IPv6Addr
 from repro.net.device import Device, Host, ReceiveResult
 from repro.net.packet import Packet
 
+if False:  # TYPE_CHECKING without the import cost on the hot path
+    from repro.telemetry.trace import ProbeTrace
+
 
 class Link(NamedTuple):
     """A directed device-to-device hop, keyed by device names."""
@@ -74,6 +77,16 @@ class Network:
         self._addr_owner: Dict[int, Device] = {}
         self.total_hops = 0
         self.total_injected = 0
+        #: The probe-lifecycle span currently being recorded, if any.  The
+        #: scanner sets this around :meth:`inject` for sampled probes; every
+        #: other injection pays one ``is not None`` check per hop and
+        #: nothing else (the tracing fast-path contract).
+        self.active_trace: Optional["ProbeTrace"] = None
+
+    def trace_event(self, name: str, **fields: object) -> None:
+        """Record a forwarding-decision event on the active span, if any."""
+        if self.active_trace is not None:
+            self.active_trace.add(name, self.clock, **fields)
 
     # -- topology ------------------------------------------------------------
 
@@ -142,6 +155,11 @@ class Network:
             if device is vantage and device.owns(current.dst):
                 inbox.append(current)
                 trace.delivered += 1
+                if self.active_trace is not None:
+                    self.active_trace.add(
+                        "delivered", self.clock, device=device.name,
+                        src=str(current.src),
+                    )
                 continue
             result = device.receive(current, self)
             self._apply(device, result, queue, trace)
@@ -206,6 +224,11 @@ class Network:
         next_device = self.device_at(next_addr)
         if next_device is None:
             trace.drops += 1  # next hop fell off the topology: blackhole
+            if self.active_trace is not None:
+                self.active_trace.add(
+                    "drop", self.clock, device=device.name,
+                    reason="unresolvable-next-hop", next_hop=str(next_addr),
+                )
             return
         self._enqueue(device, next_device, packet, queue, trace)
 
@@ -219,6 +242,10 @@ class Network:
     ) -> None:
         if self.loss_rate and self.rng.random() < self.loss_rate:
             trace.drops += 1
+            if self.active_trace is not None:
+                self.active_trace.add(
+                    "loss", self.clock, src=src.name, dst=dst.name,
+                )
             return
         link = Link(src.name, dst.name)
         trace.link_counts[link] = trace.link_counts.get(link, 0) + 1
@@ -226,4 +253,9 @@ class Network:
         self.total_hops += 1
         if self.record_paths:
             trace.path.append(dst.name)
+        if self.active_trace is not None:
+            self.active_trace.add(
+                "hop", self.clock, device=dst.name, via=src.name,
+                dst=str(packet.dst), hop_limit=packet.hop_limit,
+            )
         queue.append((dst, packet, False))

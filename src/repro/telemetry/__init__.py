@@ -1,0 +1,57 @@
+"""Telemetry: metrics registry, probe-lifecycle tracing, structured events.
+
+The measurement substrate the ROADMAP's perf goals rest on — the paper's
+operational story (§IV, Table II) is only legible because XMap/ZMap report
+send rate, hit rate, and reply mix *while the scan runs*.  Three pieces:
+
+* :class:`MetricsRegistry` — labelled counters/gauges/fixed-bucket
+  histograms, mergeable across thread/process shard workers like
+  ``ScanStats.merge``, exportable as NDJSON (``--metrics-out``);
+* :class:`ProbeTracer` — span-based probe-lifecycle tracing behind a
+  sampling knob (``off`` / ``all`` / ``sample:N`` / address predicate);
+* :class:`EventLog` — the JSON-lines campaign journal ``Campaign``,
+  ``CheckpointStore``, and the retry/backoff paths emit into, which
+  ``ProgressMonitor`` renders as status lines.
+"""
+
+from repro.telemetry.events import (
+    DEFAULT_MAX_EVENTS,
+    EventLog,
+    WorkerEventBuffer,
+    make_campaign_id,
+)
+from repro.telemetry.metrics import (
+    HOP_BUCKETS,
+    NULL_REGISTRY,
+    WAIT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.trace import (
+    DEFAULT_MAX_TRACES,
+    ProbeTrace,
+    ProbeTracer,
+    TraceSpecError,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_MAX_TRACES",
+    "EventLog",
+    "Gauge",
+    "HOP_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "ProbeTrace",
+    "ProbeTracer",
+    "TraceSpecError",
+    "WAIT_BUCKETS",
+    "WorkerEventBuffer",
+    "make_campaign_id",
+]

@@ -1,0 +1,126 @@
+"""The structured event log: JSON-lines campaign journal.
+
+Where :class:`~repro.telemetry.metrics.MetricsRegistry` answers "how many",
+the event log answers "what happened when": every campaign-level state
+transition — campaign start/finish, shard completion with its shard
+coordinates, retries with backoff, checkpoint writes, worker restores —
+lands here as one dict with a monotonic timestamp, a sequence number, and
+the campaign id.  :class:`~repro.engine.monitor.ProgressMonitor` is a
+subscriber that renders human status lines (or raw JSON with
+``--log-json``) over these events instead of synthesising strings of its
+own, so the log is the single source of truth.
+
+Worker processes cannot share the campaign's log object; they accumulate
+plain event dicts locally (see :mod:`repro.engine.worker`) and the campaign
+:meth:`EventLog.ingest`\\ s them when outcomes return, preserving the
+worker-side relative timestamps under ``worker_t``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional
+
+#: Default in-memory retention; the tail stays available for tests/views.
+DEFAULT_MAX_EVENTS = 10_000
+
+Subscriber = Callable[[Dict[str, object]], None]
+
+
+def make_campaign_id() -> str:
+    """A short, unique campaign identifier for correlating artifacts."""
+    return uuid.uuid4().hex[:12]
+
+
+class EventLog:
+    """Append-only, bounded journal of structured events."""
+
+    def __init__(
+        self,
+        campaign_id: Optional[str] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        sink: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.campaign_id = campaign_id or make_campaign_id()
+        self.events: Deque[Dict[str, object]] = deque(maxlen=max_events)
+        self.subscribers: List[Subscriber] = []
+        #: Optional line sink receiving each event as a JSON string.
+        self.sink = sink
+        self._seq = 0
+        self._t0 = time.monotonic()
+        self.started_at = time.time()  # wall anchor for the monotonic axis
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers.append(subscriber)
+
+    def emit(self, event_type: str, **fields: object) -> Dict[str, object]:
+        """Record one event; timestamps are monotonic seconds since log start."""
+        record: Dict[str, object] = {
+            "seq": self._seq,
+            "t": round(time.monotonic() - self._t0, 6),
+            "campaign": self.campaign_id,
+            "type": event_type,
+        }
+        record.update(fields)
+        self._seq += 1
+        self.events.append(record)
+        for subscriber in self.subscribers:
+            subscriber(record)
+        if self.sink is not None:
+            self.sink(json.dumps(record, sort_keys=True, default=str))
+        return record
+
+    def ingest(self, records: Iterable[Dict[str, object]]) -> None:
+        """Re-emit worker-local events under this log's clock and sequence.
+
+        The worker's own relative timestamp is preserved as ``worker_t``.
+        """
+        for record in records:
+            fields = {
+                k: v
+                for k, v in record.items()
+                if k not in ("type", "seq", "t", "campaign")
+            }
+            if "t" in record:
+                fields["worker_t"] = record["t"]
+            self.emit(str(record.get("type", "worker_event")), **fields)
+
+    # -- views -----------------------------------------------------------------
+
+    def of_type(self, event_type: str) -> List[Dict[str, object]]:
+        return [e for e in self.events if e["type"] == event_type]
+
+    def ndjson_lines(self) -> Iterator[str]:
+        for event in self.events:
+            yield json.dumps(event, sort_keys=True, default=str)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for line in self.ndjson_lines():
+                handle.write(line + "\n")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class WorkerEventBuffer:
+    """Picklable-friendly event accumulator for shard workers.
+
+    Mirrors :meth:`EventLog.emit`'s record shape minus seq/campaign (the
+    campaign log stamps those at ingest time).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+        self._t0 = time.monotonic()
+
+    def emit(self, event_type: str, **fields: object) -> None:
+        record: Dict[str, object] = {
+            "type": event_type,
+            "t": round(time.monotonic() - self._t0, 6),
+        }
+        record.update(fields)
+        self.records.append(record)

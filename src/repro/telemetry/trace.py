@@ -1,0 +1,146 @@
+"""Span-based probe-lifecycle tracing.
+
+A :class:`ProbeTrace` records one probe's full journey in timestamped
+events: generated → blocklist check → paced send → per-hop forwarding
+decisions inside the simulator (longest-prefix match taken, hop-limit
+decrement, ICMPv6 error generation/suppression) → validation verdict.
+Timestamps are virtual-clock readings, so a trace lines up with the pacer's
+timeline and device-side error limiters.
+
+Tracing is off by default and sits entirely behind a sampling knob so the
+fast path stays fast: :class:`ProbeTracer` decides per probe whether to
+open a span (``off`` / ``all`` / every-Nth / address predicate), and the
+simulator only emits hop events when :attr:`repro.net.network.Network.
+active_trace` is set — a single ``is not None`` check per hop otherwise.
+
+Spec strings (``ScanConfig.trace``, ``--trace``): ``"off"``, ``"all"``,
+``"sample:N"`` (every Nth generated probe).  Predicates are programmatic
+only (``ProbeTracer(predicate=lambda addr: ...)``) since a callable cannot
+ride in a picklable config.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+#: Default cap on retained traces; completed spans beyond it evict oldest.
+DEFAULT_MAX_TRACES = 256
+
+
+class TraceSpecError(ValueError):
+    """An unparseable trace sampling spec."""
+
+
+class ProbeTrace:
+    """One probe's lifecycle span: an ordered list of timestamped events."""
+
+    __slots__ = ("probe_index", "target", "events")
+
+    def __init__(self, probe_index: int, target: str) -> None:
+        self.probe_index = probe_index
+        self.target = target
+        self.events: List[Dict[str, object]] = []
+
+    def add(self, name: str, clock: float, **fields: object) -> None:
+        event: Dict[str, object] = {"event": name, "t": clock}
+        if fields:
+            event.update(fields)
+        self.events.append(event)
+
+    # -- views -----------------------------------------------------------------
+
+    def hops(self) -> List[Dict[str, object]]:
+        """The per-hop forwarding events, in traversal order."""
+        return [e for e in self.events if e["event"] == "hop"]
+
+    def path(self) -> List[str]:
+        """Device names the probe (and its replies) traversed."""
+        return [str(e["device"]) for e in self.hops()]
+
+    def verdict(self) -> Optional[str]:
+        for event in reversed(self.events):
+            if event["event"] == "verdict":
+                return str(event["outcome"])
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "trace",
+            "probe_index": self.probe_index,
+            "target": self.target,
+            "events": list(self.events),
+        }
+
+
+class ProbeTracer:
+    """Decides which probes get a span and retains the completed spans."""
+
+    def __init__(
+        self,
+        mode: str = "off",
+        every: int = 0,
+        predicate: Optional[Callable[[object], bool]] = None,
+        max_traces: int = DEFAULT_MAX_TRACES,
+    ) -> None:
+        if mode not in ("off", "all", "sample"):
+            raise TraceSpecError(f"unknown trace mode {mode!r}")
+        if mode == "sample" and every < 1:
+            raise TraceSpecError("sample mode needs a positive interval")
+        self.mode = mode
+        self.every = every
+        self.predicate = predicate
+        self.traces: Deque[ProbeTrace] = deque(maxlen=max_traces)
+        self._generated = 0
+
+    @classmethod
+    def from_spec(cls, spec: str, max_traces: int = DEFAULT_MAX_TRACES) -> "ProbeTracer":
+        """Parse ``"off"`` / ``"all"`` / ``"sample:N"``."""
+        spec = (spec or "off").strip().lower()
+        if spec == "off":
+            return cls(mode="off", max_traces=max_traces)
+        if spec == "all":
+            return cls(mode="all", max_traces=max_traces)
+        if spec.startswith("sample:"):
+            try:
+                every = int(spec.split(":", 1)[1])
+            except ValueError as exc:
+                raise TraceSpecError(f"bad trace spec {spec!r}") from exc
+            if every < 1:
+                raise TraceSpecError(f"bad trace spec {spec!r}: interval must be >= 1")
+            return cls(mode="sample", every=every, max_traces=max_traces)
+        raise TraceSpecError(
+            f"bad trace spec {spec!r} (expected off, all, or sample:N)"
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off" or self.predicate is not None
+
+    def begin(self, target: object) -> Optional[ProbeTrace]:
+        """Open a span for this probe if the sampling knob selects it."""
+        index = self._generated
+        self._generated += 1
+        if self.predicate is not None and self.predicate(target):
+            return ProbeTrace(index, str(target))
+        if self.mode == "all":
+            return ProbeTrace(index, str(target))
+        if self.mode == "sample" and index % self.every == 0:
+            return ProbeTrace(index, str(target))
+        return None
+
+    def finish(self, trace: ProbeTrace) -> None:
+        self.traces.append(trace)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [trace.to_dict() for trace in self.traces]
+
+    @classmethod
+    def from_dicts(cls, dicts: List[Dict[str, object]]) -> List[ProbeTrace]:
+        """Rehydrate spans shipped back from pool workers."""
+        traces = []
+        for data in dicts:
+            trace = ProbeTrace(int(data["probe_index"]), str(data["target"]))
+            trace.events = list(data["events"])  # type: ignore[arg-type]
+            traces.append(trace)
+        return traces
