@@ -50,7 +50,7 @@ def test_ablation_permutation_comparison(benchmark):
     benchmark(lambda: _drain(CyclicGroupPermutation(SIZE, seed=3)))
 
     table = ComparisonTable(
-        f"Ablation — permutation backends over a 2^14 window",
+        "Ablation — permutation backends over a 2^14 window",
         ("Backend", "setup (s)", "full walk (s)", "indices/s"),
     )
     for name, setup, walk, rate in rows:

@@ -6,8 +6,6 @@ doubles it, and the amplification scales linearly with the attacker's chosen
 hop limit.
 """
 
-import pytest
-
 from repro.analysis.report import ComparisonTable
 from repro.loop.attack import run_loop_attack
 from repro.net.packet import MAX_HOP_LIMIT

@@ -4,6 +4,12 @@ Measures the reproduction's probe throughput against the simulator and
 regenerates the paper's wall-clock projections: a 1 Gbps scanner covers all
 /64s of a /24 (2^40) in ~8 days and all /60s (2^36) in ~14 hours; the
 paper's own 25 kpps budget covers a 32-bit window in ~48 hours.
+
+The headline number is the forwarding fast path end to end: batched target
+generation (vectorised SipHash IIDs + primed validation tags) over the
+flow-cached simulator.  Two A/B runs — the serial probe loop, and the
+batched loop with the flow cache forced off — quantify each layer and prove
+all three paths produce the identical reply set.
 """
 
 from repro.analysis.report import ComparisonTable
@@ -19,17 +25,31 @@ from benchmarks.conftest import SEED, write_bench_json, write_result
 def test_perf_scanner_throughput(benchmark, deployment):
     isp = deployment.isps["in-airtel-mobile"]
     probe = IcmpEchoProbe(Validator(bytes(range(16))))
-    config = ScanConfig(
-        scan_range=ScanRange.parse(isp.scan_spec),
-        seed=SEED,
-        max_probes=2000,
+
+    def config(**overrides):
+        return ScanConfig(
+            scan_range=ScanRange.parse(isp.scan_spec),
+            seed=SEED,
+            max_probes=2000,
+            **overrides,
+        )
+
+    def run_scan(cfg):
+        scanner = Scanner(deployment.network, deployment.vantage, probe, cfg)
+        return scanner.run_batched() if cfg.batched else scanner.run()
+
+    # Headline: the full fast path (batched loop + flow cache).
+    result = benchmark.pedantic(
+        run_scan, args=(config(batched=True),), iterations=1, rounds=3
     )
+    # A/B: serial probe loop, and the flow-cache escape hatch.
+    serial = run_scan(config())
+    no_cache = run_scan(config(batched=True, flow_cache=False))
 
-    def run_scan():
-        scanner = Scanner(deployment.network, deployment.vantage, probe, config)
-        return scanner.run()
-
-    result = benchmark.pedantic(run_scan, iterations=1, rounds=3)
+    # All three paths are the same scan.
+    assert serial.dedup_digest() == result.dedup_digest()
+    assert no_cache.dedup_digest() == result.dedup_digest()
+    assert serial.stats.sent == result.stats.sent
 
     feasibility = [
         FeasibilityRow("all /64 of a /24 block at 1 Gbps (paper: ~8 days)",
@@ -46,8 +66,11 @@ def test_perf_scanner_throughput(benchmark, deployment):
     for row in feasibility:
         table.add(row.label, row.window_bits, row.human)
     table.note(
-        f"measured simulator throughput: {result.stats.wall_pps:,.0f} probes/s "
-        f"(wall clock), {result.stats.virtual_pps:,.0f} pps virtual"
+        f"measured simulator throughput (fast path): "
+        f"{result.stats.wall_pps:,.0f} probes/s wall, "
+        f"{result.stats.virtual_pps:,.0f} pps virtual; "
+        f"serial loop {serial.stats.wall_pps:,.0f} pps; "
+        f"flow cache off {no_cache.stats.wall_pps:,.0f} pps"
     )
     write_result("perf_scanner", table)
     write_bench_json(
@@ -55,6 +78,8 @@ def test_perf_scanner_throughput(benchmark, deployment):
         sent=result.stats.sent,
         validated=result.stats.validated,
         wall_pps=result.stats.wall_pps,
+        serial_wall_pps=serial.stats.wall_pps,
+        no_flow_cache_wall_pps=no_cache.stats.wall_pps,
         virtual_pps=result.stats.virtual_pps,
         wall_seconds=result.stats.wall_seconds,
         projections={

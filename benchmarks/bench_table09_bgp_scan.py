@@ -6,8 +6,6 @@ the BGP/GeoIP lookup, and checks the paper's ratios: loops are a small share
 of last hops (~3%), but they touch over half the ASes and most countries.
 """
 
-import pytest
-
 from repro.analysis.tables import table9_bgp
 from repro.discovery.periphery import discover
 

@@ -9,7 +9,7 @@ immune prefixes answer Destination Unreachable, and the capped firmware
 """
 
 from repro.analysis.tables import table12_case_study
-from repro.loop.casestudy import CASE_STUDY_ROUTERS, run_case_study
+from repro.loop.casestudy import run_case_study
 
 from benchmarks.conftest import write_result
 

@@ -121,6 +121,8 @@ def cmd_scan(args) -> int:
             seed=args.seed,
             max_probes=args.max_probes,
             trace=args.trace,
+            flow_cache=not args.no_flow_cache,
+            batched=args.batched,
         )
 
     if args.range:
@@ -386,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log-json", action="store_true",
                    help="emit raw structured events as JSON lines instead "
                         "of human status text")
+    p.add_argument("--no-flow-cache", action="store_true",
+                   help="disable the forwarding flow cache (A/B escape "
+                        "hatch; results are identical, scans are slower)")
+    p.add_argument("--batched", action="store_true",
+                   help="run shards through the block-amortised scan loop "
+                        "(identical results)")
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("services", help="Tables VII-VIII: service audit")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.siphash import keyed_uint
+from repro.core.siphash import SipKey
 
 DEFAULT_ROUNDS = 4
 
@@ -32,7 +32,7 @@ class FeistelPermutation:
             raise ValueError("at least two Feistel rounds are required")
         self.size = size
         self.rounds = rounds
-        self._key = (seed & (1 << 128) - 1).to_bytes(16, "little")
+        self._key = SipKey((seed & (1 << 128) - 1).to_bytes(16, "little"))
         half_bits = max(1, ((size - 1).bit_length() + 1) // 2)
         self._half_bits = half_bits
         self._half_mask = (1 << half_bits) - 1
@@ -42,7 +42,7 @@ class FeistelPermutation:
         left = value >> self._half_bits
         right = value & self._half_mask
         for round_index in range(self.rounds):
-            f = keyed_uint(self._key, round_index, right) & self._half_mask
+            f = self._key.hash_uints(round_index, right) & self._half_mask
             left, right = right, left ^ f
         return (left << self._half_bits) | right
 

@@ -33,10 +33,13 @@ class IcmpEchoProbe(ProbeModule):
         self.hop_limit = hop_limit
 
     def build(self, src: IPv6Addr, dst: IPv6Addr) -> Packet:
-        fields = self.validator.fields(dst)
-        payload = struct.pack("!Q", self.validator.tag(dst))
+        # One tag derivation serves ident, seq, and the payload; deriving
+        # the slices inline skips a ProbeFields allocation per probe.
+        tag = self.validator.tag(dst)
+        payload = struct.pack("!Q", tag)
         return echo_request(
-            src, dst, fields.ident, fields.seq, payload, hop_limit=self.hop_limit
+            src, dst, tag & 0xFFFF, (tag >> 16) & 0xFFFF, payload,
+            hop_limit=self.hop_limit,
         )
 
     def classify(self, packet: Packet) -> Optional[ProbeReply]:

@@ -29,12 +29,20 @@ class TokenBucket:
         return now + (1.0 - tokens) / self.rate
 
     def consume(self, now: float) -> float:
-        """Record a send, waiting (virtually) if needed; returns send time."""
-        send_at = self.next_send_time(now)
+        """Record a send, waiting (virtually) if needed; returns send time.
+
+        This is :meth:`next_send_time` fused with the bookkeeping so the
+        scan hot loop pays one refill computation per send, not two.
+        """
+        tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        if tokens >= 1.0:  # common case: no stall
+            self._tokens = tokens - 1.0
+            self._last = now
+            return now
+        send_at = now + (1.0 - tokens) / self.rate
         self._tokens = min(
             self.burst, self._tokens + (send_at - self._last) * self.rate
-        )
-        self._tokens -= 1.0
+        ) - 1.0
         self._last = send_at
         return send_at
 

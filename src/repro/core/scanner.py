@@ -18,6 +18,7 @@ import hashlib
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.core.blocklist import Blocklist
@@ -195,6 +196,16 @@ class ScanConfig:
     #: Call the progress hook every N targets instead of per probe, so
     #: checkpoint-freshness bookkeeping doesn't dominate large windows.
     progress_every: int = 1
+    #: Resolve forwarding hops through the per-device route flow cache
+    #: (:meth:`repro.net.device.Device.flow_entry`).  ``False`` forces every
+    #: hop down the engine's slow path — the A/B escape hatch; results are
+    #: identical either way (asserted by the equivalence tests).
+    flow_cache: bool = True
+    #: Targets per block in :meth:`Scanner.run_batched`.
+    batch_size: int = 256
+    #: Dispatch :meth:`Scanner.run_batched` instead of :meth:`Scanner.run`
+    #: (the engine worker and CLI honour this; results are identical).
+    batched: bool = False
 
 
 class Scanner:
@@ -307,9 +318,80 @@ class Scanner:
             produced += 1
             yield address
 
+    def _target_blocks(self, size: int) -> Iterator[List[IPv6Addr]]:
+        """Blocks of probe addresses with :meth:`targets`-identical state.
+
+        Permutation indices are consumed a block at a time so IID hashing
+        can run through the vectorised block path; ``position`` and
+        ``blocked_count`` advance exactly as :meth:`targets` advances them
+        (asserted by the batched-equivalence tests).  Indices buffered past
+        a ``max_probes`` stop are discarded without touching any state —
+        the serial iterator never consumes them either.
+        """
+        config = self.config
+        permutation = make_permutation(
+            config.scan_range.count,
+            seed=config.seed,
+            backend=config.permutation_backend,
+        )
+        blocklist = config.blocklist
+        metrics = self.metrics
+        veto_counters: Dict[tuple, object] = {}
+        produced = 0
+        self.blocked_count = 0
+        self.position = 0
+        skip = config.skip
+        max_probes = config.max_probes
+        index_iter = permutation.indices(config.shard, config.shards)
+        if skip:
+            for _index in index_iter:
+                self.position += 1
+                if self.position >= skip:
+                    break
+        addresses_block = self.generator.addresses_block
+        while True:
+            indices = list(islice(index_iter, size))
+            if not indices:
+                return
+            block: List[IPv6Addr] = []
+            for address in addresses_block(indices):
+                if max_probes is not None and produced >= max_probes:
+                    if block:
+                        yield block
+                    return
+                self.position += 1
+                if blocklist is not None:
+                    decision = blocklist.check(address)
+                    if not decision.allowed:
+                        self.blocked_count += 1
+                        key = (decision.reason, str(decision.rule))
+                        counter = veto_counters.get(key)
+                        if counter is None:
+                            counter = veto_counters[key] = metrics.counter(
+                                "scanner_blocklist_vetoes",
+                                reason=decision.reason,
+                                rule=str(decision.rule),
+                            )
+                        counter.inc()  # type: ignore[union-attr]
+                        continue
+                produced += 1
+                block.append(address)
+            if block:
+                yield block
+
     # -- the scan loop -----------------------------------------------------------
 
     def run(self) -> ScanResult:
+        config = self.config
+        network = self.network
+        saved_flow = network.flow_cache
+        network.flow_cache = saved_flow and config.flow_cache
+        try:
+            return self._run_serial()
+        finally:
+            network.flow_cache = saved_flow
+
+    def _run_serial(self) -> ScanResult:
         config = self.config
         result = ScanResult(range=config.scan_range)
         self.result = result
@@ -433,6 +515,175 @@ class Scanner:
 
         stats.blocked = self.blocked_count
         stats.virtual_end = self.network.clock
+        stats.wall_seconds = time.perf_counter() - started
+        metrics.gauge("scanner_stream_position").set(self.position)
+        metrics.gauge("virtual_clock_seconds").set(network.clock)
+        return result
+
+    def run_batched(self, batch_size: Optional[int] = None) -> ScanResult:
+        """Scan in target blocks of ``batch_size`` (default from config).
+
+        Semantically identical to :meth:`run` — same probe order, same
+        pace→inject interleaving per probe (device-side ICMPv6 error
+        limiters read the virtual clock, so pacing cannot be hoisted out of
+        the probe loop), same reply set, same stats and metrics; the
+        equivalence tests assert bit-identity.  What batching buys is
+        amortisation of everything *around* the probes: targets are pulled
+        from the generator/blocklist pipeline a block at a time, the
+        sent/received/validated/discarded tallies are kept in local ints and
+        flushed to ``ScanStats``/counters once per block, and the progress
+        hook fires at block boundaries (where ``position`` is a consistent
+        resume offset) instead of every ``progress_every`` targets.
+        """
+        config = self.config
+        size = batch_size if batch_size is not None else config.batch_size
+        if size < 1:
+            raise ValueError("batch size must be positive")
+        network = self.network
+        result = ScanResult(range=config.scan_range)
+        self.result = result
+        stats = result.stats
+        stats.virtual_start = network.clock
+        started = time.perf_counter()
+        seen: Set[tuple] = set()
+        source = self.vantage.primary_address
+
+        metrics = self.metrics
+        tracer = self.tracer
+        tracing = tracer.enabled
+        c_sent = metrics.counter("scanner_probes_sent")
+        c_received = metrics.counter("scanner_replies_received")
+        c_validated = metrics.counter("scanner_replies_validated")
+        c_invalid = metrics.counter("scanner_replies_discarded",
+                                    reason="validation-failed")
+        c_duplicate = metrics.counter("scanner_replies_discarded",
+                                      reason="duplicate")
+        h_hops = metrics.histogram("probe_hops", bounds=HOP_BUCKETS)
+        reply_counters: Dict[tuple, object] = {}
+
+        # Hot-loop hoists: bound methods looked up once per scan.
+        copies = max(1, config.probes_per_target)
+        wire = config.wire_mode
+        dedup = config.dedup_replies
+        vantage = self.vantage
+        pace = self.pacer.pace
+        build = self.probe.build
+        classify = self.probe.classify
+        inject = network.inject
+        observe_hops = h_hops.observe
+        results_append = result.results.append
+
+        # Vectorised tag priming: when the probe's validator supports block
+        # precomputation, each target block's tags are derived in one go.
+        primer = getattr(getattr(self.probe, "validator", None), "prime", None)
+
+        saved_flow = network.flow_cache
+        network.flow_cache = saved_flow and config.flow_cache
+        try:
+            for block in self._target_blocks(size):
+                if primer is not None:
+                    primer([target.value for target in block])
+                n_sent = n_received = n_validated = 0
+                n_invalid = n_duplicate = 0
+                for target in block:
+                    span = tracer.begin(target) if tracing else None
+                    if span is not None:
+                        span.add("generated", network.clock,
+                                 target=str(target), position=self.position)
+                        if config.blocklist is not None:
+                            span.add("blocklist_check", network.clock,
+                                     verdict="allowed")
+                    replies = []
+                    for _copy in range(copies):
+                        send_at = pace()
+                        probe_packet = build(source, target)
+                        if wire:
+                            probe_packet = Packet.decode(probe_packet.encode())
+                        n_sent += 1
+                        if span is not None:
+                            span.add("paced_send", send_at, copy=_copy)
+                            network.active_trace = span
+                        inbox, delivery = inject(probe_packet, vantage)
+                        if span is not None:
+                            network.active_trace = None
+                        observe_hops(delivery.hops)
+                        replies.extend(inbox)
+                    for reply in replies:
+                        n_received += 1
+                        if wire:
+                            reply = Packet.decode(reply.encode())
+                        classified = classify(reply)
+                        if classified is None:
+                            n_invalid += 1
+                            if span is not None:
+                                span.add("verdict", network.clock,
+                                         outcome="validation-failed")
+                            continue
+                        if dedup:
+                            key = (
+                                classified.responder.value,
+                                classified.target.value,
+                                classified.kind,
+                            )
+                            if key in seen:
+                                n_duplicate += 1
+                                if span is not None:
+                                    span.add("verdict", network.clock,
+                                             outcome="duplicate")
+                                continue
+                            seen.add(key)
+                        n_validated += 1
+                        reply_key = (
+                            classified.kind.value,
+                            classified.icmp_type,
+                            classified.icmp_code,
+                        )
+                        counter = reply_counters.get(reply_key)
+                        if counter is None:
+                            counter = reply_counters[reply_key] = metrics.counter(
+                                "scanner_replies",
+                                kind=classified.kind.value,
+                                icmp_type=classified.icmp_type,
+                                icmp_code=classified.icmp_code,
+                            )
+                        counter.inc()  # type: ignore[union-attr]
+                        if span is not None:
+                            span.add(
+                                "verdict", network.clock, outcome="validated",
+                                kind=classified.kind.value,
+                                responder=str(classified.responder),
+                            )
+                        results_append(
+                            ProbeResult(
+                                target=classified.target,
+                                responder=classified.responder,
+                                kind=classified.kind,
+                                icmp_type=classified.icmp_type,
+                                icmp_code=classified.icmp_code,
+                            )
+                        )
+                    if span is not None:
+                        tracer.finish(span)
+                # Flush the block's tallies in one go each.
+                stats.sent += n_sent
+                stats.received += n_received
+                stats.validated += n_validated
+                stats.discarded += n_invalid + n_duplicate
+                c_sent.inc(n_sent)
+                c_received.inc(n_received)
+                c_validated.inc(n_validated)
+                c_invalid.inc(n_invalid)
+                c_duplicate.inc(n_duplicate)
+                if self.on_progress is not None:
+                    stats.blocked = self.blocked_count
+                    stats.virtual_end = network.clock
+                    stats.wall_seconds = time.perf_counter() - started
+                    self.on_progress(self)
+        finally:
+            network.flow_cache = saved_flow
+
+        stats.blocked = self.blocked_count
+        stats.virtual_end = network.clock
         stats.wall_seconds = time.perf_counter() - started
         metrics.gauge("scanner_stream_position").set(self.position)
         metrics.gauge("virtual_clock_seconds").set(network.clock)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.core.siphash import keyed_uint
+from repro.core.siphash import SipKey
 from repro.net.addr import IPv6Addr
 
 
@@ -49,11 +49,37 @@ class Validator:
         if len(secret) != 16:
             raise ValueError("validation secret must be 16 bytes")
         self.secret = secret
+        self._key = SipKey(secret)
+        #: (value, tag) of the most recent derivation.  Probe modules tag
+        #: the same destination twice per probe (header fields + payload
+        #: tag) and re-derive it once more to validate the usually-immediate
+        #: reply, so this one-slot memo saves one to two SipHash runs per
+        #: probe on the scan hot path.
+        self._last: tuple = (None, 0)
+        #: Block-primed tags (see :meth:`prime`); replaced per block.
+        self._primed: dict = {}
+
+    def prime(self, values) -> None:
+        """Precompute the tags for a block of destination values.
+
+        The batched scan loop primes each target block through the
+        vectorised SipHash path; subsequent :meth:`tag` calls for those
+        destinations (probe build, reply validation) become dict hits.
+        The primed block replaces the previous one, bounding memory.
+        """
+        self._primed = dict(zip(values, self._key.hash_uints_block(values)))
 
     def tag(self, dst: IPv6Addr | int) -> int:
         """The 64-bit validation tag for a destination address."""
         value = dst.value if isinstance(dst, IPv6Addr) else dst
-        return keyed_uint(self.secret, value)
+        last_value, last_tag = self._last
+        if value == last_value:
+            return last_tag
+        tag = self._primed.get(value)
+        if tag is None:
+            tag = self._key.hash_uints(value)
+        self._last = (value, tag)
+        return tag
 
     def fields(self, dst: IPv6Addr | int) -> ProbeFields:
         tag = self.tag(dst)

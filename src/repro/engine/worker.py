@@ -152,7 +152,7 @@ def execute_job(
 
         scanner.on_progress = on_progress
 
-    result = scanner.run()
+    result = scanner.run_batched() if config.batched else scanner.run()
     merged = _combined(prior_result, result)
     if store is not None:
         store.write_shard(

@@ -69,7 +69,14 @@ def run_loop_attack(
     packet = echo_request(
         source, target, ident=0xBEEF, seq=1, hop_limit=hop_limit
     )
-    _inbox, trace = network.inject(packet, vantage)
+    # The report *is* the link-crossing count, so force link recording on
+    # for this injection even on networks tuned for scanning throughput.
+    saved = network.record_links
+    network.record_links = True
+    try:
+        _inbox, trace = network.inject(packet, vantage)
+    finally:
+        network.record_links = saved
     return AttackReport(
         target=target,
         hop_limit=hop_limit,

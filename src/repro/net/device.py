@@ -34,7 +34,7 @@ from repro.net.packet import (
     UnreachableCode,
     icmpv6_error,
 )
-from repro.net.routing import BaseRoutingTable, HashRoutingTable, RouteKind
+from repro.net.routing import BaseRoutingTable, HashRoutingTable, Route, RouteKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.network import Network
@@ -52,6 +52,42 @@ class ReceiveResult:
 
     replies: List[Packet] = field(default_factory=list)
     forward: Optional[Tuple[IPv6Addr, Packet]] = None
+
+
+# -- forwarding flow cache ---------------------------------------------------
+#
+# Periphery scanning re-traverses the same ISP→CPE route for every target in
+# a sub-prefix, so the per-device route resolution is highly cacheable.  A
+# FlowEntry is one resolved forwarding decision: the LPM result *plus* the
+# next-hop device object, so the fast path skips the routing-table probes,
+# the Route-kind branching, and the address→device lookup on every hop.
+
+#: Resolved NEXT_HOP: enqueue straight to ``entry.next_device``.
+FLOW_FORWARD = 0
+#: On-link delivery: NDP-resolve the (per-packet) destination.
+FLOW_CONNECTED = 1
+#: No route / unreachable route: answer ICMPv6 no-route unreachable.
+FLOW_UNREACHABLE = 2
+#: Blackhole route: silent discard.
+FLOW_BLACKHOLE = 3
+#: Next hop no longer resolves to a device (churn blackhole): drop.
+FLOW_UNRESOLVED = 4
+
+#: Entries per device before the cache self-clears (bounds memory when a
+#: scan sweeps a huge window through one aggregation router).
+FLOW_CACHE_MAX = 65536
+
+
+class FlowEntry:
+    """One cached (egress decision, next-hop device) pair."""
+
+    __slots__ = ("action", "next_device", "route")
+
+    def __init__(self, action: int, next_device: Optional["Device"],
+                 route: Optional["Route"]) -> None:
+        self.action = action
+        self.next_device = next_device
+        self.route = route
 
 
 class ErrorRateLimiter:
@@ -105,6 +141,14 @@ class Device:
         from repro.net.ndp import NeighborCache
 
         self.neighbor_cache = NeighborCache()
+        #: Route-resolution flow cache (see module docs above) plus the
+        #: (network generation, table version) stamp it was filled under.
+        self._flow_cache: Dict[int, FlowEntry] = {}
+        self._flow_stamp: Tuple[int, int] = (-1, -1)
+        #: The engine may bypass :meth:`receive`/:meth:`_forward` only when
+        #: this device's forwarding is exactly the base implementation;
+        #: subclasses with behavioural overrides must clear the flag.
+        self.flow_forward_safe = type(self)._forward is Device._forward
 
     # -- configuration -----------------------------------------------------
 
@@ -208,6 +252,55 @@ class Device:
         return []
 
     # -- forwarding (routers only) ------------------------------------------
+
+    def flow_entry(self, value: int, network: "Network") -> FlowEntry:
+        """Resolve one destination to a cached forwarding decision.
+
+        The cache is keyed by the destination's /64 (the granularity the
+        scanner sweeps), is consulted with a single dict probe, and stores
+        the matched route together with the *resolved* next-hop device.  An
+        entry is inserted only when one decision provably serves the whole
+        /64: the LPM-matched prefix must be /64 or shorter and no more-
+        specific (>64-bit) route may exist inside that /64.  Staleness is
+        detected by stamp comparison: the network bumps its ``generation``
+        on any register/unregister/bind and the routing table bumps
+        ``version`` on any add/remove, so prefix rotation and churn
+        invalidate every affected cache in O(1).
+        """
+        table = self.table
+        stamp = (network.generation, table.version)
+        cache = self._flow_cache
+        if self._flow_stamp != stamp:
+            cache.clear()
+            self._flow_stamp = stamp
+        key = value >> 64
+        entry = cache.get(key)
+        if entry is not None:
+            network.flow_hits += 1
+            return entry
+        network.flow_misses += 1
+        route = table.lookup(value)
+        if route is None or route.kind is RouteKind.UNREACHABLE:
+            entry = FlowEntry(FLOW_UNREACHABLE, None, route)
+        elif route.kind is RouteKind.BLACKHOLE:
+            entry = FlowEntry(FLOW_BLACKHOLE, None, route)
+        elif route.kind is RouteKind.CONNECTED:
+            entry = FlowEntry(FLOW_CONNECTED, None, route)
+        else:
+            assert route.next_hop is not None
+            next_device = network.device_at(route.next_hop)
+            entry = FlowEntry(
+                FLOW_FORWARD if next_device is not None else FLOW_UNRESOLVED,
+                next_device,
+                route,
+            )
+        if (route is None or route.prefix.length <= 64) and (
+            not table.has_specific_within_slash64(key)
+        ):
+            if len(cache) >= FLOW_CACHE_MAX:
+                cache.clear()
+            cache[key] = entry
+        return entry
 
     def _forward(self, packet: Packet, network: "Network") -> ReceiveResult:
         route = self.table.lookup(packet.dst)
@@ -402,6 +495,9 @@ class CpeRouter(Router):
         #: burning the whole hop-limit budget.
         self.loop_forward_limit = loop_forward_limit
         self._loop_bounces = 0
+        #: The loop-mitigation override only deviates from base forwarding
+        #: when a bounce limit is armed; without one the fast path is exact.
+        self.flow_forward_safe = loop_forward_limit is None
         self._install_routes()
 
     @property

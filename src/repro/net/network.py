@@ -7,9 +7,24 @@ hop limits, generating ICMPv6 errors, possibly looping between a vulnerable
 CPE and its ISP router — until every packet in flight has either been
 delivered, dropped, or returned to the vantage.
 
-The engine tracks per-link traversal counts, which is how the routing-loop
-benchmarks measure amplification: the paper's >200x factor is literally the
-number of times one attack packet crosses the ISP↔CPE link.
+The engine has two forwarding paths with identical observable behaviour:
+
+* the **slow path** walks ``Device.receive`` → ``Device._forward`` hop by
+  hop and emits probe-lifecycle trace events;
+* the **fast path** (on by default, ``flow_cache=False`` to disable) runs
+  whenever no probe trace is being recorded and the hop's device uses base
+  forwarding semantics.  It resolves each destination through the device's
+  :meth:`~repro.net.device.Device.flow_entry` route flow cache — one dict
+  probe per hop instead of an LPM walk plus result-object allocation.
+  Cache entries are invalidated by a **topology generation counter**
+  (bumped on register/unregister/bind) paired with each routing table's
+  mutation version, so prefix rotation and churn modelling stay correct.
+
+The engine can track per-link traversal counts, which is how the
+routing-loop benchmarks measure amplification: the paper's >200x factor is
+literally the number of times one attack packet crosses the ISP↔CPE link.
+Link/path recording is opt-in (``record_links`` / ``record_paths``) so the
+scan hot loop does not pay for dict updates it never reads.
 
 Time is virtual: the scanner's rate limiter advances :attr:`Network.clock`,
 and device ICMPv6 error limiters read it.
@@ -18,12 +33,28 @@ and device ICMPv6 error limiters read it.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.net.addr import IPv6Addr
-from repro.net.device import Device, Host, ReceiveResult
-from repro.net.packet import Packet
+from repro.net.device import (
+    FLOW_BLACKHOLE,
+    FLOW_CONNECTED,
+    FLOW_FORWARD,
+    FLOW_UNREACHABLE,
+    Device,
+    Host,
+    ReceiveResult,
+)
+from repro.net.ndp import resolve
+from repro.net.packet import (
+    Icmpv6Type,
+    Packet,
+    TimeExceededCode,
+    UnreachableCode,
+)
+from repro.net.routing import RouteKind
 
 if False:  # TYPE_CHECKING without the import cost on the hot path
     from repro.telemetry.trace import ProbeTrace
@@ -38,7 +69,12 @@ class Link(NamedTuple):
 
 @dataclass
 class DeliveryTrace:
-    """Per-injection record of what the forwarding engine did."""
+    """Per-injection record of what the forwarding engine did.
+
+    ``link_counts`` and ``path`` fill only when the network's
+    ``record_links`` / ``record_paths`` flags are set — the loop-attack
+    measurements enable them; the scanner's hot loop leaves them off.
+    """
 
     hops: int = 0
     drops: int = 0
@@ -67,20 +103,37 @@ class Network:
         loss_rate: float = 0.0,
         max_hops: int = 4096,
         record_paths: bool = False,
+        record_links: bool = False,
+        flow_cache: bool = True,
     ) -> None:
         self.rng = random.Random(seed)
         self.loss_rate = loss_rate
         self.max_hops = max_hops
         self.record_paths = record_paths
+        #: Fill ``DeliveryTrace.link_counts`` per hop.  Opt-in: the loop
+        #: attack/case-study paths enable it (they read ``crossings``); the
+        #: scanner leaves it off.
+        self.record_links = record_links
+        #: Escape hatch for A/B measurement: ``False`` forces every hop
+        #: through the slow path regardless of scan configuration.
+        self.flow_cache = flow_cache
         self.clock = 0.0
         self.devices: Dict[str, Device] = {}
         self._addr_owner: Dict[int, Device] = {}
         self.total_hops = 0
         self.total_injected = 0
+        #: Topology generation: bumped by every register/unregister/bind so
+        #: per-device flow caches can detect staleness with one comparison.
+        self.generation = 0
+        #: Flow-cache effectiveness counters (read by benches and tests).
+        self.flow_hits = 0
+        self.flow_misses = 0
         #: The probe-lifecycle span currently being recorded, if any.  The
         #: scanner sets this around :meth:`inject` for sampled probes; every
         #: other injection pays one ``is not None`` check per hop and
-        #: nothing else (the tracing fast-path contract).
+        #: nothing else (the tracing fast-path contract).  While a span is
+        #: active the flow-cache fast path stands down, so the span sees
+        #: every route-lookup decision exactly as the slow path takes it.
         self.active_trace: Optional["ProbeTrace"] = None
 
     def trace_event(self, name: str, **fields: object) -> None:
@@ -94,6 +147,7 @@ class Network:
         if device.name in self.devices:
             raise NetworkError(f"duplicate device name {device.name!r}")
         self.devices[device.name] = device
+        self.generation += 1
         for addr in device.addresses:
             self.bind(addr, device)
         return device
@@ -101,10 +155,12 @@ class Network:
     def unregister(self, device: Device) -> None:
         """Remove a device and all its address bindings (prefix rotation,
         churn modelling).  Routes pointing at it become blackholes naturally
-        (the next hop no longer resolves)."""
+        (the next hop no longer resolves), and the generation bump flushes
+        every flow-cache entry that resolved through it."""
         if self.devices.get(device.name) is not device:
             raise NetworkError(f"device {device.name!r} is not registered")
         del self.devices[device.name]
+        self.generation += 1
         for addr in list(device.addresses):
             owner = self._addr_owner.get(addr.value)
             if owner is device:
@@ -118,10 +174,11 @@ class Network:
             )
         self._addr_owner[addr.value] = device
         device.addresses.add(addr)
+        self.generation += 1
 
     def attach_host(self, host: Host, gateway: Device) -> Host:
         """Register a LAN host and remember its first-hop gateway."""
-        host.gateway = gateway  # type: ignore[attr-defined]
+        host.gateway = gateway
         return self.register(host)  # type: ignore[return-value]
 
     def device_at(self, addr: IPv6Addr) -> Optional[Device]:
@@ -132,7 +189,9 @@ class Network:
 
     # -- forwarding engine -----------------------------------------------------
 
-    def inject(self, packet: Packet, vantage: Device) -> Tuple[List[Packet], DeliveryTrace]:
+    def inject(
+        self, packet: Packet, vantage: Device
+    ) -> Tuple[List[Packet], DeliveryTrace]:
         """Send ``packet`` from ``vantage`` and run the network to quiescence.
 
         Returns the packets that arrived back at the vantage, plus a trace of
@@ -140,19 +199,34 @@ class Network:
         """
         trace = DeliveryTrace()
         inbox: List[Packet] = []
-        queue: List[Tuple[Device, Packet, bool]] = []
+        queue: Deque[Tuple[Device, Packet]] = deque()
         self.total_injected += 1
 
         self._originate(vantage, packet, queue, trace)
 
+        # Hot-loop hoists: every per-hop attribute/constant below is looked
+        # up once per injection instead of once per hop.
+        fast = self.flow_cache and self.active_trace is None
+        # When nothing observes individual hops (no loss model, no link/path
+        # recording), the fast path appends to the queue directly instead of
+        # paying a _enqueue call per hop.
+        plain = fast and not (
+            self.loss_rate or self.record_links or self.record_paths
+        )
+        max_hops = self.max_hops
+        popleft = queue.popleft
+        append = queue.append
+        addr_owner = self._addr_owner
+
         while queue:
-            if trace.hops > self.max_hops:
+            if trace.hops > max_hops:
                 raise NetworkError(
                     f"forwarding exceeded {self.max_hops} hops; "
                     "unbounded loop (hop limits should prevent this)"
                 )
-            device, current, _originated = queue.pop(0)
-            if device is vantage and device.owns(current.dst):
+            device, current = popleft()
+            dst = current.dst
+            if device is vantage and dst in device.addresses:
                 inbox.append(current)
                 trace.delivered += 1
                 if self.active_trace is not None:
@@ -161,6 +235,91 @@ class Network:
                         src=str(current.src),
                     )
                 continue
+            if (
+                fast
+                and device.forwards
+                and device.flow_forward_safe
+                and dst not in device.addresses
+            ):
+                # Forwarding fast path: one dict probe resolves the hop.
+                entry = device.flow_entry(dst.value, self)
+                action = entry.action
+                if action != FLOW_UNREACHABLE and action != FLOW_BLACKHOLE:
+                    # FORWARD / CONNECTED / UNRESOLVED all pass the route
+                    # check, so (as in the slow path) the hop-limit test
+                    # comes before any next-hop resolution outcome.
+                    hop_limit = current.hop_limit
+                    if hop_limit <= 1:
+                        error = device._make_error(
+                            current,
+                            Icmpv6Type.TIME_EXCEEDED,
+                            int(TimeExceededCode.HOP_LIMIT),
+                            self,
+                        )
+                        if error is not None:
+                            trace.errors_generated += 1
+                            self._originate(device, error, queue, trace)
+                        continue
+                    if action == FLOW_FORWARD:
+                        if plain:
+                            trace.hops += 1
+                            self.total_hops += 1
+                            append((
+                                entry.next_device,
+                                current.with_hop_limit(hop_limit - 1),
+                            ))
+                        else:
+                            self._enqueue(
+                                device,
+                                entry.next_device,  # type: ignore[arg-type]
+                                current.with_hop_limit(hop_limit - 1),
+                                queue,
+                                trace,
+                            )
+                        continue
+                    if action == FLOW_CONNECTED:
+                        # On-link: NDP decides per destination.
+                        if resolve(device, dst, self):
+                            if plain:
+                                trace.hops += 1
+                                self.total_hops += 1
+                                append((
+                                    addr_owner[dst.value],
+                                    current.with_hop_limit(hop_limit - 1),
+                                ))
+                            else:
+                                self._enqueue(
+                                    device,
+                                    addr_owner[dst.value],
+                                    current.with_hop_limit(hop_limit - 1),
+                                    queue,
+                                    trace,
+                                )
+                            continue
+                        error = device._make_error(
+                            current,
+                            Icmpv6Type.DEST_UNREACHABLE,
+                            int(UnreachableCode.ADDR_UNREACHABLE),
+                            self,
+                        )
+                        if error is not None:
+                            trace.errors_generated += 1
+                            self._originate(device, error, queue, trace)
+                        continue
+                    trace.drops += 1  # FLOW_UNRESOLVED: churn blackhole
+                    continue
+                if action == FLOW_UNREACHABLE:
+                    error = device._make_error(
+                        current,
+                        Icmpv6Type.DEST_UNREACHABLE,
+                        int(UnreachableCode.NO_ROUTE),
+                        self,
+                    )
+                    if error is not None:
+                        trace.errors_generated += 1
+                        self._originate(device, error, queue, trace)
+                    continue
+                continue  # FLOW_BLACKHOLE: silent discard
             result = device.receive(current, self)
             self._apply(device, result, queue, trace)
 
@@ -170,7 +329,7 @@ class Network:
         self,
         device: Device,
         result: ReceiveResult,
-        queue: List[Tuple[Device, Packet, bool]],
+        queue: Deque[Tuple[Device, Packet]],
         trace: DeliveryTrace,
     ) -> None:
         for reply in result.replies:
@@ -184,20 +343,18 @@ class Network:
         self,
         device: Device,
         packet: Packet,
-        queue: List[Tuple[Device, Packet, bool]],
+        queue: Deque[Tuple[Device, Packet]],
         trace: DeliveryTrace,
     ) -> None:
         """Route a self-originated packet out of ``device``."""
-        if device.owns(packet.dst):
-            queue.append((device, packet, False))
+        if packet.dst in device.addresses:
+            queue.append((device, packet))
             return
         if device.forwards:
             route = device.table.lookup(packet.dst)
             if route is None:
                 trace.drops += 1
                 return
-            from repro.net.routing import RouteKind
-
             if route.kind is RouteKind.UNREACHABLE:
                 trace.drops += 1
                 return
@@ -207,7 +364,7 @@ class Network:
             assert next_addr is not None
             self._hop(device, next_addr, packet, queue, trace)
             return
-        gateway = getattr(device, "gateway", None)
+        gateway = device.gateway
         if gateway is None:
             trace.drops += 1
             return
@@ -218,10 +375,10 @@ class Network:
         device: Device,
         next_addr: IPv6Addr,
         packet: Packet,
-        queue: List[Tuple[Device, Packet, bool]],
+        queue: Deque[Tuple[Device, Packet]],
         trace: DeliveryTrace,
     ) -> None:
-        next_device = self.device_at(next_addr)
+        next_device = self._addr_owner.get(next_addr.value)
         if next_device is None:
             trace.drops += 1  # next hop fell off the topology: blackhole
             if self.active_trace is not None:
@@ -237,7 +394,7 @@ class Network:
         src: Device,
         dst: Device,
         packet: Packet,
-        queue: List[Tuple[Device, Packet, bool]],
+        queue: Deque[Tuple[Device, Packet]],
         trace: DeliveryTrace,
     ) -> None:
         if self.loss_rate and self.rng.random() < self.loss_rate:
@@ -247,8 +404,9 @@ class Network:
                     "loss", self.clock, src=src.name, dst=dst.name,
                 )
             return
-        link = Link(src.name, dst.name)
-        trace.link_counts[link] = trace.link_counts.get(link, 0) + 1
+        if self.record_links:
+            link = Link(src.name, dst.name)
+            trace.link_counts[link] = trace.link_counts.get(link, 0) + 1
         trace.hops += 1
         self.total_hops += 1
         if self.record_paths:
@@ -258,4 +416,4 @@ class Network:
                 "hop", self.clock, device=dst.name, via=src.name,
                 dst=str(packet.dst), hop_limit=packet.hop_limit,
             )
-        queue.append((dst, packet, False))
+        queue.append((dst, packet))

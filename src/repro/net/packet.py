@@ -15,7 +15,7 @@ original probe target from that embedded packet to attribute replies.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Union
 
@@ -270,7 +270,12 @@ class Packet:
         return 59  # No Next Header: opaque payload
 
     def with_hop_limit(self, hop_limit: int) -> "Packet":
-        return replace(self, hop_limit=hop_limit)
+        # Direct construction: dataclasses.replace is ~3x slower and this
+        # runs once per forwarding hop.
+        return Packet(
+            self.src, self.dst, self.payload, hop_limit,
+            self.traffic_class, self.flow_label,
+        )
 
     def encode(self) -> bytes:
         if isinstance(self.payload, bytes):

@@ -62,6 +62,11 @@ class Route:
 class BaseRoutingTable(ABC):
     """Interface shared by the trie and hash LPM implementations."""
 
+    #: Mutation counter: bumped by every ``add``/``remove`` so route-
+    #: resolution caches (the forwarding flow cache) can detect staleness
+    #: with one integer comparison instead of subscribing to changes.
+    version: int = 0
+
     @abstractmethod
     def add(self, route: Route) -> None: ...
 
@@ -76,6 +81,20 @@ class BaseRoutingTable(ABC):
 
     @abstractmethod
     def __len__(self) -> int: ...
+
+    def has_specific_within_slash64(self, key: int) -> bool:
+        """Any route longer than /64 whose prefix lies inside this /64?
+
+        ``key`` is the /64 network value right-shifted by 64.  The flow
+        cache may serve a whole /64 of destinations from one entry only
+        when no more-specific route could override the cached decision for
+        *some* address of that /64; this is the guard.  Generic O(routes)
+        implementation; the hash table overrides it with a per-length probe.
+        """
+        for route in self.routes():
+            if route.prefix.length > 64 and (route.prefix.network >> 64) == key:
+                return True
+        return False
 
     def add_connected(self, prefix: IPv6Prefix, interface: str = "") -> None:
         self.add(Route(prefix, RouteKind.CONNECTED, interface=interface))
@@ -113,9 +132,11 @@ class RoutingTable(BaseRoutingTable):
     def __init__(self) -> None:
         self._root = _Node()
         self._count = 0
+        self.version = 0
 
     def add(self, route: Route) -> None:
         """Insert a route, replacing any existing route for the same prefix."""
+        self.version += 1
         node = self._root
         prefix = route.prefix
         for depth in range(prefix.length):
@@ -144,6 +165,7 @@ class RoutingTable(BaseRoutingTable):
             return False
         node.route = None
         self._count -= 1
+        self.version += 1
         return True
 
     def lookup(self, addr: IPv6Addr | int) -> Optional[Route]:
@@ -194,6 +216,7 @@ class HashRoutingTable(BaseRoutingTable):
     def __init__(self) -> None:
         self._by_length: Dict[int, Dict[int, Route]] = {}
         self._lengths_desc: List[int] = []
+        self.version = 0
 
     def add(self, route: Route) -> None:
         length = route.prefix.length
@@ -202,6 +225,7 @@ class HashRoutingTable(BaseRoutingTable):
             bucket = self._by_length[length] = {}
             self._lengths_desc = sorted(self._by_length, reverse=True)
         bucket[route.prefix.network] = route
+        self.version += 1
 
     def remove(self, prefix: IPv6Prefix) -> bool:
         bucket = self._by_length.get(prefix.length)
@@ -211,6 +235,7 @@ class HashRoutingTable(BaseRoutingTable):
         if not bucket:
             del self._by_length[prefix.length]
             self._lengths_desc = sorted(self._by_length, reverse=True)
+        self.version += 1
         return True
 
     def lookup(self, addr: IPv6Addr | int) -> Optional[Route]:
@@ -225,6 +250,16 @@ class HashRoutingTable(BaseRoutingTable):
     def routes(self) -> Iterator[Route]:
         for bucket in self._by_length.values():
             yield from bucket.values()
+
+    def has_specific_within_slash64(self, key: int) -> bool:
+        """Probe only the longer-than-/64 length buckets (usually none)."""
+        for length in self._lengths_desc:
+            if length <= 64:
+                break
+            for network in self._by_length[length]:
+                if (network >> 64) == key:
+                    return True
+        return False
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._by_length.values())

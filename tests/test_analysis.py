@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.report import ComparisonTable, fmt_count, fmt_pct
 from repro.analysis import figures, tables
-from repro.discovery.iid import IidClass
 from repro.discovery.periphery import discover
 from repro.discovery.vendor_id import VendorIdentifier
 from repro.loop.casestudy import CASE_STUDY_ROUTERS, run_case_study

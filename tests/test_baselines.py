@@ -1,12 +1,10 @@
 """Baseline discovery techniques vs XMap on the mini topology."""
 
-import pytest
-
 from repro.baselines.endhost import scan_end_hosts
 from repro.baselines.traceroute_discovery import discover_by_traceroute
 from repro.discovery.periphery import discover
 
-from tests.topo import MiniTopology, build_mini
+from tests.topo import build_mini
 
 
 class TestTracerouteDiscovery:

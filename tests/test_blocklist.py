@@ -1,7 +1,5 @@
 """Block/allow list semantics and the radix prefix set."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,0 +1,146 @@
+"""The CI perf-regression gate must catch slowdowns and skip honestly."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.check_regression import (
+    check_metric,
+    load_fresh,
+    main,
+    parallel_metric,
+    per_worker_efficiency,
+    run_gate,
+)
+
+
+def _record(**overrides) -> dict:
+    base = {"bench": "perf_scanner", "scale": 20000.0, "seed": 7,
+            "wall_pps": 10_000.0}
+    base.update(overrides)
+    return base
+
+
+class TestCheckMetric:
+    def test_within_tolerance_passes(self):
+        verdict = check_metric(
+            "perf_scanner", "wall_pps", True,
+            _record(), _record(wall_pps=9_000.0),
+        )
+        assert verdict.failure is None
+
+    def test_injected_slowdown_fails(self):
+        verdict = check_metric(
+            "perf_scanner", "wall_pps", True,
+            _record(), _record(wall_pps=6_000.0),  # 40% drop
+        )
+        assert verdict.failure is not None
+        assert "wall_pps" in verdict.failure
+
+    def test_improvement_never_fails(self):
+        verdict = check_metric(
+            "perf_scanner", "wall_pps", True,
+            _record(), _record(wall_pps=30_000.0),
+        )
+        assert verdict.failure is None
+
+    def test_lower_is_better_direction(self):
+        base = _record(bench="perf_parallel", parallel_wall_seconds=1.0)
+        slow = _record(bench="perf_parallel", parallel_wall_seconds=1.5)
+        verdict = check_metric(
+            "perf_parallel", "parallel_wall_seconds", False, base, slow,
+        )
+        assert verdict.failure is not None
+
+    def test_scale_mismatch_skips(self):
+        verdict = check_metric(
+            "perf_scanner", "wall_pps", True,
+            _record(scale=1000.0), _record(wall_pps=1.0),
+        )
+        assert verdict.failure is None
+        assert "skipped" in (verdict.note or "")
+
+    def test_missing_metric_skips(self):
+        verdict = check_metric(
+            "perf_scanner", "wall_pps", True,
+            _record(), {"scale": 20000.0, "seed": 7},
+        )
+        assert verdict.failure is None
+        assert verdict.note is not None
+
+
+class TestParallelGate:
+    def test_full_host_compares_wall_seconds(self):
+        full = {"workers": 4, "cores": 8}
+        assert parallel_metric(full, full) == ("parallel_wall_seconds", False)
+
+    def test_starved_runner_compares_efficiency(self):
+        baseline = {"workers": 4, "cores": 8}
+        starved = {"workers": 4, "cores": 1}
+        assert parallel_metric(baseline, starved) == (
+            "per_worker_efficiency", True,
+        )
+        assert parallel_metric(starved, baseline) == (
+            "per_worker_efficiency", True,
+        )
+
+    def test_efficiency_fallback_for_old_baselines(self):
+        # The pre-gate baseline records speedup/workers/cores but not the
+        # derived efficiency; the gate must reconstruct it.
+        old = {"speedup": 0.84, "workers": 4, "cores": 1}
+        assert per_worker_efficiency(old) == 0.84
+        new = {"per_worker_efficiency": 0.5}
+        assert per_worker_efficiency(new) == 0.5
+        assert per_worker_efficiency({"workers": 4}) is None
+
+
+class TestRunGate:
+    def _write(self, tmp_path, name, record):
+        (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(record))
+
+    def test_end_to_end_failure_on_injected_slowdown(self, tmp_path):
+        baselines = {
+            "perf_scanner": _record(wall_pps=27_000.0),
+            "perf_flowcache": _record(bench="perf_flowcache",
+                                      cached_wall_pps=50_000.0),
+            "perf_parallel": _record(bench="perf_parallel", workers=4,
+                                     cores=8, parallel_wall_seconds=1.0),
+        }
+        self._write(tmp_path, "perf_scanner", _record(wall_pps=13_000.0))
+        self._write(tmp_path, "perf_flowcache",
+                    _record(bench="perf_flowcache",
+                            cached_wall_pps=49_000.0))
+        self._write(tmp_path, "perf_parallel",
+                    _record(bench="perf_parallel", workers=4, cores=8,
+                            parallel_wall_seconds=1.05))
+        verdicts = run_gate(results_dir=tmp_path,
+                            baseline_loader=baselines.get)
+        failures = [v for v in verdicts if v.failure]
+        assert len(failures) == 1
+        assert failures[0].bench == "perf_scanner"
+
+    def test_end_to_end_clean_pass(self, tmp_path):
+        record = _record(wall_pps=27_000.0)
+        self._write(tmp_path, "perf_scanner", record)
+        verdicts = run_gate(results_dir=tmp_path,
+                            baseline_loader={"perf_scanner": record}.get)
+        assert not [v for v in verdicts if v.failure]
+        # Benches without fresh records are skipped, not failed.
+        assert any("no fresh record" in (v.note or "") for v in verdicts)
+
+    def test_missing_baseline_is_a_skip(self, tmp_path):
+        self._write(tmp_path, "perf_scanner", _record())
+        verdicts = run_gate(results_dir=tmp_path,
+                            baseline_loader=lambda name: None)
+        assert not [v for v in verdicts if v.failure]
+        assert all("baseline" in (v.note or "") or "fresh" in (v.note or "")
+                   for v in verdicts)
+
+    def test_load_fresh_absent(self, tmp_path):
+        assert load_fresh("perf_scanner", tmp_path) is None
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        # No fresh records at all: everything skips, gate passes.
+        assert main(["--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perf gate clean" in out

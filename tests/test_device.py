@@ -5,7 +5,6 @@ import pytest
 from repro.net.addr import IPv6Addr, IPv6Prefix
 from repro.net.device import (
     CpeRouter,
-    Device,
     ErrorRateLimiter,
     Host,
     IspRouter,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.discovery.iid import IidClass
 from repro.discovery.periphery import discover
 from repro.discovery.subnet import infer_subprefix_length
 from repro.discovery.vendor_id import VendorIdentifier

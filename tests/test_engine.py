@@ -21,7 +21,7 @@ from repro.engine import (
     execute_job,
     make_executor,
 )
-from repro.engine.checkpoint import DONE, PARTIAL, ShardState
+from repro.engine.checkpoint import DONE, PARTIAL
 from repro.net.addr import IPv6Addr
 from repro.net.spec import BuiltTopology, TopologySpec, register_topology
 

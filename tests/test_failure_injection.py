@@ -1,7 +1,5 @@
 """Failure injection: loss, filtering ISPs, and rate-limited devices."""
 
-import pytest
-
 from repro.core.probes.icmp import IcmpEchoProbe
 from repro.core.scanner import ScanConfig, Scanner
 from repro.core.target import ScanRange

@@ -1,7 +1,5 @@
 """Traceroute and hop-distance estimation (the Yarrp6 substitute)."""
 
-import pytest
-
 from repro.core.probes.base import ReplyKind
 from repro.loop.hopcount import (
     hop_distance,

@@ -10,7 +10,6 @@ from repro.loop.casestudy import (
     test_router as bench_router,
 )
 from repro.loop.detector import find_loops
-from repro.net.addr import IPv6Addr
 from repro.net.packet import MAX_HOP_LIMIT
 
 from tests.topo import MiniTopology, build_mini

@@ -95,7 +95,7 @@ class TestForwardingEngine:
         assert trace.hops == 2  # vantage->core, core->isp
 
     def test_loop_bounded_by_hop_limit(self):
-        topo = build_mini()
+        topo = build_mini(record_links=True)
         target = MiniTopology.LAN_VULN.subprefix(15, 64).address(0x77)
         probe = echo_request(
             topo.vantage.primary_address, target, 1, 1, hop_limit=255
@@ -151,7 +151,7 @@ class TestForwardingEngine:
         assert net.clock == 2.5
 
     def test_crossings_is_bidirectional(self):
-        topo = build_mini()
+        topo = build_mini(record_links=True)
         target = MiniTopology.WAN_VULN.address(0xABCD)
         probe = echo_request(
             topo.vantage.primary_address, target, 1, 1, hop_limit=41

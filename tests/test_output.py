@@ -68,7 +68,7 @@ class TestMitigation:
     def test_rfc7084_fix_stops_the_loop(self):
         """§VII: adding the discard route converts the loop into a clean
         Destination Unreachable."""
-        topo = build_mini()
+        topo = build_mini(record_links=True)
         target = MiniTopology.LAN_VULN.subprefix(9, 64).address(0xBAD)
         probe = echo_request(
             topo.vantage.primary_address, target, 1, 1,
@@ -85,7 +85,7 @@ class TestMitigation:
         assert inbox[0].payload.type == Icmpv6Type.DEST_UNREACHABLE
 
     def test_fix_also_covers_wan(self):
-        topo = build_mini()
+        topo = build_mini(record_links=True)
         target = MiniTopology.WAN_VULN.address(0xDEAD)
         topo.cpe_vuln.apply_rfc7084_fix()
         probe = echo_request(

@@ -1,8 +1,5 @@
 """Number theory behind the cyclic-group permutation."""
 
-import math
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

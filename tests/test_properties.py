@@ -1,7 +1,5 @@
 """Cross-module property and fuzz tests."""
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cyclic import CyclicGroupPermutation

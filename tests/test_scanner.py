@@ -8,7 +8,7 @@ from repro.core.scanner import ScanConfig, Scanner
 from repro.core.target import IidStrategy, ScanRange
 from repro.core.validate import Validator
 
-from tests.topo import MiniTopology, build_mini
+from tests.topo import build_mini
 
 SECRET = bytes(range(16))
 
@@ -33,7 +33,7 @@ class TestScannerEndToEnd:
 
     def test_finds_cpe_ue_and_loop_devices(self):
         topo = build_mini()
-        result = _scanner(topo, "2001:db8:0:0::/46-64", max_probes=None).run()
+        _scanner(topo, "2001:db8:0:0::/46-64", max_probes=None).run()
         # /46-64: 256k probes is too many; use the per-aggregate windows:
         # (covered by the dedicated tests below)
 

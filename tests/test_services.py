@@ -3,9 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.net.addr import IPv6Addr
 from repro.services.banner import FtpServer, SshServer, TelnetServer
-from repro.services.base import SERVICE_SPECS, Software
+from repro.services.base import Software
 from repro.services.dns import (
     DnsError,
     DnsForwarder,
