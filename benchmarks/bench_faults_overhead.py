@@ -1,0 +1,110 @@
+"""Fault-layer fast-path cost: chaos machinery armed but idle.
+
+The resilience contract mirrors the telemetry one: when no fault window is
+active the chaos engine must be effectively free.  An armed
+:class:`~repro.faults.FaultInjector` costs one float comparison per
+injected probe (``clock >= next_transition``), and the adaptive-rate
+controller adds a per-window bookkeeping pass; neither may tax the §IV-E
+probing budget.  This bench runs the same 2000-probe scan twice — fault
+layer fully disabled, and armed with a far-future schedule plus the
+adaptive controller enabled — and asserts the difference stays under the
+<2% budget.
+
+The measurement is the same defensive ABBA-paired scheme as
+``bench_telemetry_overhead``: rounds alternate which configuration goes
+first, and the reported overhead is the smaller of the per-config-minima
+ratio and the median per-pair ratio, so one noisy CI round can't fail the
+gate while a real regression (which moves both estimators) still does.
+
+``REPRO_FAULTS_TOLERANCE`` (default 0.02 — the <2% budget) sets the
+failure threshold.
+"""
+
+import os
+import statistics
+import time
+
+from repro.analysis.report import ComparisonTable
+from repro.core.probes.icmp import IcmpEchoProbe
+from repro.core.scanner import ScanConfig, Scanner
+from repro.core.target import ScanRange
+from repro.core.validate import Validator
+from repro.faults import LOSS_BURST, FaultEvent, FaultSchedule
+
+from benchmarks.conftest import SEED, write_bench_json, write_result
+
+ROUNDS = 12
+PROBES = 2000
+TOLERANCE = float(os.environ.get("REPRO_FAULTS_TOLERANCE", "0.02"))
+
+#: Armed but never active: the scan finishes aeons (of virtual time) before
+#: the window opens, so every probe pays exactly the idle-path cost.
+IDLE_SCHEDULE = FaultSchedule(seed=SEED, events=(
+    FaultEvent(kind=LOSS_BURST, start=1e6, end=1e6 + 1.0, rate=0.5),
+))
+
+
+def test_fault_layer_idle_overhead(deployment):
+    isp = deployment.isps["in-airtel-mobile"]
+    probe = IcmpEchoProbe(Validator(bytes(range(16))))
+
+    def one_round(armed: bool) -> float:
+        config = ScanConfig(
+            scan_range=ScanRange.parse(isp.scan_spec),
+            seed=SEED,
+            max_probes=PROBES,
+            fault_schedule=IDLE_SCHEDULE if armed else None,
+            adaptive_rate=armed,
+        )
+        scanner = Scanner(deployment.network, deployment.vantage, probe,
+                          config)
+        started = time.perf_counter()
+        scanner.run()
+        return time.perf_counter() - started
+
+    one_round(False), one_round(True)  # warm both paths before timing
+    disabled = armed = float("inf")
+    pair_ratios = []
+    for i in range(ROUNDS):
+        if i % 2 == 0:  # ABBA: alternate which config goes first
+            d = one_round(False)
+            a = one_round(True)
+        else:
+            a = one_round(True)
+            d = one_round(False)
+        disabled = min(disabled, d)
+        armed = min(armed, a)
+        pair_ratios.append(a / d)
+    overhead = min(
+        armed / disabled - 1.0,
+        statistics.median(pair_ratios) - 1.0,
+    )
+
+    table = ComparisonTable(
+        "Fault-layer overhead while idle (min of "
+        f"{ROUNDS} interleaved rounds, {PROBES} probes each)",
+        ("Configuration", "best wall", "probes/s"),
+    )
+    table.add("faults disabled", f"{disabled * 1000:.1f} ms",
+              f"{PROBES / disabled:,.0f}")
+    table.add("armed idle schedule + adaptive rate",
+              f"{armed * 1000:.1f} ms", f"{PROBES / armed:,.0f}")
+    table.note(
+        f"overhead {overhead:+.2%} (budget {TOLERANCE:.0%})"
+    )
+    write_result("faults_overhead", table)
+    write_bench_json(
+        "faults_overhead",
+        rounds=ROUNDS,
+        probes=PROBES,
+        disabled_wall_seconds=disabled,
+        armed_wall_seconds=armed,
+        disabled_pps=PROBES / disabled,
+        armed_pps=PROBES / armed,
+        overhead=overhead,
+        tolerance=TOLERANCE,
+    )
+
+    assert overhead < TOLERANCE, (
+        f"idle fault layer cost {overhead:.2%} (budget {TOLERANCE:.0%})"
+    )

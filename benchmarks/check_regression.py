@@ -15,6 +15,10 @@ and fails when a headline metric regressed beyond tolerance:
   recorded ``cores < workers``) the gate compares ``per_worker_efficiency``
   = speedup / min(workers, cores) instead, since raw wall seconds against
   a many-core baseline are meaningless there.
+* ``faults_overhead`` — ``disabled_pps`` (higher is better): scanner
+  throughput with the fault layer compiled in but disabled, so dead-path
+  cost added to the probe loop shows up even though the bench's own <2%
+  armed-vs-disabled assertion would not catch it.
 
 Runs where the baseline is missing (a brand-new bench) or was recorded at
 a different ``REPRO_SCALE``/``REPRO_SEED`` are skipped with a note rather
@@ -177,6 +181,7 @@ def run_gate(
     gate("perf_scanner", lambda b, f: ("wall_pps", True))
     gate("perf_flowcache", lambda b, f: ("cached_wall_pps", True))
     gate("perf_parallel", parallel_metric)
+    gate("faults_overhead", lambda b, f: ("disabled_pps", True))
     return verdicts
 
 

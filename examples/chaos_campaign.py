@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Chaos campaign: deterministic fault injection against a hardened scan.
+
+Builds a five-event fault schedule — a bursty loss window, a CPE router
+crash/reboot, an ICMPv6 rate-limit clampdown, a blackhole window, and a
+route flap — and runs the same census three times over the mini testbed:
+
+1. a clean baseline (no faults, no adaptation);
+2. the faulted scan with a *naive* scanner (no retries, fixed rate);
+3. the faulted scan with the hardened pipeline (AIMD adaptive rate +
+   per-target retransmission), which claws back the lost targets.
+
+Everything is keyed off the simulator's virtual clock and a dedicated
+fault RNG, so the same seed + schedule reproduces the identical chaos —
+packet for packet — on every run and on every executor backend.
+
+Run:  python examples/chaos_campaign.py
+"""
+
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.engine import Campaign, ProbeSpec
+from repro.faults import (
+    BLACKHOLE,
+    LOSS_BURST,
+    RATE_LIMIT,
+    ROUTE_FLAP,
+    ROUTER_CRASH,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.net.spec import TopologySpec
+
+SEED = 1
+RANGE = "2001:db8:1:50::/60-64"  # 16 sub-prefixes behind cpe-ok, all answer
+RATE_PPS = 2000.0  # 16 targets at 2 kpps span 8 virtual milliseconds
+
+# Five overlap-free windows paced across the scan's virtual envelope.
+# Same schedule + same seed = same chaos, bit for bit.
+SCHEDULE = FaultSchedule(
+    seed=42,
+    events=(
+        FaultEvent(kind=LOSS_BURST, start=0.0005, end=0.0015, rate=0.6),
+        FaultEvent(kind=ROUTER_CRASH, start=0.002, end=0.003,
+                   device="cpe-ok"),
+        FaultEvent(kind=RATE_LIMIT, start=0.0035, end=0.0045,
+                   device="cpe-ok", rate=200.0, burst=1),
+        FaultEvent(kind=BLACKHOLE, start=0.005, end=0.006, device="isp",
+                   prefix="2001:db8:1:50::/60"),
+        FaultEvent(kind=ROUTE_FLAP, start=0.0065, end=0.007, device="isp",
+                   prefix="2001:db8:1:50::/60"),
+    ),
+)
+
+
+def run(label: str, **knobs) -> None:
+    config = ScanConfig(scan_range=ScanRange.parse(RANGE), seed=SEED,
+                        rate_pps=RATE_PPS, **knobs)
+    campaign = Campaign(
+        TopologySpec.mini(seed=SEED),
+        {label: config},
+        probe=ProbeSpec.for_seed(SEED),
+        shards=1,
+    )
+    result = campaign.run()
+    stats = result.stats
+    faults = result.events.of_type("fault_applied")
+    retrans = result.metrics.counter("scanner_retransmits").value
+    recovered = result.metrics.counter("scanner_retransmit_recoveries").value
+    print(f"{label:<18} sent {stats.sent:3d}  validated {stats.validated:2d} "
+          f"({stats.hit_rate:7.2%})  faults {len(faults)}  "
+          f"retransmits {retrans} ({recovered} recovered)")
+
+
+def main() -> None:
+    print("Schedule (JSON, loadable via repro scan --fault-schedule):")
+    print(SCHEDULE.to_json(indent=2))
+    print()
+
+    run("baseline")
+    run("chaos / naive", fault_schedule=SCHEDULE)
+    run("chaos / hardened", fault_schedule=SCHEDULE,
+        retransmit=2, retransmit_backoff=0.0002,
+        adaptive_rate=True, adaptive_window=4)
+
+    print("\nThe naive scanner loses every target whose probe (or reply) "
+          "fell into a\nfault window; the hardened pipeline retransmits "
+          "through the chaos and backs\nits rate off under the clampdown, "
+          "recovering the full census.  Re-run this\nscript: the numbers "
+          "never change.")
+
+
+if __name__ == "__main__":
+    main()

@@ -105,6 +105,29 @@ def cmd_scan(args) -> int:
         except (AddressError, ValueError) as exc:
             print(f"error: invalid --range {text!r}: {exc}", file=sys.stderr)
             return 2
+    if args.shard_timeout is not None and args.executor == "serial":
+        print("error: --shard-timeout needs --executor thread or process "
+              "(the serial backend cannot watchdog itself)", file=sys.stderr)
+        return 2
+    if args.retransmit < 0:
+        print("error: --retransmit must be >= 0", file=sys.stderr)
+        return 2
+    fault_schedule = None
+    if args.fault_schedule:
+        from repro.faults import FaultSchedule, ScheduleError
+
+        try:
+            fault_schedule = FaultSchedule.from_file(args.fault_schedule)
+        except OSError as exc:
+            print(f"error: cannot read --fault-schedule "
+                  f"{args.fault_schedule!r}: {exc}", file=sys.stderr)
+            return 2
+        except ScheduleError as exc:
+            print(f"error: invalid --fault-schedule "
+                  f"{args.fault_schedule!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"fault schedule armed: {len(fault_schedule)} event(s), "
+              f"seed {fault_schedule.seed}", file=sys.stderr)
 
     profiles = _profiles(args)
     keys = tuple(p.key for p in profiles)
@@ -123,6 +146,9 @@ def cmd_scan(args) -> int:
             trace=args.trace,
             flow_cache=not args.no_flow_cache,
             batched=args.batched,
+            fault_schedule=fault_schedule,
+            adaptive_rate=args.adaptive_rate,
+            retransmit=args.retransmit,
         )
 
     if args.range:
@@ -143,6 +169,7 @@ def cmd_scan(args) -> int:
         resume=args.resume,
         monitor=ProgressMonitor(min_interval=0.5, json_mode=args.log_json),
         prebuilt=built if args.executor == "serial" else None,
+        shard_timeout=args.shard_timeout,
     )
     try:
         result = campaign.run()
@@ -394,6 +421,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batched", action="store_true",
                    help="run shards through the block-amortised scan loop "
                         "(identical results)")
+    p.add_argument("--fault-schedule", default=None, metavar="FILE",
+                   help="JSON fault schedule (repro.faults) injected into "
+                        "every shard's simulated network — deterministic "
+                        "chaos testing")
+    p.add_argument("--adaptive-rate", action="store_true",
+                   help="AIMD probe-rate control: back off on reply-rate "
+                        "collapse, creep back to --rate when healthy")
+    p.add_argument("--retransmit", type=int, default=0, metavar="N",
+                   help="retry silent targets up to N times with jittered "
+                        "exponential virtual backoff (default 0 = off)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="watchdog: abandon and retry any shard still running "
+                        "after this many wall seconds (thread/process "
+                        "executors only)")
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("services", help="Tables VII-VIII: service audit")

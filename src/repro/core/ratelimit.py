@@ -46,6 +46,16 @@ class TokenBucket:
         self._last = send_at
         return send_at
 
+    def set_rate(self, rate_pps: float) -> None:
+        """Retarget the refill rate (adaptive rate control).
+
+        Takes effect from the bucket's last accounting point; accumulated
+        tokens are kept.
+        """
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate_pps
+
 
 class VirtualPacer:
     """Advances a :class:`repro.net.network.Network` clock at a target pps.
@@ -82,3 +92,11 @@ class VirtualPacer:
             self._stalls.inc()
             self._waits.observe(send_at - now)
         return send_at
+
+    def set_rate(self, rate_pps: float) -> None:
+        """Retarget the pacing rate mid-scan (AIMD adaptive control)."""
+        self.bucket.set_rate(rate_pps)
+
+    @property
+    def rate(self) -> float:
+        return self.bucket.rate

@@ -19,7 +19,16 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Callable, Dict, Iterator, List, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.blocklist import Blocklist
 from repro.core.permutation import make_permutation
@@ -38,6 +47,12 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.trace import ProbeTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.adaptive import RetransmitPolicy
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import FaultSchedule
+    from repro.telemetry.trace import ProbeTrace
 
 
 @dataclass(frozen=True)
@@ -206,6 +221,36 @@ class ScanConfig:
     #: Dispatch :meth:`Scanner.run_batched` instead of :meth:`Scanner.run`
     #: (the engine worker and CLI honour this; results are identical).
     batched: bool = False
+    #: Deterministic chaos: a :class:`repro.faults.schedule.FaultSchedule`
+    #: armed against the network for the duration of the scan (None = no
+    #: fault layer at all — the default costs nothing on the hot path).
+    fault_schedule: Optional["FaultSchedule"] = None
+    #: AIMD rate control (ZMap/XMap-style): multiplicative decrease when
+    #: the validated-reply rate collapses below ``adaptive_collapse`` ×
+    #: its EMA baseline, additive increase back toward ``rate_pps``.
+    #: Off by default; when off the scan is bit-identical to today.
+    adaptive_rate: bool = False
+    #: Targets per AIMD observation window.
+    adaptive_window: int = 256
+    #: Floor the adaptive rate never decreases below (pps).
+    adaptive_min_pps: float = 100.0
+    #: Multiplicative-decrease factor applied on reply-rate collapse.
+    adaptive_decrease: float = 0.5
+    #: Additive increase per healthy window, as a fraction of ``rate_pps``.
+    adaptive_increase: float = 0.05
+    #: A window counts as collapsed when its reply rate falls below this
+    #: fraction of the EMA baseline.
+    adaptive_collapse: float = 0.5
+    #: Retransmission policy: max retries for a target whose probes (all
+    #: ``probes_per_target`` copies) produced zero validated replies.
+    #: 0 disables retransmission entirely (the default).
+    retransmit: int = 0
+    #: Base virtual-seconds backoff before the first retry (doubles per
+    #: attempt, plus jitter).
+    retransmit_backoff: float = 0.01
+    #: Jitter fraction applied to each backoff (0 = deterministic spacing;
+    #: the jitter RNG is seeded from ``seed`` either way).
+    retransmit_jitter: float = 0.5
 
 
 class Scanner:
@@ -250,6 +295,10 @@ class Scanner:
         self.position = 0
         #: Result being accumulated by :meth:`run` (live view for hooks).
         self.result: Optional[ScanResult] = None
+        #: The armed :class:`~repro.faults.injector.FaultInjector` while a
+        #: fault schedule is active (the engine worker harvests its
+        #: records); None when the scan runs without a fault layer.
+        self.fault_injector: Optional["FaultInjector"] = None
         #: Called after each target is fully processed; the orchestration
         #: engine hangs periodic checkpointing and failure injection here.
         self.on_progress: Optional[Callable[["Scanner"], None]] = None
@@ -386,10 +435,134 @@ class Scanner:
         network = self.network
         saved_flow = network.flow_cache
         network.flow_cache = saved_flow and config.flow_cache
+        injector = self._arm_faults()
         try:
             return self._run_serial()
         finally:
             network.flow_cache = saved_flow
+            if injector is not None:
+                injector.restore()
+
+    # -- resilience layer (all no-ops unless configured) -----------------------
+
+    def _arm_faults(self) -> Optional["FaultInjector"]:
+        """Arm the configured fault schedule, if any, against the network."""
+        schedule = self.config.fault_schedule
+        if schedule is None:
+            return None
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            self.network, schedule, metrics=self.metrics,
+            protected=(self.vantage.name,),
+        )
+        injector.arm()
+        self.fault_injector = injector
+        return injector
+
+    def _hardening(self):
+        """(AIMD controller, retransmit policy) per config — None when off."""
+        config = self.config
+        controller = policy = None
+        if config.adaptive_rate:
+            from repro.core.adaptive import AdaptiveRateController
+
+            controller = AdaptiveRateController(self.pacer, config,
+                                                self.metrics)
+        if config.retransmit > 0:
+            from repro.core.adaptive import RetransmitPolicy
+
+            policy = RetransmitPolicy(config, self.metrics)
+        return controller, policy
+
+    def _retransmit(
+        self,
+        policy: "RetransmitPolicy",
+        target: IPv6Addr,
+        source: IPv6Addr,
+        seen: Set[tuple],
+        result: ScanResult,
+        span: Optional["ProbeTrace"],
+    ) -> Tuple[int, int, int, int, int]:
+        """Retry one silent target; returns (sent, received, validated,
+        invalid, duplicate) tallies for the caller to fold into its own
+        accounting (``ScanStats`` in the serial loop, block-local ints in
+        the batched loop — keeping both loops bit-identical).
+        """
+        config = self.config
+        network = self.network
+        metrics = self.metrics
+        sent = received = validated = invalid = duplicate = 0
+        h_hops = metrics.histogram("probe_hops", bounds=HOP_BUCKETS)
+        for attempt in range(policy.limit):
+            delay = policy.backoff(attempt)
+            network.advance(delay)
+            send_at = self.pacer.pace()
+            probe_packet = self.probe.build(source, target)
+            if config.wire_mode:
+                probe_packet = Packet.decode(probe_packet.encode())
+            sent += 1
+            policy.on_retransmit(delay)
+            if span is not None:
+                span.add("retransmit", send_at, attempt=attempt,
+                         backoff=delay)
+                network.active_trace = span
+            inbox, delivery = network.inject(probe_packet, self.vantage)
+            if span is not None:
+                network.active_trace = None
+            h_hops.observe(delivery.hops)
+            recovered = False
+            for reply in inbox:
+                received += 1
+                if config.wire_mode:
+                    reply = Packet.decode(reply.encode())
+                classified = self.probe.classify(reply)
+                if classified is None:
+                    invalid += 1
+                    if span is not None:
+                        span.add("verdict", network.clock,
+                                 outcome="validation-failed")
+                    continue
+                if config.dedup_replies:
+                    key = (
+                        classified.responder.value,
+                        classified.target.value,
+                        classified.kind,
+                    )
+                    if key in seen:
+                        duplicate += 1
+                        if span is not None:
+                            span.add("verdict", network.clock,
+                                     outcome="duplicate")
+                        continue
+                    seen.add(key)
+                validated += 1
+                recovered = True
+                metrics.counter(
+                    "scanner_replies",
+                    kind=classified.kind.value,
+                    icmp_type=classified.icmp_type,
+                    icmp_code=classified.icmp_code,
+                ).inc()
+                if span is not None:
+                    span.add(
+                        "verdict", network.clock, outcome="validated",
+                        kind=classified.kind.value,
+                        responder=str(classified.responder),
+                    )
+                result.results.append(
+                    ProbeResult(
+                        target=classified.target,
+                        responder=classified.responder,
+                        kind=classified.kind,
+                        icmp_type=classified.icmp_type,
+                        icmp_code=classified.icmp_code,
+                    )
+                )
+            if recovered:
+                policy.on_recovery()
+                break
+        return sent, received, validated, invalid, duplicate
 
     def _run_serial(self) -> ScanResult:
         config = self.config
@@ -419,8 +592,14 @@ class Scanner:
         reply_counters: Dict[tuple, object] = {}
         stride = max(1, config.progress_every)
         processed = 0
+        controller, policy = self._hardening()
+        hardened = controller is not None or policy is not None
+        sent_before = val_before = 0
 
         for target in self.targets():
+            if hardened:
+                sent_before = stats.sent
+                val_before = stats.validated
             span = tracer.begin(target) if tracing else None
             if span is not None:
                 span.add("generated", network.clock, target=str(target),
@@ -502,6 +681,23 @@ class Scanner:
                         icmp_code=classified.icmp_code,
                     )
                 )
+            if hardened:
+                if policy is not None and stats.validated == val_before:
+                    d_sent, d_recv, d_val, d_inv, d_dup = self._retransmit(
+                        policy, target, source, seen, result, span
+                    )
+                    stats.sent += d_sent
+                    stats.received += d_recv
+                    stats.validated += d_val
+                    stats.discarded += d_inv + d_dup
+                    c_sent.inc(d_sent)
+                    c_received.inc(d_recv)
+                    c_validated.inc(d_val)
+                    c_invalid.inc(d_inv)
+                    c_duplicate.inc(d_dup)
+                if controller is not None:
+                    controller.record(stats.sent - sent_before,
+                                      stats.validated - val_before)
             if span is not None:
                 tracer.finish(span)
             processed += 1
@@ -577,8 +773,13 @@ class Scanner:
         # precomputation, each target block's tags are derived in one go.
         primer = getattr(getattr(self.probe, "validator", None), "prime", None)
 
+        controller, policy = self._hardening()
+        hardened = controller is not None or policy is not None
+        sent_before = val_before = 0
+
         saved_flow = network.flow_cache
         network.flow_cache = saved_flow and config.flow_cache
+        injector = self._arm_faults()
         try:
             for block in self._target_blocks(size):
                 if primer is not None:
@@ -586,6 +787,9 @@ class Scanner:
                 n_sent = n_received = n_validated = 0
                 n_invalid = n_duplicate = 0
                 for target in block:
+                    if hardened:
+                        sent_before = n_sent
+                        val_before = n_validated
                     span = tracer.begin(target) if tracing else None
                     if span is not None:
                         span.add("generated", network.clock,
@@ -662,6 +866,19 @@ class Scanner:
                                 icmp_code=classified.icmp_code,
                             )
                         )
+                    if hardened:
+                        if policy is not None and n_validated == val_before:
+                            deltas = self._retransmit(
+                                policy, target, source, seen, result, span
+                            )
+                            n_sent += deltas[0]
+                            n_received += deltas[1]
+                            n_validated += deltas[2]
+                            n_invalid += deltas[3]
+                            n_duplicate += deltas[4]
+                        if controller is not None:
+                            controller.record(n_sent - sent_before,
+                                              n_validated - val_before)
                     if span is not None:
                         tracer.finish(span)
                 # Flush the block's tallies in one go each.
@@ -681,6 +898,8 @@ class Scanner:
                     self.on_progress(self)
         finally:
             network.flow_cache = saved_flow
+            if injector is not None:
+                injector.restore()
 
         stats.blocked = self.blocked_count
         stats.virtual_end = network.clock

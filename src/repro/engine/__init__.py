@@ -20,6 +20,7 @@ from repro.engine.executor import (
     ProcessPoolBackend,
     SerialExecutor,
     ThreadPoolBackend,
+    WatchdogTimeout,
     make_executor,
 )
 from repro.engine.monitor import ProgressMonitor
@@ -47,6 +48,7 @@ __all__ = [
     "ShardPlanner",
     "ShardState",
     "ThreadPoolBackend",
+    "WatchdogTimeout",
     "WorkerInterrupted",
     "execute_job",
     "make_executor",

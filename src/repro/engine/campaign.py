@@ -35,7 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.core.scanner import ScanConfig, ScanResult
 from repro.core.stats import ScanStats
 from repro.engine.checkpoint import CheckpointStore
-from repro.engine.executor import Executor, make_executor
+from repro.engine.executor import Executor, WatchdogTimeout, make_executor
 from repro.engine.monitor import ProgressMonitor
 from repro.engine.planner import ProbeSpec, ShardJob, ShardPlanner
 from repro.engine.worker import ShardOutcome
@@ -115,6 +115,7 @@ class Campaign:
         backoff_base: float = 0.1,
         prebuilt: Optional[BuiltTopology] = None,
         events: Optional[EventLog] = None,
+        shard_timeout: Optional[float] = None,
     ) -> None:
         if isinstance(configs, Mapping):
             self.configs: Dict[str, ScanConfig] = dict(configs)
@@ -141,7 +142,10 @@ class Campaign:
         if isinstance(executor, Executor):
             self.executor = executor
         else:
-            self.executor = make_executor(executor, workers=workers, prebuilt=prebuilt)
+            self.executor = make_executor(
+                executor, workers=workers, prebuilt=prebuilt,
+                shard_timeout=shard_timeout,
+            )
         self.planner = ShardPlanner(shards)
 
     # -- planning ------------------------------------------------------------
@@ -219,6 +223,16 @@ class Campaign:
             for job, outcome in self.executor.run_jobs(pending):
                 attempts[job.job_id] += 1
                 if isinstance(outcome, Exception):
+                    if isinstance(outcome, WatchdogTimeout):
+                        # A hung worker the watchdog abandoned; it counts
+                        # toward max_retries like any other shard failure.
+                        metrics.counter("campaign_watchdog_kills").inc()
+                        self.events.emit(
+                            "watchdog_timeout",
+                            job_id=job.job_id,
+                            attempt=attempts[job.job_id],
+                            error=str(outcome),
+                        )
                     if attempts[job.job_id] > self.max_retries:
                         failures[job.job_id] = outcome
                     else:

@@ -7,16 +7,25 @@ shard's permutation stream (the resume offset for
 ``ScanConfig.skip``), the partial :class:`~repro.core.stats.ScanStats`, the
 validated replies so far, and an order-independent SHA-256 digest of the
 deduplicated reply set.  Writes are atomic (tmp + rename) so a kill during
-a checkpoint write leaves the previous state intact, and a digest mismatch
-on load — a torn or hand-edited file — discards the state rather than
-resuming from corruption.
+a checkpoint write leaves the previous state intact.
+
+**Integrity**: every payload carries a whole-file SHA-256 ``checksum``
+(computed over the canonical JSON of everything else), so a torn write
+that still parses, a partially flushed file, or hand-editing is detected
+on load.  Corrupt or unparseable state files are **quarantined** — renamed
+to ``<name>.corrupt`` and reported via a ``checkpoint_corrupt`` event —
+and treated as missing, so the campaign re-scans the shard instead of
+resuming from (or crashing on) garbage.  The per-shard reply ``digest``
+check is kept as a second, content-level line of defence.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
@@ -28,6 +37,14 @@ STATE_VERSION = 1
 #: ``done`` shard is never re-executed (zero probes on resume).
 PARTIAL = "partial"
 DONE = "done"
+
+
+def _checksum(payload: Dict[str, object]) -> str:
+    """Whole-payload SHA-256 over canonical JSON (``checksum`` excluded)."""
+    canonical = json.dumps(
+        {k: v for k, v in payload.items() if k != "checksum"}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 @dataclass
@@ -78,10 +95,10 @@ class CheckpointStore:
     """A directory of per-shard state files plus one campaign manifest.
 
     ``on_event`` is an optional telemetry hook: every state transition the
-    store performs (shard write, manifest write, clear) is reported as one
-    structured-event dict, so checkpoint activity lands in the campaign's
-    :class:`~repro.telemetry.events.EventLog` (or a worker's local buffer)
-    without the store knowing anything about logging.
+    store performs (shard write, manifest write, quarantine, clear) is
+    reported as one structured-event dict, so checkpoint activity lands in
+    the campaign's :class:`~repro.telemetry.events.EventLog` (or a worker's
+    local buffer) without the store knowing anything about logging.
     """
 
     MANIFEST = "campaign.json"
@@ -99,18 +116,72 @@ class CheckpointStore:
         if self.on_event is not None:
             self.on_event({"type": event_type, **fields})
 
+    # -- integrity -------------------------------------------------------------
+
+    def _quarantine(self, path: pathlib.Path, what: str,
+                    reason: str) -> None:
+        """Move a corrupt state file aside and report it."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            path.replace(target)
+            quarantined = str(target)
+        except OSError:  # pragma: no cover - race with a concurrent writer
+            quarantined = ""
+        self._event(
+            "checkpoint_corrupt",
+            file=str(path),
+            quarantined=quarantined,
+            what=what,
+            reason=reason,
+        )
+
+    def _load_json(self, path: pathlib.Path,
+                   what: str) -> Optional[Dict[str, object]]:
+        """Parse + checksum-verify one state file; quarantine on corruption.
+
+        Returns None when the file is absent, wrong-version, or corrupt
+        (quarantined).  Payloads without a ``checksum`` field (pre-integrity
+        writers) are accepted as-is.
+        """
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine(path, what, "truncated-or-invalid-json")
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path, what, "not-a-json-object")
+            return None
+        recorded = data.get("checksum")
+        if recorded is not None and recorded != _checksum(data):
+            self._quarantine(path, what, "checksum-mismatch")
+            return None
+        return data
+
+    def _atomic_write(self, path: pathlib.Path,
+                      payload: Dict[str, object]) -> None:
+        payload["checksum"] = _checksum(payload)
+        # Unique tmp name: two workers checkpointing the same shard (a
+        # watchdog-abandoned straggler racing its retry) must not clobber
+        # each other's half-written tmp files.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
     # -- shard state -----------------------------------------------------------
 
     def shard_path(self, job_id: str) -> pathlib.Path:
         return self.directory / _filename(job_id)
 
     def write_shard(self, state: ShardState) -> None:
-        """Atomically persist one shard's state."""
+        """Atomically persist one shard's state (checksummed)."""
         path = self.shard_path(state.job_id)
-        payload = state.to_dict()
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        self._atomic_write(path, state.to_dict())
         self._event(
             "checkpoint_written",
             job_id=state.job_id,
@@ -122,52 +193,56 @@ class CheckpointStore:
     def load_shard(self, job_id: str) -> Optional[ShardState]:
         """Load a shard's state; None if absent, unreadable, or corrupt."""
         path = self.shard_path(job_id)
-        if not path.exists():
+        data = self._load_json(path, what="shard")
+        if data is None or data.get("version") != STATE_VERSION:
             return None
         try:
-            data = json.loads(path.read_text())
-            if data.get("version") != STATE_VERSION:
-                return None
             state = ShardState.from_dict(data)
         except (ValueError, KeyError, TypeError):
+            self._quarantine(path, "shard", "malformed-state")
             return None
         if state.digest and state.digest != state.result.dedup_digest():
-            return None  # torn write or tampering: do not resume from it
+            # Checksum passed but the reply set doesn't hash to the recorded
+            # digest: content-level tampering.  Quarantine rather than let a
+            # resume silently build on altered replies.
+            self._quarantine(path, "shard", "digest-mismatch")
+            return None
         return state
 
     def iter_states(self) -> Iterator[ShardState]:
         for path in sorted(self.directory.glob("shard-*.json")):
-            data = json.loads(path.read_text())
-            if data.get("version") == STATE_VERSION:
+            data = self._load_json(path, what="shard")
+            if data is None or data.get("version") != STATE_VERSION:
+                continue
+            try:
                 yield ShardState.from_dict(data)
+            except (ValueError, KeyError, TypeError):
+                self._quarantine(path, "shard", "malformed-state")
 
     # -- campaign manifest ----------------------------------------------------------
 
     def write_manifest(self, meta: Dict[str, object]) -> None:
         path = self.directory / self.MANIFEST
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps({"version": STATE_VERSION, **meta}))
-        tmp.replace(path)
+        self._atomic_write(path, {"version": STATE_VERSION, **meta})
         self._event("manifest_written", directory=str(self.directory))
 
     def load_manifest(self) -> Optional[Dict[str, object]]:
         path = self.directory / self.MANIFEST
-        if not path.exists():
-            return None
-        try:
-            data = json.loads(path.read_text())
-        except ValueError:
+        data = self._load_json(path, what="manifest")
+        if data is None:
             return None
         return data if data.get("version") == STATE_VERSION else None
 
     def clear(self) -> None:
         """Forget all persisted state (fresh campaign over an old directory)."""
         cleared = 0
-        for path in self.directory.glob("shard-*.json"):
-            path.unlink()
-            cleared += 1
-        manifest = self.directory / self.MANIFEST
-        if manifest.exists():
-            manifest.unlink()
+        for pattern in ("shard-*.json", "shard-*.json.corrupt"):
+            for path in self.directory.glob(pattern):
+                path.unlink()
+                cleared += 1
+        for name in (self.MANIFEST, self.MANIFEST + ".corrupt"):
+            target = self.directory / name
+            if target.exists():
+                target.unlink()
         self._event("checkpoints_cleared", directory=str(self.directory),
                     shards=cleared)

@@ -85,6 +85,12 @@ class ShardJob:
     #: have been sent in the current attempt.  Tests use it to simulate a
     #: worker dying mid-shard; production jobs leave it None.
     interrupt_after: Optional[int] = None
+    #: Harder failure injection: SIGKILL the worker process (after writing a
+    #: partial checkpoint) once this many probes have been sent — a *real*
+    #: process death the kill-test resumes from.  Only honoured on a fresh
+    #: attempt (``skip == 0``), so the resumed run survives.  Production
+    #: jobs leave it None.
+    kill_after: Optional[int] = None
 
 
 class ShardPlanner:

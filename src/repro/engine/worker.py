@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import signal
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -127,12 +128,26 @@ def execute_job(
             )
         )
 
-    if store is not None or job.interrupt_after is not None:
+    if (
+        store is not None
+        or job.interrupt_after is not None
+        or job.kill_after is not None
+    ):
         last_checkpoint = [0]
 
         def on_progress(s: Scanner) -> None:
             assert s.result is not None
             sent = s.result.stats.sent
+            if (
+                job.kill_after is not None
+                and skip == 0  # only the first attempt dies; resumes survive
+                and sent >= job.kill_after
+            ):
+                if store is not None:
+                    _write(PARTIAL)
+                # A real, unhandled process death — no exception, no cleanup;
+                # the checkpoint just written is all that survives.
+                os.kill(os.getpid(), signal.SIGKILL)
             if (
                 job.interrupt_after is not None
                 and sent >= job.interrupt_after
@@ -153,6 +168,11 @@ def execute_job(
         scanner.on_progress = on_progress
 
     result = scanner.run_batched() if config.batched else scanner.run()
+    if scanner.fault_injector is not None:
+        # Fault apply/revert records ride the worker's event stream home so
+        # the campaign's EventLog journals the chaos timeline alongside
+        # checkpoint writes and shard lifecycle events.
+        buffer.records.extend(scanner.fault_injector.records)
     merged = _combined(prior_result, result)
     if store is not None:
         store.write_shard(

@@ -1,0 +1,45 @@
+"""Deterministic, seedable fault injection for the simulated Internet.
+
+The paper's measurements ran for 48 hours against production ISPs, where
+the substrate is hostile and non-stationary: links drop bursts of packets,
+routers reboot and re-converge, and RFC 4443 §2.4(f) rate limiting silently
+swallows the ICMPv6 errors the whole technique depends on.  This package
+models that turbulence as data: a :class:`FaultSchedule` is a picklable
+list of time-windowed :class:`FaultEvent`\\ s keyed off the network's
+*virtual* clock, and a :class:`FaultInjector` arms it against a live
+:class:`~repro.net.network.Network` — applying each fault when the clock
+enters its window and reverting it when the clock leaves.
+
+Determinism is the design constraint: every random draw the fault layer
+makes comes from its own ``random.Random(schedule.seed)``, never from the
+network's topology RNG, so the same seed + schedule reproduces the
+identical packet-level outcome regardless of executor backend (asserted by
+the cross-backend determinism suite).
+"""
+
+from repro.faults.schedule import (
+    BLACKHOLE,
+    FAULT_KINDS,
+    LOSS_BURST,
+    RATE_LIMIT,
+    ROUTE_FLAP,
+    ROUTER_CRASH,
+    FaultEvent,
+    FaultSchedule,
+    ScheduleError,
+)
+from repro.faults.injector import FaultError, FaultInjector
+
+__all__ = [
+    "BLACKHOLE",
+    "FAULT_KINDS",
+    "LOSS_BURST",
+    "RATE_LIMIT",
+    "ROUTE_FLAP",
+    "ROUTER_CRASH",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultError",
+    "FaultInjector",
+    "ScheduleError",
+]

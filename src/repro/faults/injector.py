@@ -1,0 +1,255 @@
+"""Arms a :class:`~repro.faults.schedule.FaultSchedule` against a live
+network.
+
+The injector precomputes the schedule's apply/revert transitions as a
+sorted timeline and exposes a single float, :attr:`next_transition`, that
+the forwarding engine compares against the virtual clock once per
+injection — the entire cost of a *disabled or idle* fault layer is that one
+comparison (guarded by an ``is not None`` check), which is what keeps the
+A/B overhead bench under its 2% budget.
+
+Every fault effect reuses existing simulator machinery rather than adding
+parallel code paths:
+
+* loss bursts populate :attr:`Network.link_loss`, drawn against the
+  dedicated fault RNG inside ``Network._enqueue``;
+* router crashes go through :meth:`Network.unregister` /
+  :meth:`Network.register`, so the topology **generation stamp** bump
+  invalidates every flow-cache entry that resolved through the dark device
+  — exactly the churn path prefix rotation already exercises;
+* route flaps and blackhole windows mutate the device's routing table
+  (bumping ``table.version``, the flow cache's other stamp half);
+* rate-limit tightening swaps the device's
+  :class:`~repro.net.device.ErrorRateLimiter` for the window and restores
+  the original object — suppressed-error accounting keeps accumulating.
+
+:meth:`restore` reverts everything still active (scan ended mid-window)
+and detaches from the network, leaving it pristine for reuse.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.schedule import (
+    BLACKHOLE,
+    LOSS_BURST,
+    RATE_LIMIT,
+    ROUTE_FLAP,
+    ROUTER_CRASH,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.device import Device, ErrorRateLimiter
+from repro.net.routing import Route
+
+
+class FaultError(RuntimeError):
+    """A schedule cannot be armed or applied against this network."""
+
+
+class FaultInjector:
+    """Drives one schedule against one network on the virtual clock."""
+
+    def __init__(
+        self,
+        network,
+        schedule: FaultSchedule,
+        metrics=None,
+        protected: Tuple[str, ...] = (),
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        #: Dedicated chaos RNG: loss draws never touch the topology RNG.
+        self.rng = random.Random(schedule.seed)
+        if metrics is None:
+            from repro.telemetry.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        #: Device names faults must not target (the scan vantage).
+        self.protected = tuple(protected)
+        #: Structured fault records (virtual-clock timestamps) for the
+        #: worker event buffer / campaign EventLog.
+        self.records: List[Dict[str, object]] = []
+        #: Virtual time of the next apply/revert; +inf once exhausted.  The
+        #: forwarding engine checks ``clock >= next_transition`` per inject.
+        self.next_transition = math.inf
+        # (time, phase, seq, action, event): reverts sort before applies at
+        # the same instant so back-to-back windows hand over cleanly.
+        timeline: List[Tuple[float, int, int, str, FaultEvent]] = []
+        for seq, event in enumerate(schedule.events):
+            timeline.append((event.start, 1, seq, "apply", event))
+            timeline.append((event.end, 0, seq, "revert", event))
+        self._timeline = sorted(timeline)
+        self._cursor = 0
+        self._devices: Dict[str, Device] = {}
+        self._crashed: Dict[int, Device] = {}
+        self._limiters: Dict[int, ErrorRateLimiter] = {}
+        self._routes: Dict[int, Optional[Route]] = {}
+        self._active: List[FaultEvent] = []
+        self._armed = False
+        self._drops_baseline = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self) -> None:
+        """Attach to the network; resolve and vet every referenced device."""
+        network = self.network
+        if network.faults is not None and network.faults is not self:
+            raise FaultError("another fault schedule is already armed")
+        for name in self.schedule.device_names():
+            device = network.devices.get(name)
+            if device is None:
+                raise FaultError(
+                    f"fault schedule references unknown device {name!r}"
+                )
+            self._devices[name] = device
+        for event in self.schedule.events:
+            if event.kind == ROUTER_CRASH and event.device in self.protected:
+                raise FaultError(
+                    f"cannot crash protected device {event.device!r} "
+                    "(the scan vantage must survive the campaign)"
+                )
+        self._drops_baseline = network.fault_drops
+        network.faults = self
+        network.fault_rng = self.rng
+        self._armed = True
+        if self._timeline:
+            self.next_transition = self._timeline[0][0]
+
+    def sync(self, clock: float) -> None:
+        """Apply/revert every transition due at or before ``clock``."""
+        timeline = self._timeline
+        cursor = self._cursor
+        while cursor < len(timeline) and timeline[cursor][0] <= clock:
+            _t, _phase, _seq, action, event = timeline[cursor]
+            cursor += 1
+            if action == "apply":
+                self._apply(event, clock)
+            else:
+                self._revert(event, clock, reason="window-end")
+        self._cursor = cursor
+        self.next_transition = (
+            timeline[cursor][0] if cursor < len(timeline) else math.inf
+        )
+
+    def restore(self) -> None:
+        """Revert anything still active and detach from the network."""
+        if not self._armed:
+            return
+        clock = self.network.clock
+        for event in list(reversed(self._active)):
+            self._revert(event, clock, reason="scan-end")
+        self.next_transition = math.inf
+        dropped = self.network.fault_drops - self._drops_baseline
+        if dropped:
+            self.metrics.counter("fault_packets_lost").inc(dropped)
+        if self.network.faults is self:
+            self.network.faults = None
+        self._armed = False
+
+    # -- fault effects -----------------------------------------------------
+
+    def _record(self, phase: str, event: FaultEvent, clock: float,
+                **extra: object) -> None:
+        record: Dict[str, object] = {
+            "type": f"fault_{phase}",
+            "kind": event.kind,
+            "t_virtual": clock,
+            "window": [event.start, event.end],
+        }
+        if event.device is not None:
+            record["device"] = event.device
+        if event.link is not None:
+            record["link"] = list(event.link)
+        if event.prefix is not None:
+            record["prefix"] = event.prefix
+        if event.rate is not None:
+            record["rate"] = event.rate
+        record.update(extra)
+        self.records.append(record)
+        self.metrics.counter("fault_events", kind=event.kind,
+                             phase=phase).inc()
+
+    def _apply(self, event: FaultEvent, clock: float) -> None:
+        network = self.network
+        kind = event.kind
+        if kind == LOSS_BURST:
+            network.link_loss[event.link] = event.rate
+        elif kind == ROUTER_CRASH:
+            device = self._devices[event.device]  # type: ignore[index]
+            network.unregister(device)
+            self._crashed[id(event)] = device
+        elif kind == RATE_LIMIT:
+            device = self._devices[event.device]  # type: ignore[index]
+            self._limiters[id(event)] = device.error_limiter
+            assert event.rate is not None
+            device.error_limiter = ErrorRateLimiter(
+                rate_per_second=event.rate,
+                burst=event.burst if event.burst is not None else 1.0,
+            )
+        elif kind == BLACKHOLE:
+            device = self._devices[event.device]  # type: ignore[index]
+            prefix = IPv6Prefix.from_string(event.prefix)  # type: ignore[arg-type]
+            self._routes[id(event)] = self._route_for(device, prefix)
+            device.table.add_blackhole(prefix)
+        elif kind == ROUTE_FLAP:
+            device = self._devices[event.device]  # type: ignore[index]
+            prefix = IPv6Prefix.from_string(event.prefix)  # type: ignore[arg-type]
+            withdrawn = self._route_for(device, prefix)
+            if withdrawn is None:
+                raise FaultError(
+                    f"route-flap: {event.device!r} has no route for "
+                    f"{event.prefix} to withdraw"
+                )
+            self._routes[id(event)] = withdrawn
+            device.table.remove(prefix)
+        self._active.append(event)
+        self._record("applied", event, clock)
+
+    def _revert(self, event: FaultEvent, clock: float,
+                reason: str = "window-end") -> None:
+        network = self.network
+        kind = event.kind
+        if kind == LOSS_BURST:
+            network.link_loss.pop(event.link, None)
+        elif kind == ROUTER_CRASH:
+            device = self._crashed.pop(id(event))
+            network.register(device)
+            # Reboot semantics: the device comes back with a cold neighbor
+            # cache and re-converges through NDP as traffic returns.
+            from repro.net.ndp import NeighborCache
+
+            device.neighbor_cache = NeighborCache()
+        elif kind == RATE_LIMIT:
+            device = self._devices[event.device]  # type: ignore[index]
+            device.error_limiter = self._limiters.pop(id(event))
+        elif kind == BLACKHOLE:
+            device = self._devices[event.device]  # type: ignore[index]
+            prefix = IPv6Prefix.from_string(event.prefix)  # type: ignore[arg-type]
+            device.table.remove(prefix)
+            saved = self._routes.pop(id(event))
+            if saved is not None:
+                device.table.add(saved)
+        elif kind == ROUTE_FLAP:
+            device = self._devices[event.device]  # type: ignore[index]
+            saved = self._routes.pop(id(event))
+            assert saved is not None
+            device.table.add(saved)
+        self._active.remove(event)
+        self._record("reverted", event, clock, reason=reason)
+
+    @staticmethod
+    def _route_for(device: Device, prefix: IPv6Prefix) -> Optional[Route]:
+        """The device's exact-prefix route, if one is installed."""
+        for route in device.table.routes():
+            if (
+                route.prefix.network == prefix.network
+                and route.prefix.length == prefix.length
+            ):
+                return route
+        return None

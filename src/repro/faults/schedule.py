@@ -1,0 +1,242 @@
+"""Fault schedules: picklable, JSON-loadable chaos timelines.
+
+A schedule is a seed plus a list of :class:`FaultEvent` windows on the
+*virtual* clock.  Five fault kinds cover the failure modes the paper's
+live scans had to survive (§IV-C, §IV-E):
+
+============== =============================================================
+``loss-burst``  Bursty packet loss, globally or on one directed link
+                (``link: [src, dst]`` device names), at ``rate``.
+``router-crash`` The device goes dark for the window (unregistered from the
+                topology — routes through it blackhole, its flow-cache
+                consumers invalidate via the generation stamp), then
+                reboots with a cold neighbor cache.
+``rate-limit``  The device's ICMPv6 error limiter is swapped for a tighter
+                :class:`~repro.net.device.ErrorRateLimiter` (``rate``,
+                ``burst``) for the window.
+``blackhole``   The device null-routes ``prefix`` for the window (any
+                pre-existing exact route is restored afterwards).
+``route-flap``  The device withdraws its route for ``prefix`` for the
+                window and re-announces it at the end — mid-scan churn
+                with re-convergence.
+============== =============================================================
+
+Events carry only primitives (names, prefix strings, floats) so a schedule
+pickles into :class:`~repro.core.scanner.ScanConfig` and ships to process
+pool workers unchanged; JSON round-trips via :meth:`FaultSchedule.to_json`
+/ :meth:`FaultSchedule.from_json` (the ``--fault-schedule`` CLI format).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LOSS_BURST = "loss-burst"
+ROUTER_CRASH = "router-crash"
+RATE_LIMIT = "rate-limit"
+BLACKHOLE = "blackhole"
+ROUTE_FLAP = "route-flap"
+
+FAULT_KINDS = (LOSS_BURST, ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP)
+
+
+class ScheduleError(ValueError):
+    """A fault schedule is malformed (unknown kind, bad window, ...)."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One time-windowed fault: active while ``start <= clock < end``."""
+
+    kind: str
+    start: float
+    end: float
+    device: Optional[str] = None
+    #: Directed link as (src, dst) device names; None = every link.
+    link: Optional[Tuple[str, str]] = None
+    #: Prefix text (e.g. ``"2001:db8:1:60::/60"``); kept as a string so the
+    #: event stays a pure-primitive, JSON-trivial, picklable value.
+    prefix: Optional[str] = None
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ScheduleError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if not (self.start >= 0.0 and self.end > self.start):
+            raise ScheduleError(
+                f"{self.kind}: window [{self.start}, {self.end}) must "
+                "satisfy 0 <= start < end"
+            )
+        if self.kind == LOSS_BURST:
+            if self.rate is None or not (0.0 < self.rate <= 1.0):
+                raise ScheduleError(
+                    f"{self.kind}: rate must be in (0, 1], got {self.rate!r}"
+                )
+            if self.link is not None and len(self.link) != 2:
+                raise ScheduleError(
+                    f"{self.kind}: link must be a [src, dst] device pair"
+                )
+        elif self.kind in (ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP):
+            if not self.device:
+                raise ScheduleError(f"{self.kind}: device is required")
+            if self.kind == RATE_LIMIT:
+                if self.rate is None or self.rate < 0.0:
+                    raise ScheduleError(
+                        f"{self.kind}: rate (errors/second) is required"
+                    )
+            if self.kind in (BLACKHOLE, ROUTE_FLAP) and not self.prefix:
+                raise ScheduleError(f"{self.kind}: prefix is required")
+
+    def resource(self) -> tuple:
+        """The exclusive resource this event occupies (overlap checking)."""
+        if self.kind == LOSS_BURST:
+            return ("loss", self.link)
+        if self.kind == ROUTER_CRASH:
+            return ("device", self.device)
+        if self.kind == RATE_LIMIT:
+            return ("limiter", self.device)
+        return ("route", self.device, self.prefix)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "kind": self.kind, "start": self.start, "end": self.end,
+        }
+        if self.device is not None:
+            data["device"] = self.device
+        if self.link is not None:
+            data["link"] = list(self.link)
+        if self.prefix is not None:
+            data["prefix"] = self.prefix
+        if self.rate is not None:
+            data["rate"] = self.rate
+        if self.burst is not None:
+            data["burst"] = self.burst
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        if not isinstance(data, dict):
+            raise ScheduleError(f"fault event must be an object, got {data!r}")
+        known = {"kind", "start", "end", "device", "link", "prefix", "rate",
+                 "burst"}
+        unknown = set(data) - known
+        if unknown:
+            raise ScheduleError(
+                f"unknown fault event field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            link = data.get("link")
+            event = cls(
+                kind=str(data["kind"]),
+                start=float(data["start"]),  # type: ignore[arg-type]
+                end=float(data["end"]),  # type: ignore[arg-type]
+                device=(
+                    str(data["device"]) if data.get("device") is not None
+                    else None
+                ),
+                link=(
+                    (str(link[0]), str(link[1]))  # type: ignore[index]
+                    if link is not None else None
+                ),
+                prefix=(
+                    str(data["prefix"]) if data.get("prefix") is not None
+                    else None
+                ),
+                rate=(
+                    float(data["rate"])  # type: ignore[arg-type]
+                    if data.get("rate") is not None else None
+                ),
+                burst=(
+                    float(data["burst"])  # type: ignore[arg-type]
+                    if data.get("burst") is not None else None
+                ),
+            )
+        except (KeyError, TypeError, IndexError) as exc:
+            raise ScheduleError(f"malformed fault event {data!r}: {exc}")
+        event.validate()
+        return event
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed plus an ordered tuple of fault-event windows."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: Seed for the dedicated fault RNG (loss draws); independent of the
+    #: topology and scan seeds so chaos reproduces bit-identically.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        self.validate()
+
+    def validate(self) -> None:
+        for event in self.events:
+            event.validate()
+        # Two events may not occupy the same resource at the same time —
+        # apply/revert would otherwise have to stack, and "which fault wins"
+        # would depend on schedule order rather than the schedule itself.
+        by_resource: Dict[tuple, List[FaultEvent]] = {}
+        for event in self.events:
+            by_resource.setdefault(event.resource(), []).append(event)
+        for resource, group in by_resource.items():
+            group.sort(key=lambda e: e.start)
+            for earlier, later in zip(group, group[1:]):
+                if later.start < earlier.end:
+                    raise ScheduleError(
+                        f"overlapping {earlier.kind}/{later.kind} windows on "
+                        f"{resource!r}: [{earlier.start}, {earlier.end}) and "
+                        f"[{later.start}, {later.end})"
+                    )
+
+    def device_names(self) -> Iterable[str]:
+        """Every device name the schedule references (for arming checks)."""
+        for event in self.events:
+            if event.device is not None:
+                yield event.device
+            if event.link is not None:
+                yield from event.link
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        payload = {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ScheduleError(f"fault schedule is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ScheduleError("fault schedule must be a JSON object")
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise ScheduleError("'events' must be a list of fault events")
+        try:
+            seed = int(data.get("seed", 0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ScheduleError(f"'seed' must be an integer, got "
+                                f"{data.get('seed')!r}")
+        return cls(
+            events=tuple(FaultEvent.from_dict(item) for item in events),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_file(cls, path: "str | object") -> "FaultSchedule":
+        with open(path) as handle:  # type: ignore[arg-type]
+            return cls.from_json(handle.read())
+
+    def __len__(self) -> int:
+        return len(self.events)

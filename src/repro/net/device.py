@@ -97,9 +97,15 @@ class ErrorRateLimiter:
         self.rate = rate_per_second
         self.burst = burst
         self._tokens = burst
-        self._last = 0.0
+        #: Lazily initialised from the first observed clock: anchoring at
+        #: 0.0 would grant the first ``allow()`` a full refill for however
+        #: much virtual time passed before this limiter saw any traffic —
+        #: wrong for limiters installed mid-scan (fault injection).
+        self._last: Optional[float] = None
 
     def allow(self, now: float) -> bool:
+        if self._last is None:
+            self._last = now
         elapsed = max(0.0, now - self._last)
         self._last = now
         self._tokens = min(self.burst, self._tokens + elapsed * self.rate)

@@ -118,6 +118,17 @@ class Network:
         #: through the slow path regardless of scan configuration.
         self.flow_cache = flow_cache
         self.clock = 0.0
+        #: Armed :class:`~repro.faults.injector.FaultInjector`, if any.
+        #: :meth:`inject` compares the clock against its ``next_transition``
+        #: once per injection — the whole cost of an idle fault layer.
+        self.faults = None
+        #: Fault-layer loss windows: ``{(src, dst) names | None: rate}``
+        #: (None = every link), drawn against :attr:`fault_rng` so chaos
+        #: never perturbs the topology RNG stream.
+        self.link_loss: Dict[Optional[Tuple[str, str]], float] = {}
+        self.fault_rng: Optional[random.Random] = None
+        #: Packets the fault layer dropped (read by fault telemetry).
+        self.fault_drops = 0
         self.devices: Dict[str, Device] = {}
         self._addr_owner: Dict[int, Device] = {}
         self.total_hops = 0
@@ -202,6 +213,10 @@ class Network:
         queue: Deque[Tuple[Device, Packet]] = deque()
         self.total_injected += 1
 
+        faults = self.faults
+        if faults is not None and self.clock >= faults.next_transition:
+            faults.sync(self.clock)
+
         self._originate(vantage, packet, queue, trace)
 
         # Hot-loop hoists: every per-hop attribute/constant below is looked
@@ -211,7 +226,8 @@ class Network:
         # recording), the fast path appends to the queue directly instead of
         # paying a _enqueue call per hop.
         plain = fast and not (
-            self.loss_rate or self.record_links or self.record_paths
+            self.loss_rate or self.link_loss
+            or self.record_links or self.record_paths
         )
         max_hops = self.max_hops
         popleft = queue.popleft
@@ -404,6 +420,18 @@ class Network:
                     "loss", self.clock, src=src.name, dst=dst.name,
                 )
             return
+        if self.link_loss:
+            rate = self.link_loss.get((src.name, dst.name))
+            if rate is None:
+                rate = self.link_loss.get(None)
+            if rate is not None and self.fault_rng.random() < rate:  # type: ignore[union-attr]
+                trace.drops += 1
+                self.fault_drops += 1
+                if self.active_trace is not None:
+                    self.active_trace.add(
+                        "fault_loss", self.clock, src=src.name, dst=dst.name,
+                    )
+                return
         if self.record_links:
             link = Link(src.name, dst.name)
             trace.link_counts[link] = trace.link_counts.get(link, 0) + 1

@@ -128,6 +128,19 @@ class TestRunGate:
         # Benches without fresh records are skipped, not failed.
         assert any("no fresh record" in (v.note or "") for v in verdicts)
 
+    def test_faults_overhead_gate_catches_throughput_drop(self, tmp_path):
+        baseline = _record(bench="faults_overhead", disabled_pps=20_000.0)
+        self._write(tmp_path, "faults_overhead",
+                    _record(bench="faults_overhead", disabled_pps=12_000.0))
+        verdicts = run_gate(
+            results_dir=tmp_path,
+            baseline_loader={"faults_overhead": baseline}.get,
+        )
+        failures = [v for v in verdicts if v.failure]
+        assert len(failures) == 1
+        assert failures[0].bench == "faults_overhead"
+        assert "disabled_pps" in failures[0].failure
+
     def test_missing_baseline_is_a_skip(self, tmp_path):
         self._write(tmp_path, "perf_scanner", _record())
         verdicts = run_gate(results_dir=tmp_path,

@@ -26,6 +26,7 @@ class TestExamples:
             "exposed_services_audit.py", "routing_loop_attack.py",
             "bgp_survey.py", "longitudinal_churn.py", "custom_isp.py",
             "full_reproduction.py", "sharded_campaign.py",
+            "chaos_campaign.py",
         } <= names
 
     def test_quickstart(self):
@@ -39,6 +40,13 @@ class TestExamples:
         assert "campaign killed" in out
         assert "Shards from checkpoint" in out
         assert "Unique peripheries" in out
+
+    def test_chaos_campaign(self):
+        out = _run("chaos_campaign.py")
+        assert "loss-burst" in out
+        assert "chaos / naive" in out
+        assert "chaos / hardened" in out
+        assert "recovered" in out
 
     def test_custom_isp(self):
         out = _run("custom_isp.py")

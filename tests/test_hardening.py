@@ -1,0 +1,382 @@
+"""Engine hardening: watchdog, checkpoint integrity, and the kill-test."""
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.engine import (
+    Campaign,
+    CheckpointStore,
+    ProbeSpec,
+    ThreadPoolBackend,
+    WatchdogTimeout,
+    execute_job,
+    make_executor,
+)
+from repro.engine.checkpoint import DONE, PARTIAL, ShardState
+from repro.faults import FaultEvent, FaultSchedule, LOSS_BURST, ROUTER_CRASH
+from repro.net.spec import TopologySpec
+
+SPEC = "2001:db8:1::/56-64"  # 256 sub-prefixes over both CPEs' space
+
+
+def _config(spec=SPEC, **kwargs) -> ScanConfig:
+    return ScanConfig(scan_range=ScanRange.parse(spec), seed=5, **kwargs)
+
+
+def _reply_set(result):
+    return {(r.responder.value, r.target.value, r.kind) for r in result.results}
+
+
+def _campaign(configs, **kwargs) -> Campaign:
+    defaults = dict(probe=ProbeSpec.for_seed(5), backoff_base=0.0)
+    defaults.update(kwargs)
+    return Campaign(TopologySpec.mini(), configs, **defaults)
+
+
+def _noop_hook(job):
+    """Module-level (hence picklable) fault hook for the process backend."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SleepOnce:
+    """Picklable fault hook: the first attempt of ``job_id`` hangs.
+
+    A marker file records the first attempt, so the retry (in a fresh pool
+    worker that shares no memory with the killed one) sails through.
+    """
+
+    job_id: str
+    seconds: float
+    marker_dir: str
+
+    def __call__(self, job) -> None:
+        if job.job_id != self.job_id:
+            return
+        import pathlib
+
+        marker = pathlib.Path(self.marker_dir) / f"{job.job_id}.hung"
+        if not marker.exists():
+            marker.write_text("hanging")
+            time.sleep(self.seconds)
+
+
+class TestWatchdog:
+    def test_thread_watchdog_abandons_hung_shard_and_retries(self):
+        baseline = _campaign({"wide": _config()}, shards=2).run()
+        hung = {"wide.s01of02": 1}
+
+        def hook(job):
+            if hung.get(job.job_id, 0) > 0:
+                hung[job.job_id] -= 1
+                time.sleep(1.5)  # well past the shard deadline
+
+        campaign = _campaign(
+            {"wide": _config()},
+            shards=2,
+            executor=ThreadPoolBackend(workers=2, fault_hook=hook,
+                                       shard_timeout=0.25),
+            max_retries=2,
+        )
+        result = campaign.run()
+        attempts = {o.job.job_id: o.attempts for o in result.outcomes}
+        assert attempts["wide.s01of02"] == 2  # watchdog kill + clean retry
+        assert attempts["wide.s00of02"] == 1
+        assert result.metrics.value("campaign_watchdog_kills") == 1
+        timeouts = result.events.of_type("watchdog_timeout")
+        assert [e["job_id"] for e in timeouts] == ["wide.s01of02"]
+        assert "deadline" in timeouts[0]["error"]
+        assert _reply_set(result.results["wide"]) == _reply_set(
+            baseline.results["wide"]
+        )
+
+    def test_process_watchdog_kills_hung_worker(self, tmp_path):
+        hook = SleepOnce(job_id="wide.s00of02", seconds=30.0,
+                         marker_dir=str(tmp_path))
+        campaign = _campaign(
+            {"wide": _config()},
+            shards=2,
+            executor=make_executor("process", workers=1, fault_hook=hook,
+                                   shard_timeout=1.0),
+            max_retries=2,
+        )
+        started = time.monotonic()
+        result = campaign.run()
+        # The hung worker was killed, not waited for.
+        assert time.monotonic() - started < 15.0
+        assert result.metrics.value("campaign_watchdog_kills") >= 1
+        assert result.stats.sent == 256
+
+    def test_hung_shard_exhausting_retries_fails_campaign(self):
+        from repro.engine import CampaignError
+
+        campaign = _campaign(
+            {"wide": _config()},
+            shards=1,
+            executor=ThreadPoolBackend(
+                workers=1,
+                fault_hook=lambda job: time.sleep(0.8),
+                shard_timeout=0.1,
+            ),
+            max_retries=1,
+        )
+        with pytest.raises(CampaignError) as excinfo:
+            campaign.run()
+        assert isinstance(
+            next(iter(excinfo.value.failures.values())), WatchdogTimeout
+        )
+
+    def test_serial_backend_refuses_watchdog(self):
+        with pytest.raises(ValueError, match="cannot watchdog itself"):
+            make_executor("serial", shard_timeout=1.0)
+
+
+class TestProcessFaultHooks:
+    def test_unpicklable_hook_rejected_up_front(self):
+        with pytest.raises(ValueError, match="does not pickle"):
+            make_executor("process", fault_hook=lambda job: None)
+
+    def test_picklable_hook_ships_to_pool_workers(self):
+        campaign = _campaign(
+            {"wide": _config()},
+            shards=2,
+            executor=make_executor("process", workers=2,
+                                   fault_hook=_noop_hook),
+        )
+        result = campaign.run()
+        assert result.stats.sent == 256
+
+
+class TestKillTest:
+    def test_sigkilled_worker_resumes_with_zero_duplicate_probes(
+        self, tmp_path
+    ):
+        baseline = _campaign({"wide": _config()}, shards=2).run()
+
+        campaign = _campaign(
+            {"wide": _config()},
+            shards=2,
+            executor="process",
+            workers=1,
+            checkpoint_dir=str(tmp_path / "state"),
+            checkpoint_every=16,
+            max_retries=2,
+        )
+        jobs = campaign.plan()
+        # A real SIGKILL mid-shard: the worker writes one last partial
+        # checkpoint and dies without cleanup (BrokenProcessPool upstream).
+        jobs[1].kill_after = 37
+        result = campaign.run(jobs=jobs)
+
+        by_id = {o.job.job_id: o for o in result.outcomes}
+        killed = by_id["wide.s01of02"]
+        assert killed.attempts == 2  # died once, resumed once
+        assert killed.resumed_at == 37  # fast-forwarded past the checkpoint
+        retries = result.events.of_type("shard_retry")
+        assert any("wide.s01of02" == e["job_id"] for e in retries)
+        assert result.events.of_type("shard_resumed")
+        # Zero duplicate probes: the kill+resume campaign sends exactly the
+        # uninterrupted campaign's probe count, and the census is identical.
+        assert result.stats.sent == baseline.stats.sent
+        assert _reply_set(result.results["wide"]) == _reply_set(
+            baseline.results["wide"]
+        )
+
+    def test_kill_test_under_chaos_is_reproducible(self, tmp_path):
+        # Faults + SIGKILL + resume.  The resumed attempt restarts the
+        # virtual clock, so the fault window deterministically replays over
+        # the *remaining* stream — two identical kill campaigns must agree
+        # probe for probe, and nothing is sent twice.
+        schedule = FaultSchedule(seed=11, events=(
+            FaultEvent(kind=ROUTER_CRASH, start=0.002, end=0.003,
+                       device="cpe-ok"),
+        ))
+
+        def run(ckdir):
+            campaign = _campaign(
+                {"wide": _config(fault_schedule=schedule)},
+                shards=2,
+                executor="process",
+                workers=1,
+                checkpoint_dir=str(ckdir),
+                checkpoint_every=16,
+                max_retries=2,
+            )
+            jobs = campaign.plan()
+            jobs[0].kill_after = 37
+            return campaign.run(jobs=jobs)
+
+        first = run(tmp_path / "a")
+        second = run(tmp_path / "b")
+        assert first.stats.sent == 256  # 37 before the kill + the rest, once
+        assert first.stats.sent == second.stats.sent
+        assert first.stats.validated == second.stats.validated
+        assert _reply_set(first.results["wide"]) == _reply_set(
+            second.results["wide"]
+        )
+
+
+class TestCheckpointIntegrity:
+    def _store(self, tmp_path):
+        events = []
+        return CheckpointStore(tmp_path / "state", on_event=events.append), \
+            events
+
+    def _write_state(self, store, job_id="wide.s00of02"):
+        from repro.core.scanner import ScanResult
+
+        state = ShardState(
+            job_id=job_id, status=DONE, shard=0, shards=2, position=128,
+            result=ScanResult(range=ScanRange.parse(SPEC)),
+        )
+        store.write_shard(state)
+        return state
+
+    def test_truncated_shard_file_quarantined(self, tmp_path):
+        store, events = self._store(tmp_path)
+        self._write_state(store)
+        path = store.shard_path("wide.s00of02")
+        path.write_text(path.read_text()[:40])  # torn write
+
+        assert store.load_shard("wide.s00of02") is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        corrupt = [e for e in events if e["type"] == "checkpoint_corrupt"]
+        assert corrupt and corrupt[0]["reason"] == "truncated-or-invalid-json"
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        store, events = self._store(tmp_path)
+        self._write_state(store)
+        path = store.shard_path("wide.s00of02")
+        data = json.loads(path.read_text())
+        data["position"] = 999  # edit without refreshing the checksum
+        path.write_text(json.dumps(data))
+
+        assert store.load_shard("wide.s00of02") is None
+        assert path.with_name(path.name + ".corrupt").exists()
+        corrupt = [e for e in events if e["type"] == "checkpoint_corrupt"]
+        assert corrupt and corrupt[0]["reason"] == "checksum-mismatch"
+
+    def test_legacy_state_without_checksum_accepted(self, tmp_path):
+        store, _ = self._store(tmp_path)
+        state = self._write_state(store)
+        path = store.shard_path(state.job_id)
+        data = json.loads(path.read_text())
+        del data["checksum"]  # a pre-integrity writer's file
+        path.write_text(json.dumps(data))
+
+        loaded = store.load_shard(state.job_id)
+        assert loaded is not None and loaded.position == 128
+
+    def test_iter_states_skips_corrupt_files(self, tmp_path):
+        store, events = self._store(tmp_path)
+        self._write_state(store, "wide.s00of02")
+        self._write_state(store, "wide.s01of02")
+        bad = store.shard_path("wide.s00of02")
+        bad.write_text("{not json")
+
+        survivors = [s.job_id for s in store.iter_states()]
+        assert survivors == ["wide.s01of02"]
+        assert bad.with_name(bad.name + ".corrupt").exists()
+        assert any(e["type"] == "checkpoint_corrupt" for e in events)
+
+    def test_corrupt_manifest_treated_as_missing(self, tmp_path):
+        store, events = self._store(tmp_path)
+        store.write_manifest({"ranges": ["wide"], "shards": 2, "seeds": [5]})
+        path = store.directory / store.MANIFEST
+        path.write_text(path.read_text()[:25])
+
+        assert store.load_manifest() is None
+        assert (store.directory / (store.MANIFEST + ".corrupt")).exists()
+        assert any(e["type"] == "checkpoint_corrupt" for e in events)
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        store, _ = self._store(tmp_path)
+        self._write_state(store)
+        path = store.shard_path("wide.s00of02")
+        path.write_text("garbage")
+        assert store.load_shard("wide.s00of02") is None  # quarantines
+        store.clear()
+        assert not list(store.directory.glob("shard-*"))
+
+    def test_resume_rescans_shard_with_corrupt_checkpoint(self, tmp_path):
+        ckdir = tmp_path / "state"
+        campaign_kwargs = dict(
+            shards=2, checkpoint_dir=str(ckdir), checkpoint_every=16,
+        )
+        first = _campaign({"wide": _config()}, **campaign_kwargs).run()
+        store = CheckpointStore(ckdir)
+        victim = store.shard_path("wide.s01of02")
+        victim.write_text(victim.read_text()[:60])  # torn write mid-flush
+
+        resumed = _campaign({"wide": _config()}, resume=True,
+                            **campaign_kwargs).run()
+        by_id = {o.job.job_id: o for o in resumed.outcomes}
+        assert by_id["wide.s00of02"].sent_this_run == 0  # intact: restored
+        assert by_id["wide.s01of02"].sent_this_run > 0  # corrupt: re-scanned
+        assert resumed.events.of_type("checkpoint_corrupt")
+        assert _reply_set(resumed.results["wide"]) == _reply_set(
+            first.results["wide"]
+        )
+
+
+class TestCrossBackendDeterminism:
+    """Same seed + schedule -> bit-identical campaigns on every backend."""
+
+    SCHEDULE = FaultSchedule(seed=42, events=(
+        FaultEvent(kind=LOSS_BURST, start=0.0005, end=0.0015, rate=0.4),
+        FaultEvent(kind=ROUTER_CRASH, start=0.002, end=0.003,
+                   device="cpe-ok"),
+    ))
+
+    def _run(self, executor, workers=None, batched=False):
+        config = _config(
+            fault_schedule=self.SCHEDULE,
+            batched=batched,
+            retransmit=2,
+            retransmit_backoff=0.0002,
+            adaptive_rate=True,
+            adaptive_window=32,
+        )
+        return _campaign(
+            {"wide": config}, shards=2, executor=executor, workers=workers
+        ).run()
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return self._run("serial")
+
+    @pytest.mark.parametrize("executor,workers", [
+        ("thread", 2), ("process", 2),
+    ])
+    def test_backends_reproduce_identical_chaos(self, reference, executor,
+                                                workers):
+        result = self._run(executor, workers)
+        assert _reply_set(result.results["wide"]) == _reply_set(
+            reference.results["wide"]
+        )
+        assert result.stats.sent == reference.stats.sent
+        assert result.stats.validated == reference.stats.validated
+        for name in ("scanner_retransmits", "fault_packets_lost"):
+            assert result.metrics.value(name) == reference.metrics.value(name)
+        # The chaos timeline itself is identical, shard for shard.
+        faults = sorted(
+            (e["kind"], e["t_virtual"])
+            for e in result.events.of_type("fault_applied")
+        )
+        ref_faults = sorted(
+            (e["kind"], e["t_virtual"])
+            for e in reference.events.of_type("fault_applied")
+        )
+        assert faults == ref_faults
+
+    def test_batched_loop_reproduces_identical_chaos(self, reference):
+        result = self._run("serial", batched=True)
+        assert _reply_set(result.results["wide"]) == _reply_set(
+            reference.results["wide"]
+        )
+        assert result.stats.sent == reference.stats.sent
