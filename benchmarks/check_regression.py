@@ -19,6 +19,11 @@ and fails when a headline metric regressed beyond tolerance:
   throughput with the fault layer compiled in but disabled, so dead-path
   cost added to the probe loop shows up even though the bench's own <2%
   armed-vs-disabled assertion would not catch it.
+* ``store_ingest`` — ``ingest_rows_per_sec`` (higher is better): streaming
+  segment ingest; a slowdown here turns the result path into the campaign
+  bottleneck (the bench itself also asserts ingest ≥ scanner ``wall_pps``).
+* ``store_query`` — ``query_rows_per_sec`` (higher is better): /32-prefix
+  query over the compacted multi-block corpus, index pruning included.
 
 Runs where the baseline is missing (a brand-new bench) or was recorded at
 a different ``REPRO_SCALE``/``REPRO_SEED`` are skipped with a note rather
@@ -182,6 +187,8 @@ def run_gate(
     gate("perf_flowcache", lambda b, f: ("cached_wall_pps", True))
     gate("perf_parallel", parallel_metric)
     gate("faults_overhead", lambda b, f: ("disabled_pps", True))
+    gate("store_ingest", lambda b, f: ("ingest_rows_per_sec", True))
+    gate("store_query", lambda b, f: ("query_rows_per_sec", True))
     return verdicts
 
 

@@ -1,53 +1,47 @@
 #!/usr/bin/env python3
-"""Longitudinal measurement under prefix churn (the Nov→Dec gap).
+"""Longitudinal measurement through the result store (the Nov→Dec gap).
 
 The paper's discovery census (November 2020) and loop survey (December
-2020) are separated by weeks of DHCPv6-PD churn.  This example scans one
-block, rotates a fraction of its customers onto fresh delegations, rescans,
-and reports what a longitudinal analyst would see: stable population size,
-decayed address overlap for same-model customers, stable WAN identities for
-delegated-prefix customers, and unchanged vulnerability rates.
+2020) are separated by weeks of churn.  This example reproduces the
+longitudinal workflow on the store: a sharded campaign scans one ISP block
+and commits snapshot ``round-1``; a fault schedule then withdraws a
+quarter of the customer delegations at the ISP edge (``route-flap``
+covering the whole rescan), the identical campaign re-runs as ``round-2``,
+and ``repro-xmap store diff`` reports the churn.  Because the injected
+fault set is known exactly, the example *asserts* the stable/lost split
+matches the flap window — the diff is checked, not just printed.
 
 Run:  python examples/longitudinal_churn.py
 """
 
-from repro import build_deployment, discover, profile_by_key
-from repro.isp.rotation import rotate_delegations
-from repro.loop.detector import find_loops
+import sys
+import tempfile
 
-
-def overlap(a, b) -> float:
-    sa = {r.last_hop.value for r in a.records}
-    sb = {r.last_hop.value for r in b.records}
-    return len(sa & sb) / len(sa | sb) if (sa or sb) else 1.0
+from repro.analysis.churn import ROUND_A, ROUND_B, run_churn_experiment
+from repro.cli import main as repro_xmap
 
 
 def main() -> None:
-    dep = build_deployment(
-        profiles=[profile_by_key("in-jio-broadband"),
-                  profile_by_key("cn-unicom-broadband")],
-        scale=20_000, seed=11,
-    )
+    with tempfile.TemporaryDirectory(prefix="churn-store-") as store_dir:
+        run = run_churn_experiment(store_dir)
 
-    for key, churn in (("in-jio-broadband", 0.4),
-                       ("cn-unicom-broadband", 0.4)):
-        isp = dep.isps[key]
-        november = discover(dep.network, dep.vantage, isp.scan_spec, seed=1)
-        loops_nov = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=2)
+        print(run.render())
+        print()
 
-        report = rotate_delegations(dep, isp, churn, seed=3)
+        # The same report, straight off the committed store via the CLI.
+        print(f"$ repro-xmap store diff <store> {ROUND_A} {ROUND_B}")
+        repro_xmap(["store", "diff", store_dir, ROUND_A, ROUND_B])
 
-        december = discover(dep.network, dep.vantage, isp.scan_spec, seed=4)
-        loops_dec = find_loops(dep.network, dep.vantage, isp.scan_spec, seed=5)
-
-        print(f"{isp.profile.isp} ({isp.profile.scan_label}), "
-              f"{report.rotated}/{isp.n_devices} customers rebound:")
-        print(f"  population    : {november.n_unique} -> {december.n_unique}")
-        print(f"  address overlap Nov/Dec: {overlap(november, december):.0%} "
-              f"({'same-model: addresses rotate' if isp.profile.same_frac > 0.5 else 'diff-model: WAN identities persist'})")
-        print(f"  loop devices  : {loops_nov.n_unique} -> {loops_dec.n_unique} "
-              "(vulnerability travels with firmware, not prefixes)\n")
+        # The diff must reproduce the injected churn *exactly*: every lost
+        # responder sits behind a flapped delegation, every stable one
+        # behind an unflapped one, and withdrawals mint no responders.
+        run.verify()
+        print(
+            f"\nchurn check passed: {len(run.report.lost)} lost == "
+            f"{len(run.flapped)} flapped delegation(s), "
+            f"{len(run.report.stable)} stable, 0 new"
+        )
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

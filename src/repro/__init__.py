@@ -63,6 +63,7 @@ from repro.loop import (
 )
 from repro.net import IPv6Addr, IPv6Prefix, MacAddress, Network
 from repro.services import AppScanner, DEFAULT_CVE_DB
+from repro.store import ResultStore, diff, query
 
 __version__ = "1.0.0"
 
@@ -103,4 +104,8 @@ __all__ = [
     "run_loop_attack",
     "run_case_study",
     "build_global_internet",
+    # result store
+    "ResultStore",
+    "query",
+    "diff",
 ]

@@ -1,0 +1,170 @@
+"""Longitudinal periphery churn, measured through the result store.
+
+The paper's discovery census (November 2020) and loop survey (December
+2020) straddle weeks of real-world churn — DHCPv6-PD rebinds, route flaps,
+dying CPEs.  This experiment reproduces the longitudinal workflow end to
+end on the store:
+
+1. **Round 1**: a sharded campaign scans one ISP block and commits its
+   rows as snapshot ``round-1``.
+2. **Churn injection**: a :mod:`repro.faults` schedule withdraws the ISP
+   edge router's routes for a deterministic fraction of customer
+   delegations (``route-flap`` covering the whole scan window).
+3. **Round 2**: the identical campaign re-runs under the flap schedule and
+   commits snapshot ``round-2``.
+4. **Diff**: :func:`repro.store.query.diff` reports the churn; because the
+   injected fault set is known exactly, the report is *checkable* — every
+   lost responder must sit behind a flapped delegation and every stable
+   responder behind an unflapped one.
+
+``repro-xmap store diff <dir> round-1 round-2`` renders the same report
+from the committed store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.engine import Campaign
+from repro.faults import ROUTE_FLAP, FaultEvent, FaultSchedule
+from repro.net.addr import IPv6Prefix
+from repro.net.spec import TopologySpec
+from repro.store import ChurnReport, ResultStore, diff
+
+ROUND_A = "round-1"
+ROUND_B = "round-2"
+
+
+@dataclass
+class ChurnRun:
+    """A two-round churn experiment plus its ground truth."""
+
+    store_dir: str
+    isp: str
+    flapped: List[str]  # delegated prefixes withdrawn during round 2
+    report: ChurnReport
+    #: Ground truth derived from round 1 + the injected fault set.
+    expected_lost: Set[int] = field(default_factory=set)
+    expected_stable: Set[int] = field(default_factory=set)
+
+    @property
+    def exact(self) -> bool:
+        """Does the store diff reproduce the injected churn exactly?"""
+        return (
+            self.report.lost == self.expected_lost
+            and self.report.stable == self.expected_stable
+            and not self.report.new
+        )
+
+    def verify(self) -> None:
+        """Assert the stable/lost split matches the flap window exactly."""
+        if self.report.lost != self.expected_lost:
+            raise AssertionError(
+                f"lost set mismatch: diff reported {len(self.report.lost)} "
+                f"responder(s), flap window predicts "
+                f"{len(self.expected_lost)}"
+            )
+        if self.report.stable != self.expected_stable:
+            raise AssertionError(
+                f"stable set mismatch: diff reported "
+                f"{len(self.report.stable)} responder(s), flap window "
+                f"predicts {len(self.expected_stable)}"
+            )
+        if self.report.new:
+            raise AssertionError(
+                f"route withdrawal cannot mint responders, yet diff "
+                f"reports {len(self.report.new)} new"
+            )
+
+    def render(self) -> str:
+        lines = [
+            f"longitudinal churn on {self.isp} "
+            f"({len(self.flapped)} delegation(s) flapped in round 2):",
+            self.report.render(),
+            f"  ground truth: lost == flapped-only responders: "
+            f"{self.report.lost == self.expected_lost}; "
+            f"stable == unflapped responders: "
+            f"{self.report.stable == self.expected_stable}",
+        ]
+        return "\n".join(lines)
+
+
+def run_churn_experiment(
+    store_dir: str,
+    isp: str = "in-jio-broadband",
+    scale: float = 20_000.0,
+    seed: int = 7,
+    shards: int = 2,
+    flap_fraction: float = 0.25,
+    rate_pps: float = 25_000.0,
+) -> ChurnRun:
+    """Run both rounds into ``store_dir`` and diff them (see module doc)."""
+    spec = TopologySpec.deployment(profiles=(isp,), scale=scale, seed=seed)
+    built = spec.build()
+    block = built.handle.isps[isp]
+    config = ScanConfig(
+        scan_range=ScanRange.parse(block.scan_spec),
+        seed=seed,
+        rate_pps=rate_pps,
+    )
+
+    Campaign(
+        spec, {isp: config}, shards=shards, prebuilt=built,
+        store_dir=store_dir, snapshot=ROUND_A,
+    ).run()
+
+    # Withdraw a deterministic fraction of customer delegations for the
+    # whole of round 2.  Each flap names the ISP edge router and one
+    # delegated prefix — exactly what a PD rebind or an edge routing
+    # incident takes off the table between two real scan rounds.
+    rng = random.Random(seed)
+    truths = sorted(block.truths, key=lambda t: str(t.delegated))
+    count = max(1, int(len(truths) * flap_fraction))
+    flapped = [str(t.delegated) for t in rng.sample(truths, count)]
+    window_end = 10.0 + config.scan_range.count / rate_pps  # covers the scan
+    schedule = FaultSchedule(
+        seed=seed,
+        events=tuple(
+            FaultEvent(
+                kind=ROUTE_FLAP, start=0.0, end=window_end,
+                device=f"isp-{isp}", prefix=prefix,
+            )
+            for prefix in flapped
+        ),
+    )
+    flapped_config = dataclasses.replace(config, fault_schedule=schedule)
+
+    Campaign(
+        spec, {isp: flapped_config}, shards=shards, prebuilt=spec.build(),
+        store_dir=store_dir, snapshot=ROUND_B,
+    ).run()
+
+    store = ResultStore(store_dir)
+    report = diff(store, ROUND_A, ROUND_B)
+
+    # Ground truth from round 1: a responder is expected-lost iff every
+    # target it answered for sits inside a flapped delegation.
+    prefixes = [IPv6Prefix.from_string(text) for text in flapped]
+
+    def _in_flap(target) -> bool:
+        return any(prefix.contains(target) for prefix in prefixes)
+
+    lost: Set[int] = set()
+    stable: Set[int] = set()
+    for row in store.iter_rows(store.snapshot(ROUND_A).segments):
+        (lost if _in_flap(row.target) else stable).add(row.responder.value)
+    lost -= stable  # answered for an unflapped delegation too: still there
+
+    return ChurnRun(
+        store_dir=store_dir,
+        isp=isp,
+        flapped=flapped,
+        report=report,
+        expected_lost=lost,
+        expected_stable=stable,
+    )

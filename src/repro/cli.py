@@ -19,6 +19,9 @@ Examples::
     repro-xmap loops --scale 50000
     repro-xmap attack
     repro-xmap feasibility --gbps 1
+    repro-xmap scan --store results/ --snapshot round-1 --shards 4
+    repro-xmap store query results/ --prefix 2001:db8::/32 --csv out.csv
+    repro-xmap store diff results/ round-1 round-2
 """
 
 from __future__ import annotations
@@ -29,7 +32,11 @@ from typing import List, Optional
 
 from repro.analysis import tables
 from repro.analysis.report import ComparisonTable
-from repro.core.output import write_census_csv, write_loops_csv
+from repro.core.output import (
+    write_census_csv,
+    write_loops_csv,
+    write_services_csv,
+)
 from repro.core.stats import FeasibilityRow
 from repro.discovery.periphery import discover
 from repro.discovery.subnet import infer_subprefix_length
@@ -112,6 +119,9 @@ def cmd_scan(args) -> int:
     if args.retransmit < 0:
         print("error: --retransmit must be >= 0", file=sys.stderr)
         return 2
+    if args.snapshot and not args.store:
+        print("error: --snapshot requires --store", file=sys.stderr)
+        return 2
     fault_schedule = None
     if args.fault_schedule:
         from repro.faults import FaultSchedule, ScheduleError
@@ -170,6 +180,8 @@ def cmd_scan(args) -> int:
         monitor=ProgressMonitor(min_interval=0.5, json_mode=args.log_json),
         prebuilt=built if args.executor == "serial" else None,
         shard_timeout=args.shard_timeout,
+        store_dir=args.store,
+        snapshot=args.snapshot,
     )
     try:
         result = campaign.run()
@@ -187,26 +199,65 @@ def cmd_scan(args) -> int:
                 handle.write(_json.dumps(trace, sort_keys=True) + "\n")
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
 
+    # In store mode rows streamed to disk instead of memory; responder
+    # counts (and any CSV/JSONL export) come back out of the store.
+    store = None
+    label_segments: dict = {}
+    if args.store and result.snapshot:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+        label_segments = dict(
+            store.snapshot(result.snapshot).meta.get("labels", {})
+        )
+
     table = ComparisonTable(
         f"Scan campaign ({args.shards} shard(s), {args.executor} executor)",
         ("Range", "sent", "validated", "hit-rate", "uniq responders"),
     )
     for label, scan_result in result.results.items():
+        if store is not None:
+            uniq = len({
+                row.responder.value
+                for row in store.iter_rows(label_segments.get(label, []))
+            })
+        else:
+            uniq = len(scan_result.unique_responders())
         table.add(
             label,
             scan_result.stats.sent,
             scan_result.stats.validated,
             f"{scan_result.stats.hit_rate:.4%}",
-            len(scan_result.unique_responders()),
+            uniq,
         )
     meta = result.metadata()
-    table.note(
+    note = (
         f"campaign {meta['campaign']}: "
         f"sent this run: {meta['sent_this_run']:,} "
         f"({meta['shards_from_checkpoint']} shard(s) restored from "
         f"checkpoint); wall {meta['wall_seconds']:.2f}s"
     )
+    if result.snapshot:
+        note += f"; snapshot {result.snapshot} -> {args.store}"
+    table.note(note)
     print(table.render())
+
+    for path, sink_cls in ((args.csv, None), (args.jsonl, "jsonl")):
+        if not path:
+            continue
+        from repro.store.sink import CsvSink, JsonlSink
+
+        with open(path, "w") as handle:
+            sink = CsvSink(handle) if sink_cls is None else JsonlSink(handle)
+            if store is not None:
+                sink.emit_many(
+                    store.iter_rows(store.snapshot(result.snapshot).segments)
+                )
+            else:
+                for scan_result in result.results.values():
+                    sink.emit_many(scan_result.results)
+            sink.close()
+        print(f"wrote {sink.rows} row(s) to {path}", file=sys.stderr)
     return 0
 
 
@@ -225,19 +276,8 @@ def cmd_services(args) -> int:
     print()
     print(tables.table8_software(app_results.values(), args.scale).render())
     if args.csv:
-        import csv as _csv
-
         with open(args.csv, "w") as handle:
-            writer = _csv.writer(handle)
-            writer.writerow(["target", "service", "alive", "software",
-                             "banner", "vendor_hint"])
-            for result in app_results.values():
-                for obs in result.observations:
-                    writer.writerow([
-                        str(obs.target), obs.service, obs.alive,
-                        obs.software.banner if obs.software else "",
-                        obs.banner, obs.vendor_hint,
-                    ])
+            write_services_csv(app_results.values(), handle)
         print(f"\nwrote {args.csv}")
     return 0
 
@@ -343,6 +383,90 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def _open_store(args) -> "object":
+    from repro.store import ResultStore
+
+    return ResultStore(args.dir)
+
+
+def cmd_store_info(args) -> int:
+    import json as _json
+
+    from repro.store import StoreCorruption
+
+    try:
+        store = _open_store(args)
+    except StoreCorruption as exc:
+        print(f"store corrupt: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(store.info(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_store_query(args) -> int:
+    from repro.store import StoreCorruption, StoreError, query
+    from repro.store.sink import CsvSink, JsonlSink
+
+    try:
+        store = _open_store(args)
+        rows = query(
+            store,
+            snapshot=args.snapshot,
+            prefix=args.prefix,
+            kind=args.kind,
+            responder64=args.responder64,
+        )
+        handle = open(args.out, "w") if args.out else sys.stdout
+        try:
+            sink = JsonlSink(handle) if args.jsonl else CsvSink(handle)
+            sink.emit_many(rows)
+            sink.close()
+        finally:
+            if args.out:
+                handle.close()
+    except (StoreError, StoreCorruption, ValueError) as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"{sink.rows} row(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_store_diff(args) -> int:
+    import json as _json
+
+    from repro.store import StoreCorruption, StoreError, diff
+
+    try:
+        store = _open_store(args)
+        report = diff(store, args.snapshot_a, args.snapshot_b)
+    except (StoreError, StoreCorruption) as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def cmd_store_compact(args) -> int:
+    from repro.store import StoreCorruption, StoreError
+
+    try:
+        store = _open_store(args)
+        report = store.compact()
+    except (StoreError, StoreCorruption) as exc:
+        print(f"compaction failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"compacted {report['segments_before']} -> "
+        f"{report['segments_after']} segment(s); "
+        f"{report['rows_before']} -> {report['rows_after']} row(s) "
+        f"({report['duplicates_dropped']} duplicate(s) dropped)"
+    )
+    return 0
+
+
 def cmd_feasibility(args) -> int:
     bandwidth = args.gbps * 1e9
     rows = [
@@ -436,6 +560,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="watchdog: abandon and retry any shard still running "
                         "after this many wall seconds (thread/process "
                         "executors only)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="stream results into a repro.store result store at "
+                        "DIR (segments + atomic manifest) instead of "
+                        "buffering them in memory")
+    p.add_argument("--snapshot", default=None, metavar="NAME",
+                   help="snapshot name for this round in the store "
+                        "(default: round-<campaign id>)")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="also write results as JSON lines")
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("services", help="Tables VII-VIII: service audit")
@@ -468,6 +601,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write the per-table metrics snapshot as NDJSON")
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("store",
+                       help="inspect, query, diff, and compact a result "
+                            "store written by `scan --store`")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = store_sub.add_parser("info", help="manifest summary as JSON")
+    sp.add_argument("dir", help="store directory")
+    sp.set_defaults(func=cmd_store_info)
+
+    sp = store_sub.add_parser("query",
+                              help="stream matching rows as CSV/JSONL")
+    sp.add_argument("dir", help="store directory")
+    sp.add_argument("--snapshot", default=None,
+                    help="restrict to one round's snapshot")
+    sp.add_argument("--prefix", default=None, metavar="PFX",
+                    help="probe-target prefix filter, e.g. 2001:db8::/32")
+    sp.add_argument("--kind", default=None,
+                    help="reply-kind filter (e.g. echo-reply, "
+                         "dest-unreachable)")
+    sp.add_argument("--responder64", default=None, metavar="PFX64",
+                    help="responder /64 filter")
+    sp.add_argument("--out", default=None, metavar="FILE",
+                    help="write rows here instead of stdout")
+    sp.add_argument("--jsonl", action="store_true",
+                    help="emit JSON lines instead of CSV")
+    sp.set_defaults(func=cmd_store_query)
+
+    sp = store_sub.add_parser("diff",
+                              help="longitudinal churn between two rounds")
+    sp.add_argument("dir", help="store directory")
+    sp.add_argument("snapshot_a", help="earlier round")
+    sp.add_argument("snapshot_b", help="later round")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    sp.set_defaults(func=cmd_store_diff)
+
+    sp = store_sub.add_parser("compact",
+                              help="merge + dedup segments, sweep orphans")
+    sp.add_argument("dir", help="store directory")
+    sp.set_defaults(func=cmd_store_compact)
 
     p = sub.add_parser("feasibility", help="§III-B projections")
     p.add_argument("--gbps", type=float, default=1.0)

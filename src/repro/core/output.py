@@ -11,44 +11,37 @@ from __future__ import annotations
 
 import csv
 import io
-import json
-from typing import IO
+from typing import IO, Iterable
 
-from repro.core.scanner import ProbeResult, ScanResult
+from repro.core.scanner import ScanResult
 from repro.discovery.periphery import PeripheryCensus
 from repro.loop.detector import LoopSurvey
+from repro.store.sink import CsvSink, JsonlSink, probe_row
 
-
-def _probe_row(result: ProbeResult) -> dict:
-    return {
-        "target": str(result.target),
-        "responder": str(result.responder),
-        "kind": result.kind.value,
-        "icmp_type": result.icmp_type,
-        "icmp_code": result.icmp_code,
-        "same_slash64": result.same_slash64,
-    }
+#: Re-exported for callers that build rows directly (the canonical dict
+#: form now lives with the streaming sinks in :mod:`repro.store.sink`).
+_probe_row = probe_row
 
 
 def write_scan_csv(result: ScanResult, stream: IO[str]) -> int:
-    """Write one row per validated reply; returns the row count."""
-    fields = ["target", "responder", "kind", "icmp_type", "icmp_code",
-              "same_slash64"]
-    writer = csv.DictWriter(stream, fieldnames=fields)
-    writer.writeheader()
-    count = 0
-    for probe_result in result.results:
-        writer.writerow(_probe_row(probe_result))
-        count += 1
-    return count
+    """Write one row per validated reply; returns the row count.
+
+    A thin wrapper over :class:`~repro.store.sink.CsvSink` — the streaming
+    sink is the single implementation, so one-shot dumps, CLI ``--csv``
+    paths, and store-query exports are row-for-row identical by
+    construction.
+    """
+    sink = CsvSink(stream)
+    sink.emit_many(result.results)
+    sink.close()
+    return sink.rows
 
 
 def write_scan_jsonl(result: ScanResult, stream: IO[str]) -> int:
-    count = 0
-    for probe_result in result.results:
-        stream.write(json.dumps(_probe_row(probe_result)) + "\n")
-        count += 1
-    return count
+    sink = JsonlSink(stream)
+    sink.emit_many(result.results)
+    sink.close()
+    return sink.rows
 
 
 def write_census_csv(census: PeripheryCensus, stream: IO[str]) -> int:
@@ -67,6 +60,30 @@ def write_census_csv(census: PeripheryCensus, stream: IO[str]) -> int:
             "same_slash64": record.same_slash64,
         })
         count += 1
+    return count
+
+
+def write_services_csv(results: Iterable, stream: IO[str]) -> int:
+    """One row per service observation across any number of app-scan
+    results (the ``services --csv`` export, formerly hand-rolled in the
+    CLI).  Banners pass through verbatim — including non-ASCII vendor
+    strings — the parity tests cover the round-trip."""
+    fields = ["target", "service", "alive", "software", "banner",
+              "vendor_hint"]
+    writer = csv.DictWriter(stream, fieldnames=fields)
+    writer.writeheader()
+    count = 0
+    for result in results:
+        for obs in result.observations:
+            writer.writerow({
+                "target": str(obs.target),
+                "service": obs.service,
+                "alive": obs.alive,
+                "software": obs.software.banner if obs.software else "",
+                "banner": obs.banner,
+                "vendor_hint": obs.vendor_hint,
+            })
+            count += 1
     return count
 
 

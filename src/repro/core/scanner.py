@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.adaptive import RetransmitPolicy
     from repro.faults.injector import FaultInjector
     from repro.faults.schedule import FaultSchedule
+    from repro.store.sink import ResultSink
     from repro.telemetry.trace import ProbeTrace
 
 
@@ -101,6 +102,17 @@ class ScanResult:
     range: ScanRange
     results: List[ProbeResult] = field(default_factory=list)
     stats: ScanStats = field(default_factory=ScanStats)
+    #: Dedup-key cache for :meth:`merge`: the key set plus the results
+    #: length it was built against.  Rebuilding the set per merge call made
+    #: an N-shard campaign merge O(N²) in total results; the cache makes
+    #: the whole merge loop single-pass.  Out-of-band appends to
+    #: ``results`` are detected by the length stamp and trigger a rebuild.
+    _dedup_cache: Optional[Set[tuple]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _dedup_stamp: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
 
     def unique_responders(self) -> Set[IPv6Addr]:
         return {r.responder for r in self.results}
@@ -143,14 +155,25 @@ class ScanResult:
             raise ValueError(
                 f"cannot merge scan of {other.range} into scan of {self.range}"
             )
-        seen = {result.dedup_key for result in self.results}
+        seen = self._dedup_keys()
         for result in other.results:
             if result.dedup_key in seen:
                 continue
             seen.add(result.dedup_key)
             self.results.append(result)
+        self._dedup_stamp = len(self.results)
         self.stats.merge(other.stats)
         return self
+
+    def _dedup_keys(self) -> Set[tuple]:
+        """The cached dedup-key set, rebuilt only if ``results`` changed
+        behind the cache's back (e.g. the scanner appending mid-scan)."""
+        keys = self._dedup_cache
+        if keys is None or self._dedup_stamp != len(self.results):
+            keys = {result.dedup_key for result in self.results}
+            self._dedup_cache = keys
+            self._dedup_stamp = len(self.results)
+        return keys
 
     def dedup_digest(self) -> str:
         """Order-independent SHA-256 over the deduplicated reply set."""
@@ -264,6 +287,7 @@ class Scanner:
         config: ScanConfig,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[ProbeTracer] = None,
+        sink: Optional["ResultSink"] = None,
     ) -> None:
         self.network = network
         self.vantage = vantage
@@ -289,6 +313,12 @@ class Scanner:
         )
         self.pacer = VirtualPacer(network, config.rate_pps,
                                   metrics=self.metrics)
+        #: Streaming result sink.  When set, validated replies are emitted
+        #: to the sink as they are produced *instead of* accumulating in
+        #: ``result.results`` — peak resident rows are then bounded by the
+        #: sink's own buffering (one segment block for a
+        #: :class:`~repro.store.sink.SegmentSink`), not the reply volume.
+        self.sink = sink
         self.blocked_count = 0
         #: Shard-stream positions consumed so far (skipped + blocked +
         #: probed) — what a checkpoint records as the resume offset.
@@ -492,6 +522,7 @@ class Scanner:
         config = self.config
         network = self.network
         metrics = self.metrics
+        emit = self.sink.emit if self.sink is not None else result.results.append
         sent = received = validated = invalid = duplicate = 0
         h_hops = metrics.histogram("probe_hops", bounds=HOP_BUCKETS)
         for attempt in range(policy.limit):
@@ -550,7 +581,7 @@ class Scanner:
                         kind=classified.kind.value,
                         responder=str(classified.responder),
                     )
-                result.results.append(
+                emit(
                     ProbeResult(
                         target=classified.target,
                         responder=classified.responder,
@@ -590,6 +621,7 @@ class Scanner:
                                       reason="duplicate")
         h_hops = metrics.histogram("probe_hops", bounds=HOP_BUCKETS)
         reply_counters: Dict[tuple, object] = {}
+        emit = self.sink.emit if self.sink is not None else result.results.append
         stride = max(1, config.progress_every)
         processed = 0
         controller, policy = self._hardening()
@@ -672,7 +704,7 @@ class Scanner:
                         kind=classified.kind.value,
                         responder=str(classified.responder),
                     )
-                result.results.append(
+                emit(
                     ProbeResult(
                         target=classified.target,
                         responder=classified.responder,
@@ -767,7 +799,9 @@ class Scanner:
         classify = self.probe.classify
         inject = network.inject
         observe_hops = h_hops.observe
-        results_append = result.results.append
+        results_append = (
+            self.sink.emit if self.sink is not None else result.results.append
+        )
 
         # Vectorised tag priming: when the probe's validator supports block
         # precomputation, each target block's tags are derived in one go.

@@ -66,6 +66,10 @@ class CampaignResult:
     traces: List[Dict[str, object]] = field(default_factory=list)
     #: The campaign's structured event log (None only if never run).
     events: Optional[EventLog] = None
+    #: The :mod:`repro.store` snapshot this run committed (store mode only).
+    snapshot: Optional[str] = None
+    #: ``ResultStore.info()`` taken right after the commit (store mode only).
+    store_info: Optional[Dict[str, object]] = None
 
     @property
     def sent_this_run(self) -> int:
@@ -87,6 +91,7 @@ class CampaignResult:
             "validated": self.stats.validated,
             "hit_rate": self.stats.hit_rate,
             "wall_seconds": self.wall_seconds,
+            "snapshot": self.snapshot or "",
         }
 
 
@@ -116,6 +121,8 @@ class Campaign:
         prebuilt: Optional[BuiltTopology] = None,
         events: Optional[EventLog] = None,
         shard_timeout: Optional[float] = None,
+        store_dir: Optional[str] = None,
+        snapshot: Optional[str] = None,
     ) -> None:
         if isinstance(configs, Mapping):
             self.configs: Dict[str, ScanConfig] = dict(configs)
@@ -137,6 +144,14 @@ class Campaign:
         #: renders status lines as a subscriber, so the log is the single
         #: source of truth for progress reporting.
         self.events = events or EventLog()
+        self.store_dir = store_dir
+        #: The round name this run's segments commit under; every campaign
+        #: run gets a distinct default so longitudinal rounds into one store
+        #: never collide.
+        self.snapshot = (
+            (snapshot or f"round-{self.events.campaign_id}")
+            if store_dir else None
+        )
         if monitor is not None:
             self.events.subscribe(monitor.handle_event)
         if isinstance(executor, Executor):
@@ -163,6 +178,8 @@ class Campaign:
                     label=label,
                     checkpoint_dir=self.checkpoint_dir,
                     checkpoint_every=self.checkpoint_every,
+                    store_dir=self.store_dir,
+                    store_prefix=f"{self.snapshot}." if self.snapshot else "",
                 )
             )
         return jobs
@@ -194,12 +211,80 @@ class Campaign:
             store.clear()
         store.write_manifest(manifest)
 
+    def _prepare_result_store(self, metrics: MetricsRegistry):
+        """Open (and validate) the result store before any probe is sent.
+
+        Fail-fast: a corrupt manifest or a snapshot-name collision should
+        abort the campaign *before* a 48-hour scan, not after it.  Returns
+        the open :class:`~repro.store.store.ResultStore`, or None when the
+        campaign runs storeless.
+        """
+        if self.store_dir is None:
+            return None
+        from repro.store.store import ResultStore, StoreError
+
+        try:
+            store = ResultStore(self.store_dir, metrics=metrics)
+        except StoreError as exc:
+            raise CampaignError(f"result store unusable: {exc}") from exc
+        assert self.snapshot is not None
+        if self.snapshot in store.snapshots:
+            raise CampaignError(
+                f"snapshot {self.snapshot!r} already exists in "
+                f"{self.store_dir}; pick a different round name"
+            )
+        return store
+
+    def _commit_segments(
+        self,
+        store,
+        ordered: List[ShardOutcome],
+        result: CampaignResult,
+    ) -> None:
+        """One manifest rewrite makes every shard's sealed segment — and the
+        round's snapshot — visible atomically.  Workers only ever sealed
+        files; nothing was queryable until now."""
+        from repro.store.store import StoreError
+
+        metas = [o.segment for o in ordered if o.segment is not None]
+        labels: Dict[str, List[str]] = {}
+        for outcome in ordered:
+            if outcome.segment is not None:
+                labels.setdefault(outcome.label, []).append(
+                    str(outcome.segment["name"])
+                )
+        assert self.snapshot is not None
+        try:
+            store.commit(
+                metas,
+                snapshot=self.snapshot,
+                snapshot_meta={
+                    "campaign": self.events.campaign_id,
+                    "shards": self.shards,
+                    "labels": labels,
+                },
+            )
+        except StoreError as exc:
+            raise CampaignError(
+                f"committing shard segments failed: {exc}"
+            ) from exc
+        result.snapshot = self.snapshot
+        result.store_info = store.info()
+        self.events.emit(
+            "store_committed",
+            snapshot=self.snapshot,
+            segments=len(metas),
+            rows=sum(int(m.get("rows", 0)) for m in metas),
+        )
+
     # -- execution -----------------------------------------------------------
 
     def run(self, jobs: Optional[List[ShardJob]] = None) -> CampaignResult:
         """Run (or resume) the campaign; raises CampaignError on failure."""
         started = time.perf_counter()
         self._prepare_store()
+        metrics = MetricsRegistry()
+        result_store = self._prepare_result_store(metrics)
         if jobs is None:
             jobs = self.plan()
 
@@ -207,7 +292,6 @@ class Campaign:
             "campaign_started", shards=len(jobs), ranges=len(self.configs)
         )
 
-        metrics = MetricsRegistry()
         traces: List[Dict[str, object]] = []
         attempts: Dict[str, int] = {job.job_id: 0 for job in jobs}
         outcomes: Dict[str, ShardOutcome] = {}
@@ -287,6 +371,8 @@ class Campaign:
                     merged.merge(outcome.result)
             result.results[label] = merged
             result.stats.merge(merged.stats)
+        if result_store is not None:
+            self._commit_segments(result_store, ordered, result)
         result.wall_seconds = time.perf_counter() - started
         metrics.counter("campaign_shards_completed").inc(len(ordered))
         metrics.counter("campaign_shards_from_checkpoint").inc(

@@ -81,6 +81,17 @@ class ShardJob:
     checkpoint_dir: Optional[str] = None
     #: Probes between partial-state writes (0 = final write only).
     checkpoint_every: int = 0
+    #: When set, the worker writes this shard's rows into a sealed
+    #: :mod:`repro.store` segment under ``<store_dir>/segments/`` and ships
+    #: the segment meta home on the outcome; the campaign parent commits
+    #: all shard segments in one manifest rewrite.  Without checkpointing
+    #: the rows *stream* straight to the segment (bounded memory) instead
+    #: of accumulating on ``ScanResult.results``.
+    store_dir: Optional[str] = None
+    #: Prepended to the job id when deriving the segment file name, so two
+    #: campaign rounds over the same ranges land in distinct segments of
+    #: the same store (the longitudinal case).
+    store_prefix: str = ""
     #: Failure injection: raise ``WorkerInterrupted`` once this many probes
     #: have been sent in the current attempt.  Tests use it to simulate a
     #: worker dying mid-shard; production jobs leave it None.
@@ -109,6 +120,8 @@ class ShardPlanner:
         label: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 0,
+        store_dir: Optional[str] = None,
+        store_prefix: str = "",
     ) -> List[ShardJob]:
         """One job per shard; any shard/skip already on ``config`` is reset."""
         label = label or str(config.scan_range)
@@ -126,6 +139,8 @@ class ShardPlanner:
                     config=shard_config,
                     checkpoint_dir=checkpoint_dir,
                     checkpoint_every=checkpoint_every,
+                    store_dir=store_dir,
+                    store_prefix=store_prefix,
                 )
             )
         return jobs

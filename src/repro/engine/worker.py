@@ -59,10 +59,32 @@ class ShardOutcome:
     #: Worker-local structured events (checkpoint writes, restores, …)
     #: for the campaign's EventLog to ingest.
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: Sealed :mod:`repro.store` segment metadata for this shard's rows
+    #: (picklable dict from ``SegmentWriter.seal``); None when the job has
+    #: no ``store_dir``.  The campaign parent commits these — workers never
+    #: touch the store manifest, so there is nothing to race on.
+    segment: Optional[Dict[str, object]] = None
 
     @property
     def label(self) -> str:
         return self.job.label
+
+
+def _segment_writer(job: ShardJob):
+    """A :class:`~repro.store.segment.SegmentWriter` for this shard's rows.
+
+    Each shard writes its own uniquely named file under the store's segment
+    directory, so parallel workers never contend; a retried attempt seals
+    over the same final name (atomic replace — last seal wins).  Only the
+    campaign parent commits names into the manifest.
+    """
+    from repro.store.segment import SegmentWriter
+    from repro.store.store import ResultStore
+
+    assert job.store_dir is not None
+    name = ResultStore.segment_name(f"{job.store_prefix}{job.job_id}")
+    path = os.path.join(job.store_dir, ResultStore.SEGMENT_DIR, name)
+    return SegmentWriter(path)
 
 
 def _combined(prior: Optional[ScanResult], current: ScanResult) -> ScanResult:
@@ -92,6 +114,19 @@ def execute_job(
             "shard_restored", job_id=job.job_id, position=prior.position,
             worker=f"pid:{os.getpid()}",
         )
+        segment_meta: Optional[Dict[str, object]] = None
+        if job.store_dir:
+            # A restored shard still contributes its rows to this run's
+            # snapshot: re-seal them as a fresh segment for the parent to
+            # commit (the checkpoint, not the store, is the durable copy).
+            writer = _segment_writer(job)
+            writer.append_many(prior.result.results)
+            segment_meta = writer.seal()
+            buffer.emit(
+                "segment_sealed", job_id=job.job_id,
+                segment=segment_meta["name"], rows=segment_meta["rows"],
+                from_checkpoint=True,
+            )
         return ShardOutcome(
             job=job,
             result=prior.result,
@@ -100,6 +135,7 @@ def execute_job(
             resumed_at=prior.position,
             worker=f"pid:{os.getpid()}",
             events=buffer.records,
+            segment=segment_meta,
         )
 
     built = prebuilt if prebuilt is not None else job.topology.build()
@@ -108,8 +144,17 @@ def execute_job(
     config = dataclasses.replace(job.config, skip=skip)
     registry = MetricsRegistry() if config.collect_metrics else None
     tracer = ProbeTracer.from_spec(config.trace)
+    sink = None
+    if job.store_dir and store is None:
+        # No checkpointing: stream rows straight into the shard's segment so
+        # peak resident rows stay bounded by the writer's block size.  With
+        # checkpointing, rows must stay on the result for partial-state
+        # persistence; the segment is written once at the end instead.
+        from repro.store.sink import SegmentSink
+
+        sink = SegmentSink(_segment_writer(job))
     scanner = Scanner(built.network, built.vantage, probe, config,
-                      metrics=registry, tracer=tracer)
+                      metrics=registry, tracer=tracer, sink=sink)
     prior_result = prior.result if prior is not None else None
     if skip:
         buffer.emit("shard_resumed", job_id=job.job_id, position=skip)
@@ -167,7 +212,12 @@ def execute_job(
 
         scanner.on_progress = on_progress
 
-    result = scanner.run_batched() if config.batched else scanner.run()
+    try:
+        result = scanner.run_batched() if config.batched else scanner.run()
+    except BaseException:
+        if sink is not None:
+            sink.writer.abort()  # leave only a .tmp, never a half-segment
+        raise
     if scanner.fault_injector is not None:
         # Fault apply/revert records ride the worker's event stream home so
         # the campaign's EventLog journals the chaos timeline alongside
@@ -185,6 +235,19 @@ def execute_job(
                 result=merged,
             )
         )
+    segment_meta: Optional[Dict[str, object]] = None
+    if sink is not None:
+        sink.close()
+        segment_meta = sink.meta
+    elif job.store_dir:
+        writer = _segment_writer(job)
+        writer.append_many(merged.results)
+        segment_meta = writer.seal()
+    if segment_meta is not None:
+        buffer.emit(
+            "segment_sealed", job_id=job.job_id,
+            segment=segment_meta["name"], rows=segment_meta["rows"],
+        )
     return ShardOutcome(
         job=job,
         result=merged,
@@ -194,4 +257,5 @@ def execute_job(
         metrics=registry.to_dict() if registry is not None else None,
         traces=tracer.to_dicts(),
         events=buffer.records,
+        segment=segment_meta,
     )

@@ -1,0 +1,312 @@
+"""Append-only binary result segments: the store's on-disk unit.
+
+A *segment* is a sealed, immutable file of :class:`~repro.core.scanner.
+ProbeResult` rows in fixed 35-byte binary form — 16-byte target address,
+16-byte responder address, and one byte each for the reply kind, ICMPv6
+type, and ICMPv6 code.  Rows are grouped into *blocks*::
+
+    +-------- file --------------------------------------------------+
+    | magic "RPS1" | version u8 | reserved ×3                        |
+    | block: rows u32 | row ×N (35 B each) | crc32(payload) u32      |
+    | block: ...                                                     |
+    +----------------------------------------------------------------+
+
+Every block carries a CRC32 trailer over its payload, so truncation and
+bit-rot are detected at read time (:class:`SegmentCorrupt`) instead of
+surfacing as silently wrong rows.  Reply kinds are stored as one-byte codes
+against a table recorded in the segment's metadata, so a segment written
+today stays decodable if the enum ever grows.
+
+Writers stream: rows append into an in-memory block buffer of at most
+``block_rows`` rows and flush to disk when full — the writer's peak resident
+row count is the block size, which is what lets a campaign's result path
+run in bounded memory.  Sealing fsyncs and atomically renames the ``.tmp``
+file into place, so a crash mid-write never leaves a half-segment under a
+committed name.
+
+Readers are mmap-backed by default — block payloads are decoded straight
+out of the mapping with no intermediate copy — with a plain ``read_bytes``
+scalar fallback for platforms or filesystems where mmap is unavailable.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.probes.base import ReplyKind
+from repro.core.scanner import ProbeResult
+from repro.net.addr import IPv6Addr
+from repro.store.index import SegmentIndex, SegmentIndexBuilder
+
+MAGIC = b"RPS1"
+SEGMENT_VERSION = 1
+HEADER = MAGIC + bytes([SEGMENT_VERSION, 0, 0, 0])
+
+ROW = struct.Struct(">16s16sBBB")
+ROW_SIZE = ROW.size  # 35
+_U32 = struct.Struct(">I")
+
+#: Canonical kind-code table for newly written segments (code = position).
+KIND_TABLE: Tuple[str, ...] = tuple(kind.value for kind in ReplyKind)
+_KIND_CODE: Dict[ReplyKind, int] = {
+    kind: code for code, kind in enumerate(ReplyKind)
+}
+
+#: Default rows per block — the writer's peak resident row count.
+DEFAULT_BLOCK_ROWS = 512
+
+
+class SegmentCorrupt(RuntimeError):
+    """A segment failed structural or CRC validation while being read."""
+
+
+def pack_row(result: ProbeResult) -> bytes:
+    return ROW.pack(
+        result.target.value.to_bytes(16, "big"),
+        result.responder.value.to_bytes(16, "big"),
+        _KIND_CODE[result.kind],
+        result.icmp_type & 0xFF,
+        result.icmp_code & 0xFF,
+    )
+
+
+class SegmentWriter:
+    """Streams rows into blocks; ``seal()`` makes the segment durable.
+
+    ``path`` is the final segment path; bytes accumulate in a uniquely
+    named sibling ``.tmp`` file (two workers retrying the same shard must
+    not clobber each other) until :meth:`seal` fsyncs and renames it into
+    place.  An unsealed writer leaves only a ``.tmp`` behind — never a
+    half-written segment under the committed name.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]",
+                 block_rows: int = DEFAULT_BLOCK_ROWS) -> None:
+        if block_rows < 1:
+            raise ValueError("block_rows must be positive")
+        self.path = Path(path)
+        self.block_rows = block_rows
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        self._fh = open(self._tmp, "wb")
+        self._fh.write(HEADER)
+        self._crc = zlib.crc32(HEADER)
+        self._bytes = len(HEADER)
+        self._buffer: List[bytes] = []
+        self._index = SegmentIndexBuilder()
+        self.rows = 0
+        self.blocks = 0
+        self.sealed = False
+
+    @property
+    def buffered_rows(self) -> int:
+        """Rows currently resident in memory (bounded by ``block_rows``)."""
+        return len(self._buffer)
+
+    def append(self, result: ProbeResult) -> None:
+        self._buffer.append(pack_row(result))
+        self._index.add(self.blocks, result.target.value,
+                        result.responder.value)
+        self.rows += 1
+        if len(self._buffer) >= self.block_rows:
+            self._flush_block()
+
+    def append_many(self, results: Sequence[ProbeResult]) -> None:
+        for result in results:
+            self.append(result)
+
+    def _write(self, data: bytes) -> None:
+        self._fh.write(data)
+        self._crc = zlib.crc32(data, self._crc)
+        self._bytes += len(data)
+
+    def _flush_block(self) -> None:
+        if not self._buffer:
+            return
+        payload = b"".join(self._buffer)
+        self._write(_U32.pack(len(self._buffer)))
+        self._write(payload)
+        self._write(_U32.pack(zlib.crc32(payload)))
+        self._buffer.clear()
+        self.blocks += 1
+
+    def seal(self) -> Dict[str, object]:
+        """Flush, fsync, rename into place; returns the segment metadata.
+
+        The metadata dict is what a :class:`~repro.store.store.ResultStore`
+        manifest records per segment: row/block/byte counts, the whole-file
+        CRC32, the kind-code table, and the prefix index.
+        """
+        if self.sealed:
+            raise RuntimeError(f"segment {self.path.name} already sealed")
+        self._flush_block()
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._tmp.replace(self.path)
+        self.sealed = True
+        return {
+            "name": self.path.name,
+            "rows": self.rows,
+            "blocks": self.blocks,
+            "bytes": self._bytes,
+            "crc32": self._crc & 0xFFFFFFFF,
+            "kinds": list(KIND_TABLE),
+            "index": self._index.to_dict(),
+        }
+
+    def abort(self) -> None:
+        """Discard an unsealed writer and its temporary file."""
+        if self.sealed:
+            return
+        self._fh.close()
+        self._tmp.unlink(missing_ok=True)
+
+
+class SegmentReader:
+    """Decodes a sealed segment, block-CRC-verified, mmap-backed.
+
+    ``meta`` is the dict :meth:`SegmentWriter.seal` produced (normally
+    served from the store manifest).  ``use_mmap=False`` forces the scalar
+    fallback — one ``read_bytes`` of the whole file — which is also taken
+    automatically when mapping fails.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]",
+                 meta: Dict[str, object], use_mmap: bool = True) -> None:
+        self.path = Path(path)
+        self.meta = meta
+        self.use_mmap = use_mmap
+        kinds = meta.get("kinds") or list(KIND_TABLE)
+        self._kinds: List[ReplyKind] = [ReplyKind(value) for value in kinds]
+        self.index = SegmentIndex.from_dict(meta.get("index") or {})
+        self.rows = int(meta.get("rows", 0))
+
+    def _buffer(self):
+        """(buffer, closer): an mmap over the file, or its bytes."""
+        fh = open(self.path, "rb")
+        if self.use_mmap:
+            try:
+                view = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                return view, (lambda: (view.close(), fh.close()))
+            except (ValueError, OSError):
+                pass  # empty file or mmap-hostile FS: scalar fallback
+        data = fh.read()
+        fh.close()
+        return data, (lambda: None)
+
+    def verify(self) -> None:
+        """Whole-file structural + CRC check against the metadata."""
+        expected_bytes = int(self.meta.get("bytes", -1))
+        actual = self.path.stat().st_size
+        if expected_bytes >= 0 and actual != expected_bytes:
+            raise SegmentCorrupt(
+                f"{self.path.name}: size {actual} != recorded {expected_bytes}"
+            )
+        buffer, close = self._buffer()
+        try:
+            crc = zlib.crc32(buffer)
+            recorded = self.meta.get("crc32")
+            if recorded is not None and crc != int(recorded):
+                raise SegmentCorrupt(
+                    f"{self.path.name}: file CRC {crc:#x} != recorded "
+                    f"{int(recorded):#x}"
+                )
+            for _ in self._iter_blocks(buffer, None):
+                pass
+        finally:
+            close()
+
+    def _decode_rows(self, payload, count: int) -> List[ProbeResult]:
+        kinds = self._kinds
+        out: List[ProbeResult] = []
+        offset = 0
+        for _ in range(count):
+            target, responder, kind_code, icmp_type, icmp_code = (
+                ROW.unpack_from(payload, offset)
+            )
+            offset += ROW_SIZE
+            try:
+                kind = kinds[kind_code]
+            except IndexError:
+                raise SegmentCorrupt(
+                    f"{self.path.name}: kind code {kind_code} outside the "
+                    "recorded kind table"
+                ) from None
+            out.append(
+                ProbeResult(
+                    target=IPv6Addr(int.from_bytes(target, "big")),
+                    responder=IPv6Addr(int.from_bytes(responder, "big")),
+                    kind=kind,
+                    icmp_type=icmp_type,
+                    icmp_code=icmp_code,
+                )
+            )
+        return out
+
+    def _iter_blocks(
+        self, buffer, wanted: Optional[Sequence[int]]
+    ) -> Iterator[Tuple[int, List[ProbeResult]]]:
+        size = len(buffer)
+        if size < len(HEADER) or bytes(buffer[:4]) != MAGIC:
+            raise SegmentCorrupt(f"{self.path.name}: bad or missing magic")
+        want = None if wanted is None else set(wanted)
+        offset = len(HEADER)
+        block_id = 0
+        view = memoryview(buffer)
+        try:
+            while offset < size:
+                if offset + 4 > size:
+                    raise SegmentCorrupt(
+                        f"{self.path.name}: truncated block header at "
+                        f"offset {offset}"
+                    )
+                (count,) = _U32.unpack_from(view, offset)
+                offset += 4
+                payload_size = count * ROW_SIZE
+                end = offset + payload_size + 4
+                if end > size:
+                    raise SegmentCorrupt(
+                        f"{self.path.name}: truncated block {block_id} "
+                        f"(need {end} bytes, have {size})"
+                    )
+                if want is None or block_id in want:
+                    payload = view[offset:offset + payload_size]
+                    # Released in the finally even when corruption raises —
+                    # a live slice in the traceback would otherwise make the
+                    # mmap unclosable (BufferError masking the real error).
+                    try:
+                        (recorded,) = _U32.unpack_from(
+                            view, offset + payload_size
+                        )
+                        if zlib.crc32(payload) != recorded:
+                            raise SegmentCorrupt(
+                                f"{self.path.name}: CRC mismatch in block "
+                                f"{block_id}"
+                            )
+                        yield block_id, self._decode_rows(payload, count)
+                    finally:
+                        payload.release()
+                offset = end
+                block_id += 1
+        finally:
+            view.release()
+
+    def iter_rows(
+        self, blocks: Optional[Sequence[int]] = None
+    ) -> Iterator[ProbeResult]:
+        """Rows in file order, optionally restricted to the given blocks."""
+        buffer, close = self._buffer()
+        try:
+            for _block_id, rows in self._iter_blocks(buffer, blocks):
+                yield from rows
+        finally:
+            close()

@@ -1,0 +1,43 @@
+"""Named snapshots: one campaign round bound to its segment set.
+
+The paper's methodology is longitudinal — the same twelve ISPs scanned
+repeatedly over a month, with per-round comparison of which peripheries
+persist.  A :class:`Snapshot` is the store's unit of "one round": a name
+(``2020-11``, ``round-3``, a campaign id), the ordered list of segments
+that round committed, and free-form metadata (ranges, shard count, stats).
+Snapshots are pure manifest entries — they own no bytes of their own — so
+creating one is O(1) and two snapshots may share segments after
+compaction groups them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable binding of one scan round to its segment set."""
+
+    name: str
+    segments: Tuple[str, ...]
+    rows: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "segments": list(self.segments),
+            "rows": self.rows,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Snapshot":
+        return cls(
+            name=str(data["name"]),
+            segments=tuple(str(s) for s in data.get("segments", [])),
+            rows=int(data.get("rows", 0)),
+            meta=dict(data.get("meta") or {}),
+        )

@@ -1,0 +1,503 @@
+"""The segmented scan-result datastore.
+
+``ResultStore`` turns a directory into a durable, queryable home for scan
+results::
+
+    store/
+      manifest.json            # the single source of truth (checksummed)
+      segments/<name>.seg      # sealed append-only row segments
+
+**Commit protocol** (crash-safe): segment files are sealed first —
+flushed, fsynced, and atomically renamed into ``segments/`` — and only
+then does the manifest rewrite (itself tmp + fsync + rename, with a
+whole-payload SHA-256 like the engine's checkpoints) make them visible.
+A crash between the two steps leaves sealed-but-unreferenced *orphan*
+files, never a manifest pointing at missing or partial data; orphans are
+reported by :meth:`ResultStore.info` and swept by compaction.  Stale
+``.tmp`` files from dead writers are deleted on open.
+
+**Integrity**: a torn or hand-edited manifest is quarantined (renamed
+``manifest.json.corrupt``) and raises :class:`StoreCorruption` — the store
+never guesses.  Segments whose size no longer matches the manifest are
+quarantined on open; block-level CRC failures discovered mid-query
+quarantine the segment and raise, so a corrupt store can cost a rescan but
+can never return a silently wrong row set (mirroring PR 4's checkpoint
+quarantine).
+
+**Sharding**: every shard of a campaign writes its own segment under its
+own name — writers never contend — and the campaign commits them all in
+one manifest rewrite, bound to a named :class:`~repro.store.snapshot.
+Snapshot` for the round.
+
+**Compaction** merges segments that share the same snapshot membership
+into one, de-duplicating rows on ``ProbeResult.dedup_key`` (first
+occurrence in commit order wins — the same key and the same policy as the
+in-scan and cross-shard dedup), then atomically swaps the manifest and
+deletes the old files.  Queries before, during (readers hold the old
+manifest), and after compaction see the same logical row set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.scanner import ProbeResult
+from repro.store.segment import (
+    DEFAULT_BLOCK_ROWS,
+    SegmentCorrupt,
+    SegmentReader,
+    SegmentWriter,
+)
+from repro.store.snapshot import Snapshot
+from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry
+
+MANIFEST_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """The store was asked something inconsistent (bad name, bad commit)."""
+
+
+class StoreCorruption(StoreError):
+    """On-disk state failed validation; the offender was quarantined."""
+
+
+def _checksum(payload: Dict[str, object]) -> str:
+    canonical = json.dumps(
+        {k: v for k, v in payload.items() if k != "checksum"}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so renames survive power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+class ResultStore:
+    """A directory of sealed result segments plus one atomic manifest."""
+
+    MANIFEST = "manifest.json"
+    SEGMENT_DIR = "segments"
+
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str]",
+        metrics: Optional[MetricsRegistry] = None,
+        use_mmap: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.segment_dir = self.directory / self.SEGMENT_DIR
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.use_mmap = use_mmap
+        #: Segment metadata in commit order: name -> meta dict.
+        self.segments: Dict[str, Dict[str, object]] = {}
+        self.snapshots: Dict[str, Snapshot] = {}
+        #: Names quarantined by past integrity failures (manifest-recorded).
+        self.quarantined: List[str] = []
+        self._commits = 0
+        self._sweep_tmp()
+        self._load_manifest()
+        self._verify_segment_files()
+
+    # -- manifest ----------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST
+
+    def _manifest_payload(self) -> Dict[str, object]:
+        return {
+            "version": MANIFEST_VERSION,
+            "commits": self._commits,
+            "segments": [self.segments[name] for name in self.segments],
+            "snapshots": [
+                snap.to_dict() for snap in self.snapshots.values()
+            ],
+            "quarantined": list(self.quarantined),
+        }
+
+    def _write_manifest(self) -> None:
+        payload = self._manifest_payload()
+        payload["checksum"] = _checksum(payload)
+        tmp = self.manifest_path.with_name(
+            f"{self.MANIFEST}.{os.getpid()}.tmp"
+        )
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self.manifest_path)
+        _fsync_dir(self.directory)
+
+    def _quarantine_manifest(self, reason: str) -> None:
+        target = self.manifest_path.with_name(self.MANIFEST + ".corrupt")
+        try:
+            self.manifest_path.replace(target)
+        except OSError:  # pragma: no cover - concurrent writer race
+            pass
+        self.metrics.counter("store_manifest_quarantined").inc()
+        raise StoreCorruption(
+            f"store manifest {self.manifest_path} is corrupt ({reason}); "
+            f"quarantined to {target.name} — the store opens empty on retry"
+        )
+
+    def _load_manifest(self) -> None:
+        try:
+            text = self.manifest_path.read_text()
+        except FileNotFoundError:
+            return  # a fresh store
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine_manifest("truncated-or-invalid-json")
+            return
+        if not isinstance(data, dict):
+            self._quarantine_manifest("not-a-json-object")
+            return
+        recorded = data.get("checksum")
+        if recorded is not None and recorded != _checksum(data):
+            self._quarantine_manifest("checksum-mismatch")
+            return
+        if data.get("version") != MANIFEST_VERSION:
+            self._quarantine_manifest(
+                f"unsupported version {data.get('version')!r}"
+            )
+            return
+        self._commits = int(data.get("commits", 0))
+        for meta in data.get("segments", []):
+            self.segments[str(meta["name"])] = meta
+        for snap_data in data.get("snapshots", []):
+            snapshot = Snapshot.from_dict(snap_data)
+            self.snapshots[snapshot.name] = snapshot
+        self.quarantined = [str(n) for n in data.get("quarantined", [])]
+
+    # -- integrity ---------------------------------------------------------------
+
+    def _sweep_tmp(self) -> None:
+        """Delete stale ``.tmp`` files left by dead writers."""
+        for path in self.segment_dir.glob("*.tmp"):
+            path.unlink(missing_ok=True)
+        for path in self.directory.glob(f"{self.MANIFEST}.*.tmp"):
+            path.unlink(missing_ok=True)
+
+    def _quarantine_segment(self, name: str, reason: str) -> None:
+        """Move a corrupt segment aside, drop it from manifest + snapshots."""
+        path = self.segment_path(name)
+        if path.exists():
+            path.replace(path.with_name(path.name + ".corrupt"))
+        self.segments.pop(name, None)
+        for snap_name, snapshot in list(self.snapshots.items()):
+            if name in snapshot.segments:
+                remaining = tuple(s for s in snapshot.segments if s != name)
+                self.snapshots[snap_name] = Snapshot(
+                    name=snapshot.name,
+                    segments=remaining,
+                    rows=sum(self._rows_of(s) for s in remaining),
+                    meta={**snapshot.meta, "incomplete": reason},
+                )
+        self.quarantined.append(name)
+        self._write_manifest()
+        self.metrics.counter("store_segments_quarantined").inc()
+
+    def _verify_segment_files(self) -> None:
+        """Cheap open-time check: every committed segment exists at the
+        recorded size.  Full CRC verification happens block-by-block at
+        read time (and via :meth:`verify`)."""
+        bad: List[Tuple[str, str]] = []
+        for name, meta in self.segments.items():
+            path = self.segment_path(name)
+            try:
+                actual = path.stat().st_size
+            except FileNotFoundError:
+                bad.append((name, "missing-file"))
+                continue
+            if actual != int(meta.get("bytes", actual)):
+                bad.append((name, f"size {actual} != {meta.get('bytes')}"))
+        for name, reason in bad:
+            self._quarantine_segment(name, reason)
+        if bad:
+            raise StoreCorruption(
+                "corrupt segment(s) quarantined: "
+                + ", ".join(f"{n} ({r})" for n, r in bad)
+                + " — re-open the store to continue without them"
+            )
+
+    def verify(self) -> None:
+        """Full CRC verification of every committed segment."""
+        for name in list(self.segments):
+            try:
+                self.reader(name).verify()
+            except SegmentCorrupt as exc:
+                self._quarantine_segment(name, str(exc))
+                raise StoreCorruption(
+                    f"segment {name} failed verification and was "
+                    f"quarantined: {exc}"
+                ) from exc
+
+    # -- segments ----------------------------------------------------------------
+
+    @staticmethod
+    def segment_name(label: str) -> str:
+        """A filesystem-safe segment name derived from a free-form label."""
+        safe = label.replace("/", "-").replace(":", "_").replace(" ", "_")
+        return f"{safe}.seg"
+
+    def segment_path(self, name: str) -> Path:
+        return self.segment_dir / name
+
+    def _rows_of(self, name: str) -> int:
+        meta = self.segments.get(name)
+        return int(meta.get("rows", 0)) if meta else 0
+
+    def writer(self, name: Optional[str] = None,
+               block_rows: int = DEFAULT_BLOCK_ROWS) -> SegmentWriter:
+        """A streaming writer for a new segment (not yet committed).
+
+        Each shard/writer gets its own file, so any number of writers can
+        run in parallel — across threads or processes — without contending;
+        only :meth:`commit` serialises on the manifest.
+        """
+        if name is None:
+            name = f"seg-{self._commits:04d}-{len(self.segments):06d}.seg"
+        if not name.endswith(".seg"):
+            name += ".seg"
+        return SegmentWriter(self.segment_path(name), block_rows=block_rows)
+
+    def reader(self, name: str) -> SegmentReader:
+        meta = self.segments.get(name)
+        if meta is None:
+            raise StoreError(f"unknown segment {name!r}")
+        return SegmentReader(self.segment_path(name), meta,
+                             use_mmap=self.use_mmap)
+
+    def commit(
+        self,
+        metas: Sequence[Dict[str, object]],
+        snapshot: Optional[str] = None,
+        snapshot_meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Make sealed segments visible (and optionally snapshot them).
+
+        ``metas`` are :meth:`SegmentWriter.seal` results.  The segments
+        become queryable — and the snapshot exists — only once the single
+        atomic manifest rewrite lands; a crash before that leaves orphans,
+        never partial state.
+        """
+        names: List[str] = []
+        for meta in metas:
+            name = str(meta["name"])
+            if name in self.segments:
+                raise StoreError(f"segment {name!r} already committed")
+            if not self.segment_path(name).exists():
+                raise StoreError(f"segment file {name!r} was never sealed")
+            names.append(name)
+        for meta, name in zip(metas, names):
+            self.segments[name] = dict(meta)
+        self._commits += 1
+        if snapshot is not None:
+            if snapshot in self.snapshots:
+                raise StoreError(f"snapshot {snapshot!r} already exists")
+            self.snapshots[snapshot] = Snapshot(
+                name=snapshot,
+                segments=tuple(names),
+                rows=sum(self._rows_of(n) for n in names),
+                meta=dict(snapshot_meta or {}),
+            )
+        self._write_manifest()
+        rows = sum(int(m.get("rows", 0)) for m in metas)
+        self.metrics.counter("store_segments_committed").inc(len(metas))
+        self.metrics.counter("store_rows_ingested").inc(rows)
+        self.metrics.gauge("store_total_rows").set(self.total_rows)
+
+    def create_snapshot(
+        self,
+        name: str,
+        segments: Sequence[str],
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Snapshot:
+        """Bind already-committed segments to a new named snapshot."""
+        if name in self.snapshots:
+            raise StoreError(f"snapshot {name!r} already exists")
+        for segment in segments:
+            if segment not in self.segments:
+                raise StoreError(f"unknown segment {segment!r}")
+        snapshot = Snapshot(
+            name=name,
+            segments=tuple(segments),
+            rows=sum(self._rows_of(s) for s in segments),
+            meta=dict(meta or {}),
+        )
+        self.snapshots[name] = snapshot
+        self._write_manifest()
+        return snapshot
+
+    def snapshot(self, name: str) -> Snapshot:
+        snap = self.snapshots.get(name)
+        if snap is None:
+            raise StoreError(
+                f"unknown snapshot {name!r}; have "
+                f"{sorted(self.snapshots) or 'none'}"
+            )
+        return snap
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self._rows_of(name) for name in self.segments)
+
+    def iter_rows(
+        self,
+        segments: Optional[Sequence[str]] = None,
+        blocks_for: Optional[Dict[str, Sequence[int]]] = None,
+    ) -> Iterator[ProbeResult]:
+        """Rows in commit order; corrupt segments quarantine and raise."""
+        names = list(segments) if segments is not None else list(self.segments)
+        for name in names:
+            reader = self.reader(name)
+            wanted = blocks_for.get(name) if blocks_for else None
+            try:
+                yield from reader.iter_rows(wanted)
+            except SegmentCorrupt as exc:
+                self._quarantine_segment(name, str(exc))
+                raise StoreCorruption(
+                    f"segment {name} is corrupt and was quarantined mid-"
+                    f"read: {exc}"
+                ) from exc
+
+    def orphans(self) -> List[str]:
+        """Sealed segment files on disk that no manifest entry references."""
+        known = set(self.segments) | {
+            name + ".corrupt" for name in self.quarantined
+        }
+        return sorted(
+            path.name for path in self.segment_dir.glob("*.seg")
+            if path.name not in known
+        )
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "directory": str(self.directory),
+            "segments": len(self.segments),
+            "rows": self.total_rows,
+            "bytes": sum(
+                int(m.get("bytes", 0)) for m in self.segments.values()
+            ),
+            "snapshots": {
+                name: {"segments": len(s.segments), "rows": s.rows}
+                for name, s in sorted(self.snapshots.items())
+            },
+            "quarantined": list(self.quarantined),
+            "orphans": self.orphans(),
+            "commits": self._commits,
+        }
+
+    # -- compaction --------------------------------------------------------------
+
+    def compact(self, block_rows: int = DEFAULT_BLOCK_ROWS) -> Dict[str, object]:
+        """Merge segments with identical snapshot membership, dedup rows.
+
+        Foreground and incremental-free by design (there is no background
+        thread to leak): each membership group's segments rewrite into one
+        new segment with ``dedup_key`` de-duplication, the manifest swaps
+        atomically, and only then are the old files (and any orphans)
+        deleted.  Snapshot row sets are preserved exactly — the groups are
+        the finest partition that keeps every snapshot expressible.
+        """
+        membership: Dict[str, Tuple[str, ...]] = {}
+        for name in self.segments:
+            owners = tuple(
+                sorted(
+                    snap.name for snap in self.snapshots.values()
+                    if name in snap.segments
+                )
+            )
+            membership[name] = owners
+        groups: Dict[Tuple[str, ...], List[str]] = {}
+        for name, owners in membership.items():
+            groups.setdefault(owners, []).append(name)
+
+        rows_before = self.total_rows
+        segments_before = len(self.segments)
+        duplicates = 0
+        new_segments: Dict[str, Dict[str, object]] = {}
+        replaced: Dict[str, str] = {}  # old name -> new name
+        to_delete: List[str] = []
+
+        for index, (owners, names) in enumerate(sorted(groups.items())):
+            if len(names) == 1:
+                # A lone segment may still hold internal duplicates only if
+                # it was written without in-scan dedup; rewriting it is
+                # wasted I/O in the common case, so single-segment groups
+                # are kept as-is.
+                name = names[0]
+                new_segments[name] = self.segments[name]
+                continue
+            writer = SegmentWriter(
+                self.segment_path(f"compact-{self._commits:04d}-{index:03d}.seg"),
+                block_rows=block_rows,
+            )
+            seen: set = set()
+            for name in names:
+                for row in self.iter_rows([name]):
+                    key = row.dedup_key
+                    if key in seen:
+                        duplicates += 1
+                        continue
+                    seen.add(key)
+                    writer.append(row)
+            meta = writer.seal()
+            new_name = str(meta["name"])
+            new_segments[new_name] = meta
+            for name in names:
+                replaced[name] = new_name
+                to_delete.append(name)
+
+        # Swap the manifest: new segment table + rewritten snapshot refs.
+        self.segments = new_segments
+        for snap_name, snap in list(self.snapshots.items()):
+            seen_names: List[str] = []
+            for segment in snap.segments:
+                target = replaced.get(segment, segment)
+                if target not in seen_names:
+                    seen_names.append(target)
+            self.snapshots[snap_name] = Snapshot(
+                name=snap.name,
+                segments=tuple(seen_names),
+                rows=sum(self._rows_of(s) for s in seen_names),
+                meta=snap.meta,
+            )
+        self._commits += 1
+        self._write_manifest()
+        for name in to_delete:
+            self.segment_path(name).unlink(missing_ok=True)
+        for orphan in self.orphans():
+            (self.segment_dir / orphan).unlink(missing_ok=True)
+
+        report = {
+            "segments_before": segments_before,
+            "segments_after": len(self.segments),
+            "rows_before": rows_before,
+            "rows_after": self.total_rows,
+            "duplicates_dropped": duplicates,
+        }
+        self.metrics.counter("store_compactions").inc()
+        self.metrics.counter("store_rows_compacted").inc(
+            int(report["rows_after"])
+        )
+        return report
