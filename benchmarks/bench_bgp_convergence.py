@@ -1,0 +1,134 @@
+"""BGP fabric convergence: full world solve vs incremental reconvergence.
+
+The periphery experiments rebuild their substrate constantly — every
+campaign shard recompiles the world from its ``TopologySpec``, and every
+control-plane scenario (leak, hijack, flap, failover) reconverges part of
+it mid-scan.  This bench sizes both paths on a ~2k-AS Internet: the
+headline is the full path-vector solve + FIB install measured in origin
+prefixes per second (via pytest-benchmark), and the A/B timer measures
+incremental reconvergence — :func:`repro.bgp.compute_delta` re-solving
+only the dirty prefixes of one scenario — which must beat the full solve
+by a wide margin or mid-scan scenario injection becomes the bottleneck.
+"""
+
+import time
+
+from repro.analysis.report import ComparisonTable
+from repro.bgp import AsRole, Failover, PrefixHijack, RouteLeak, compute_delta
+from repro.bgp.world import build_internet
+
+from benchmarks.conftest import SEED, write_bench_json, write_result
+
+N_TAIL_ASES = 2_000  # ~2k-AS world; the bench's own axis, not REPRO_SCALE
+MULTIHOME_RATE = 0.25
+
+
+def _build():
+    return build_internet(
+        seed=SEED,
+        n_tail_ases=N_TAIL_ASES,
+        multihome_rate=MULTIHOME_RATE,
+        populate=False,  # control-plane cost only; no CPE population
+    )
+
+
+def _scenarios(fabric):
+    """One of each reconvergence shape, drawn from the fabric itself.
+
+    The world is built unpopulated, so actors come straight off the
+    declared AS set rather than the (empty) ``world.edges`` list.
+    """
+    edges = [a for a in fabric.ases.values() if a.role == AsRole.EDGE]
+    providers = {
+        a.asn: [s.a for s in fabric.provider_sessions(a.asn)] for a in edges
+    }
+    multi = next(a for a in edges if len(providers[a.asn]) >= 2)
+    # A victim single-homed under one of the leaker's providers, so the
+    # leaker's best route for the victim block is guaranteed to run
+    # through ``from_as`` (shortest path: straight down the shared cone).
+    victim = next(
+        a for a in edges
+        if len(providers[a.asn]) == 1
+        and providers[a.asn][0] in providers[multi.asn]
+    )
+    from_as = providers[victim.asn][0]
+    to_as = next(p for p in providers[multi.asn] if p != from_as)
+    single = next(a for a in edges if len(providers[a.asn]) == 1)
+    return (
+        Failover(multi.asn),
+        RouteLeak(
+            leaker=multi.asn,
+            from_as=from_as,
+            to_as=to_as,
+            prefixes=(str(victim.block),),
+        ),
+        PrefixHijack(
+            hijacker=multi.asn,
+            prefix=str(single.block.subprefix(0, 44)),
+        ),
+    )
+
+
+def test_bgp_convergence(benchmark):
+    world = benchmark.pedantic(_build, iterations=1, rounds=3)
+    full_wall = benchmark.stats.stats.mean
+    fabric = world.fabric
+
+    n_prefixes = len(fabric.announcements)
+    n_ases = len(fabric.ases)
+    n_sessions = len(fabric.sessions)
+    rib_routes = fabric.rib_routes()
+    fib_routes = fabric.fib_routes()
+    full_pps = n_prefixes / full_wall if full_wall else 0.0
+
+    # A/B: incremental reconvergence — each scenario re-solves only its
+    # dirty prefix set and diffs against the compiled FIB.
+    dirty_total = 0
+    ops_total = 0
+    started = time.perf_counter()
+    for scenario in _scenarios(fabric):
+        delta = compute_delta(fabric, scenario)
+        dirty_total += len(delta.dirty)
+        ops_total += len(delta.ops)
+    reconverge_wall = time.perf_counter() - started
+    reconverge_per_scenario = reconverge_wall / 3
+
+    # Incremental must beat amortised full-solve per scenario, else
+    # mid-scan injection would be cheaper done by full rebuild.
+    assert reconverge_per_scenario < full_wall
+    assert ops_total > 0
+
+    table = ComparisonTable(
+        f"BGP convergence ({n_ases} ASes, {n_sessions} sessions, "
+        f"{n_prefixes} origin prefixes)",
+        ("Path", "wall s", "prefixes", "prefixes/s"),
+    )
+    table.add("full solve + FIB install", f"{full_wall:.3f}", n_prefixes,
+              f"{full_pps:,.0f}")
+    table.add("incremental (3 scenarios)", f"{reconverge_wall:.3f}",
+              dirty_total,
+              f"{dirty_total / reconverge_wall:,.0f}"
+              if reconverge_wall else "-")
+    table.note(
+        f"{rib_routes} RIB routes -> {fib_routes} installed FIB rows; "
+        f"reconvergence {full_wall / reconverge_per_scenario:.0f}x faster "
+        f"than a rebuild per scenario ({ops_total} table ops emitted)"
+    )
+    write_result("bgp_convergence", table)
+    write_bench_json(
+        "bgp",
+        n_ases=n_ases,
+        n_sessions=n_sessions,
+        n_prefixes=n_prefixes,
+        rib_routes=rib_routes,
+        fib_routes=fib_routes,
+        full_solve_seconds=full_wall,
+        full_solve_prefixes_per_sec=full_pps,
+        reconverge_seconds_per_scenario=reconverge_per_scenario,
+        reconverge_dirty_prefixes=dirty_total,
+        reconverge_table_ops=ops_total,
+        reconverge_speedup=(
+            full_wall / reconverge_per_scenario
+            if reconverge_per_scenario else 0.0
+        ),
+    )

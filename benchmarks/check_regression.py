@@ -24,6 +24,9 @@ and fails when a headline metric regressed beyond tolerance:
   bottleneck (the bench itself also asserts ingest ≥ scanner ``wall_pps``).
 * ``store_query`` — ``query_rows_per_sec`` (higher is better): /32-prefix
   query over the compacted multi-block corpus, index pruning included.
+* ``bgp`` — ``full_solve_prefixes_per_sec`` (higher is better): the ~2k-AS
+  path-vector solve + FIB install every campaign shard pays when it
+  rebuilds an ``internet`` world from its spec.
 
 Runs where the baseline is missing (a brand-new bench) or was recorded at
 a different ``REPRO_SCALE``/``REPRO_SEED`` are skipped with a note rather
@@ -189,6 +192,7 @@ def run_gate(
     gate("faults_overhead", lambda b, f: ("disabled_pps", True))
     gate("store_ingest", lambda b, f: ("ingest_rows_per_sec", True))
     gate("store_query", lambda b, f: ("query_rows_per_sec", True))
+    gate("bgp", lambda b, f: ("full_solve_prefixes_per_sec", True))
     return verdicts
 
 

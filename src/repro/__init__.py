@@ -16,6 +16,9 @@ Internet:
   vendor analysis;
 * :mod:`repro.loop` — the routing-loop detector, amplification attack, BGP
   survey, and router case study;
+* :mod:`repro.bgp` — the inter-domain control plane: AS/IX fabric,
+  Gao–Rexford path-vector solver, and leak/hijack/flap/failover scenarios
+  compiled into the per-device tables;
 * :mod:`repro.analysis` — regeneration of every table and figure.
 
 Quickstart::
@@ -61,6 +64,12 @@ from repro.loop import (
     run_case_study,
     build_global_internet,
 )
+from repro.bgp import (
+    BgpFabric,
+    build_internet,
+    build_leak_demo,
+    compute_delta,
+)
 from repro.net import IPv6Addr, IPv6Prefix, MacAddress, Network
 from repro.services import AppScanner, DEFAULT_CVE_DB
 from repro.store import ResultStore, diff, query
@@ -104,6 +113,11 @@ __all__ = [
     "run_loop_attack",
     "run_case_study",
     "build_global_internet",
+    # BGP fabric
+    "BgpFabric",
+    "build_internet",
+    "build_leak_demo",
+    "compute_delta",
     # result store
     "ResultStore",
     "query",

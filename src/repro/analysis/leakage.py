@@ -1,0 +1,266 @@
+"""Route-leak + hijack incident measurement through the result store.
+
+The §VI attack surface gets worse when the control plane misbehaves: a
+route leak drags the victim's traffic through an extra AS (shortening or
+lengthening the data path), and a more-specific prefix hijack silently
+blackholes a slice of the delegation set mid-scan.  This experiment runs
+the full pipeline across one such incident on the
+:func:`repro.bgp.build_leak_demo` world:
+
+1. **Clean round**: a sharded campaign scans the victim edge AS's
+   delegated window and commits snapshot ``round-clean``.
+2. **Incident**: :func:`repro.bgp.compute_delta` reconverges the fabric
+   under a :class:`~repro.bgp.RouteLeak` (the dual-homed leaker re-exports
+   the victim's block from its regional to the tier-1) **and** a
+   :class:`~repro.bgp.PrefixHijack` (the same AS originates the /44 slice
+   of the victim window holding the most delegations).  Both deltas
+   compile into one :class:`~repro.faults.FaultSchedule` covering the
+   rescan.
+3. **Incident round**: the identical campaign re-runs under that schedule
+   and commits ``round-incident``.
+4. **Diff**: because hop parity is preserved across the leak detour, the
+   store diff must show *exactly* the hijacked delegation set as lost —
+   the leak alone moves packets, not responders.
+5. **Amplification**: one §VI-A loop-attack packet is measured against a
+   loop-vulnerable delegation with and without the leak applied; the
+   leaked path is two routers shorter, so each packet buys measurably
+   more victim-link crossings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.bgp import PrefixHijack, RouteLeak, TableDelta, compute_delta
+from repro.bgp.world import (
+    LEAK_DEMO_LEAKER,
+    LEAK_DEMO_R2,
+    LEAK_DEMO_T1,
+    InternetWorld,
+)
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.engine import Campaign
+from repro.faults import FaultInjector, FaultSchedule
+from repro.loop.attack import AttackReport, run_loop_attack
+from repro.net.addr import IPv6Prefix
+from repro.net.spec import TopologySpec
+from repro.store import ChurnReport, ResultStore, diff
+
+ROUND_CLEAN = "round-clean"
+ROUND_INCIDENT = "round-incident"
+
+#: Forwarding routers between the vantage and the victim's access router
+#: on the clean path (T1 core, both IX ports, T2 core, R2) and on the
+#: leaked detour (T1 core, leaker, R2) — the paper's ``n``.
+CLEAN_PATH_ROUTERS = 7
+LEAKED_PATH_ROUTERS = 5
+
+
+@dataclass
+class LeakRun:
+    """A two-round incident experiment plus its ground truth."""
+
+    store_dir: str
+    leak: RouteLeak
+    hijack: PrefixHijack
+    #: Victim delegations inside the hijacked /44 (the expected blast set).
+    affected: List[str]
+    report: ChurnReport
+    clean_attack: AttackReport
+    leaked_attack: AttackReport
+    expected_lost: Set[int] = field(default_factory=set)
+    expected_stable: Set[int] = field(default_factory=set)
+
+    @property
+    def exact(self) -> bool:
+        """Does the store diff match the hijacked delegation set exactly?"""
+        return (
+            self.report.lost == self.expected_lost
+            and self.report.stable == self.expected_stable
+            and not self.report.new
+        )
+
+    @property
+    def extra_crossings(self) -> int:
+        """Victim-link crossings the leak adds per attack packet."""
+        return (
+            self.leaked_attack.link_crossings
+            - self.clean_attack.link_crossings
+        )
+
+    def verify(self) -> None:
+        """Assert churn == hijack blast set and the leak amplifies."""
+        if self.report.lost != self.expected_lost:
+            raise AssertionError(
+                f"lost set mismatch: diff reported {len(self.report.lost)} "
+                f"responder(s), the hijacked /44 predicts "
+                f"{len(self.expected_lost)}"
+            )
+        if self.report.stable != self.expected_stable:
+            raise AssertionError(
+                f"stable set mismatch: diff reported "
+                f"{len(self.report.stable)} responder(s); the leak detour "
+                "must not move responders (hop parity is preserved)"
+            )
+        if self.report.new:
+            raise AssertionError(
+                f"a hijack cannot mint responders, yet diff reports "
+                f"{len(self.report.new)} new"
+            )
+        if self.extra_crossings <= 0:
+            raise AssertionError(
+                "the leaked path must amplify the loop attack: "
+                f"{self.leaked_attack.link_crossings} crossings leaked vs "
+                f"{self.clean_attack.link_crossings} clean"
+            )
+
+    def render(self) -> str:
+        return "\n".join([
+            f"route-leak campaign on AS{self.leak.from_as}'s customer cone "
+            f"(leaker AS{self.leak.leaker}, hijacked {self.hijack.prefix}, "
+            f"{len(self.affected)} delegation(s) in the blast set):",
+            self.report.render(),
+            f"  ground truth: lost == hijacked-/44 responders: "
+            f"{self.report.lost == self.expected_lost}; "
+            f"stable == untouched responders: "
+            f"{self.report.stable == self.expected_stable}",
+            f"  loop amplification: {self.clean_attack.link_crossings} "
+            f"crossings clean -> {self.leaked_attack.link_crossings} "
+            f"during the leak (+{self.extra_crossings} per packet; "
+            f"paths cross {CLEAN_PATH_ROUTERS} vs {LEAKED_PATH_ROUTERS} "
+            f"routers)",
+        ])
+
+
+def pick_hijack_prefix(
+    delegations: List[IPv6Prefix], window: IPv6Prefix
+) -> Tuple[IPv6Prefix, List[IPv6Prefix]]:
+    """The /44 slice of ``window`` holding the most delegations.
+
+    Ties break toward the numerically lowest slice, so the choice is a
+    pure function of the world's ground truth.
+    """
+    buckets: dict = {}
+    for index in range(1 << (44 - window.length)):
+        buckets[window.subprefix(index, 44)] = []
+    for delegated in delegations:
+        for candidate in buckets:
+            if candidate.contains(delegated.address(0)):
+                buckets[candidate].append(delegated)
+                break
+    best = max(
+        sorted(buckets, key=lambda p: p.network),
+        key=lambda p: len(buckets[p]),
+    )
+    return best, buckets[best]
+
+
+def run_leak_experiment(
+    store_dir: str,
+    seed: int = 7,
+    n_devices: int = 12,
+    n_loops: int = 4,
+    shards: int = 2,
+    rate_pps: float = 25_000.0,
+) -> LeakRun:
+    """Run both rounds into ``store_dir`` and diff them (see module doc)."""
+    spec = TopologySpec.leak_demo(
+        seed=seed, n_devices=n_devices, n_loops=n_loops
+    )
+    built = spec.build()
+    world: InternetWorld = built.handle  # type: ignore[assignment]
+    edge = world.edges[0]
+    config = ScanConfig(
+        scan_range=ScanRange.parse(edge.scan_spec),
+        seed=seed,
+        rate_pps=rate_pps,
+    )
+
+    Campaign(
+        spec, {"victim": config}, shards=shards, prebuilt=built,
+        store_dir=store_dir, snapshot=ROUND_CLEAN,
+    ).run()
+
+    # The incident: the leaker pulls the victim block through itself AND
+    # originates the busiest /44 slice of the victim's scan window.
+    window = edge.block.subprefix(1, 40)
+    hijack_prefix, affected = pick_hijack_prefix(edge.delegations, window)
+    leak = RouteLeak(
+        leaker=LEAK_DEMO_LEAKER, from_as=LEAK_DEMO_R2, to_as=LEAK_DEMO_T1,
+        prefixes=(str(edge.block),),
+    )
+    hijack = PrefixHijack(
+        hijacker=LEAK_DEMO_LEAKER, prefix=str(hijack_prefix)
+    )
+    leak_delta: TableDelta = compute_delta(world.fabric, leak)
+    hijack_delta: TableDelta = compute_delta(world.fabric, hijack)
+
+    window_end = 10.0 + config.scan_range.count / rate_pps  # covers the scan
+    schedule = FaultSchedule(
+        seed=seed,
+        events=(
+            leak_delta.to_fault_schedule(0.0, window_end).events
+            + hijack_delta.to_fault_schedule(0.0, window_end).events
+        ),
+    )
+    incident_config = dataclasses.replace(config, fault_schedule=schedule)
+
+    Campaign(
+        spec, {"victim": incident_config}, shards=shards,
+        prebuilt=spec.build(), store_dir=store_dir, snapshot=ROUND_INCIDENT,
+    ).run()
+
+    store = ResultStore(store_dir)
+    report = diff(store, ROUND_CLEAN, ROUND_INCIDENT)
+
+    # Ground truth from the clean round: a responder is expected-lost iff
+    # every target it answered for sits inside the hijacked /44.
+    def _in_blast(target) -> bool:
+        return hijack_prefix.contains(target)
+
+    lost: Set[int] = set()
+    stable: Set[int] = set()
+    for row in store.iter_rows(store.snapshot(ROUND_CLEAN).segments):
+        (lost if _in_blast(row.target) else stable).add(row.responder.value)
+    lost -= stable  # answered for an untouched delegation too: still there
+
+    # §VI-A amplification, with and without the leak detour.  The pristine
+    # first build measures both: apply the leak delta alone (no hijack —
+    # the loop target must stay routed), attack, revert.
+    loop_delegated = edge.loop_delegations[0]
+    cpe_index = edge.delegations.index(loop_delegated)
+    cpe_name = f"as{edge.asn}-dev-0-{cpe_index}"
+    attack_target = loop_delegated.subprefix(9, 64).address(0xBAD)
+    clean_attack = run_loop_attack(
+        world.network, world.vantage, attack_target,
+        edge.access_router, cpe_name, hops_before_isp=CLEAN_PATH_ROUTERS,
+    )
+    injector = FaultInjector(
+        world.network,
+        leak_delta.to_fault_schedule(0.0, 1e9, seed=seed),
+    )
+    injector.arm()
+    injector.sync(world.network.clock)
+    try:
+        leaked_attack = run_loop_attack(
+            world.network, world.vantage, attack_target,
+            edge.access_router, cpe_name,
+            hops_before_isp=LEAKED_PATH_ROUTERS,
+        )
+    finally:
+        injector.restore()
+
+    return LeakRun(
+        store_dir=store_dir,
+        leak=leak,
+        hijack=hijack,
+        affected=[str(p) for p in affected],
+        report=report,
+        clean_attack=clean_attack,
+        leaked_attack=leaked_attack,
+        expected_lost=lost,
+        expected_stable=stable,
+    )

@@ -1,0 +1,498 @@
+"""The declarative AS-level fabric and its compiler.
+
+This is the seed-emulator-shaped layer of :mod:`repro.bgp`: you declare
+:class:`AutonomousSystem` objects (transit, stub, CPE-edge, measurement),
+:class:`InternetExchange` peering LANs, and eBGP sessions with Gao–Rexford
+relationships; :meth:`BgpFabric.compile` then
+
+1. instantiates one :class:`~repro.net.device.Router` per declared router
+   of every *managed* AS (transit/measurement) and binds IX-LAN addresses
+   to the routers that terminate IX sessions,
+2. runs the :class:`~repro.bgp.solver.PathVectorSolver` to a full RIB for
+   every tracked AS, and
+3. installs the RIB into the existing per-device
+   :class:`~repro.net.routing.RoutingTable`\\ s, so the forwarding engine,
+   flow caches, scanner, and store run unchanged on top.
+
+FIB installation is *compressed*: each router carries a default route
+toward its AS's best provider exit (iBGP star: non-exit routers point at
+the exit), and an explicit per-prefix route only where the resolved next
+hop differs from that default's — exactly forwarding-equivalent to the
+full RIB, at a fraction of the entries.  Tier-1 cores (no providers) carry
+full explicit tables, like the real DFZ.  Every installed row is recorded
+in :attr:`BgpFabric.fib` so scenario deltas (:mod:`repro.bgp.scenarios`)
+can be diffed against it.
+
+*Unmanaged* ASes (role ``cpe-edge``, the scaled CPE populations) bring
+their own edge router — built by :func:`repro.bgp.world.populate_edge_as`
+or :func:`repro.isp.builder.build_deployment` — and are default-routed:
+the fabric only computes which provider exit their default should point at
+(:meth:`edge_default_next_hop`) and how transit reaches their announced
+block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bgp.solver import (
+    PathVectorSolver,
+    Rib,
+    RibRoute,
+    Session,
+    SolverTopology,
+)
+from repro.bgp.table import BgpPrefixInfo, BgpTable
+from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.device import Router
+from repro.net.network import Network
+from repro.net.routing import Route, RouteKind
+
+#: Default IX LAN space: 2001:7f8::/32 (the real-world IXP block), one /64
+#: per exchange, member address = LAN prefix + member ASN as the IID.
+IX_LAN_BLOCK = IPv6Prefix(0x2001_07F8 << 96, 32)
+
+
+class FabricError(ValueError):
+    """The fabric declaration or compilation is inconsistent."""
+
+
+class AsRole(str, Enum):
+    TRANSIT = "transit"          # carries full RIB, managed routers
+    MEASUREMENT = "measurement"  # the vantage AS: full RIB, managed
+    STUB = "stub"                # default-routed leaf, managed router
+    EDGE = "cpe-edge"            # default-routed CPE population, unmanaged
+
+
+#: Roles whose routers the fabric creates and fills itself.
+MANAGED_ROLES = (AsRole.TRANSIT, AsRole.MEASUREMENT, AsRole.STUB)
+#: Roles the solver keeps full RIBs for.
+TRACKED_ROLES = (AsRole.TRANSIT, AsRole.MEASUREMENT)
+
+
+@dataclass
+class AutonomousSystem:
+    """One declared AS: identity, role, address block, routers."""
+
+    asn: int
+    role: AsRole = AsRole.STUB
+    block: Optional[IPv6Prefix] = None
+    country: str = "ZZ"
+    #: Router keys; the first is the "core" (iBGP star hub).  Routers named
+    #: ``ix<N>`` terminate that exchange's sessions.
+    routers: Tuple[str, ...] = ("core",)
+    #: Managed ASes get fabric-created routers at block.address(1 + index);
+    #: unmanaged (cpe-edge) ASes bring their own single edge router.
+    managed: bool = True
+    #: Unmanaged only: the externally created edge router's address/name.
+    router_address: Optional[IPv6Addr] = None
+    router_name: Optional[str] = None
+    #: Optional device-name overrides per router key (managed ASes).
+    device_names: Dict[str, str] = field(default_factory=dict)
+    #: Pin the default/primary exit to this provider ASN (None = seeded
+    #: tiebreak across provider sessions).
+    primary_provider: Optional[int] = None
+    announced: List[IPv6Prefix] = field(default_factory=list)
+
+    def device_name(self, key: str) -> str:
+        if not self.managed:
+            assert self.router_name is not None
+            return self.router_name
+        return self.device_names.get(key, f"as{self.asn}-{key}")
+
+
+@dataclass
+class InternetExchange:
+    """A peering LAN: sessions declared ``ix=<id>`` ride it."""
+
+    ix_id: int
+    prefix: IPv6Prefix
+
+    def member_address(self, asn: int) -> IPv6Addr:
+        return self.prefix.address(asn)
+
+
+class BgpFabric:
+    """Declare an AS topology, then compile it onto a live network."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.solver = PathVectorSolver(seed)
+        self.ases: Dict[int, AutonomousSystem] = {}
+        self.ixes: Dict[int, InternetExchange] = {}
+        self.sessions: Dict[Tuple[int, int], Session] = {}
+        self.network: Optional[Network] = None
+        #: Managed routers by (asn, router key), after compile.
+        self.devices: Dict[Tuple[int, str], Router] = {}
+        #: The solved RIB (tracked ASN → prefix → best route).
+        self.rib: Rib = {}
+        #: Installed forwarding rows per device name (incl. ``::/0`` and
+        #: own-block discard rows) — the baseline scenario deltas diff.
+        self.fib: Dict[str, Dict[IPv6Prefix, Route]] = {}
+        self.topology: Optional[SolverTopology] = None
+        self.announcements: Dict[IPv6Prefix, Tuple[int, ...]] = {}
+        self.compiled = False
+
+    # -- declaration -------------------------------------------------------
+
+    def add_as(
+        self,
+        asn: int,
+        role: AsRole | str = AsRole.STUB,
+        block: Optional[IPv6Prefix] = None,
+        country: str = "ZZ",
+        routers: Tuple[str, ...] = ("core",),
+        managed: Optional[bool] = None,
+        router_address: Optional[IPv6Addr] = None,
+        router_name: Optional[str] = None,
+        device_names: Optional[Dict[str, str]] = None,
+        primary_provider: Optional[int] = None,
+        announce: bool = True,
+    ) -> AutonomousSystem:
+        if asn in self.ases:
+            raise FabricError(f"AS{asn} already declared")
+        role = AsRole(role)
+        if managed is None:
+            managed = role in MANAGED_ROLES
+        if managed and block is None:
+            raise FabricError(f"AS{asn}: managed ASes need an address block")
+        if not managed and (router_address is None or router_name is None):
+            raise FabricError(
+                f"AS{asn}: unmanaged ASes must declare router_address and "
+                "router_name (the externally built edge router)"
+            )
+        system = AutonomousSystem(
+            asn=asn, role=role, block=block, country=country,
+            routers=tuple(routers), managed=managed,
+            router_address=router_address, router_name=router_name,
+            device_names=dict(device_names or {}),
+            primary_provider=primary_provider,
+        )
+        if announce and block is not None:
+            system.announced.append(block)
+        self.ases[asn] = system
+        return system
+
+    def add_ix(
+        self, ix_id: int, prefix: Optional[IPv6Prefix] = None
+    ) -> InternetExchange:
+        if ix_id in self.ixes:
+            raise FabricError(f"IX{ix_id} already declared")
+        if prefix is None:
+            prefix = IPv6Prefix(
+                IX_LAN_BLOCK.network | (ix_id << 64), 64
+            )
+        ix = InternetExchange(ix_id=ix_id, prefix=prefix)
+        self.ixes[ix_id] = ix
+        return ix
+
+    def provider(
+        self, provider_asn: int, customer_asn: int, ix: Optional[int] = None
+    ) -> Session:
+        """Declare a transit session: ``provider_asn`` sells to ``customer_asn``."""
+        return self._add_session(
+            Session(a=provider_asn, b=customer_asn, rel="transit", ix=ix)
+        )
+
+    def peer(self, a: int, b: int, ix: Optional[int] = None) -> Session:
+        """Declare a settlement-free peering session."""
+        return self._add_session(Session(a=a, b=b, rel="peer", ix=ix))
+
+    def announce(self, asn: int, prefix: IPv6Prefix) -> None:
+        self._as(asn).announced.append(prefix)
+
+    def _add_session(self, session: Session) -> Session:
+        for asn in (session.a, session.b):
+            if asn not in self.ases:
+                raise FabricError(f"session references undeclared AS{asn}")
+        if session.ix is not None and session.ix not in self.ixes:
+            raise FabricError(f"session references undeclared IX{session.ix}")
+        key = session.key()
+        if key in self.sessions:
+            raise FabricError(
+                f"AS{session.a}–AS{session.b} already have a session"
+            )
+        self.sessions[key] = session
+        return session
+
+    def _as(self, asn: int) -> AutonomousSystem:
+        try:
+            return self.ases[asn]
+        except KeyError:
+            raise FabricError(f"AS{asn} is not declared") from None
+
+    # -- session/router resolution ----------------------------------------
+
+    def router_key_for(self, asn: int, session: Session) -> str:
+        """Which of the AS's routers terminates this session."""
+        system = self._as(asn)
+        if session.ix is not None:
+            ix_key = f"ix{session.ix}"
+            if ix_key in system.routers:
+                return ix_key
+        return system.routers[0]
+
+    def session_endpoint_address(
+        self, session: Session, asn: int
+    ) -> IPv6Addr:
+        """The address a neighbor uses to reach ``asn`` over ``session``."""
+        system = self._as(asn)
+        key = self.router_key_for(asn, session)
+        if session.ix is not None and key == f"ix{session.ix}":
+            return self.ixes[session.ix].member_address(asn)
+        if not system.managed:
+            assert system.router_address is not None
+            return system.router_address
+        return self.devices[(asn, key)].primary_address
+
+    def provider_sessions(self, asn: int) -> Tuple[Session, ...]:
+        return tuple(
+            s for s in self.sessions.values()
+            if s.rel == "transit" and s.b == asn
+        )
+
+    def default_session(
+        self, asn: int, exclude: Tuple[Tuple[int, int], ...] = ()
+    ) -> Optional[Session]:
+        """The provider session the AS's default route exits through."""
+        system = self._as(asn)
+        sessions = [
+            s for s in self.provider_sessions(asn) if s.key() not in exclude
+        ]
+        if not sessions:
+            return None
+        if system.primary_provider is not None:
+            for session in sessions:
+                if session.other(asn) == system.primary_provider:
+                    return session
+        return min(
+            sessions,
+            key=lambda s: (self.solver.tiebreak(s.other(asn)), s.other(asn)),
+        )
+
+    def edge_default_next_hop(
+        self, asn: int, exclude: Tuple[Tuple[int, int], ...] = ()
+    ) -> Optional[IPv6Addr]:
+        """Where an unmanaged edge AS's default route should point."""
+        session = self.default_session(asn, exclude=exclude)
+        if session is None:
+            return None
+        return self.session_endpoint_address(session, session.other(asn))
+
+    # -- compilation -------------------------------------------------------
+
+    def solver_topology(self) -> SolverTopology:
+        providers_of: Dict[int, List[Session]] = {}
+        customers_of: Dict[int, List[Session]] = {}
+        peers_of: Dict[int, List[Session]] = {}
+        for key in sorted(self.sessions):
+            session = self.sessions[key]
+            if session.rel == "transit":
+                customers_of.setdefault(session.a, []).append(session)
+                providers_of.setdefault(session.b, []).append(session)
+            else:
+                peers_of.setdefault(session.a, []).append(session)
+                peers_of.setdefault(session.b, []).append(session)
+        tracked = frozenset(
+            asn for asn, system in self.ases.items()
+            if system.role in TRACKED_ROLES
+        )
+        return SolverTopology(
+            providers_of={k: tuple(v) for k, v in providers_of.items()},
+            customers_of={k: tuple(v) for k, v in customers_of.items()},
+            peers_of={k: tuple(v) for k, v in peers_of.items()},
+            tracked=tracked,
+            sessions=dict(self.sessions),
+        )
+
+    def compile(self, network: Optional[Network] = None) -> Network:
+        """Create routers, solve routes, install forwarding tables."""
+        if self.compiled:
+            raise FabricError("fabric is already compiled")
+        if network is None:
+            network = Network(seed=self.seed)
+        self.network = network
+
+        # 1. Managed routers: block.address(1 + index) per declared key.
+        for asn in sorted(self.ases):
+            system = self.ases[asn]
+            if not system.managed:
+                continue
+            assert system.block is not None
+            for index, key in enumerate(system.routers):
+                router = Router(
+                    system.device_name(key), system.block.address(1 + index)
+                )
+                network.register(router)
+                self.devices[(asn, key)] = router
+
+        # 2. IX LAN addresses on the terminating routers.
+        for key in sorted(self.sessions):
+            session = self.sessions[key]
+            if session.ix is None:
+                continue
+            ix = self.ixes[session.ix]
+            for asn in (session.a, session.b):
+                system = self._as(asn)
+                if not system.managed:
+                    raise FabricError(
+                        f"AS{asn}: unmanaged ASes cannot terminate IX "
+                        "sessions (give the session a private interconnect)"
+                    )
+                router_key = self.router_key_for(asn, session)
+                if router_key != f"ix{session.ix}":
+                    raise FabricError(
+                        f"AS{asn}: sessions at IX{session.ix} need an "
+                        f"'ix{session.ix}' router declared"
+                    )
+                router = self.devices[(asn, router_key)]
+                address = ix.member_address(asn)
+                if address not in router.addresses:
+                    network.bind(address, router)
+
+        # 3. Solve.
+        self.topology = self.solver_topology()
+        announcements: Dict[IPv6Prefix, List[int]] = {}
+        for asn in sorted(self.ases):
+            for prefix in self.ases[asn].announced:
+                announcements.setdefault(prefix, []).append(asn)
+        self.announcements = {
+            prefix: tuple(sorted(origins))
+            for prefix, origins in announcements.items()
+        }
+        self.rib = self.solver.solve(self.topology, self.announcements)
+
+        # 4. Install.
+        self.fib = self.fib_snapshot(self.rib)
+        for asn in sorted(self.ases):
+            system = self.ases[asn]
+            if not system.managed:
+                continue
+            for key in system.routers:
+                router = self.devices[(asn, key)]
+                for route in self.fib.get(router.name, {}).values():
+                    router.table.add(route)
+
+        self.compiled = True
+        return network
+
+    # -- FIB computation ---------------------------------------------------
+
+    def fib_snapshot(
+        self,
+        rib: Rib,
+        exclude_sessions: Tuple[Tuple[int, int], ...] = (),
+    ) -> Dict[str, Dict[IPv6Prefix, Route]]:
+        """Compressed forwarding rows for every fabric-known router.
+
+        Pure function of (declarations, rib, excluded sessions): used once
+        at compile time and again by scenario deltas to compute the
+        after-world without touching live tables.
+        """
+        fib: Dict[str, Dict[IPv6Prefix, Route]] = {}
+        default_prefix = IPv6Prefix(0, 0)
+        for asn in sorted(self.ases):
+            system = self.ases[asn]
+            default_sess = self.default_session(asn, exclude=exclude_sessions)
+            if not system.managed:
+                # Edge ASes are default-routed; record the expected row so
+                # scenario deltas can re-home (or withdraw) their default.
+                rows: Dict[IPv6Prefix, Route] = {}
+                if default_sess is not None:
+                    next_hop = self.session_endpoint_address(
+                        default_sess, default_sess.other(asn)
+                    )
+                    rows[default_prefix] = Route(
+                        default_prefix, RouteKind.NEXT_HOP, next_hop=next_hop
+                    )
+                if system.router_name is not None:
+                    fib[system.router_name] = rows
+                continue
+
+            default_nh = self._default_next_hops(system, default_sess)
+            for key in system.routers:
+                name = system.device_name(key)
+                rows = {}
+                if default_nh.get(key) is not None:
+                    rows[default_prefix] = Route(
+                        default_prefix, RouteKind.NEXT_HOP,
+                        next_hop=default_nh[key],
+                    )
+                fib[name] = rows
+            # Own announced blocks: unrouted space discards at the core
+            # instead of chasing the default back up to the provider.
+            core_name = system.device_name(system.routers[0])
+            for prefix in system.announced:
+                fib[core_name][prefix] = Route(prefix, RouteKind.BLACKHOLE)
+
+            for prefix, entry in rib.get(asn, {}).items():
+                if entry.session is None:
+                    continue  # self-originated: the blackhole row covers it
+                if entry.session.key() in exclude_sessions:
+                    continue
+                exit_key = self.router_key_for(asn, entry.session)
+                exit_router_addr = self.devices[(asn, exit_key)].primary_address
+                remote = self.session_endpoint_address(
+                    entry.session, entry.session.other(asn)
+                )
+                for key in system.routers:
+                    next_hop = remote if key == exit_key else exit_router_addr
+                    if next_hop == default_nh.get(key):
+                        continue  # compressed into the default
+                    name = system.device_name(key)
+                    fib[name][prefix] = Route(
+                        prefix, RouteKind.NEXT_HOP, next_hop=next_hop
+                    )
+        return fib
+
+    def _default_next_hops(
+        self, system: AutonomousSystem, default_sess: Optional[Session]
+    ) -> Dict[str, Optional[IPv6Addr]]:
+        """Per-router default next hop (iBGP star toward the best exit)."""
+        core_key = system.routers[0]
+        core_addr = self.devices[(system.asn, core_key)].primary_address
+        hops: Dict[str, Optional[IPv6Addr]] = {}
+        if default_sess is None:
+            # No provider (tier-1): the core runs default-free; other
+            # routers hand unknown space to the core's full table.
+            for key in system.routers:
+                hops[key] = None if key == core_key else core_addr
+            return hops
+        exit_key = self.router_key_for(system.asn, default_sess)
+        exit_addr = self.session_endpoint_address(
+            default_sess, default_sess.other(system.asn)
+        )
+        exit_router_addr = self.devices[(system.asn, exit_key)].primary_address
+        for key in system.routers:
+            hops[key] = exit_addr if key == exit_key else exit_router_addr
+        return hops
+
+    # -- derived views -----------------------------------------------------
+
+    def bgp_table(
+        self, roles: Optional[Tuple[AsRole | str, ...]] = None
+    ) -> BgpTable:
+        """A Routeviews-style attribution table derived from the fabric.
+
+        ``roles`` filters which ASes contribute entries (e.g. only the
+        CPE-edge populations for loop attribution); None = every announced
+        prefix.
+        """
+        wanted = (
+            None if roles is None else tuple(AsRole(role) for role in roles)
+        )
+        table = BgpTable()
+        for system in self.ases.values():  # declaration order
+            if wanted is not None and system.role not in wanted:
+                continue
+            for prefix in system.announced:
+                table.add(BgpPrefixInfo(prefix, system.asn, system.country))
+        return table
+
+    def rib_routes(self) -> int:
+        return sum(len(entries) for entries in self.rib.values())
+
+    def fib_routes(self) -> int:
+        return sum(len(rows) for rows in self.fib.values())

@@ -1,0 +1,381 @@
+"""Deterministic, seedable path-vector route computation.
+
+This is the control plane of the BGP fabric: given an AS graph annotated
+with Gao–Rexford business relationships, it computes each tracked AS's
+best route per announced prefix — the RIB the fabric then compiles into
+per-device forwarding tables.
+
+Selection follows the classic policy order:
+
+1. **local preference** by relationship of the announcing neighbor:
+   customer (300) > peer (200) > provider (100); a self-originated prefix
+   (400) always wins at its origin;
+2. **AS-path length**;
+3. a **seeded tiebreak**: a keyed hash of the neighbor ASN, so equal-cost
+   choices are stable per seed but reshuffle across seeds (the stand-in
+   for router-id/IGP tiebreaks the paper's substrate would have).
+
+Export is valley-free: customer routes (and own prefixes) go to everyone;
+peer- and provider-learned routes go to customers only.  That structure
+lets the solver run each prefix in three staged sweeps rather than a
+general Bellman–Ford fixpoint:
+
+* **uphill** — customer routes climb provider edges (best-first on path
+  length, so every AS picks its best customer route exactly once);
+* **across** — one peer hop off any customer/self route;
+* **downhill** — routes descend customer edges (best-first again).
+
+Route **leaks** break the valley-free property on purpose: a leak re-offers
+the leaker's *provider-* or *peer-learned* best route to another neighbor
+as if it were a customer announcement.  The solver injects the leaked
+route as a candidate and iterates to a fixpoint (a few rounds at most in
+practice, hard-capped), which reproduces the classic "customer preference
+pulls the Internet through the leaker" failure mode.
+
+Only **tracked** ASes (transit + measurement, plus per-prefix origins and
+leakers) get full RIB entries; everyone else is a stub that will be
+default-routed by the fabric.  That restriction is what keeps a ~2k-AS
+world solvable in well under a second of pure Python.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.addr import IPv6Prefix
+
+#: Gao–Rexford local preferences, highest wins.
+PREF_SELF = 400
+PREF_CUSTOMER = 300
+PREF_PEER = 200
+PREF_PROVIDER = 100
+
+#: Hard cap on leak fixpoint rounds (mutually-amplifying leaks).
+MAX_LEAK_ROUNDS = 4
+
+
+@dataclass(frozen=True)
+class Session:
+    """One eBGP adjacency.
+
+    ``rel == "transit"`` means ``a`` is the provider and ``b`` the
+    customer; ``rel == "peer"`` is settlement-free.  ``ix`` names the
+    Internet exchange the session rides (None = private interconnect).
+    """
+
+    a: int
+    b: int
+    rel: str  # "transit" | "peer"
+    ix: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rel not in ("transit", "peer"):
+            raise ValueError(f"unknown session relationship {self.rel!r}")
+        if self.a == self.b:
+            raise ValueError(f"session endpoints must differ (AS{self.a})")
+
+    def other(self, asn: int) -> int:
+        return self.b if asn == self.a else self.a
+
+    def key(self) -> Tuple[int, int]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+
+@dataclass(frozen=True)
+class RibRoute:
+    """One AS's best route for one prefix.
+
+    ``path`` is the AS path as seen from the holder: ``path[0]`` is the
+    announcing neighbor, ``path[-1]`` the origin.  A self-originated route
+    has an empty path and no session.
+    """
+
+    prefix: IPv6Prefix
+    path: Tuple[int, ...]
+    pref: int
+    session: Optional[Session]
+    origin: int
+
+    @property
+    def neighbor(self) -> Optional[int]:
+        return self.path[0] if self.path else None
+
+
+@dataclass(frozen=True)
+class LeakSpec:
+    """A route leak: ``leaker`` re-exports its best route *learned from*
+    ``from_as`` to ``to_as`` as if it were a customer route.  ``prefixes``
+    limits the leak (None = everything the leaker heard that way)."""
+
+    leaker: int
+    from_as: int
+    to_as: int
+    prefixes: Optional[Tuple[IPv6Prefix, ...]] = None
+
+    def covers(self, prefix: IPv6Prefix) -> bool:
+        return self.prefixes is None or prefix in self.prefixes
+
+
+@dataclass(frozen=True)
+class SolverTopology:
+    """The AS graph in solver form (built by the fabric)."""
+
+    #: Sessions in which the keyed AS is the *customer*, sorted by provider.
+    providers_of: Mapping[int, Tuple[Session, ...]]
+    #: Sessions in which the keyed AS is the *provider*, sorted by customer.
+    customers_of: Mapping[int, Tuple[Session, ...]]
+    peers_of: Mapping[int, Tuple[Session, ...]]
+    #: ASes that get full RIB entries (transit + measurement).
+    tracked: FrozenSet[int]
+    sessions: Mapping[Tuple[int, int], Session] = field(default_factory=dict)
+
+    def session_between(self, a: int, b: int) -> Optional[Session]:
+        return self.sessions.get((min(a, b), max(a, b)))
+
+    def without_session(self, a: int, b: int) -> "SolverTopology":
+        """A copy of the topology with one session withdrawn (flap)."""
+        key = (min(a, b), max(a, b))
+
+        def drop(table: Mapping[int, Tuple[Session, ...]]) -> Dict[int, Tuple[Session, ...]]:
+            return {
+                asn: tuple(s for s in sessions if s.key() != key)
+                for asn, sessions in table.items()
+            }
+
+        return SolverTopology(
+            providers_of=drop(self.providers_of),
+            customers_of=drop(self.customers_of),
+            peers_of=drop(self.peers_of),
+            tracked=self.tracked,
+            sessions={k: s for k, s in self.sessions.items() if k != key},
+        )
+
+
+#: A RIB: tracked ASN → {prefix → best route}.
+Rib = Dict[int, Dict[IPv6Prefix, RibRoute]]
+
+
+def rib_digest(rib: Rib) -> str:
+    """A stable content hash of a RIB (the determinism tests' currency)."""
+    lines = []
+    for asn in sorted(rib):
+        entries = rib[asn]
+        for prefix in sorted(entries, key=lambda p: (p.network, p.length)):
+            rr = entries[prefix]
+            path = ",".join(str(hop) for hop in rr.path)
+            lines.append(f"{asn} {prefix} {rr.pref} [{path}] {rr.origin}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+class PathVectorSolver:
+    """Computes best routes per prefix over a :class:`SolverTopology`."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._tb: Dict[int, int] = {}
+
+    def tiebreak(self, asn: int) -> int:
+        """Deterministic per-seed ranking of an ASN (lower is preferred)."""
+        value = self._tb.get(asn)
+        if value is None:
+            digest = hashlib.blake2b(
+                f"{self.seed}:{asn}".encode(), digest_size=8
+            ).digest()
+            value = self._tb[asn] = int.from_bytes(digest, "big")
+        return value
+
+    # -- public API --------------------------------------------------------
+
+    def solve(
+        self,
+        topo: SolverTopology,
+        announcements: Mapping[IPv6Prefix, Tuple[int, ...]],
+        leaks: Sequence[LeakSpec] = (),
+        prefixes: Optional[Sequence[IPv6Prefix]] = None,
+    ) -> Rib:
+        """Best routes for every (or a restricted set of) prefix(es).
+
+        ``announcements`` maps each prefix to its origin ASN(s) — more than
+        one origin models anycast or a hijack.  ``prefixes`` restricts the
+        computation (incremental reconvergence); the returned RIB then only
+        contains entries for those prefixes.
+        """
+        rib: Rib = {}
+        todo = list(announcements) if prefixes is None else list(prefixes)
+        todo.sort(key=lambda p: (p.network, p.length))
+        for prefix in todo:
+            origins = announcements.get(prefix, ())
+            if not origins:
+                continue
+            active_leaks = [leak for leak in leaks if leak.covers(prefix)]
+            best = self._solve_prefix(topo, prefix, origins, active_leaks)
+            for asn, route in best.items():
+                rib.setdefault(asn, {})[prefix] = route
+        return rib
+
+    # -- per-prefix computation -------------------------------------------
+
+    def _solve_prefix(
+        self,
+        topo: SolverTopology,
+        prefix: IPv6Prefix,
+        origins: Tuple[int, ...],
+        leaks: Sequence[LeakSpec],
+    ) -> Dict[int, RibRoute]:
+        tracked = set(topo.tracked)
+        tracked.update(origins)
+        for leak in leaks:
+            tracked.add(leak.leaker)
+            tracked.add(leak.to_as)
+
+        injected: Dict[int, RibRoute] = {}
+        best: Dict[int, RibRoute] = {}
+        for _ in range(MAX_LEAK_ROUNDS):
+            best = self._run_stages(topo, prefix, origins, injected, tracked)
+            if not leaks:
+                return best
+            renewed: Dict[int, RibRoute] = {}
+            for leak in leaks:
+                candidate = self._leak_candidate(topo, leak, best)
+                if candidate is not None:
+                    renewed[leak.to_as] = candidate
+            if renewed == injected:
+                return best
+            injected = renewed
+        return best
+
+    @staticmethod
+    def _leak_candidate(
+        topo: SolverTopology, leak: LeakSpec, best: Dict[int, RibRoute]
+    ) -> Optional[RibRoute]:
+        """The route ``to_as`` hears when the leak is active, if any."""
+        route = best.get(leak.leaker)
+        if route is None or route.session is None:
+            return None  # leaker has nothing (or only its own prefix)
+        if route.session.other(leak.leaker) != leak.from_as:
+            return None  # best route isn't via the leaked-from neighbor
+        if leak.to_as == leak.leaker or leak.to_as in route.path:
+            return None  # AS-path loop prevention at the receiver
+        session = topo.session_between(leak.leaker, leak.to_as)
+        if session is None:
+            return None
+        if session.rel == "transit" and session.a == leak.to_as:
+            pref = PREF_CUSTOMER  # to_as is the leaker's provider
+        elif session.rel == "peer":
+            pref = PREF_PEER
+        else:
+            return None  # exporting down to a customer is normal, not a leak
+        return RibRoute(
+            prefix=route.prefix,
+            path=(leak.leaker,) + route.path,
+            pref=pref,
+            session=session,
+            origin=route.origin,
+        )
+
+    def _run_stages(
+        self,
+        topo: SolverTopology,
+        prefix: IPv6Prefix,
+        origins: Tuple[int, ...],
+        injected: Mapping[int, RibRoute],
+        tracked: set,
+    ) -> Dict[int, RibRoute]:
+        best: Dict[int, RibRoute] = {}
+        seq = itertools.count()
+
+        # -- stage 1: uphill (customer-class routes climb provider edges).
+        # Best-first on (path length, neighbor tiebreak): the first
+        # candidate popped for an AS is its best customer route.
+        heap: List[Tuple[int, int, int, int, int, RibRoute]] = []
+
+        def push_up(asn: int, route: RibRoute) -> None:
+            for session in topo.providers_of.get(asn, ()):
+                provider = session.other(asn)
+                if provider not in tracked or provider in best:
+                    continue
+                offered = RibRoute(
+                    prefix, (asn,) + route.path, PREF_CUSTOMER, session,
+                    route.origin,
+                )
+                heapq.heappush(heap, (
+                    len(offered.path), self.tiebreak(asn), asn, provider,
+                    next(seq), offered,
+                ))
+
+        for origin in sorted(origins):
+            if origin not in best:
+                best[origin] = RibRoute(prefix, (), PREF_SELF, None, origin)
+        for origin in sorted(origins):
+            push_up(origin, best[origin])
+        for asn in sorted(injected):
+            route = injected[asn]
+            if route.pref == PREF_CUSTOMER and route.neighbor is not None:
+                heapq.heappush(heap, (
+                    len(route.path), self.tiebreak(route.neighbor),
+                    route.neighbor, asn, next(seq), route,
+                ))
+        while heap:
+            _length, _tb, _nbr, target, _seq, route = heapq.heappop(heap)
+            if target in best:
+                continue
+            best[target] = route
+            push_up(target, route)
+
+        # -- stage 2: across (one peer hop off any customer/self route).
+        candidates: List[Tuple[int, int, int, int, RibRoute]] = []
+        for asn in sorted(best):
+            route = best[asn]
+            for session in topo.peers_of.get(asn, ()):
+                other = session.other(asn)
+                if other not in tracked or other in best:
+                    continue
+                candidates.append((
+                    len(route.path) + 1, self.tiebreak(asn), asn, other,
+                    RibRoute(prefix, (asn,) + route.path, PREF_PEER, session,
+                             route.origin),
+                ))
+        for asn in sorted(injected):
+            route = injected[asn]
+            if (route.pref == PREF_PEER and asn not in best
+                    and route.neighbor is not None):
+                candidates.append((
+                    len(route.path), self.tiebreak(route.neighbor),
+                    route.neighbor, asn, route,
+                ))
+        for _length, _tb, _nbr, target, route in sorted(
+            candidates, key=lambda c: c[:4]
+        ):
+            best.setdefault(target, route)
+
+        # -- stage 3: downhill (everything descends customer edges).
+        heap = []
+
+        def push_down(asn: int, route: RibRoute) -> None:
+            for session in topo.customers_of.get(asn, ()):
+                customer = session.other(asn)
+                if customer not in tracked or customer in best:
+                    continue
+                offered = RibRoute(
+                    prefix, (asn,) + route.path, PREF_PROVIDER, session,
+                    route.origin,
+                )
+                heapq.heappush(heap, (
+                    len(offered.path), self.tiebreak(asn), asn, customer,
+                    next(seq), offered,
+                ))
+
+        for asn in sorted(best):
+            push_down(asn, best[asn])
+        while heap:
+            _length, _tb, _nbr, target, _seq, route = heapq.heappop(heap)
+            if target in best:
+                continue
+            best[target] = route
+            push_down(target, route)
+
+        return best

@@ -8,6 +8,8 @@ Installed as ``repro-xmap``.  Subcommands mirror the paper's experiments:
 * ``loops``      — Table XI: loop location on the sample blocks;
 * ``attack``     — §VI-A: one amplification attack, with measured crossings;
 * ``casestudy``  — Table XII: the 99-router firmware bench;
+* ``internet``   — compile the AS-level BGP fabric; inspect route-leak /
+  hijack / flap / failover deltas;
 * ``feasibility``— §III-B: scan-duration projections for a given bandwidth.
 
 Examples::
@@ -322,6 +324,97 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_internet(args) -> int:
+    from repro.bgp import (
+        Failover,
+        PrefixHijack,
+        RouteLeak,
+        SessionFlap,
+        build_internet,
+        build_leak_demo,
+        compute_delta,
+        rib_digest,
+    )
+    from repro.bgp.world import LEAK_DEMO_LEAKER, LEAK_DEMO_R2, LEAK_DEMO_T1
+
+    if args.demo:
+        world = build_leak_demo(seed=args.seed)
+    else:
+        print(f"compiling internet fabric (scale 1/{args.scale:g}) ...",
+              file=sys.stderr)
+        world = build_internet(
+            seed=args.seed, scale=args.scale, n_tier1=args.tier1,
+            n_ix=args.ix, n_tail_ases=args.tail_ases,
+            populate=not args.no_population,
+        )
+    fabric = world.fabric
+
+    by_role: dict = {}
+    for system in fabric.ases.values():
+        by_role[system.role.value] = by_role.get(system.role.value, 0) + 1
+    transit_sessions = sum(
+        1 for s in fabric.sessions.values() if s.rel == "transit"
+    )
+    table = ComparisonTable(
+        "BGP fabric" + (" (leak demo)" if args.demo else ""),
+        ("Metric", "Value"),
+    )
+    table.add("autonomous systems",
+              ", ".join(f"{n} {role}" for role, n in sorted(by_role.items())))
+    table.add("internet exchanges", len(fabric.ixes))
+    table.add("eBGP sessions",
+              f"{transit_sessions} transit, "
+              f"{len(fabric.sessions) - transit_sessions} peer")
+    table.add("RIB routes (tracked ASes)", fabric.rib_routes())
+    table.add("installed FIB rows", fabric.fib_routes())
+    table.add("RIB digest", rib_digest(fabric.rib)[:16])
+    table.add("devices on network", len(world.network.devices))
+    if world.edges:
+        table.add("edge ASes populated", len(world.edges))
+        table.add("CPE devices", sum(e.n_devices for e in world.edges))
+        table.add("loop-vulnerable CPEs", sum(e.n_loops for e in world.edges))
+    print(table.render())
+
+    if args.scenario is None:
+        return 0
+    if args.scenario == "failover":
+        asn = args.asn if args.asn is not None else (
+            world.edges[0].asn if world.edges else None
+        )
+        if asn is None:
+            print("failover needs --asn on an unpopulated world",
+                  file=sys.stderr)
+            return 2
+        scenario = Failover(asn=asn)
+    elif not args.demo:
+        print(f"--scenario {args.scenario} needs the --demo world "
+              "(its cast of ASes is fixed); use --scenario failover --asn N "
+              "on the full internet", file=sys.stderr)
+        return 2
+    elif args.scenario == "leak":
+        scenario = RouteLeak(
+            leaker=LEAK_DEMO_LEAKER, from_as=LEAK_DEMO_R2, to_as=LEAK_DEMO_T1,
+            prefixes=(str(world.edges[0].block),),
+        )
+    elif args.scenario == "hijack":
+        victim_window = world.edges[0].block.subprefix(1, 40)
+        scenario = PrefixHijack(
+            hijacker=LEAK_DEMO_LEAKER,
+            prefix=str(victim_window.subprefix(0, 44)),
+        )
+    else:  # flap: drop the victim edge's session with its primary provider
+        scenario = SessionFlap(LEAK_DEMO_R2, world.edges[0].asn)
+    delta = compute_delta(fabric, scenario)
+    print()
+    print(delta.summary())
+    for op in delta.ops[:args.max_ops]:
+        hop = f" via {op.next_hop}" if op.next_hop else ""
+        print(f"  {op.device}: {op.action} {op.prefix}{hop}")
+    if len(delta.ops) > args.max_ops:
+        print(f"  ... {len(delta.ops) - args.max_ops} more")
+    return 0
+
+
 def cmd_casestudy(args) -> int:
     from repro.loop.casestudy import run_case_study
 
@@ -585,6 +678,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("casestudy", help="Table XII: 99-router bench")
     p.set_defaults(func=cmd_casestudy)
+
+    p = sub.add_parser("internet",
+                       help="compile the AS-level BGP fabric and "
+                            "inspect control-plane scenarios")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--scale", type=float, default=20_000.0,
+                   help="edge population scale-down factor (default 20000)")
+    p.add_argument("--tier1", type=int, default=3,
+                   help="number of tier-1 transit ASes (default 3)")
+    p.add_argument("--ix", type=int, default=2,
+                   help="number of internet exchanges (default 2)")
+    p.add_argument("--tail-ases", type=int, default=220,
+                   help="generated edge ASes beyond Figure 5's top ten")
+    p.add_argument("--no-population", action="store_true",
+                   help="compile routers/RIBs/FIBs only, skip the CPEs")
+    p.add_argument("--demo", action="store_true",
+                   help="build the small two-transit route-leak world")
+    p.add_argument("--scenario",
+                   choices=("leak", "hijack", "flap", "failover"),
+                   default=None,
+                   help="compute and print a control-plane scenario delta")
+    p.add_argument("--asn", type=int, default=None,
+                   help="AS for --scenario failover")
+    p.add_argument("--max-ops", type=int, default=20,
+                   help="route operations to print (default 20)")
+    p.set_defaults(func=cmd_internet)
 
     p = sub.add_parser("disclose",
                        help="§VII: per-vendor disclosure summary/advisories")

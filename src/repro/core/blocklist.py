@@ -16,74 +16,40 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from repro.net.addr import IPv6Addr, IPv6Prefix
-
-
-class _Node:
-    __slots__ = ("zero", "one", "prefix")
-
-    def __init__(self) -> None:
-        self.zero: Optional[_Node] = None
-        self.one: Optional[_Node] = None
-        self.prefix: Optional[IPv6Prefix] = None
+from repro.net.lpm import PrefixTrie
 
 
 class PrefixSet:
-    """A set of IPv6 prefixes with covering-prefix queries."""
+    """A set of IPv6 prefixes with covering-prefix queries.
+
+    A thin wrapper over the shared :class:`repro.net.lpm.PrefixTrie` — the
+    same walk the forwarding tables use, storing only membership.
+    """
 
     def __init__(self, prefixes: Iterable[IPv6Prefix | str] = ()) -> None:
-        self._root = _Node()
-        self._count = 0
+        self._trie: PrefixTrie[None] = PrefixTrie()
         for prefix in prefixes:
             self.add(prefix)
 
     def add(self, prefix: IPv6Prefix | str) -> None:
         if isinstance(prefix, str):
             prefix = IPv6Prefix.from_string(prefix)
-        node = self._root
-        for depth in range(prefix.length):
-            bit = (prefix.network >> (127 - depth)) & 1
-            if bit:
-                if node.one is None:
-                    node.one = _Node()
-                node = node.one
-            else:
-                if node.zero is None:
-                    node.zero = _Node()
-                node = node.zero
-        if node.prefix is None:
-            self._count += 1
-        node.prefix = prefix
+        self._trie.set(prefix, None)
 
     def covering(self, addr: IPv6Addr | int) -> Optional[IPv6Prefix]:
         """The most specific stored prefix covering ``addr``, or None."""
-        value = addr.value if isinstance(addr, IPv6Addr) else addr
-        node: Optional[_Node] = self._root
-        best = self._root.prefix
-        for depth in range(128):
-            bit = (value >> (127 - depth)) & 1
-            node = node.one if bit else node.zero  # type: ignore[union-attr]
-            if node is None:
-                break
-            if node.prefix is not None:
-                best = node.prefix
-        return best
+        entry = self._trie.longest(addr)
+        return None if entry is None else entry[0]
 
     def __contains__(self, addr: IPv6Addr | int) -> bool:
         return self.covering(addr) is not None
 
     def __iter__(self) -> Iterator[IPv6Prefix]:
-        stack: List[_Node] = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.prefix is not None:
-                yield node.prefix
-            if node.one is not None:
-                stack.append(node.one)
-            if node.zero is not None:
-                stack.append(node.zero)
+        for prefix, _value in self._trie.items():
+            yield prefix
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._trie)
 
 
 #: Address space a research scanner must never probe: unspecified/loopback,

@@ -23,6 +23,7 @@ from repro.faults.schedule import (
     LOSS_BURST,
     RATE_LIMIT,
     ROUTE_FLAP,
+    ROUTE_SET,
     ROUTER_CRASH,
     FaultEvent,
     FaultSchedule,
@@ -36,6 +37,7 @@ __all__ = [
     "LOSS_BURST",
     "RATE_LIMIT",
     "ROUTE_FLAP",
+    "ROUTE_SET",
     "ROUTER_CRASH",
     "FaultEvent",
     "FaultSchedule",

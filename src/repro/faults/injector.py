@@ -38,11 +38,12 @@ from repro.faults.schedule import (
     LOSS_BURST,
     RATE_LIMIT,
     ROUTE_FLAP,
+    ROUTE_SET,
     ROUTER_CRASH,
     FaultEvent,
     FaultSchedule,
 )
-from repro.net.addr import IPv6Prefix
+from repro.net.addr import IPv6Addr, IPv6Prefix
 from repro.net.device import Device, ErrorRateLimiter
 from repro.net.routing import Route
 
@@ -208,6 +209,14 @@ class FaultInjector:
                 )
             self._routes[id(event)] = withdrawn
             device.table.remove(prefix)
+        elif kind == ROUTE_SET:
+            device = self._devices[event.device]  # type: ignore[index]
+            prefix = IPv6Prefix.from_string(event.prefix)  # type: ignore[arg-type]
+            self._routes[id(event)] = self._route_for(device, prefix)
+            assert event.next_hop is not None
+            device.table.add_next_hop(
+                prefix, IPv6Addr.from_string(event.next_hop)
+            )
         self._active.append(event)
         self._record("applied", event, clock)
 
@@ -240,6 +249,13 @@ class FaultInjector:
             saved = self._routes.pop(id(event))
             assert saved is not None
             device.table.add(saved)
+        elif kind == ROUTE_SET:
+            device = self._devices[event.device]  # type: ignore[index]
+            prefix = IPv6Prefix.from_string(event.prefix)  # type: ignore[arg-type]
+            device.table.remove(prefix)
+            saved = self._routes.pop(id(event))
+            if saved is not None:
+                device.table.add(saved)
         self._active.remove(event)
         self._record("reverted", event, clock, reason=reason)
 

@@ -1,8 +1,9 @@
 """Fault schedules: picklable, JSON-loadable chaos timelines.
 
 A schedule is a seed plus a list of :class:`FaultEvent` windows on the
-*virtual* clock.  Five fault kinds cover the failure modes the paper's
-live scans had to survive (§IV-C, §IV-E):
+*virtual* clock.  Six fault kinds cover the failure modes the paper's
+live scans had to survive (§IV-C, §IV-E) plus the control-plane incidents
+the BGP fabric compiles down to route operations:
 
 ============== =============================================================
 ``loss-burst``  Bursty packet loss, globally or on one directed link
@@ -19,6 +20,11 @@ live scans had to survive (§IV-C, §IV-E):
 ``route-flap``  The device withdraws its route for ``prefix`` for the
                 window and re-announces it at the end — mid-scan churn
                 with re-convergence.
+``route-set``   The device's route for ``prefix`` is installed/re-homed to
+                ``next_hop`` for the window; any pre-existing exact route
+                is restored afterwards.  This is how
+                :meth:`repro.bgp.scenarios.TableDelta.to_fault_schedule`
+                diff-applies a reconverged RIB mid-scan.
 ============== =============================================================
 
 Events carry only primitives (names, prefix strings, floats) so a schedule
@@ -38,8 +44,10 @@ ROUTER_CRASH = "router-crash"
 RATE_LIMIT = "rate-limit"
 BLACKHOLE = "blackhole"
 ROUTE_FLAP = "route-flap"
+ROUTE_SET = "route-set"
 
-FAULT_KINDS = (LOSS_BURST, ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP)
+FAULT_KINDS = (LOSS_BURST, ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP,
+               ROUTE_SET)
 
 
 class ScheduleError(ValueError):
@@ -61,6 +69,8 @@ class FaultEvent:
     prefix: Optional[str] = None
     rate: Optional[float] = None
     burst: Optional[float] = None
+    #: Next-hop address text for ``route-set`` (primitive for pickling).
+    next_hop: Optional[str] = None
 
     def validate(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -82,7 +92,8 @@ class FaultEvent:
                 raise ScheduleError(
                     f"{self.kind}: link must be a [src, dst] device pair"
                 )
-        elif self.kind in (ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP):
+        elif self.kind in (ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP,
+                           ROUTE_SET):
             if not self.device:
                 raise ScheduleError(f"{self.kind}: device is required")
             if self.kind == RATE_LIMIT:
@@ -90,8 +101,11 @@ class FaultEvent:
                     raise ScheduleError(
                         f"{self.kind}: rate (errors/second) is required"
                     )
-            if self.kind in (BLACKHOLE, ROUTE_FLAP) and not self.prefix:
+            if self.kind in (BLACKHOLE, ROUTE_FLAP, ROUTE_SET) \
+                    and not self.prefix:
                 raise ScheduleError(f"{self.kind}: prefix is required")
+            if self.kind == ROUTE_SET and not self.next_hop:
+                raise ScheduleError(f"{self.kind}: next_hop is required")
 
     def resource(self) -> tuple:
         """The exclusive resource this event occupies (overlap checking)."""
@@ -117,6 +131,8 @@ class FaultEvent:
             data["rate"] = self.rate
         if self.burst is not None:
             data["burst"] = self.burst
+        if self.next_hop is not None:
+            data["next_hop"] = self.next_hop
         return data
 
     @classmethod
@@ -124,7 +140,7 @@ class FaultEvent:
         if not isinstance(data, dict):
             raise ScheduleError(f"fault event must be an object, got {data!r}")
         known = {"kind", "start", "end", "device", "link", "prefix", "rate",
-                 "burst"}
+                 "burst", "next_hop"}
         unknown = set(data) - known
         if unknown:
             raise ScheduleError(
@@ -155,6 +171,10 @@ class FaultEvent:
                 burst=(
                     float(data["burst"])  # type: ignore[arg-type]
                     if data.get("burst") is not None else None
+                ),
+                next_hop=(
+                    str(data["next_hop"])
+                    if data.get("next_hop") is not None else None
                 ),
             )
         except (KeyError, TypeError, IndexError) as exc:

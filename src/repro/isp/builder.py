@@ -486,22 +486,40 @@ def build_deployment(
     window_headroom_bits: int = 2,
     loss_rate: float = 0.0,
     catalog: VendorCatalog | None = None,
+    network: Network | None = None,
+    vantage: Host | None = None,
+    core: Router | None = None,
 ) -> Deployment:
     """Build the full simulated Internet.
 
     ``scale`` divides every paper population count; ``min_devices`` keeps
     tiny blocks statistically usable.  The returned deployment is
-    deterministic in ``seed``.
+    deterministic in ``seed`` — the per-ISP RNG streams are keyed by
+    (seed, profile index) only, so a block is bit-identical whether built
+    standalone or mounted into a larger world.
+
+    Pass ``network``/``vantage``/``core`` together to mount the ISP blocks
+    under an existing core (e.g. the measurement AS of a compiled
+    :class:`repro.bgp.BgpFabric` world) instead of creating a fresh
+    vantage; ``loss_rate`` is ignored in that case (the host network keeps
+    its own).
     """
     if profiles is None:
         profiles = PAPER_PROFILES
     catalog = catalog or DEFAULT_CATALOG
-    network = Network(seed=seed, loss_rate=loss_rate)
-    vantage = Host("vantage", IPv6Addr.from_string(VANTAGE_ADDRESS))
-    core = Router("core", IPv6Addr.from_string(CORE_ADDRESS))
-    network.register(core)
-    network.attach_host(vantage, core)
-    core.table.add_connected(vantage.primary_address.prefix(128), "vantage")
+    mounts = (network, vantage, core)
+    if any(m is not None for m in mounts) and None in mounts:
+        raise ValueError(
+            "network, vantage, and core must be provided together"
+        )
+    if network is None:
+        network = Network(seed=seed, loss_rate=loss_rate)
+        vantage = Host("vantage", IPv6Addr.from_string(VANTAGE_ADDRESS))
+        core = Router("core", IPv6Addr.from_string(CORE_ADDRESS))
+        network.register(core)
+        network.attach_host(vantage, core)
+        core.table.add_connected(vantage.primary_address.prefix(128), "vantage")
+    assert vantage is not None and core is not None
 
     deployment = Deployment(
         network=network, vantage=vantage, core=core, isps={}, catalog=catalog

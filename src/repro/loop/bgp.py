@@ -1,106 +1,51 @@
 """Synthetic global BGP table + AS/country registry (§VI-B's probing).
 
-The paper gathers every globally advertised IPv6 BGP prefix from Routeviews,
-scans the successive 16-bit sub-prefix space of each, and attributes loop
-findings to ASes and countries via MaxMind.  Offline, this module provides:
+Back-compat facade over :mod:`repro.bgp`.  The flat world builder that
+used to live here — one vantage core with every edge AS hanging directly
+off it — is subsumed by :func:`repro.bgp.build_internet`, which grows the
+same Figure-5-shaped CPE-edge population (identical per-seed blocks,
+device names, IID draws, and loop ground truth) under a real AS-level
+fabric: tier-1 transits meshed at IXes, regionals, and Gao–Rexford
+policy routing.  :func:`build_global_internet` now delegates there and
+adapts the result back to the historical :class:`GlobalInternet` shape;
+:class:`BgpTable` / :class:`BgpPrefixInfo` re-export from
+:mod:`repro.bgp.table`.
 
-* :class:`BgpTable` — prefix → (ASN, country) lookups over a radix trie,
-  standing in for Routeviews + MaxMind;
-* :func:`build_global_internet` — a scaled population of last-hop devices
-  across hundreds of ASes in dozens of countries, with per-AS routing-loop
-  rates shaped like Figure 5 (Brazil, China, Ecuador, Vietnam, … dominate)
-  and the distinct loop-population IID mix of Table X (manual low-byte
-  router addresses are heavily over-represented among loop devices).
-
-The resulting :class:`GlobalInternet` exposes one scan window per AS so the
-Table IX bench can sweep "all advertised prefixes" exactly the way the paper
-did, then join findings back through the BGP table.
+The probe-visible behavior is unchanged: hop parity from the vantage to
+any CPE is preserved (four forwarding routers instead of two — both
+even), so ``find_loops`` and the Table IX pipeline see the same
+responders with or without the fabric underneath.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List
 
-from repro.core.blocklist import PrefixSet
-from repro.discovery.iid import IidClass, IidGenerator
-from repro.net.addr import IPv6Addr, IPv6Prefix, MacAddress
-from repro.net.device import CpeRouter, Host, IspRouter, Router
+from repro.bgp.table import BgpPrefixInfo, BgpTable
+from repro.bgp.world import (
+    GENERAL_IID_MIX,
+    LOOP_IID_MIX,
+    TAIL_COUNTRIES,
+    TOP_LOOP_ASES,
+    _pick_iid_class,
+    build_internet,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.device import Host, Router
 from repro.net.network import Network
 
-#: IID mix of the general discovered population (Table III shape).
-GENERAL_IID_MIX: Sequence[Tuple[IidClass, float]] = (
-    (IidClass.EUI64, 0.076),
-    (IidClass.LOW_BYTE, 0.010),
-    (IidClass.EMBED_IPV4, 0.055),
-    (IidClass.BYTE_PATTERN, 0.104),
-    (IidClass.RANDOMIZED, 0.755),
-)
-
-#: IID mix of loop-vulnerable last hops (Table X): manually configured
-#: low-byte router addresses dominate far more than in the general pool.
-LOOP_IID_MIX: Sequence[Tuple[IidClass, float]] = (
-    (IidClass.EUI64, 0.180),
-    (IidClass.LOW_BYTE, 0.317),
-    (IidClass.EMBED_IPV4, 0.024),
-    (IidClass.BYTE_PATTERN, 0.007),
-    (IidClass.RANDOMIZED, 0.467),
-)
-
-#: The ten loop-heaviest origin ASes (Figure 5 left), as
-#: (asn, country, paper loop-device count).  The figure's bar chart tops out
-#: around 35k for a Brazilian ISP and decays toward ~4k.
-TOP_LOOP_ASES: Sequence[Tuple[int, str, int]] = (
-    (28006, "BR", 34_000),
-    (4134, "CN", 20_500),
-    (27947, "EC", 15_500),
-    (7552, "VN", 12_000),
-    (7018, "US", 9_000),
-    (9988, "MM", 7_200),
-    (55836, "IN", 6_100),
-    (2856, "GB", 5_200),
-    (3320, "DE", 4_700),
-    (6830, "CH", 4_100),
-)
-
-#: Countries for the synthetic long tail, beyond Figure 5's top ten.
-TAIL_COUNTRIES = (
-    "CZ", "FR", "JP", "KR", "AU", "NL", "SE", "PL", "IT", "ES", "MX", "AR",
-    "CL", "CO", "ZA", "EG", "NG", "TR", "SA", "TH", "MY", "ID", "PH", "TW",
-    "HK", "SG", "NZ", "RO", "HU", "GR", "PT", "FI", "NO", "DK", "AT", "BE",
-    "IE", "UA", "RS", "BG",
-)
-
-
-@dataclass(frozen=True)
-class BgpPrefixInfo:
-    prefix: IPv6Prefix
-    asn: int
-    country: str
-
-
-class BgpTable:
-    """Longest-prefix lookup from address to advertising AS and country."""
-
-    def __init__(self) -> None:
-        self._set = PrefixSet()
-        self._info: Dict[Tuple[int, int], BgpPrefixInfo] = {}
-        self.entries: List[BgpPrefixInfo] = []
-
-    def add(self, info: BgpPrefixInfo) -> None:
-        self._set.add(info.prefix)
-        self._info[(info.prefix.network, info.prefix.length)] = info
-        self.entries.append(info)
-
-    def lookup(self, addr: IPv6Addr | int) -> Optional[BgpPrefixInfo]:
-        covering = self._set.covering(addr)
-        if covering is None:
-            return None
-        return self._info[(covering.network, covering.length)]
-
-    def __len__(self) -> int:
-        return len(self.entries)
+__all__ = [
+    "GENERAL_IID_MIX",
+    "LOOP_IID_MIX",
+    "TOP_LOOP_ASES",
+    "TAIL_COUNTRIES",
+    "BgpPrefixInfo",
+    "BgpTable",
+    "AsTruth",
+    "GlobalInternet",
+    "build_global_internet",
+]
 
 
 @dataclass
@@ -129,16 +74,6 @@ class GlobalInternet:
         return [a.scan_spec for a in self.ases]
 
 
-def _pick_iid_class(rng: random.Random,
-                    mix: Sequence[Tuple[IidClass, float]]) -> IidClass:
-    roll = rng.random()
-    for cls, share in mix:
-        roll -= share
-        if roll <= 0:
-            return cls
-    return mix[-1][0]
-
-
 def build_global_internet(
     seed: int = 0,
     scale: float = 1000.0,
@@ -155,100 +90,23 @@ def build_global_internet(
     present in roughly half the ASes and three quarters of the countries —
     at roughly 1/10 the AS count and 1/``scale`` the device count.
     """
-    rng = random.Random(seed ^ 0xB69)
-    iid_gen = IidGenerator(rng)
-    network = Network(seed=seed)
-    vantage = Host("vantage", IPv6Addr.from_string("2001:4860:4860::6464"))
-    core = Router("core", IPv6Addr.from_string("2001:4860:4860::1"))
-    network.register(core)
-    network.attach_host(vantage, core)
-    core.table.add_connected(vantage.primary_address.prefix(128), "vantage")
+    from repro.bgp.fabric import AsRole
 
-    world = GlobalInternet(
-        network=network, vantage=vantage, core=core, table=BgpTable()
+    world = build_internet(
+        seed=seed, scale=scale, n_tail_ases=n_tail_ases,
+        tail_devices_paper=tail_devices_paper,
+        tail_loop_rate=tail_loop_rate, window_bits=window_bits,
     )
-
-    # Top loop ASes from Figure 5 (explicit), then a generated tail.
-    as_plan: List[Tuple[int, str, int, int]] = []  # asn, cc, devices, loops
-    for asn, country, paper_loops in TOP_LOOP_ASES:
-        n_loops = max(2, round(paper_loops / scale))
-        # Figure 5 ASes are loop-dense: loops ~ 35% of their last hops.
-        n_devices = max(n_loops + 2, round(n_loops / 0.35))
-        as_plan.append((asn, country, n_devices, n_loops))
-
-    tail_asn = 60_000
-    for i in range(n_tail_ases):
-        country = TAIL_COUNTRIES[i % len(TAIL_COUNTRIES)]
-        n_devices = max(2, round(tail_devices_paper / scale * rng.uniform(0.3, 1.7)))
-        # About half the tail ASes harbour at least one loop device,
-        # matching the paper's 3,877-of-6,911 AS ratio.
-        n_loops = rng.choice((0, 1, 1, max(1, round(n_devices * tail_loop_rate * 8)))) \
-            if rng.random() < 0.55 else 0
-        n_loops = min(n_loops, n_devices)
-        as_plan.append((tail_asn + i, country, n_devices, n_loops))
-
-    for order, (asn, country, n_devices, n_loops) in enumerate(as_plan):
-        _build_as(world, rng, iid_gen, order, asn, country, n_devices,
-                  n_loops, window_bits)
-    return world
-
-
-def _build_as(
-    world: GlobalInternet,
-    rng: random.Random,
-    iid_gen: IidGenerator,
-    order: int,
-    asn: int,
-    country: str,
-    n_devices: int,
-    n_loops: int,
-    window_bits: int,
-) -> None:
-    """One AS: a /32 block, an edge router, and a flat CPE population."""
-    block = IPv6Prefix((0x2A00 + (order >> 8) << 112) | ((order & 0xFF) << 104), 32)
-    # Avoid colliding with the vantage/core prefix (2001::/16 vs 2a00+::/16).
-    router = IspRouter(
-        f"as{asn}-edge-{order}", block.address(1), block,
-        unassigned_behavior="blackhole",
+    # The historical table held exactly one entry per edge AS, in plan
+    # order — derive the same view from the fabric's announcements.
+    adapted = GlobalInternet(
+        network=world.network, vantage=world.vantage, core=world.core,
+        table=world.fabric.bgp_table(roles=(AsRole.EDGE,)),
     )
-    router.table.add_default(world.core.primary_address)
-    world.network.register(router)
-    world.core.table.add_next_hop(block, router.primary_address)
-    world.table.add(BgpPrefixInfo(block, asn, country))
-
-    # The paper probes the successive 16-bit sub-prefix space (/32-48);
-    # scaled, each AS exposes a window_bits-wide child at /48 granularity.
-    base = block.subprefix(1, 48 - window_bits)
-    scan_spec = f"{base}-48"
-    indices = rng.sample(range(1 << window_bits), n_devices)
-    loop_flags = [i < n_loops for i in range(n_devices)]
-    rng.shuffle(loop_flags)
-
-    for i in range(n_devices):
-        delegated = base.subprefix(indices[i], 48)
-        mix = LOOP_IID_MIX if loop_flags[i] else GENERAL_IID_MIX
-        cls = _pick_iid_class(rng, mix)
-        if cls is IidClass.EUI64:
-            mac = MacAddress(rng.getrandbits(48))
-            iid = iid_gen.generate(cls, mac=mac)
-        else:
-            iid = iid_gen.generate(cls)
-        address = delegated.address(iid)
-        device = CpeRouter(
-            f"as{asn}-dev-{order}-{i}",
-            address,
-            wan_prefix=delegated,
-            lan_prefix=delegated,
-            subnet_prefix=None,
-            isp_address=router.primary_address,
-            vulnerable_wan=loop_flags[i],
-        )
-        world.network.register(device)
-        router.delegate(delegated, address)
-
-    world.ases.append(
-        AsTruth(
-            asn=asn, country=country, block=block, scan_spec=scan_spec,
-            n_devices=n_devices, n_loops=n_loops,
-        )
-    )
+    for edge in world.edges:
+        adapted.ases.append(AsTruth(
+            asn=edge.asn, country=edge.country, block=edge.block,
+            scan_spec=edge.scan_spec, n_devices=edge.n_devices,
+            n_loops=edge.n_loops,
+        ))
+    return adapted

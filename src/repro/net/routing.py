@@ -25,6 +25,7 @@ from enum import Enum
 from typing import Dict, Iterator, List, Optional
 
 from repro.net.addr import IPv6Addr, IPv6Prefix
+from repro.net.lpm import PrefixTrie
 
 
 class RouteKind(Enum):
@@ -117,85 +118,42 @@ class BaseRoutingTable(ABC):
         ))
 
 
-class _Node:
-    __slots__ = ("zero", "one", "route")
-
-    def __init__(self) -> None:
-        self.zero: Optional[_Node] = None
-        self.one: Optional[_Node] = None
-        self.route: Optional[Route] = None
-
-
 class RoutingTable(BaseRoutingTable):
-    """A binary-trie forwarding table with longest-prefix-match lookup."""
+    """A binary-trie forwarding table with longest-prefix-match lookup.
+
+    The trie walk itself lives in :class:`repro.net.lpm.PrefixTrie`, shared
+    with the blocklist and BGP-attribution tables; this class adds the
+    route semantics (replacement, version stamping) on top.
+    """
 
     def __init__(self) -> None:
-        self._root = _Node()
-        self._count = 0
+        self._trie: PrefixTrie[Route] = PrefixTrie()
         self.version = 0
 
     def add(self, route: Route) -> None:
         """Insert a route, replacing any existing route for the same prefix."""
         self.version += 1
-        node = self._root
-        prefix = route.prefix
-        for depth in range(prefix.length):
-            bit = (prefix.network >> (127 - depth)) & 1
-            if bit:
-                if node.one is None:
-                    node.one = _Node()
-                node = node.one
-            else:
-                if node.zero is None:
-                    node.zero = _Node()
-                node = node.zero
-        if node.route is None:
-            self._count += 1
-        node.route = route
+        self._trie.set(route.prefix, route)
 
     def remove(self, prefix: IPv6Prefix) -> bool:
         """Remove the route for an exact prefix.  Returns True if removed."""
-        node: Optional[_Node] = self._root
-        for depth in range(prefix.length):
-            if node is None:
-                return False
-            bit = (prefix.network >> (127 - depth)) & 1
-            node = node.one if bit else node.zero
-        if node is None or node.route is None:
+        if not self._trie.delete(prefix):
             return False
-        node.route = None
-        self._count -= 1
         self.version += 1
         return True
 
     def lookup(self, addr: IPv6Addr | int) -> Optional[Route]:
         """The most specific route covering ``addr``, or None."""
-        value = addr.value if isinstance(addr, IPv6Addr) else addr
-        node: Optional[_Node] = self._root
-        best = self._root.route
-        for depth in range(128):
-            bit = (value >> (127 - depth)) & 1
-            node = node.one if bit else node.zero  # type: ignore[union-attr]
-            if node is None:
-                break
-            if node.route is not None:
-                best = node.route
-        return best
+        entry = self._trie.longest(addr)
+        return None if entry is None else entry[1]
 
     def routes(self) -> Iterator[Route]:
         """All routes, in trie (prefix-ordered) traversal order."""
-        stack: List[_Node] = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.route is not None:
-                yield node.route
-            if node.one is not None:
-                stack.append(node.one)
-            if node.zero is not None:
-                stack.append(node.zero)
+        for _prefix, route in self._trie.items():
+            yield route
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._trie)
 
 
 class HashRoutingTable(BaseRoutingTable):

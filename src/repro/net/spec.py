@@ -81,6 +81,50 @@ class TopologySpec:
             params["profiles"] = tuple(profiles)
         return cls("deployment", tuple(sorted(params.items())))
 
+    @classmethod
+    def internet(
+        cls,
+        seed: int = 0,
+        scale: float = 1000.0,
+        n_tier1: int = 3,
+        n_ix: int = 2,
+        n_tail_ases: int = 220,
+        window_bits: int = 8,
+        multihome_rate: float = 0.25,
+        **extra: object,
+    ) -> "TopologySpec":
+        """A :func:`repro.bgp.build_internet` world: the CPE-edge AS
+        population under a compiled tier-1/regional BGP fabric."""
+        params: Dict[str, object] = {
+            "seed": seed,
+            "scale": scale,
+            "n_tier1": n_tier1,
+            "n_ix": n_ix,
+            "n_tail_ases": n_tail_ases,
+            "window_bits": window_bits,
+            "multihome_rate": multihome_rate,
+            **extra,
+        }
+        return cls("internet", tuple(sorted(params.items())))
+
+    @classmethod
+    def leak_demo(
+        cls,
+        seed: int = 0,
+        n_devices: int = 12,
+        n_loops: int = 4,
+        window_bits: int = 8,
+    ) -> "TopologySpec":
+        """The two-transit route-leak world
+        (:func:`repro.bgp.build_leak_demo`)."""
+        params: Dict[str, object] = {
+            "seed": seed,
+            "n_devices": n_devices,
+            "n_loops": n_loops,
+            "window_bits": window_bits,
+        }
+        return cls("leak-demo", tuple(sorted(params.items())))
+
     def build(self) -> BuiltTopology:
         """Rebuild the topology this spec describes."""
         params = dict(self.params)
@@ -101,6 +145,16 @@ class TopologySpec:
             )
             dep = build_deployment(profiles=profiles, **params)  # type: ignore[arg-type]
             return BuiltTopology(dep.network, dep.vantage, dep)
+        if self.kind == "internet":
+            from repro.bgp.world import build_internet
+
+            world = build_internet(**params)  # type: ignore[arg-type]
+            return BuiltTopology(world.network, world.vantage, world)
+        if self.kind == "leak-demo":
+            from repro.bgp.world import build_leak_demo
+
+            world = build_leak_demo(**params)  # type: ignore[arg-type]
+            return BuiltTopology(world.network, world.vantage, world)
         builder = _REGISTRY.get(self.kind)
         if builder is None:
             raise ValueError(f"unknown topology kind {self.kind!r}")

@@ -1,0 +1,414 @@
+"""The BGP fabric: solver determinism, Gao–Rexford policy, scenarios."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bgp import (
+    AsRole,
+    BgpFabric,
+    FabricError,
+    Failover,
+    PREF_CUSTOMER,
+    PREF_PEER,
+    PREF_PROVIDER,
+    PrefixHijack,
+    RouteLeak,
+    SessionFlap,
+    build_internet,
+    build_leak_demo,
+    compute_delta,
+    rib_digest,
+)
+from repro.bgp.world import (
+    LEAK_DEMO_LEAKER,
+    LEAK_DEMO_R2,
+    LEAK_DEMO_T1,
+    LEAK_DEMO_T2,
+    LEAK_DEMO_VICTIM,
+)
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.engine import Campaign
+from repro.faults import (
+    ROUTE_SET,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    ScheduleError,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.spec import TopologySpec
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _mini_fabric(seed=0):
+    """T1 ── T2 peers; R under T1; stub S under both T1 and R."""
+    fabric = BgpFabric(seed=seed)
+    fabric.add_as(10, role=AsRole.TRANSIT,
+                  block=IPv6Prefix.from_string("2f00::/32"))
+    fabric.add_as(20, role=AsRole.TRANSIT,
+                  block=IPv6Prefix.from_string("2f01::/32"))
+    fabric.add_as(30, role=AsRole.TRANSIT,
+                  block=IPv6Prefix.from_string("2f02::/32"))
+    fabric.add_as(40, role=AsRole.STUB,
+                  block=IPv6Prefix.from_string("2f03::/32"))
+    fabric.peer(10, 20)
+    fabric.provider(10, 30)
+    fabric.provider(30, 40)
+    fabric.provider(10, 40)
+    return fabric
+
+
+class TestSolverPolicy:
+    def test_customer_beats_peer_beats_provider(self):
+        fabric = _mini_fabric()
+        fabric.compile()
+        rib = fabric.rib
+        target = IPv6Prefix.from_string("2f03::/32")  # AS40's block
+        # AS30 hears 40 as a direct customer.
+        assert rib[30][target].pref == PREF_CUSTOMER
+        assert rib[30][target].path == (40,)
+        # AS10 hears 40 directly (customer) and via 30 (customer): the
+        # shorter customer path wins.
+        assert rib[10][target].pref == PREF_CUSTOMER
+        assert rib[10][target].path == (40,)
+        # AS20 only hears 40 across the peering: one peer hop.
+        assert rib[20][target].pref == PREF_PEER
+        assert rib[20][target].path == (10, 40)
+
+    def test_no_valley_through_peer(self):
+        # AS20's peer-learned route must NOT be re-exported upward, so a
+        # provider of 20 would never hear 40 through it.
+        fabric = _mini_fabric()
+        fabric.add_as(50, role=AsRole.TRANSIT,
+                      block=IPv6Prefix.from_string("2f04::/32"))
+        fabric.provider(50, 20)  # 50 sells transit to 20
+        fabric.compile()
+        target = IPv6Prefix.from_string("2f03::/32")
+        assert target not in fabric.rib.get(50, {})
+
+    def test_provider_route_reaches_customer(self):
+        fabric = _mini_fabric()
+        fabric.compile()
+        target = IPv6Prefix.from_string("2f01::/32")  # AS20's block
+        # AS30 buys from 10, which peers with 20: provider route, 2 hops.
+        assert fabric.rib[30][target].pref == PREF_PROVIDER
+        assert fabric.rib[30][target].path == (10, 20)
+
+
+def _relationships(fabric):
+    providers = {}  # asn -> set of its providers
+    peers = set()  # frozenset pairs
+    for session in fabric.sessions.values():
+        if session.rel == "transit":
+            providers.setdefault(session.b, set()).add(session.a)
+        else:
+            peers.add(frozenset((session.a, session.b)))
+    return providers, peers
+
+
+def _assert_valley_free(fabric):
+    """Every RIB path, origin→holder, must match up* peer? down*."""
+    providers, peers = _relationships(fabric)
+    for asn, entries in fabric.rib.items():
+        for prefix, route in entries.items():
+            hops = list(reversed((asn,) + route.path))  # origin ... holder
+            phase = "up"
+            for u, v in zip(hops, hops[1:]):
+                if v in providers.get(u, ()):
+                    step = "up"  # route climbed from customer u to v
+                elif frozenset((u, v)) in peers:
+                    step = "peer"
+                elif u in providers.get(v, ()):
+                    step = "down"  # route descended from provider u to v
+                else:
+                    raise AssertionError(
+                        f"AS{asn} {prefix}: no session between {u} and {v}"
+                    )
+                if step == "up":
+                    assert phase == "up", (
+                        f"AS{asn} {prefix}: valley in path {hops}"
+                    )
+                elif step == "peer":
+                    assert phase == "up", (
+                        f"AS{asn} {prefix}: second peer/late peer in {hops}"
+                    )
+                    phase = "down"
+                else:
+                    phase = "down"
+
+
+class TestValleyFree:
+    def test_internet_rib_is_valley_free(self):
+        world = build_internet(
+            seed=11, scale=20_000, n_tail_ases=30, populate=False
+        )
+        assert world.fabric.rib_routes() > 0
+        _assert_valley_free(world.fabric)
+
+    def test_leak_breaks_valley_free_on_purpose(self):
+        world = build_leak_demo(seed=11)
+        fabric = world.fabric
+        _assert_valley_free(fabric)  # clean fabric is valley-free
+        delta = compute_delta(fabric, RouteLeak(
+            leaker=LEAK_DEMO_LEAKER, from_as=LEAK_DEMO_R2,
+            to_as=LEAK_DEMO_T1, prefixes=(str(world.edges[0].block),),
+        ))
+        target = world.edges[0].block
+        leaked = delta.rib_after[LEAK_DEMO_T1][target]
+        # T1 now prefers a customer-classed route through the leaker whose
+        # true shape is provider-learned — the deliberate valley.
+        assert leaked.pref == PREF_CUSTOMER
+        assert leaked.path[0] == LEAK_DEMO_LEAKER
+        assert LEAK_DEMO_R2 in leaked.path
+
+
+class TestDeterminism:
+    def test_same_seed_same_rib(self):
+        a = build_internet(seed=5, scale=20_000, n_tail_ases=20,
+                           populate=False)
+        b = build_internet(seed=5, scale=20_000, n_tail_ases=20,
+                           populate=False)
+        assert rib_digest(a.fabric.rib) == rib_digest(b.fabric.rib)
+        assert a.fabric.fib == b.fabric.fib
+
+    def test_different_seed_reshuffles_tiebreaks(self):
+        a = build_internet(seed=5, scale=20_000, n_tail_ases=20,
+                           populate=False)
+        b = build_internet(seed=6, scale=20_000, n_tail_ases=20,
+                           populate=False)
+        # Same announcements, different tiebreaks somewhere in the mesh.
+        assert rib_digest(a.fabric.rib) != rib_digest(b.fabric.rib)
+
+    def test_digest_matches_across_process_boundary(self):
+        local = rib_digest(build_leak_demo(seed=9).fabric.rib)
+        code = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.bgp import build_leak_demo, rib_digest\n"
+            "print(rib_digest(build_leak_demo(seed=9).fabric.rib))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code, SRC],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == local
+
+    @pytest.mark.parametrize("executor,workers", [
+        ("thread", 2), ("process", 2),
+    ])
+    def test_campaign_backends_agree_on_leak_demo(self, executor, workers):
+        spec = TopologySpec.leak_demo(seed=5)
+        config = ScanConfig(
+            scan_range=ScanRange.parse(spec.build().handle.edges[0].scan_spec),
+            seed=5,
+        )
+
+        def replies(executor, workers=None):
+            result = Campaign(
+                spec, {"victim": config}, shards=2,
+                executor=executor, workers=workers,
+            ).run()
+            return {
+                (r.responder.value, r.target.value, r.kind)
+                for r in result.results["victim"].results
+            }
+
+        assert replies(executor, workers) == replies("serial")
+
+
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return build_leak_demo(seed=3)
+
+    def test_hijack_locality(self, demo):
+        edge = demo.edges[0]
+        window = edge.block.subprefix(1, 40)
+        hijacked = window.subprefix(0, 44)
+        delta = compute_delta(demo.fabric, PrefixHijack(
+            hijacker=LEAK_DEMO_LEAKER, prefix=str(hijacked),
+        ))
+        assert delta.dirty == (hijacked,)
+        # Every op touches only the hijacked /44; the covering /32 rows
+        # stay exactly as compiled.
+        assert delta.ops
+        assert all(op.prefix == str(hijacked) for op in delta.ops)
+        blackholes = [op for op in delta.ops if op.action == "blackhole"]
+        assert [op.device for op in blackholes] == [
+            f"as{LEAK_DEMO_LEAKER}-core"
+        ]
+
+    def test_flap_withdraws_single_homed_default(self, demo):
+        delta = compute_delta(demo.fabric, SessionFlap(
+            LEAK_DEMO_R2, LEAK_DEMO_VICTIM,
+        ))
+        by_device = {op.device: op for op in delta.ops}
+        edge_op = by_device[demo.edges[0].access_router]
+        assert edge_op.action == "withdraw"
+        assert edge_op.prefix == "::/0"
+        # The victim's block disappears from every transit FIB.
+        assert all(
+            op.action == "withdraw" for op in delta.ops
+        )
+
+    def test_unknown_session_rejected(self, demo):
+        with pytest.raises(FabricError):
+            compute_delta(demo.fabric, SessionFlap(LEAK_DEMO_T1, 65010))
+
+    def test_leak_applies_and_reverts_on_live_tables(self, demo):
+        fabric = demo.fabric
+        edge = demo.edges[0]
+        target = edge.delegations[0].address(1)
+
+        def path():
+            hops, device = [], demo.core
+            for _ in range(12):
+                hops.append(device.name)
+                route = device.table.lookup(target)
+                if route is None or route.next_hop is None:
+                    break
+                device = demo.network.device_at(route.next_hop)
+            return hops
+
+        baseline = path()
+        assert len(baseline) == 8  # 7 routers + the CPE
+        delta = compute_delta(fabric, RouteLeak(
+            leaker=LEAK_DEMO_LEAKER, from_as=LEAK_DEMO_R2,
+            to_as=LEAK_DEMO_T1, prefixes=(str(edge.block),),
+        ))
+        injector = FaultInjector(
+            demo.network, delta.to_fault_schedule(0.0, 100.0)
+        )
+        injector.arm()
+        injector.sync(0.0)
+        leaked = path()
+        assert len(leaked) == 6  # 5 routers + the CPE
+        assert f"as{LEAK_DEMO_LEAKER}-core" in leaked
+        assert leaked[-1] == baseline[-1]  # same CPE answers
+        injector.restore()
+        assert path() == baseline
+
+    def test_failover_rehomes_multihomed_edge(self):
+        world = build_internet(
+            seed=2, scale=20_000, n_tail_ases=10, multihome_rate=1.0,
+        )
+        edge = next(e for e in world.edges if len(e.providers) == 2)
+        delta = compute_delta(world.fabric, Failover(edge.asn))
+        by_device = {
+            op.device: op for op in delta.ops
+            if op.device == edge.access_router
+        }
+        op = by_device[edge.access_router]
+        # Multi-homed: the default re-homes to the surviving provider
+        # instead of vanishing.
+        assert op.action == "set"
+        assert op.prefix == "::/0"
+        failed = world.fabric.default_session(edge.asn)
+        survivor = world.fabric.edge_default_next_hop(
+            edge.asn, exclude=(failed.key(),)
+        )
+        assert op.next_hop == str(survivor)
+
+        # Live round-trip: the CPE stays reachable during the failover.
+        target = edge.delegations[0].address(1)
+        injector = FaultInjector(
+            world.network, delta.to_fault_schedule(0.0, 100.0)
+        )
+        injector.arm()
+        injector.sync(0.0)
+        device = world.core
+        for _ in range(12):
+            route = device.table.lookup(target)
+            if route is None or route.next_hop is None:
+                break
+            device = world.network.device_at(route.next_hop)
+        assert device.name.startswith(f"as{edge.asn}-dev-")
+        injector.restore()
+
+
+class TestDerivedViews:
+    def test_bgp_table_roles_filter(self):
+        world = build_leak_demo(seed=1)
+        full = world.fabric.bgp_table()
+        edges_only = world.fabric.bgp_table(roles=(AsRole.EDGE,))
+        assert len(edges_only) == 1
+        assert len(full) > len(edges_only)
+        info = edges_only.lookup(world.edges[0].block.address(5))
+        assert info.asn == LEAK_DEMO_VICTIM
+        assert info.country == "BR"
+
+    def test_fib_is_compressed(self):
+        world = build_internet(
+            seed=4, scale=20_000, n_tail_ases=30, populate=False
+        )
+        fabric = world.fabric
+        # Compression must pay: installed rows well under the full RIB
+        # cross product, but every tracked route still resolvable.
+        assert fabric.fib_routes() < fabric.rib_routes()
+        # Spot-check resolvability: a tier-1 core can still reach another
+        # transit AS's block despite the compressed rows.
+        t1 = next(a for a in fabric.ases.values() if a.role == AsRole.TRANSIT)
+        other = next(
+            a for a in fabric.ases.values()
+            if a.role == AsRole.TRANSIT and a.asn != t1.asn
+        )
+        core = fabric.devices[(t1.asn, "core")]
+        assert core.table.lookup(other.block.address(1)) is not None
+
+
+class TestRouteSetFault:
+    def test_json_round_trip(self):
+        event = FaultEvent(
+            kind=ROUTE_SET, start=0.0, end=5.0, device="r1",
+            prefix="2a00::/32", next_hop="2f00::1",
+        )
+        schedule = FaultSchedule(events=(event,), seed=3)
+        parsed = FaultSchedule.from_json(schedule.to_json())
+        assert parsed.events[0] == event
+
+    def test_next_hop_required(self):
+        with pytest.raises(ScheduleError):
+            FaultEvent(
+                kind=ROUTE_SET, start=0.0, end=5.0, device="r1",
+                prefix="2a00::/32",
+            ).validate()
+
+    def test_apply_and_revert_restore_prior_route(self):
+        world = build_leak_demo(seed=3)
+        t1_core = world.fabric.devices[(LEAK_DEMO_T1, "core")]
+        prefix = IPv6Prefix.from_string("2a00::/32")
+        before = t1_core.table.lookup(prefix.address(1))
+        assert before is not None
+        schedule = FaultSchedule(events=(FaultEvent(
+            kind=ROUTE_SET, start=0.0, end=10.0, device=t1_core.name,
+            prefix=str(prefix), next_hop="2f80::1",
+        ),))
+        injector = FaultInjector(world.network, schedule)
+        injector.arm()
+        injector.sync(0.0)
+        assert str(t1_core.table.lookup(prefix.address(1)).next_hop) \
+            == "2f80::1"
+        injector.sync(10.0)
+        after = t1_core.table.lookup(prefix.address(1))
+        assert after.next_hop == before.next_hop
+
+    def test_revert_removes_route_that_did_not_exist(self):
+        world = build_leak_demo(seed=3)
+        t1_core = world.fabric.devices[(LEAK_DEMO_T1, "core")]
+        prefix = IPv6Prefix.from_string("3a00::/32")  # nobody routes this
+        schedule = FaultSchedule(events=(FaultEvent(
+            kind=ROUTE_SET, start=0.0, end=10.0, device=t1_core.name,
+            prefix=str(prefix), next_hop="2f80::1",
+        ),))
+        injector = FaultInjector(world.network, schedule)
+        injector.arm()
+        injector.sync(0.0)
+        assert t1_core.table.lookup(prefix.address(1)) is not None
+        injector.sync(10.0)
+        route = t1_core.table.lookup(prefix.address(1))
+        # Back to whatever covered it before — not the injected next hop.
+        assert route is None or str(route.next_hop) != "2f80::1"
