@@ -27,6 +27,10 @@ and fails when a headline metric regressed beyond tolerance:
 * ``bgp`` — ``full_solve_prefixes_per_sec`` (higher is better): the ~2k-AS
   path-vector solve + FIB install every campaign shard pays when it
   rebuilds an ``internet`` world from its spec.
+* ``timeseries_overhead`` — ``sampled_pps`` (higher is better): scanner
+  throughput with ``--timeseries`` sampling armed; the bench's own <5%
+  sampled-vs-plain assertion bounds the relative cost, this gate catches
+  an absolute slowdown of the sampled path itself.
 
 Runs where the baseline is missing (a brand-new bench) or was recorded at
 a different ``REPRO_SCALE``/``REPRO_SEED`` are skipped with a note rather
@@ -193,6 +197,7 @@ def run_gate(
     gate("store_ingest", lambda b, f: ("ingest_rows_per_sec", True))
     gate("store_query", lambda b, f: ("query_rows_per_sec", True))
     gate("bgp", lambda b, f: ("full_solve_prefixes_per_sec", True))
+    gate("timeseries_overhead", lambda b, f: ("sampled_pps", True))
     return verdicts
 
 

@@ -10,12 +10,29 @@ route flap — and runs the same census three times over the mini testbed:
 3. the faulted scan with the hardened pipeline (AIMD adaptive rate +
    per-target retransmission), which claws back the lost targets.
 
+Every run samples the scanner's counters into a virtual-clock time series
+(one bucket per probe at this rate) and evaluates the stock health rules
+over it.  Because the fault injector journals its windows on the same
+clock, the script can *assert* the observability story end to end:
+
+* the baseline run produces **zero** health windows (no false positives);
+* on the naive chaos run, **every** injected fault window overlaps at
+  least one flagged health window, and every flagged window falls inside
+  some fault window (no spurious detections either).
+
+The naive run also dumps a flight-recorder bundle under
+``benchmarks/results/flight-recorder/`` — feed it to
+``repro-xmap health`` to see the post-mortem view CI exercises.
+
 Everything is keyed off the simulator's virtual clock and a dedicated
 fault RNG, so the same seed + schedule reproduces the identical chaos —
-packet for packet — on every run and on every executor backend.
+packet for packet, bucket for bucket — on every run and on every
+executor backend.
 
 Run:  python examples/chaos_campaign.py
 """
+
+from pathlib import Path
 
 from repro.core.scanner import ScanConfig
 from repro.core.target import ScanRange
@@ -35,6 +52,18 @@ SEED = 1
 RANGE = "2001:db8:1:50::/60-64"  # 16 sub-prefixes behind cpe-ok, all answer
 RATE_PPS = 2000.0  # 16 targets at 2 kpps span 8 virtual milliseconds
 
+#: One probe per bucket at 2 kpps — fine enough that every fault window
+#: spans whole buckets and the health verdicts align with the injector
+#: journal exactly.
+TS_INTERVAL = 0.0005
+
+#: Where the naive run's flight bundle lands (CI summarises it with
+#: ``repro-xmap health``).
+FLIGHT_DIR = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks" / "results" / "flight-recorder"
+)
+
 # Five overlap-free windows paced across the scan's virtual envelope.
 # Same schedule + same seed = same chaos, bit for bit.
 SCHEDULE = FaultSchedule(
@@ -53,14 +82,17 @@ SCHEDULE = FaultSchedule(
 )
 
 
-def run(label: str, **knobs) -> None:
+def run(label: str, flight: bool = False, **knobs):
     config = ScanConfig(scan_range=ScanRange.parse(RANGE), seed=SEED,
-                        rate_pps=RATE_PPS, **knobs)
+                        rate_pps=RATE_PPS,
+                        timeseries_interval=TS_INTERVAL, **knobs)
     campaign = Campaign(
         TopologySpec.mini(seed=SEED),
         {label: config},
         probe=ProbeSpec.for_seed(SEED),
         shards=1,
+        health=True,
+        flight_dir=str(FLIGHT_DIR) if flight else None,
     )
     result = campaign.run()
     stats = result.stats
@@ -69,7 +101,17 @@ def run(label: str, **knobs) -> None:
     recovered = result.metrics.counter("scanner_retransmit_recoveries").value
     print(f"{label:<18} sent {stats.sent:3d}  validated {stats.validated:2d} "
           f"({stats.hit_rate:7.2%})  faults {len(faults)}  "
-          f"retransmits {retrans} ({recovered} recovered)")
+          f"retransmits {retrans} ({recovered} recovered)  "
+          f"health windows {len(result.health.windows)}")
+    if flight:
+        bundle = campaign.recorder.dump("chaos-example")
+        print(f"{'':<18} flight bundle: {bundle}")
+    return result
+
+
+def overlaps(window, event) -> bool:
+    """Half-open interval overlap on the shared virtual clock."""
+    return window.t_start < event.end and window.t_end > event.start
 
 
 def main() -> None:
@@ -77,17 +119,40 @@ def main() -> None:
     print(SCHEDULE.to_json(indent=2))
     print()
 
-    run("baseline")
-    run("chaos / naive", fault_schedule=SCHEDULE)
+    baseline = run("baseline")
+    naive = run("chaos / naive", flight=True, fault_schedule=SCHEDULE)
     run("chaos / hardened", fault_schedule=SCHEDULE,
         retransmit=2, retransmit_backoff=0.0002,
         adaptive_rate=True, adaptive_window=4)
 
+    # The observability contract, asserted deterministically: a fault-free
+    # scan is clean, and on the chaos run the health windows and the
+    # injector journal agree — no missed faults, no false positives.
+    assert baseline.health is not None and naive.health is not None
+    assert not baseline.health.windows, (
+        f"false positives on the fault-free run: {baseline.health.windows}"
+    )
+    for event in SCHEDULE.events:
+        flagged = [w for w in naive.health.windows if overlaps(w, event)]
+        assert flagged, f"fault window {event.kind} [{event.start}, " \
+                        f"{event.end}) raised no health window"
+    for window in naive.health.windows:
+        assert any(overlaps(window, ev) for ev in SCHEDULE.events), (
+            f"spurious health window {window}"
+        )
+    degraded = naive.events.of_type("health_degraded")
+    assert len(degraded) == len(naive.health.windows)
+
+    print(f"\nHealth verdicts on the naive run "
+          f"({len(naive.health.windows)} window(s)):")
+    print("  " + naive.health.summary().replace("\n", "\n  "))
+
     print("\nThe naive scanner loses every target whose probe (or reply) "
           "fell into a\nfault window; the hardened pipeline retransmits "
           "through the chaos and backs\nits rate off under the clampdown, "
-          "recovering the full census.  Re-run this\nscript: the numbers "
-          "never change.")
+          "recovering the full census.  The health\nengine flags every "
+          "injected window and nothing else — asserted above.\nRe-run "
+          "this script: the numbers never change.")
 
 
 if __name__ == "__main__":

@@ -73,6 +73,14 @@ from repro.bgp import (
 from repro.net import IPv6Addr, IPv6Prefix, MacAddress, Network
 from repro.services import AppScanner, DEFAULT_CVE_DB
 from repro.store import ResultStore, diff, query
+from repro.telemetry import (
+    FlightRecorder,
+    HealthEngine,
+    HealthReport,
+    HealthRule,
+    SeriesSampler,
+    SeriesSet,
+)
 
 __version__ = "1.0.0"
 
@@ -122,4 +130,11 @@ __all__ = [
     "ResultStore",
     "query",
     "diff",
+    # observability
+    "SeriesSampler",
+    "SeriesSet",
+    "HealthEngine",
+    "HealthReport",
+    "HealthRule",
+    "FlightRecorder",
 ]

@@ -10,6 +10,7 @@ Installed as ``repro-xmap``.  Subcommands mirror the paper's experiments:
 * ``casestudy``  — Table XII: the 99-router firmware bench;
 * ``internet``   — compile the AS-level BGP fabric; inspect route-leak /
   hijack / flap / failover deltas;
+* ``health``     — summarise flight-recorder bundles / time-series files;
 * ``feasibility``— §III-B: scan-duration projections for a given bandwidth.
 
 Examples::
@@ -24,6 +25,8 @@ Examples::
     repro-xmap scan --store results/ --snapshot round-1 --shards 4
     repro-xmap store query results/ --prefix 2001:db8::/32 --csv out.csv
     repro-xmap store diff results/ round-1 round-2
+    repro-xmap scan --timeseries 0.01 --health --flight-recorder flight/
+    repro-xmap health flight/flight-*.json
 """
 
 from __future__ import annotations
@@ -47,6 +50,32 @@ from repro.isp.profiles import PAPER_PROFILES, profile_by_key
 from repro.loop.detector import find_loops
 from repro.net.packet import MAX_HOP_LIMIT
 from repro.services.zgrab import AppScanner
+
+
+def _write_metrics(registry, path: str, extra_lines=()) -> None:
+    """Write a registry (plus any extra NDJSON lines) to ``path``."""
+    with open(path, "w") as handle:
+        for line in registry.ndjson_lines():
+            handle.write(line + "\n")
+        for line in extra_lines:
+            handle.write(line + "\n")
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
+def _telemetry_events(args):
+    """An EventLog honouring ``--log-json`` (shared across subcommands).
+
+    With ``--log-json`` every structured event is printed as one JSON line
+    on stderr; without it the log stays silent (callers may still attach a
+    monitor, as ``scan`` does).
+    """
+    from repro.telemetry import EventLog
+
+    sink = None
+    if getattr(args, "log_json", False):
+        def sink(line: str) -> None:
+            print(line, file=sys.stderr)
+    return EventLog(sink=sink)
 
 
 def _profiles(args) -> list:
@@ -124,6 +153,17 @@ def cmd_scan(args) -> int:
     if args.snapshot and not args.store:
         print("error: --snapshot requires --store", file=sys.stderr)
         return 2
+    if args.timeseries is not None and args.timeseries <= 0:
+        print("error: --timeseries must be a positive interval in virtual "
+              "seconds", file=sys.stderr)
+        return 2
+    if args.timeseries_out and args.timeseries is None:
+        print("error: --timeseries-out requires --timeseries", file=sys.stderr)
+        return 2
+    if args.health and args.timeseries is None:
+        print("error: --health needs --timeseries (health rules evaluate "
+              "the sampled series)", file=sys.stderr)
+        return 2
     fault_schedule = None
     if args.fault_schedule:
         from repro.faults import FaultSchedule, ScheduleError
@@ -161,6 +201,7 @@ def cmd_scan(args) -> int:
             fault_schedule=fault_schedule,
             adaptive_rate=args.adaptive_rate,
             retransmit=args.retransmit,
+            timeseries_interval=args.timeseries or 0.0,
         )
 
     if args.range:
@@ -184,22 +225,42 @@ def cmd_scan(args) -> int:
         shard_timeout=args.shard_timeout,
         store_dir=args.store,
         snapshot=args.snapshot,
+        health=args.health,
+        flight_dir=args.flight_recorder,
     )
     try:
         result = campaign.run()
     except CampaignError as error:
         print(f"campaign failed: {error}", file=sys.stderr)
+        if campaign.recorder is not None and campaign.recorder.bundles:
+            for path in campaign.recorder.bundles:
+                print(f"flight-recorder bundle: {path}", file=sys.stderr)
         return 1
 
     if args.metrics_out:
         import json as _json
 
-        with open(args.metrics_out, "w") as handle:
-            for line in result.metrics.ndjson_lines():
-                handle.write(line + "\n")
-            for trace in result.traces:
-                handle.write(_json.dumps(trace, sort_keys=True) + "\n")
-        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        _write_metrics(
+            result.metrics, args.metrics_out,
+            extra_lines=(
+                _json.dumps(trace, sort_keys=True) for trace in result.traces
+            ),
+        )
+
+    if args.timeseries_out and result.timeseries is not None:
+        import json as _json
+
+        with open(args.timeseries_out, "w") as handle:
+            _json.dump(result.timeseries.to_dict(), handle, sort_keys=True)
+            handle.write("\n")
+        print(f"time series written to {args.timeseries_out}",
+              file=sys.stderr)
+
+    if args.health and result.health is not None:
+        print(result.health.summary(), file=sys.stderr)
+
+    for path in result.flight_bundles:
+        print(f"flight-recorder bundle: {path}", file=sys.stderr)
 
     # In store mode rows streamed to disk instead of memory; responder
     # counts (and any CSV/JSONL export) come back out of the store.
@@ -261,6 +322,79 @@ def cmd_scan(args) -> int:
             sink.close()
         print(f"wrote {sink.rows} row(s) to {path}", file=sys.stderr)
     return 0
+
+
+def cmd_health(args) -> int:
+    """Summarise flight-recorder bundles / time-series documents.
+
+    Accepts any mix of ``repro-flight-recorder`` bundles (what a crash,
+    watchdog kill, or quarantine dumps) and ``repro-timeseries`` documents
+    (``scan --timeseries-out``); each gets an event summary and, when a
+    series is present, a health verdict from the stock rules.  Exit code 0
+    even when degraded — the verdict is the output, not an error; 1 only
+    when an artifact cannot be read.
+    """
+    import json as _json
+    from collections import Counter as _Counter
+
+    from repro.telemetry import (
+        BUNDLE_FORMAT,
+        SERIES_FORMAT,
+        HealthEngine,
+        SeriesSet,
+        load_bundle,
+        sparkline,
+    )
+
+    engine = HealthEngine()
+    status = 0
+    for path in args.bundle:
+        try:
+            with open(path) as handle:
+                data = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        fmt = data.get("format") if isinstance(data, dict) else None
+        if fmt == BUNDLE_FORMAT:
+            try:
+                bundle = load_bundle(path)
+            except ValueError as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            events = bundle.get("events", [])
+            kinds = _Counter(str(e.get("type")) for e in events)
+            print(f"{path}:")
+            print(f"  flight recorder: reason={bundle.get('reason')} "
+                  f"campaign={bundle.get('campaign')}")
+            print(f"  {len(events)} event(s): "
+                  + ", ".join(f"{k} x{n}" for k, n in kinds.most_common(8)))
+            series_doc = bundle.get("timeseries")
+        elif fmt == SERIES_FORMAT:
+            print(f"{path}:")
+            series_doc = data
+        else:
+            print(f"{path}: not a {BUNDLE_FORMAT} or {SERIES_FORMAT} "
+                  "document", file=sys.stderr)
+            status = 1
+            continue
+        if series_doc:
+            series = SeriesSet.from_dict(series_doc)
+            span = series.bucket_range()
+            if span is not None:
+                sent = series.named("scanner_probes_sent")
+                bars = [sent.get(b, 0) for b in range(span[0], span[1] + 1)]
+                print(f"  sent/bucket {sparkline(bars, width=60)} "
+                      f"(interval {series.interval}s, "
+                      f"buckets {span[0]}..{span[1]})")
+            report = engine.evaluate(series)
+            for line in report.summary().splitlines():
+                print(f"  {line}")
+        else:
+            print("  no time series captured")
+    return status
 
 
 def cmd_services(args) -> int:
@@ -348,6 +482,20 @@ def cmd_internet(args) -> int:
             populate=not args.no_population,
         )
     fabric = world.fabric
+    from repro.telemetry import MetricsRegistry
+
+    events = _telemetry_events(args)
+    registry = MetricsRegistry()
+    registry.gauge("bgp_ases").set(len(fabric.ases))
+    registry.gauge("bgp_sessions").set(len(fabric.sessions))
+    registry.gauge("bgp_rib_routes").set(fabric.rib_routes())
+    registry.gauge("bgp_fib_routes").set(fabric.fib_routes())
+    registry.gauge("bgp_devices").set(len(world.network.devices))
+    events.emit(
+        "fabric_compiled",
+        ases=len(fabric.ases), ixes=len(fabric.ixes),
+        sessions=len(fabric.sessions), demo=bool(args.demo),
+    )
 
     by_role: dict = {}
     for system in fabric.ases.values():
@@ -376,6 +524,8 @@ def cmd_internet(args) -> int:
     print(table.render())
 
     if args.scenario is None:
+        if args.metrics_out:
+            _write_metrics(registry, args.metrics_out)
         return 0
     if args.scenario == "failover":
         asn = args.asn if args.asn is not None else (
@@ -405,6 +555,9 @@ def cmd_internet(args) -> int:
     else:  # flap: drop the victim edge's session with its primary provider
         scenario = SessionFlap(LEAK_DEMO_R2, world.edges[0].asn)
     delta = compute_delta(fabric, scenario)
+    registry.counter("bgp_scenario_route_ops",
+                     scenario=args.scenario).inc(len(delta.ops))
+    events.emit("scenario_delta", scenario=args.scenario, ops=len(delta.ops))
     print()
     print(delta.summary())
     for op in delta.ops[:args.max_ops]:
@@ -412,6 +565,8 @@ def cmd_internet(args) -> int:
         print(f"  {op.device}: {op.action} {op.prefix}{hop}")
     if len(delta.ops) > args.max_ops:
         print(f"  ... {len(delta.ops) - args.max_ops} more")
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     return 0
 
 
@@ -476,10 +631,28 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
-def _open_store(args) -> "object":
-    from repro.store import ResultStore
+def _open_store(args):
+    """Open the store with the shared telemetry flags wired through.
 
-    return ResultStore(args.dir)
+    Returns ``(store, registry)``: corruption/quarantine transitions land
+    in the ``--log-json`` event stream, integrity counters in the registry
+    that ``--metrics-out`` exports.
+    """
+    from repro.store import ResultStore
+    from repro.telemetry import MetricsRegistry
+
+    events = _telemetry_events(args)
+    registry = MetricsRegistry()
+    store = ResultStore(
+        args.dir, metrics=registry,
+        on_event=lambda rec: events.ingest([rec]),
+    )
+    return store, registry
+
+
+def _export_store_metrics(args, registry) -> None:
+    if getattr(args, "metrics_out", None):
+        _write_metrics(registry, args.metrics_out)
 
 
 def cmd_store_info(args) -> int:
@@ -488,11 +661,12 @@ def cmd_store_info(args) -> int:
     from repro.store import StoreCorruption
 
     try:
-        store = _open_store(args)
+        store, registry = _open_store(args)
     except StoreCorruption as exc:
         print(f"store corrupt: {exc}", file=sys.stderr)
         return 1
     print(_json.dumps(store.info(), indent=2, sort_keys=True))
+    _export_store_metrics(args, registry)
     return 0
 
 
@@ -501,7 +675,7 @@ def cmd_store_query(args) -> int:
     from repro.store.sink import CsvSink, JsonlSink
 
     try:
-        store = _open_store(args)
+        store, registry = _open_store(args)
         rows = query(
             store,
             snapshot=args.snapshot,
@@ -521,6 +695,7 @@ def cmd_store_query(args) -> int:
         print(f"query failed: {exc}", file=sys.stderr)
         return 1
     print(f"{sink.rows} row(s)", file=sys.stderr)
+    _export_store_metrics(args, registry)
     return 0
 
 
@@ -530,7 +705,7 @@ def cmd_store_diff(args) -> int:
     from repro.store import StoreCorruption, StoreError, diff
 
     try:
-        store = _open_store(args)
+        store, registry = _open_store(args)
         report = diff(store, args.snapshot_a, args.snapshot_b)
     except (StoreError, StoreCorruption) as exc:
         print(f"diff failed: {exc}", file=sys.stderr)
@@ -539,6 +714,7 @@ def cmd_store_diff(args) -> int:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
+    _export_store_metrics(args, registry)
     return 0
 
 
@@ -546,7 +722,7 @@ def cmd_store_compact(args) -> int:
     from repro.store import StoreCorruption, StoreError
 
     try:
-        store = _open_store(args)
+        store, registry = _open_store(args)
         report = store.compact()
     except (StoreError, StoreCorruption) as exc:
         print(f"compaction failed: {exc}", file=sys.stderr)
@@ -557,6 +733,7 @@ def cmd_store_compact(args) -> int:
         f"{report['rows_before']} -> {report['rows_after']} row(s) "
         f"({report['duplicates_dropped']} duplicate(s) dropped)"
     )
+    _export_store_metrics(args, registry)
     return 0
 
 
@@ -585,6 +762,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # One shared parent for the telemetry surface, so every subcommand
+    # that produces metrics/events spells the flags identically.
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument("--metrics-out", default=None, metavar="FILE",
+                           help="write telemetry counters/gauges/histograms "
+                                "(and any sampled probe traces) as NDJSON")
+    telemetry.add_argument("--log-json", action="store_true",
+                           help="emit raw structured events as JSON lines "
+                                "instead of human status text")
+
     def common(p):
         p.add_argument("--scale", type=float, default=20_000.0,
                        help="population scale-down factor (default 20000)")
@@ -602,7 +789,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scan",
                        help="orchestrated sharded scan campaign "
-                            "(checkpoint/resume)")
+                            "(checkpoint/resume)",
+                       parents=[telemetry])
     common(p)
     p.add_argument("--range", action="append", default=None, metavar="SPEC",
                    help="explicit scan range (repeatable), e.g. "
@@ -623,15 +811,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "fresh")
     p.add_argument("--max-probes", type=int, default=None,
                    help="cap probes per shard")
-    p.add_argument("--metrics-out", default=None, metavar="FILE",
-                   help="write merged campaign metrics (and any sampled "
-                        "probe traces) as NDJSON")
     p.add_argument("--trace", default="off", metavar="SPEC",
                    help="probe-lifecycle tracing: off, all, or sample:N "
                         "(default off)")
-    p.add_argument("--log-json", action="store_true",
-                   help="emit raw structured events as JSON lines instead "
-                        "of human status text")
+    p.add_argument("--timeseries", type=float, default=None,
+                   metavar="SECONDS",
+                   help="sample per-bucket metric deltas every SECONDS of "
+                        "virtual clock (merged bit-identically across "
+                        "shards)")
+    p.add_argument("--timeseries-out", default=None, metavar="FILE",
+                   help="write the merged campaign time series as JSON "
+                        "(requires --timeseries)")
+    p.add_argument("--health", action="store_true",
+                   help="evaluate the stock SLO/health rules over the "
+                        "sampled series and print the verdict (requires "
+                        "--timeseries)")
+    p.add_argument("--flight-recorder", default=None, metavar="DIR",
+                   help="always-on bounded flight recorder: dump a "
+                        "telemetry bundle to DIR on watchdog kill, "
+                        "checkpoint/store quarantine, SIGTERM, or campaign "
+                        "failure")
     p.add_argument("--no-flow-cache", action="store_true",
                    help="disable the forwarding flow cache (A/B escape "
                         "hatch; results are identical, scans are slower)")
@@ -681,7 +880,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("internet",
                        help="compile the AS-level BGP fabric and "
-                            "inspect control-plane scenarios")
+                            "inspect control-plane scenarios",
+                       parents=[telemetry])
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--scale", type=float, default=20_000.0,
                    help="edge population scale-down factor (default 20000)")
@@ -726,12 +926,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "store written by `scan --store`")
     store_sub = p.add_subparsers(dest="store_command", required=True)
 
-    sp = store_sub.add_parser("info", help="manifest summary as JSON")
+    sp = store_sub.add_parser("info", help="manifest summary as JSON",
+                              parents=[telemetry])
     sp.add_argument("dir", help="store directory")
     sp.set_defaults(func=cmd_store_info)
 
     sp = store_sub.add_parser("query",
-                              help="stream matching rows as CSV/JSONL")
+                              help="stream matching rows as CSV/JSONL",
+                              parents=[telemetry])
     sp.add_argument("dir", help="store directory")
     sp.add_argument("--snapshot", default=None,
                     help="restrict to one round's snapshot")
@@ -749,7 +951,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_store_query)
 
     sp = store_sub.add_parser("diff",
-                              help="longitudinal churn between two rounds")
+                              help="longitudinal churn between two rounds",
+                              parents=[telemetry])
     sp.add_argument("dir", help="store directory")
     sp.add_argument("snapshot_a", help="earlier round")
     sp.add_argument("snapshot_b", help="later round")
@@ -758,9 +961,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_store_diff)
 
     sp = store_sub.add_parser("compact",
-                              help="merge + dedup segments, sweep orphans")
+                              help="merge + dedup segments, sweep orphans",
+                              parents=[telemetry])
     sp.add_argument("dir", help="store directory")
     sp.set_defaults(func=cmd_store_compact)
+
+    p = sub.add_parser("health",
+                       help="summarise flight-recorder bundles and "
+                            "time-series documents")
+    p.add_argument("bundle", nargs="+",
+                   help="flight-recorder bundle or --timeseries-out "
+                        "document (repeatable)")
+    p.set_defaults(func=cmd_health)
 
     p = sub.add_parser("feasibility", help="§III-B projections")
     p.add_argument("--gbps", type=float, default=1.0)

@@ -82,11 +82,19 @@ class VirtualPacer:
         self._stalls = metrics.counter("pacer_stalls")
         self._waits = metrics.histogram("pacer_wait_virtual_seconds",
                                         bounds=WAIT_BUCKETS)
+        #: Optional :class:`~repro.telemetry.timeseries.SeriesSampler`.
+        #: The pacer is the one place that knows each probe's send time
+        #: before any of that probe's counters move, which is exactly
+        #: where a series bucket must be cut (see timeseries.py).
+        self.sampler = None
 
     def pace(self) -> float:
         """Account for one probe send; returns the virtual send timestamp."""
         now = self.network.clock
         send_at = self.bucket.consume(now)
+        sampler = self.sampler
+        if sampler is not None and send_at >= sampler.boundary:
+            sampler.tick(send_at)
         if send_at > now:
             self.network.clock = send_at
             self._stalls.inc()

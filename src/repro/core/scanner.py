@@ -274,6 +274,13 @@ class ScanConfig:
     #: Jitter fraction applied to each backoff (0 = deterministic spacing;
     #: the jitter RNG is seeded from ``seed`` either way).
     retransmit_jitter: float = 0.5
+    #: Virtual seconds per time-series bucket (0 disables sampling).  The
+    #: sampler rides the pacer's clock and snapshots counter deltas into
+    #: :attr:`Scanner.sampler`; shard workers export the series and the
+    #: campaign merges them bit-identically (see telemetry/timeseries.py).
+    timeseries_interval: float = 0.0
+    #: Ring bound on retained buckets per series.
+    timeseries_max_buckets: int = 4096
 
 
 class Scanner:
@@ -313,6 +320,18 @@ class Scanner:
         )
         self.pacer = VirtualPacer(network, config.rate_pps,
                                   metrics=self.metrics)
+        #: Virtual-clock series sampler (None unless configured).  Created
+        #: here, started when the scan loop starts, driven by the pacer.
+        self.sampler = None
+        if config.timeseries_interval > 0 and self.metrics.enabled:
+            from repro.telemetry.timeseries import SeriesSampler
+
+            self.sampler = SeriesSampler(
+                self.metrics,
+                config.timeseries_interval,
+                shards=max(1, config.shards),
+                max_buckets=config.timeseries_max_buckets,
+            )
         #: Streaming result sink.  When set, validated replies are emitted
         #: to the sink as they are produced *instead of* accumulating in
         #: ``result.results`` — peak resident rows are then bounded by the
@@ -612,6 +631,13 @@ class Scanner:
         tracer = self.tracer
         tracing = tracer.enabled
         network = self.network
+        sampler = self.sampler
+        if sampler is not None:
+            # Pin the bucket origin to this scan's starting clock (prebuilt
+            # serial networks keep their clock across shards) and let the
+            # pacer cut bucket boundaries between probes.
+            sampler.start(network.clock)
+            self.pacer.sampler = sampler
         c_sent = metrics.counter("scanner_probes_sent")
         c_received = metrics.counter("scanner_replies_received")
         c_validated = metrics.counter("scanner_replies_validated")
@@ -746,6 +772,9 @@ class Scanner:
         stats.wall_seconds = time.perf_counter() - started
         metrics.gauge("scanner_stream_position").set(self.position)
         metrics.gauge("virtual_clock_seconds").set(network.clock)
+        if sampler is not None:
+            self.pacer.sampler = None
+            sampler.finish(network.clock)
         return result
 
     def run_batched(self, batch_size: Optional[int] = None) -> ScanResult:
@@ -779,6 +808,11 @@ class Scanner:
         metrics = self.metrics
         tracer = self.tracer
         tracing = tracer.enabled
+        sampler = self.sampler
+        sampling = sampler is not None
+        if sampler is not None:
+            sampler.start(network.clock)
+            self.pacer.sampler = sampler
         c_sent = metrics.counter("scanner_probes_sent")
         c_received = metrics.counter("scanner_replies_received")
         c_validated = metrics.counter("scanner_replies_validated")
@@ -915,6 +949,23 @@ class Scanner:
                                               n_validated - val_before)
                     if span is not None:
                         tracer.finish(span)
+                    if sampling:
+                        # The pacer cuts series buckets at the *next*
+                        # probe's send, so the block-local tallies must be
+                        # flushed per target for the closing bucket to see
+                        # current counters — the same accounting points the
+                        # serial loop hits per probe (bit-identical series).
+                        stats.sent += n_sent
+                        stats.received += n_received
+                        stats.validated += n_validated
+                        stats.discarded += n_invalid + n_duplicate
+                        c_sent.inc(n_sent)
+                        c_received.inc(n_received)
+                        c_validated.inc(n_validated)
+                        c_invalid.inc(n_invalid)
+                        c_duplicate.inc(n_duplicate)
+                        n_sent = n_received = n_validated = 0
+                        n_invalid = n_duplicate = 0
                 # Flush the block's tallies in one go each.
                 stats.sent += n_sent
                 stats.received += n_received
@@ -934,6 +985,9 @@ class Scanner:
             network.flow_cache = saved_flow
             if injector is not None:
                 injector.restore()
+            if sampler is not None:
+                self.pacer.sampler = None
+                sampler.finish(network.clock)
 
         stats.blocked = self.blocked_count
         stats.virtual_end = network.clock

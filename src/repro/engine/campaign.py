@@ -28,6 +28,7 @@ a subscriber of that log.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -41,7 +42,10 @@ from repro.engine.planner import ProbeSpec, ShardJob, ShardPlanner
 from repro.engine.worker import ShardOutcome
 from repro.net.spec import BuiltTopology, TopologySpec
 from repro.telemetry.events import EventLog
+from repro.telemetry.health import HealthEngine, HealthReport, HealthRule
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.timeseries import SeriesSet
 
 
 class CampaignError(RuntimeError):
@@ -70,6 +74,13 @@ class CampaignResult:
     snapshot: Optional[str] = None
     #: ``ResultStore.info()`` taken right after the commit (store mode only).
     store_info: Optional[Dict[str, object]] = None
+    #: Shard time series merged per-bucket (None unless the configs set a
+    #: ``timeseries_interval``); bit-identical across executor backends.
+    timeseries: Optional[SeriesSet] = None
+    #: Health verdicts over :attr:`timeseries` (None unless enabled).
+    health: Optional[HealthReport] = None
+    #: Flight-recorder bundles written during this run (paths).
+    flight_bundles: List[str] = field(default_factory=list)
 
     @property
     def sent_this_run(self) -> int:
@@ -123,6 +134,9 @@ class Campaign:
         shard_timeout: Optional[float] = None,
         store_dir: Optional[str] = None,
         snapshot: Optional[str] = None,
+        health: Union[bool, Sequence[HealthRule]] = False,
+        flight_dir: Optional[str] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         if isinstance(configs, Mapping):
             self.configs: Dict[str, ScanConfig] = dict(configs)
@@ -152,6 +166,25 @@ class Campaign:
             (snapshot or f"round-{self.events.campaign_id}")
             if store_dir else None
         )
+        #: Health rules evaluated over the merged series after the run:
+        #: ``True`` = stock :func:`~repro.telemetry.health.default_rules`,
+        #: a sequence = custom rules, ``False`` = off.
+        if health is True:
+            self._health_rules: Optional[List[HealthRule]] = None  # stock
+            self._health = True
+        elif health:
+            self._health_rules = list(health)  # type: ignore[arg-type]
+            self._health = True
+        else:
+            self._health_rules = None
+            self._health = False
+        #: Always-on crash telemetry: an explicit recorder wins; otherwise
+        #: one is built when ``flight_dir`` names a bundle directory.
+        self.recorder = recorder
+        if self.recorder is None and flight_dir is not None:
+            self.recorder = FlightRecorder(flight_dir)
+        if self.recorder is not None:
+            self.recorder.attach(self.events)
         if monitor is not None:
             self.events.subscribe(monitor.handle_event)
         if isinstance(executor, Executor):
@@ -224,7 +257,10 @@ class Campaign:
         from repro.store.store import ResultStore, StoreError
 
         try:
-            store = ResultStore(self.store_dir, metrics=metrics)
+            store = ResultStore(
+                self.store_dir, metrics=metrics,
+                on_event=lambda rec: self.events.ingest([rec]),
+            )
         except StoreError as exc:
             raise CampaignError(f"result store unusable: {exc}") from exc
         assert self.snapshot is not None
@@ -284,6 +320,9 @@ class Campaign:
         started = time.perf_counter()
         self._prepare_store()
         metrics = MetricsRegistry()
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.metrics = metrics
         result_store = self._prepare_result_store(metrics)
         if jobs is None:
             jobs = self.plan()
@@ -293,70 +332,92 @@ class Campaign:
         )
 
         traces: List[Dict[str, object]] = []
+        series: Optional[SeriesSet] = None
         attempts: Dict[str, int] = {job.job_id: 0 for job in jobs}
         outcomes: Dict[str, ShardOutcome] = {}
         pending = list(jobs)
         wave = 0
-        while pending:
-            if wave and self.backoff_base:
-                delay = self.backoff_base * (2 ** (wave - 1))
-                self.events.emit("backoff", wave=wave, delay=delay)
-                time.sleep(delay)
-            retry: List[ShardJob] = []
-            failures: Dict[str, Exception] = {}
-            for job, outcome in self.executor.run_jobs(pending):
-                attempts[job.job_id] += 1
-                if isinstance(outcome, Exception):
-                    if isinstance(outcome, WatchdogTimeout):
-                        # A hung worker the watchdog abandoned; it counts
-                        # toward max_retries like any other shard failure.
-                        metrics.counter("campaign_watchdog_kills").inc()
-                        self.events.emit(
-                            "watchdog_timeout",
-                            job_id=job.job_id,
-                            attempt=attempts[job.job_id],
-                            error=str(outcome),
-                        )
-                    if attempts[job.job_id] > self.max_retries:
-                        failures[job.job_id] = outcome
-                    else:
-                        retry.append(job)
-                        self.events.emit(
-                            "shard_retry",
-                            job_id=job.job_id,
-                            attempt=attempts[job.job_id],
-                            error=str(outcome),
-                        )
-                    continue
-                outcome.attempts = attempts[job.job_id]
-                outcomes[job.job_id] = outcome
-                metrics.merge_dict(outcome.metrics)
-                traces.extend(outcome.traces)
-                self.events.ingest(outcome.events)
-                self.events.emit(
-                    "shard_finished",
-                    job_id=job.job_id,
-                    label=outcome.label,
-                    shard=job.config.shard,
-                    shards=job.config.shards,
-                    sent_this_run=outcome.sent_this_run,
-                    sent=outcome.result.stats.sent,
-                    validated=outcome.result.stats.validated,
-                    from_checkpoint=outcome.from_checkpoint,
-                    attempts=outcome.attempts,
-                    worker=outcome.worker,
-                )
-            if failures:
-                self.events.emit(
-                    "campaign_failed", failed=sorted(failures)
-                )
-                raise CampaignError(
-                    "shards failed after retries: "
-                    + ", ".join(sorted(failures)),
-                    failures,
-                )
-            pending = retry
-            wave += 1
+        scope = (
+            recorder.sigterm_scope() if recorder is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            while pending:
+                if wave and self.backoff_base:
+                    delay = self.backoff_base * (2 ** (wave - 1))
+                    self.events.emit("backoff", wave=wave, delay=delay)
+                    time.sleep(delay)
+                retry: List[ShardJob] = []
+                failures: Dict[str, Exception] = {}
+                for job, outcome in self.executor.run_jobs(pending):
+                    attempts[job.job_id] += 1
+                    if isinstance(outcome, Exception):
+                        if isinstance(outcome, WatchdogTimeout):
+                            # A hung worker the watchdog abandoned; it counts
+                            # toward max_retries like any other shard failure.
+                            metrics.counter("campaign_watchdog_kills").inc()
+                            self.events.emit(
+                                "watchdog_timeout",
+                                job_id=job.job_id,
+                                attempt=attempts[job.job_id],
+                                error=str(outcome),
+                            )
+                        if attempts[job.job_id] > self.max_retries:
+                            failures[job.job_id] = outcome
+                        else:
+                            retry.append(job)
+                            self.events.emit(
+                                "shard_retry",
+                                job_id=job.job_id,
+                                attempt=attempts[job.job_id],
+                                error=str(outcome),
+                            )
+                        continue
+                    outcome.attempts = attempts[job.job_id]
+                    outcomes[job.job_id] = outcome
+                    metrics.merge_dict(outcome.metrics)
+                    traces.extend(outcome.traces)
+                    if outcome.timeseries is not None:
+                        shard_series = SeriesSet.from_dict(outcome.timeseries)
+                        if series is None:
+                            series = shard_series
+                        else:
+                            series.merge(shard_series)
+                        if recorder is not None:
+                            recorder.series = series
+                    if recorder is not None and outcome.traces:
+                        recorder.add_traces(outcome.traces)
+                    self.events.ingest(outcome.events)
+                    self.events.emit(
+                        "shard_finished",
+                        job_id=job.job_id,
+                        label=outcome.label,
+                        shard=job.config.shard,
+                        shards=job.config.shards,
+                        sent_this_run=outcome.sent_this_run,
+                        sent=outcome.result.stats.sent,
+                        validated=outcome.result.stats.validated,
+                        from_checkpoint=outcome.from_checkpoint,
+                        attempts=outcome.attempts,
+                        worker=outcome.worker,
+                    )
+                if failures:
+                    self.events.emit(
+                        "campaign_failed", failed=sorted(failures)
+                    )
+                    # The crash artifact: whatever telemetry tail exists at
+                    # the moment the campaign gives up.  Trigger events
+                    # (watchdog kills, quarantines) already dumped their own
+                    # bundles; this path covers plain shard failures.
+                    if recorder is not None:
+                        recorder.dump("campaign_failed")
+                    raise CampaignError(
+                        "shards failed after retries: "
+                        + ", ".join(sorted(failures)),
+                        failures,
+                    )
+                pending = retry
+                wave += 1
 
         ordered = [outcomes[job.job_id] for job in jobs]
         result = CampaignResult(results={})
@@ -371,6 +432,14 @@ class Campaign:
                     merged.merge(outcome.result)
             result.results[label] = merged
             result.stats.merge(merged.stats)
+        result.timeseries = series
+        if self._health and series is not None:
+            report = HealthEngine(self._health_rules).evaluate(series)
+            report.emit(self.events)
+            result.health = report
+            metrics.counter("campaign_health_windows").inc(
+                len(report.windows)
+            )
         if result_store is not None:
             self._commit_segments(result_store, ordered, result)
         result.wall_seconds = time.perf_counter() - started
@@ -386,4 +455,6 @@ class Campaign:
             validated=result.stats.validated,
             shards=len(ordered),
         )
+        if recorder is not None:
+            result.flight_bundles = list(recorder.bundles)
         return result

@@ -31,6 +31,7 @@ from typing import Callable, Deque, Dict, Optional
 
 from repro.engine.planner import ShardJob
 from repro.engine.worker import ShardOutcome
+from repro.telemetry.timeseries import sparkline
 
 #: Default retention for :attr:`ProgressMonitor.lines`; old lines fall off
 #: the front (the sink already saw them — this is only the in-memory tail).
@@ -68,6 +69,9 @@ class ProgressMonitor:
         self._sent_total = 0  # includes checkpoint-restored shards
         self._validated = 0
         self._retries = 0
+        #: Per-shard hit rates as they finish — rendered as a sparkline so
+        #: a collapsing shard is visible at a glance mid-campaign.
+        self._hit_history: Deque[float] = deque(maxlen=32)
         #: Bounded tail of emitted lines, for tests/inspection.
         self.lines: Deque[str] = deque(maxlen=max_lines)
 
@@ -105,6 +109,11 @@ class ProgressMonitor:
         self._validated += int(record.get("validated", 0))  # type: ignore[arg-type]
         if record.get("from_checkpoint"):
             self._from_checkpoint += 1
+        shard_sent = int(record.get("sent", 0))  # type: ignore[arg-type]
+        if shard_sent:
+            self._hit_history.append(
+                int(record.get("validated", 0)) / shard_sent  # type: ignore[arg-type]
+            )
         self._status(force=self._done == self._total_shards)
 
     def _on_shard_retry(self, record: Dict[str, object]) -> None:
@@ -184,12 +193,16 @@ class ProgressMonitor:
         hit = self._validated / self._sent_total if self._sent_total else 0.0
         remaining = self._total_shards - self._done
         eta = elapsed / self._done * remaining if self._done else 0.0
+        spark = (
+            f" | hit/shard {sparkline(self._hit_history)}"
+            if len(self._hit_history) >= 2 else ""
+        )
         self._emit(
             f"{_hms(elapsed)} {pct:3.0f}% "
             f"(shards: {self._done}/{self._total_shards} done); "
             f"send: {self._sent:,} ({pps:,.0f} p/s); "
             f"hits: {self._validated:,} ({hit:.2%}); "
-            f"eta {_hms(eta)}",
+            f"eta {_hms(eta)}{spark}",
             force=force,
         )
 

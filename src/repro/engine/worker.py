@@ -59,6 +59,10 @@ class ShardOutcome:
     #: Worker-local structured events (checkpoint writes, restores, …)
     #: for the campaign's EventLog to ingest.
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: Exported shard-local time series (picklable
+    #: :meth:`~repro.telemetry.timeseries.SeriesSet.to_dict`); None when
+    #: the job's config has no ``timeseries_interval``.
+    timeseries: Optional[Dict[str, object]] = None
     #: Sealed :mod:`repro.store` segment metadata for this shard's rows
     #: (picklable dict from ``SegmentWriter.seal``); None when the job has
     #: no ``store_dir``.  The campaign parent commits these — workers never
@@ -103,7 +107,7 @@ def execute_job(
     """Run one shard to completion, honouring any checkpointed progress."""
     buffer = WorkerEventBuffer()
     store = (
-        CheckpointStore(job.checkpoint_dir, on_event=buffer.records.append)
+        CheckpointStore(job.checkpoint_dir, on_event=buffer.record)
         if job.checkpoint_dir
         else None
     )
@@ -222,7 +226,8 @@ def execute_job(
         # Fault apply/revert records ride the worker's event stream home so
         # the campaign's EventLog journals the chaos timeline alongside
         # checkpoint writes and shard lifecycle events.
-        buffer.records.extend(scanner.fault_injector.records)
+        for fault_record in scanner.fault_injector.records:
+            buffer.record(fault_record)
     merged = _combined(prior_result, result)
     if store is not None:
         store.write_shard(
@@ -257,5 +262,8 @@ def execute_job(
         metrics=registry.to_dict() if registry is not None else None,
         traces=tracer.to_dicts(),
         events=buffer.records,
+        timeseries=(
+            scanner.sampler.to_dict() if scanner.sampler is not None else None
+        ),
         segment=segment_meta,
     )

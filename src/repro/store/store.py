@@ -43,7 +43,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.scanner import ProbeResult
 from repro.store.segment import (
@@ -98,12 +98,17 @@ class ResultStore:
         directory: "str | os.PathLike[str]",
         metrics: Optional[MetricsRegistry] = None,
         use_mmap: bool = True,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> None:
         self.directory = Path(directory)
         self.segment_dir = self.directory / self.SEGMENT_DIR
         self.segment_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.use_mmap = use_mmap
+        #: Optional telemetry hook: corruption/quarantine transitions are
+        #: reported as plain event dicts (the campaign routes them into its
+        #: EventLog, where ``store_quarantined`` trips the flight recorder).
+        self.on_event = on_event
         #: Segment metadata in commit order: name -> meta dict.
         self.segments: Dict[str, Dict[str, object]] = {}
         self.snapshots: Dict[str, Snapshot] = {}
@@ -144,6 +149,10 @@ class ResultStore:
         tmp.replace(self.manifest_path)
         _fsync_dir(self.directory)
 
+    def _emit_event(self, event_type: str, **fields: object) -> None:
+        if self.on_event is not None:
+            self.on_event({"type": event_type, **fields})
+
     def _quarantine_manifest(self, reason: str) -> None:
         target = self.manifest_path.with_name(self.MANIFEST + ".corrupt")
         try:
@@ -151,6 +160,7 @@ class ResultStore:
         except OSError:  # pragma: no cover - concurrent writer race
             pass
         self.metrics.counter("store_manifest_quarantined").inc()
+        self._emit_event("store_quarantined", what="manifest", reason=reason)
         raise StoreCorruption(
             f"store manifest {self.manifest_path} is corrupt ({reason}); "
             f"quarantined to {target.name} — the store opens empty on retry"
@@ -213,6 +223,8 @@ class ResultStore:
         self.quarantined.append(name)
         self._write_manifest()
         self.metrics.counter("store_segments_quarantined").inc()
+        self._emit_event("store_quarantined", what="segment", name=name,
+                         reason=reason)
 
     def _verify_segment_files(self) -> None:
         """Cheap open-time check: every committed segment exists at the

@@ -30,6 +30,27 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.telemetry.health import (
+    HealthEngine,
+    HealthReport,
+    HealthRule,
+    HealthWindow,
+    default_rules,
+)
+from repro.telemetry.recorder import (
+    BUNDLE_FORMAT,
+    TRIGGER_EVENTS,
+    FlightRecorder,
+    load_bundle,
+)
+from repro.telemetry.timeseries import (
+    DEFAULT_MAX_BUCKETS,
+    SERIES_FORMAT,
+    MetricSeries,
+    SeriesSampler,
+    SeriesSet,
+    sparkline,
+)
 from repro.telemetry.trace import (
     DEFAULT_MAX_TRACES,
     ProbeTrace,
@@ -38,20 +59,35 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "BUNDLE_FORMAT",
     "Counter",
+    "DEFAULT_MAX_BUCKETS",
     "DEFAULT_MAX_EVENTS",
     "DEFAULT_MAX_TRACES",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "HOP_BUCKETS",
+    "HealthEngine",
+    "HealthReport",
+    "HealthRule",
+    "HealthWindow",
     "Histogram",
+    "MetricSeries",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
     "ProbeTrace",
     "ProbeTracer",
+    "SERIES_FORMAT",
+    "SeriesSampler",
+    "SeriesSet",
+    "TRIGGER_EVENTS",
     "TraceSpecError",
     "WAIT_BUCKETS",
     "WorkerEventBuffer",
+    "default_rules",
+    "load_bundle",
     "make_campaign_id",
+    "sparkline",
 ]

@@ -76,7 +76,12 @@ class EventLog:
     def ingest(self, records: Iterable[Dict[str, object]]) -> None:
         """Re-emit worker-local events under this log's clock and sequence.
 
-        The worker's own relative timestamp is preserved as ``worker_t``.
+        The worker's own relative timestamp is preserved as ``worker_t``
+        and its local sequence number as ``worker_seq`` — outcomes arrive
+        shard-at-a-time, so the campaign-level ``seq`` serialises shards
+        back to back; ``worker_seq`` (plus the shard coordinates on the
+        records) is what lets flight-recorder readers reconstruct the true
+        cross-shard interleaving.
         """
         for record in records:
             fields = {
@@ -86,6 +91,8 @@ class EventLog:
             }
             if "t" in record:
                 fields["worker_t"] = record["t"]
+            if "seq" in record:
+                fields["worker_seq"] = record["seq"]
             self.emit(str(record.get("type", "worker_event")), **fields)
 
     # -- views -----------------------------------------------------------------
@@ -116,11 +123,24 @@ class WorkerEventBuffer:
     def __init__(self) -> None:
         self.records: List[Dict[str, object]] = []
         self._t0 = time.monotonic()
+        self._seq = 0
 
     def emit(self, event_type: str, **fields: object) -> None:
         record: Dict[str, object] = {
             "type": event_type,
             "t": round(time.monotonic() - self._t0, 6),
+            "seq": self._seq,
         }
+        self._seq += 1
         record.update(fields)
         self.records.append(record)
+
+    def record(self, record: Dict[str, object]) -> None:
+        """File an externally built record (checkpoint hooks, fault
+        journals) under the buffer's own clock and sequence; timestamps
+        already on the record are kept."""
+        stamped = dict(record)
+        stamped.setdefault("t", round(time.monotonic() - self._t0, 6))
+        stamped["seq"] = self._seq
+        self._seq += 1
+        self.records.append(stamped)

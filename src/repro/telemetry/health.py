@@ -1,0 +1,366 @@
+"""Declarative scan-health rules over metric time series.
+
+A long-running campaign degrades in recognisable shapes: a loss burst
+spikes the probes-minus-replies delta, a rate-limited ISP collapses the
+hit rate, a starved pacer halves the send rate, a hung shard flatlines to
+zero.  :class:`HealthEngine` evaluates a list of :class:`HealthRule`\\ s
+against a :class:`~repro.telemetry.timeseries.SeriesSet` bucket by bucket
+and coalesces the firing buckets into :class:`HealthWindow`\\ s — exactly
+the artifact an operator (or the scan-as-a-service scheduler the ROADMAP
+wants) needs to decide "back off", "retry", or "page someone".
+
+Ground truth: the :mod:`repro.faults` injector journals every fault's
+virtual-clock window, so a chaos run gives the detector a labelled
+dataset — the alignment tests assert the collapse windows the engine
+reports equal the injected windows bucket for bucket.
+
+Rule kinds:
+
+* ``threshold`` — fire where ``signal OP threshold`` (missing buckets are
+  skipped for ratio signals, which are undefined with nothing sent);
+* ``spike``     — rate-of-change upward: fire where the signal exceeds
+  ``threshold ×`` the mean of the trailing ``baseline_buckets`` values
+  (and an absolute ``min_value`` floor, so an all-zero history cannot
+  fire on noise);
+* ``drop``      — rate-of-change downward: fire where the signal falls
+  below ``threshold ×`` the trailing mean; the final bucket is exempt
+  (it is a partial bucket and always under-counts);
+* ``stall``     — fire where the signal is zero *strictly inside* its own
+  active span (leading/trailing silence is not a stall).
+
+Everything is derived from counters, so verdicts are as deterministic as
+the scan itself: same seed + same schedule = same windows, on every
+backend.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import EventLog
+from repro.telemetry.timeseries import SeriesSet
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Signals derived from the scanner's counter families; any other signal
+#: name resolves to that raw counter family summed across labels.
+DERIVED_SIGNALS = (
+    "sent", "validated", "hit_rate", "loss", "loss_rate", "stalls",
+)
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative detector over one signal."""
+
+    name: str
+    signal: str
+    kind: str = "threshold"  # threshold | spike | drop | stall
+    op: str = "<"            # threshold rules only
+    threshold: float = 0.0
+    #: Consecutive firing buckets required before a window is reported.
+    min_buckets: int = 1
+    #: Trailing window for spike/drop baselines.
+    baseline_buckets: int = 4
+    #: Absolute floor a spike must reach (guards all-zero baselines).
+    min_value: float = 0.0
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("threshold", "spike", "drop", "stall"):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.kind == "threshold" and self.op not in _OPS:
+            raise ValueError(f"unknown threshold op {self.op!r}")
+        if self.min_buckets < 1 or self.baseline_buckets < 1:
+            raise ValueError("min_buckets/baseline_buckets must be >= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name, "signal": self.signal, "kind": self.kind,
+            "op": self.op, "threshold": self.threshold,
+            "min_buckets": self.min_buckets,
+            "baseline_buckets": self.baseline_buckets,
+            "min_value": self.min_value, "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HealthRule":
+        return cls(**{str(k): v for k, v in data.items()})  # type: ignore[arg-type]
+
+
+def default_rules() -> List[HealthRule]:
+    """The stock SLO set: the four degradations the ISSUE names."""
+    return [
+        # Rate-limited ISP / loss window: most probes in a bucket go
+        # unanswered.  In the simulator's periphery censuses every target
+        # answers, so a healthy bucket sits at hit rate 1.0.
+        HealthRule("hit-rate-collapse", signal="hit_rate",
+                   kind="threshold", op="<", threshold=0.5,
+                   severity="critical"),
+        # Probe-loss spike: sent-minus-validated jumps versus its recent
+        # history (min_value keeps a loss-free scan from firing on 0 > 0).
+        HealthRule("probe-loss-spike", signal="loss", kind="spike",
+                   threshold=3.0, min_value=1.0, severity="warning"),
+        # Pacer starvation / AIMD clampdown: probes emitted per bucket
+        # fall to less than half the trailing mean.
+        HealthRule("pacer-starvation", signal="sent", kind="drop",
+                   threshold=0.5, severity="warning"),
+        # Shard stall: a whole bucket with zero sends inside the scan's
+        # active span (the clock advanced, the scanner did not).
+        HealthRule("shard-stall", signal="sent", kind="stall",
+                   severity="critical"),
+    ]
+
+
+@dataclass
+class HealthWindow:
+    """A coalesced run of buckets where one rule fired."""
+
+    rule: str
+    severity: str
+    start_bucket: int
+    end_bucket: int  # exclusive
+    t_start: float
+    t_end: float
+    #: The most extreme signal value observed inside the window.
+    value: float = 0.0
+
+    @property
+    def buckets(self) -> Tuple[int, int]:
+        return (self.start_bucket, self.end_bucket)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule, "severity": self.severity,
+            "start_bucket": self.start_bucket,
+            "end_bucket": self.end_bucket,
+            "t_start": self.t_start, "t_end": self.t_end,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HealthWindow":
+        return cls(**{str(k): v for k, v in data.items()})  # type: ignore[arg-type]
+
+
+@dataclass
+class HealthReport:
+    """Every window every rule produced over one series set."""
+
+    windows: List[HealthWindow] = field(default_factory=list)
+    rules: List[str] = field(default_factory=list)
+    interval: float = 0.0
+    buckets: Optional[Tuple[int, int]] = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.windows)
+
+    def windows_for(self, rule: str) -> List[HealthWindow]:
+        return [w for w in self.windows if w.rule == rule]
+
+    def emit(self, events: EventLog) -> None:
+        """Journal the verdicts: one ``health_degraded`` per window start,
+        one ``health_recovered`` per window end, in time order."""
+        for window in self.windows:
+            events.emit(
+                "health_degraded", rule=window.rule,
+                severity=window.severity, t_start=window.t_start,
+                t_end=window.t_end, start_bucket=window.start_bucket,
+                end_bucket=window.end_bucket, value=window.value,
+            )
+        for window in self.windows:
+            events.emit(
+                "health_recovered", rule=window.rule,
+                t_end=window.t_end, end_bucket=window.end_bucket,
+            )
+
+    def summary(self) -> str:
+        if not self.windows:
+            span = ""
+            if self.buckets is not None:
+                lo, hi = self.buckets
+                span = f" over buckets {lo}..{hi}"
+            return f"healthy: {len(self.rules)} rule(s), 0 window(s){span}"
+        lines = [
+            f"degraded: {len(self.windows)} window(s) "
+            f"from {len(self.rules)} rule(s)"
+        ]
+        for w in self.windows:
+            lines.append(
+                f"  [{w.severity:<8}] {w.rule:<20} "
+                f"t=[{w.t_start:.6g}, {w.t_end:.6g}) "
+                f"buckets [{w.start_bucket}, {w.end_bucket}) "
+                f"value {w.value:.4g}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "windows": [w.to_dict() for w in self.windows],
+            "rules": list(self.rules),
+            "interval": self.interval,
+            "buckets": list(self.buckets) if self.buckets else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HealthReport":
+        buckets = data.get("buckets")
+        return cls(
+            windows=[
+                HealthWindow.from_dict(w)  # type: ignore[arg-type]
+                for w in data.get("windows", ())  # type: ignore[union-attr]
+            ],
+            rules=[str(r) for r in data.get("rules", ())],  # type: ignore[union-attr]
+            interval=float(data.get("interval", 0.0)),  # type: ignore[arg-type]
+            buckets=tuple(buckets) if buckets else None,  # type: ignore[arg-type]
+        )
+
+
+class HealthEngine:
+    """Evaluates rules against a series set, post-hoc or between waves."""
+
+    def __init__(self, rules: Optional[Sequence[HealthRule]] = None) -> None:
+        self.rules: List[HealthRule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+
+    # -- signal resolution -------------------------------------------------------
+
+    @staticmethod
+    def _signal_values(
+        rule: HealthRule, series: SeriesSet, lo: int, hi: int
+    ) -> List[Optional[float]]:
+        """The rule's signal per bucket over [lo, hi]; None = undefined."""
+        sent = series.named("scanner_probes_sent")
+        name = rule.signal
+        if name == "sent":
+            return [float(sent.get(b, 0)) for b in range(lo, hi + 1)]
+        if name == "validated":
+            got = series.named("scanner_replies_validated")
+            return [float(got.get(b, 0)) for b in range(lo, hi + 1)]
+        if name in ("hit_rate", "loss", "loss_rate"):
+            got = series.named("scanner_replies_validated")
+            out: List[Optional[float]] = []
+            for b in range(lo, hi + 1):
+                s = sent.get(b, 0)
+                v = got.get(b, 0)
+                if name == "loss":
+                    out.append(float(max(0, s - v)))
+                elif s == 0:
+                    out.append(None)  # ratios are undefined with no sends
+                elif name == "hit_rate":
+                    out.append(v / s)
+                else:
+                    out.append(max(0, s - v) / s)
+            return out
+        if name == "stalls":
+            stalls = series.named("pacer_stalls")
+            return [float(stalls.get(b, 0)) for b in range(lo, hi + 1)]
+        raw = series.named(name)
+        return [float(raw.get(b, 0)) for b in range(lo, hi + 1)]
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, series: SeriesSet) -> HealthReport:
+        report = HealthReport(
+            rules=[rule.name for rule in self.rules],
+            interval=series.interval,
+            buckets=series.bucket_range(),
+        )
+        if report.buckets is None:
+            return report
+        lo, hi = report.buckets
+        for rule in self.rules:
+            values = self._signal_values(rule, series, lo, hi)
+            fired = self._fired(rule, values)
+            report.windows.extend(
+                self._coalesce(rule, fired, values, series, lo)
+            )
+        report.windows.sort(key=lambda w: (w.t_start, w.rule))
+        return report
+
+    @staticmethod
+    def _trailing_mean(
+        values: List[Optional[float]], index: int, width: int
+    ) -> Optional[float]:
+        window = [v for v in values[max(0, index - width):index]
+                  if v is not None]
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def _fired(
+        self, rule: HealthRule, values: List[Optional[float]]
+    ) -> List[bool]:
+        n = len(values)
+        fired = [False] * n
+        if rule.kind == "threshold":
+            op = _OPS[rule.op]
+            for i, v in enumerate(values):
+                if v is not None and op(v, rule.threshold):
+                    fired[i] = True
+        elif rule.kind == "spike":
+            for i, v in enumerate(values):
+                if v is None or v < rule.min_value:
+                    continue
+                baseline = self._trailing_mean(values, i,
+                                               rule.baseline_buckets) or 0.0
+                if v > rule.threshold * baseline:
+                    fired[i] = True
+        elif rule.kind == "drop":
+            for i, v in enumerate(values[:-1]):  # final bucket is partial
+                if v is None:
+                    continue
+                baseline = self._trailing_mean(values, i,
+                                               rule.baseline_buckets)
+                if baseline and v < rule.threshold * baseline:
+                    fired[i] = True
+        else:  # stall: zero strictly inside the signal's own active span
+            active = [i for i, v in enumerate(values) if v]
+            if active:
+                first, last = active[0], active[-1]
+                for i in range(first + 1, last):
+                    if not values[i]:
+                        fired[i] = True
+        return fired
+
+    def _coalesce(
+        self,
+        rule: HealthRule,
+        fired: List[bool],
+        values: List[Optional[float]],
+        series: SeriesSet,
+        lo: int,
+    ) -> List[HealthWindow]:
+        windows: List[HealthWindow] = []
+        run_start: Optional[int] = None
+        worst = max if rule.kind in ("spike", "stall") or rule.op in (
+            ">", ">=") else min
+        for i in range(len(fired) + 1):
+            firing = i < len(fired) and fired[i]
+            if firing and run_start is None:
+                run_start = i
+            elif not firing and run_start is not None:
+                if i - run_start >= rule.min_buckets:
+                    observed = [
+                        v for v in values[run_start:i] if v is not None
+                    ]
+                    windows.append(HealthWindow(
+                        rule=rule.name,
+                        severity=rule.severity,
+                        start_bucket=lo + run_start,
+                        end_bucket=lo + i,
+                        t_start=series.t_of(lo + run_start),
+                        t_end=series.t_of(lo + i),
+                        value=worst(observed) if observed else 0.0,
+                    ))
+                run_start = None
+        return windows

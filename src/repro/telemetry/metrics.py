@@ -103,6 +103,34 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in-bucket.
+
+        **Bucket-resolution caveat**: all that is known about an
+        observation is its bucket, so the estimate interpolates the rank
+        uniformly across the bucket's ``(lower, upper]`` edge span — the
+        answer is only ever as precise as the bucket width, and repeated
+        identical observations smear across their bucket instead of
+        collapsing onto their true value.  Bucket 0's lower edge is taken
+        as 0 (scan telemetry observes non-negative values); ranks landing
+        in the overflow bucket clamp to the last finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for upper, bucket_count in zip(self.bounds, self.counts):
+            if bucket_count:
+                if cumulative + bucket_count >= rank:
+                    fraction = (rank - cumulative) / bucket_count
+                    return lower + (upper - lower) * fraction
+                cumulative += bucket_count
+            lower = upper
+        return self.bounds[-1]
+
 
 class _NullCounter:
     __slots__ = ()
@@ -123,6 +151,9 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 class MetricsRegistry:
@@ -183,6 +214,11 @@ class MetricsRegistry:
             for (n, labels), metric in self._counters.items()
             if n == name
         }
+
+    def counter_items(self):
+        """Live ``((name, labels), Counter)`` view — what the time-series
+        sampler walks to delta every counter at a bucket close."""
+        return self._counters.items()
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
@@ -306,6 +342,9 @@ class NullRegistry:
 
     def value(self, name: str, **labels: object) -> float:
         return 0
+
+    def counter_items(self):
+        return ()
 
     def to_dict(self) -> Dict[str, object]:
         return {"metrics": []}

@@ -1,0 +1,185 @@
+"""Always-on bounded flight recorder: the post-mortem artifact.
+
+A campaign that dies — watchdog-killed shard, quarantined checkpoint,
+corrupted store, operator SIGTERM — takes its in-memory telemetry with it
+unless something persists a tail of it *at the moment of failure*.
+:class:`FlightRecorder` is that something: it subscribes to the campaign
+:class:`~repro.telemetry.events.EventLog`, keeps bounded deques of the
+most recent events, holds live references to the campaign's metrics
+registry / merged time series / tracer, and on any **trigger event**
+(or an explicit :meth:`dump`) writes everything to one timestamped JSON
+bundle.  The bundle is self-describing (``format: repro-flight-recorder``)
+and is what ``repro-xmap health <bundle>`` summarises.
+
+Bounded-by-construction: the recorder never grows past its deque caps and
+never writes unless triggered, so leaving it attached costs one subscriber
+call per event — well inside the 5 % observability overhead budget.
+
+Dump paths are atomic (tmp file + rename) so a bundle is either absent or
+complete; a SIGTERM arriving mid-dump cannot leave a torn artifact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.telemetry.events import EventLog
+
+#: Event types that trip an automatic dump.  ``campaign_failed`` is
+#: deliberately absent: the Campaign's failure path dumps explicitly so a
+#: failure that *also* tripped one of these does not produce two bundles.
+TRIGGER_EVENTS = frozenset({
+    "watchdog_timeout",
+    "checkpoint_corrupt",
+    "store_quarantined",
+})
+
+BUNDLE_FORMAT = "repro-flight-recorder"
+
+#: Bounded retention defaults.
+DEFAULT_MAX_EVENTS = 512
+DEFAULT_MAX_TRACES = 64
+DEFAULT_MAX_BUNDLES = 8
+
+
+class FlightRecorder:
+    """Ring-buffered telemetry tail, dumped to a bundle on failure."""
+
+    def __init__(
+        self,
+        directory: str,
+        campaign_id: str = "",
+        max_events: int = DEFAULT_MAX_EVENTS,
+        max_traces: int = DEFAULT_MAX_TRACES,
+        max_bundles: int = DEFAULT_MAX_BUNDLES,
+    ) -> None:
+        self.directory = directory
+        self.campaign_id = campaign_id
+        self.events: Deque[Dict[str, object]] = deque(maxlen=max_events)
+        self.trace_dicts: Deque[Dict[str, object]] = deque(maxlen=max_traces)
+        #: Live references the campaign keeps current; read at dump time.
+        self.metrics = None  # MetricsRegistry-compatible or None
+        self.series = None  # SeriesSet or None
+        self.max_bundles = max_bundles
+        #: Paths of bundles written, oldest first.
+        self.bundles: List[str] = []
+        self._dumping = False
+        self._seq = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, log: EventLog) -> "FlightRecorder":
+        """Subscribe to a campaign log; trigger events dump automatically."""
+        if not self.campaign_id:
+            self.campaign_id = log.campaign_id
+        log.subscribe(self.handle_event)
+        return self
+
+    def handle_event(self, record: Dict[str, object]) -> None:
+        self.events.append(record)
+        if record.get("type") in TRIGGER_EVENTS and not self._dumping:
+            self.dump(str(record["type"]))
+
+    def add_traces(self, trace_dicts: List[Dict[str, object]]) -> None:
+        self.trace_dicts.extend(trace_dicts)
+
+    # -- dumping -----------------------------------------------------------------
+
+    def bundle_dict(self, reason: str) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "format": BUNDLE_FORMAT,
+            "version": 1,
+            "reason": reason,
+            "campaign": self.campaign_id,
+            "dumped_at": time.time(),
+            "events": list(self.events),
+            "traces": list(self.trace_dicts),
+        }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics.to_dict()
+        if self.series is not None:
+            data["timeseries"] = self.series.to_dict()
+        return data
+
+    def dump(self, reason: str) -> str:
+        """Write the current tail to a timestamped bundle; returns its path.
+
+        Guarded against re-entry: the act of dumping may itself be
+        observed (e.g. a subscriber emitting), and one failure must not
+        cascade into a bundle storm.
+        """
+        self._dumping = True
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+            name = (
+                f"flight-{self.campaign_id or 'scan'}-"
+                f"{stamp}-{self._seq:03d}-{reason}.json"
+            )
+            self._seq += 1
+            path = os.path.join(self.directory, name)
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(self.bundle_dict(reason), handle, sort_keys=True,
+                          default=str)
+            os.replace(tmp, path)
+            self.bundles.append(path)
+            while len(self.bundles) > self.max_bundles:
+                stale = self.bundles.pop(0)
+                with contextlib.suppress(OSError):
+                    os.remove(stale)
+            return path
+        finally:
+            self._dumping = False
+
+    # -- signal scope ------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def sigterm_scope(self) -> Iterator[None]:
+        """Dump a bundle if SIGTERM lands while the scope is open.
+
+        Installs a chaining handler (the previous handler still runs) for
+        the duration of the ``with`` block, then restores it.  Only the
+        main thread may install signal handlers; elsewhere this scope is
+        a no-op — the recorder's event triggers still work.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _on_sigterm(signum: int, frame: object) -> None:
+            self.dump("sigterm")
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                # Default disposition: restore and re-deliver so the
+                # process still terminates the way the sender expects.
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:  # non-main interpreter contexts
+            yield
+            return
+        try:
+            yield
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def load_bundle(path: str) -> Dict[str, object]:
+    """Read and sanity-check one flight-recorder bundle."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("format") != BUNDLE_FORMAT:
+        raise ValueError(f"{path} is not a {BUNDLE_FORMAT} bundle")
+    return data

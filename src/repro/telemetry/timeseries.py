@@ -1,0 +1,322 @@
+"""Virtual-clock time series: periodic snapshots of metric deltas.
+
+:class:`MetricsRegistry` answers "how many, in total"; a week-long scan
+needs "how many, *when*" — XMap's one-line-per-second status stream, but
+retained and queryable.  :class:`SeriesSampler` closes that gap: it rides
+the scan's **virtual clock** (the same axis the pacer and the fault
+injector use) and, every ``interval`` virtual seconds, snapshots the
+deltas of every counter in the registry into a sparse, ring-bounded
+:class:`SeriesSet` — one integer per (metric, labels, bucket), zero-delta
+buckets omitted.
+
+**Shard merge is bit-identical.**  The campaign's shards each scan a
+strided slice of the probe stream (shard *s* owns global stream positions
+``s, s+S, s+2S, …``) on a private clock, so one global wall-clock bucket
+of the unsharded scan maps onto *compressed* local windows of each shard.
+The sampler therefore samples at ``interval / shards`` on the shard's
+local clock: local bucket *k* of shard *s* then contains exactly the
+shard's share of global bucket *k*, and summing the per-bucket deltas
+across shards reproduces the unsharded series exactly — the same
+decomposition argument as the PR 2 metrics merge, extended to the time
+axis.  The identity is exact when ``shards`` divides the probes-per-bucket
+``rate_pps * interval`` and the scan runs the plain pipeline (no
+retransmit/adaptive layer, ``probes_per_target=1``); outside that
+envelope the merged series remains a faithful aggregate, just not
+bit-for-bit equal to a hypothetical unsharded run.  Pacer counters carry
+the same ``shards - 1`` caveat as the PR 2 metrics-merge tests (every
+shard's token bucket starts full, so each shard's first probe is
+stall-free) — identity is asserted over the scanner's probe/reply
+families.
+
+**Tick placement.**  :meth:`SeriesSampler.tick` must cut *between* probes:
+the :class:`~repro.core.ratelimit.VirtualPacer` drives it right after the
+send timestamp is known but before any of the probe's own counters (its
+``pacer_stalls``, its sent/reply accounting) move, so closing bucket
+``k-1`` captures the deltas of exactly the probes sent before bucket
+``k`` began — on every backend.  Bucket indexing adds a relative epsilon
+before flooring so accumulated float error in the token bucket cannot
+push a boundary probe into the wrong bucket.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.metrics import LabelKey, MetricsRegistry
+
+#: Default ring bound on retained sample buckets per series.
+DEFAULT_MAX_BUCKETS = 4096
+
+#: Bundle format tag for exported series documents.
+SERIES_FORMAT = "repro-timeseries"
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: Optional[int] = None) -> str:
+    """Render numbers as a one-line unicode bar chart (newest on the
+    right when ``width`` trims the history)."""
+    vals = [float(v) for v in values]
+    if width is not None and len(vals) > width:
+        vals = vals[-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return (_SPARK_CHARS[0] if hi <= 0 else _SPARK_CHARS[4]) * len(vals)
+    span = hi - lo
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[int((v - lo) / span * top)] for v in vals)
+
+
+class MetricSeries:
+    """One metric's sparse bucket→delta map (ints, zero deltas omitted)."""
+
+    __slots__ = ("name", "labels", "points", "truncated")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.points: Dict[int, int] = {}
+        #: True once the ring bound evicted old buckets.
+        self.truncated = False
+
+    def add(self, bucket: int, value: int, max_buckets: int) -> None:
+        points = self.points
+        if bucket in points:
+            points[bucket] += value
+            return
+        if len(points) >= max_buckets:
+            del points[min(points)]
+            self.truncated = True
+        points[bucket] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "points": [[b, self.points[b]] for b in sorted(self.points)],
+        }
+        if self.truncated:
+            data["truncated"] = True
+        return data
+
+
+class SeriesSet:
+    """A collection of :class:`MetricSeries` over one global bucket axis.
+
+    Buckets are indexed on the *campaign* axis: bucket ``b`` covers
+    virtual time ``[b * interval, (b+1) * interval)`` of the unsharded
+    scan.  Shard-local sets use the same global indices (see the module
+    docstring), so :meth:`merge` is a plain per-bucket sum.
+    """
+
+    def __init__(
+        self, interval: float, max_buckets: int = DEFAULT_MAX_BUCKETS
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("series interval must be positive")
+        self.interval = float(interval)
+        self.max_buckets = max_buckets
+        self._series: Dict[Tuple[str, LabelKey], MetricSeries] = {}
+
+    def record(
+        self, name: str, labels: LabelKey, bucket: int, value: int
+    ) -> None:
+        key = (name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = MetricSeries(name, labels)
+        series.add(bucket, value, self.max_buckets)
+
+    # -- views -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[MetricSeries]:
+        return iter(self._series.values())
+
+    def get(self, name: str, **labels: object) -> Optional[MetricSeries]:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self._series.get(key)
+
+    def named(self, name: str) -> Dict[int, int]:
+        """One metric family summed across label variants, bucket→value."""
+        out: Dict[int, int] = {}
+        for (n, _labels), series in self._series.items():
+            if n != name:
+                continue
+            for bucket, value in series.points.items():
+                out[bucket] = out.get(bucket, 0) + value
+        return out
+
+    def bucket_range(self) -> Optional[Tuple[int, int]]:
+        """(lowest, highest) recorded bucket index, or None when empty."""
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for series in self._series.values():
+            if not series.points:
+                continue
+            s_lo, s_hi = min(series.points), max(series.points)
+            lo = s_lo if lo is None else min(lo, s_lo)
+            hi = s_hi if hi is None else max(hi, s_hi)
+        if lo is None or hi is None:
+            return None
+        return lo, hi
+
+    def t_of(self, bucket: int) -> float:
+        """Virtual start time of a bucket on the campaign axis."""
+        return bucket * self.interval
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "SeriesSet") -> "SeriesSet":
+        """Sum another set's per-bucket deltas into this one (in place)."""
+        if other.interval != self.interval:
+            raise ValueError(
+                f"cannot merge series sampled at {other.interval}s into "
+                f"series sampled at {self.interval}s"
+            )
+        for key, series in other._series.items():
+            mine = self._series.get(key)
+            if mine is None:
+                mine = self._series[key] = MetricSeries(series.name,
+                                                        series.labels)
+            for bucket in sorted(series.points):
+                mine.add(bucket, series.points[bucket], self.max_buckets)
+            mine.truncated = mine.truncated or series.truncated
+        return self
+
+    # -- export ----------------------------------------------------------------
+
+    def series_dicts(self) -> List[Dict[str, object]]:
+        """Deterministically ordered JSON-ready series payloads."""
+        return [
+            self._series[key].to_dict() for key in sorted(self._series)
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": SERIES_FORMAT,
+            "version": 1,
+            "interval": self.interval,
+            "series": self.series_dicts(),
+        }
+
+    def ndjson_lines(self) -> Iterator[str]:
+        """One line per series, each carrying the interval (streamable)."""
+        for payload in self.series_dicts():
+            payload["interval"] = self.interval
+            yield json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, object],
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> "SeriesSet":
+        out = cls(float(data["interval"]), max_buckets=max_buckets)  # type: ignore[arg-type]
+        for payload in data.get("series", ()):  # type: ignore[union-attr]
+            labels = tuple(sorted(
+                (str(k), str(v))
+                for k, v in payload.get("labels", {}).items()
+            ))
+            series = MetricSeries(str(payload["name"]), labels)
+            series.points = {
+                int(b): int(v) for b, v in payload.get("points", ())
+            }
+            series.truncated = bool(payload.get("truncated", False))
+            out._series[(series.name, labels)] = series
+        return out
+
+
+class SeriesSampler:
+    """Snapshots a registry's counter deltas into per-bucket series.
+
+    One sampler per scan.  :meth:`start` pins the bucket origin to the
+    scan's starting clock (so shards sharing a prebuilt network — whose
+    clock keeps running across serial shards — still index from zero);
+    the pacer calls :meth:`tick` with each probe's send timestamp, and
+    the scanner calls :meth:`finish` once to close the final partial
+    bucket.  Only counters are sampled: they delta cleanly and merge by
+    summation; gauges and histograms stay point-in-time in the registry.
+    """
+
+    __slots__ = ("registry", "interval", "shards", "local_interval",
+                 "series", "boundary", "ticks", "_eps", "_last", "_bucket",
+                 "_origin", "_started")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float,
+        shards: int = 1,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.registry = registry
+        self.interval = float(interval)
+        self.shards = shards
+        #: Shard-local sampling period; global bucket k == local bucket k.
+        self.local_interval = self.interval / shards
+        #: Float guard: a boundary probe whose accumulated token-bucket
+        #: rounding lands an ulp short of k*interval still buckets as k.
+        self._eps = self.local_interval * 1e-6
+        self.series = SeriesSet(self.interval, max_buckets=max_buckets)
+        self._last: Dict[Tuple[str, LabelKey], int] = {}
+        self._bucket = 0
+        self._origin = 0.0
+        self._started = False
+        #: Next absolute clock value at which :meth:`tick` closes a bucket
+        #: (inf until started / after finish) — the pacer's one compare.
+        self.boundary = float("inf")
+        self.ticks = 0
+
+    def start(self, clock: float) -> None:
+        """Pin the bucket origin to the scan's starting clock (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._origin = clock
+        self._bucket = 0
+        self.boundary = clock + self.local_interval - self._eps
+
+    def tick(self, clock: float) -> None:
+        """Close finished buckets; ``clock`` is the next probe's send time."""
+        bucket = int((clock - self._origin + self._eps) / self.local_interval)
+        if bucket > self._bucket:
+            self._close(self._bucket)
+            self._bucket = bucket
+            self.boundary = (
+                self._origin + (bucket + 1) * self.local_interval - self._eps
+            )
+
+    def _close(self, bucket: int) -> None:
+        last = self._last
+        record = self.series.record
+        for key, counter in self.registry.counter_items():
+            value = counter.value
+            prev = last.get(key, 0)
+            if value != prev:
+                record(key[0], key[1], bucket, value - prev)
+                last[key] = value
+        self.ticks += 1
+
+    def finish(self, clock: Optional[float] = None) -> SeriesSet:
+        """Close the final partial bucket and detach; returns the series.
+
+        Trailing deltas belong to the bucket that was open while they
+        accrued, so ``clock`` (accepted for symmetry) is not used to
+        advance the bucket index.
+        """
+        if self._started:
+            self._close(self._bucket)
+            self.boundary = float("inf")
+        return self.series
+
+    def to_dict(self) -> Dict[str, object]:
+        return self.series.to_dict()

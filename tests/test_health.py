@@ -1,0 +1,345 @@
+"""Health rules, the chaos ground-truth alignment, and the flight recorder.
+
+Two load-bearing properties:
+
+* **Journal alignment** — on a chaos run whose fault windows are aligned
+  to the sampling grid, the ``hit-rate-collapse`` windows the engine
+  reports equal the injector's journalled windows bucket for bucket, and
+  a fault-free run yields zero windows (no false positives).
+* **Post-mortem** — a watchdog-killed shard trips the flight recorder,
+  and the resulting bundle is a readable artifact ``repro-xmap health``
+  summarises.
+"""
+
+import json
+import signal
+import time
+
+import pytest
+
+from repro.core.scanner import ScanConfig
+from repro.core.target import ScanRange
+from repro.engine import Campaign, ProbeSpec, ThreadPoolBackend
+from repro.faults import (
+    LOSS_BURST,
+    ROUTER_CRASH,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.net.spec import TopologySpec
+from repro.telemetry import (
+    EventLog,
+    FlightRecorder,
+    HealthEngine,
+    HealthReport,
+    HealthRule,
+    SeriesSet,
+    default_rules,
+    load_bundle,
+)
+from repro.telemetry.recorder import TRIGGER_EVENTS
+
+SPEC = "2001:db8:1:50::/60-64"  # 16 targets behind cpe-ok, all answer
+RATE = 2000.0
+INTERVAL = 0.001  # 2 probes per bucket; fault windows are bucket-aligned
+
+#: Both windows start and end on bucket boundaries, and the loss burst
+#: drops everything (rate=1.0), so the collapse verdicts can be asserted
+#: *equal* to the journal — not merely overlapping.
+ALIGNED_SCHEDULE = FaultSchedule(
+    seed=9,
+    events=(
+        FaultEvent(kind=LOSS_BURST, start=0.002, end=0.004, rate=1.0),
+        FaultEvent(kind=ROUTER_CRASH, start=0.006, end=0.008,
+                   device="cpe-ok"),
+    ),
+)
+
+
+def _series(points) -> SeriesSet:
+    """A synthetic one-counter series: {bucket: (sent, validated)}."""
+    series = SeriesSet(INTERVAL)
+    for bucket, (sent, validated) in points.items():
+        if sent:
+            series.record("scanner_probes_sent", (), bucket, sent)
+        if validated:
+            series.record("scanner_replies_validated", (), bucket, validated)
+    return series
+
+
+def _run(schedule=None, **campaign_kwargs):
+    config = ScanConfig(scan_range=ScanRange.parse(SPEC), seed=1,
+                        rate_pps=RATE, timeseries_interval=INTERVAL,
+                        fault_schedule=schedule)
+    campaign = Campaign(
+        TopologySpec.mini(seed=1),
+        {"chaos": config},
+        probe=ProbeSpec.for_seed(1),
+        shards=1,
+        health=True,
+        **campaign_kwargs,
+    )
+    return campaign, campaign.run()
+
+
+class TestHealthRule:
+    def test_rejects_unknown_kind_and_op(self):
+        with pytest.raises(ValueError, match="kind"):
+            HealthRule("r", signal="sent", kind="wiggle")
+        with pytest.raises(ValueError, match="op"):
+            HealthRule("r", signal="sent", op="!=")
+        with pytest.raises(ValueError, match="min_buckets"):
+            HealthRule("r", signal="sent", min_buckets=0)
+
+    def test_round_trips_through_dict(self):
+        rule = HealthRule("r", signal="loss", kind="spike", threshold=2.5,
+                          min_value=1.0, severity="critical")
+        assert HealthRule.from_dict(rule.to_dict()) == rule
+
+    def test_default_rules_cover_the_issue_slos(self):
+        names = {rule.name for rule in default_rules()}
+        assert names == {"hit-rate-collapse", "probe-loss-spike",
+                         "pacer-starvation", "shard-stall"}
+
+
+class TestRuleKinds:
+    def test_threshold_fires_and_coalesces(self):
+        series = _series({0: (2, 2), 1: (2, 0), 2: (2, 0), 3: (2, 2)})
+        rule = HealthRule("collapse", signal="hit_rate", op="<",
+                          threshold=0.5)
+        (window,) = HealthEngine([rule]).evaluate(series).windows
+        assert window.buckets == (1, 3)
+        assert window.t_start == pytest.approx(0.001)
+        assert window.t_end == pytest.approx(0.003)
+        assert window.value == 0.0  # worst (lowest) hit rate in the window
+
+    def test_ratio_signals_skip_empty_buckets(self):
+        # Bucket 1 sent nothing: hit_rate is undefined there, not zero.
+        series = _series({0: (2, 2), 2: (2, 2)})
+        rule = HealthRule("collapse", signal="hit_rate", op="<",
+                          threshold=0.5)
+        assert not HealthEngine([rule]).evaluate(series).windows
+
+    def test_min_buckets_suppresses_short_windows(self):
+        series = _series({0: (2, 2), 1: (2, 0), 2: (2, 2)})
+        rule = HealthRule("collapse", signal="hit_rate", op="<",
+                          threshold=0.5, min_buckets=2)
+        assert not HealthEngine([rule]).evaluate(series).windows
+
+    def test_spike_needs_min_value_floor(self):
+        quiet = _series({b: (2, 2) for b in range(4)})
+        spike = HealthRule("loss-spike", signal="loss", kind="spike",
+                           threshold=3.0, min_value=1.0)
+        assert not HealthEngine([spike]).evaluate(quiet).windows
+        noisy = _series({0: (2, 2), 1: (2, 2), 2: (2, 0), 3: (2, 2)})
+        (window,) = HealthEngine([spike]).evaluate(noisy).windows
+        assert window.buckets == (2, 3)
+        assert window.value == 2.0  # worst (highest) loss in the window
+
+    def test_drop_exempts_final_partial_bucket(self):
+        rule = HealthRule("starved", signal="sent", kind="drop",
+                          threshold=0.5)
+        trailing = _series({0: (4, 4), 1: (4, 4), 2: (1, 1)})
+        assert not HealthEngine([rule]).evaluate(trailing).windows
+        interior = _series({0: (4, 4), 1: (1, 1), 2: (4, 4)})
+        (window,) = HealthEngine([rule]).evaluate(interior).windows
+        assert window.buckets == (1, 2)
+
+    def test_stall_only_inside_active_span(self):
+        rule = HealthRule("stall", signal="sent", kind="stall")
+        # Bucket 2 is silent between active buckets: a stall.  The sparse
+        # leading/trailing buckets outside the span are not.
+        series = _series({1: (2, 2), 3: (2, 2)})
+        (window,) = HealthEngine([rule]).evaluate(series).windows
+        assert window.buckets == (2, 3)
+
+    def test_raw_counter_fallback_signal(self):
+        series = SeriesSet(INTERVAL)
+        series.record("scanner_probes_sent", (), 0, 2)
+        series.record("pacer_stalls", (), 0, 7)
+        rule = HealthRule("stalls", signal="pacer_stalls", op=">=",
+                          threshold=5.0)
+        (window,) = HealthEngine([rule]).evaluate(series).windows
+        assert window.value == 7.0
+
+
+class TestHealthReport:
+    def test_emit_journals_degraded_then_recovered(self):
+        series = _series({0: (2, 2), 1: (2, 0), 2: (2, 2)})
+        report = HealthEngine().evaluate(series)
+        log = EventLog()
+        report.emit(log)
+        degraded = log.of_type("health_degraded")
+        recovered = log.of_type("health_recovered")
+        assert len(degraded) == len(report.windows)
+        assert len(recovered) == len(report.windows)
+        assert degraded[0]["rule"] in {r.name for r in default_rules()}
+
+    def test_summary_and_round_trip(self):
+        series = _series({0: (2, 2), 1: (2, 0), 2: (2, 2)})
+        report = HealthEngine().evaluate(series)
+        assert report.degraded
+        assert "degraded" in report.summary()
+        back = HealthReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert back.to_dict() == report.to_dict()
+        healthy = HealthEngine().evaluate(_series({0: (2, 2)}))
+        assert not healthy.degraded
+        assert "healthy" in healthy.summary()
+
+
+class TestChaosAlignment:
+    """Verdicts vs the injector journal: the labelled-dataset check."""
+
+    def test_fault_free_run_is_clean(self):
+        _, result = _run()
+        assert result.health is not None
+        assert result.health.windows == []
+        assert not result.events.of_type("health_degraded")
+
+    def test_collapse_windows_equal_the_journal(self):
+        _, result = _run(schedule=ALIGNED_SCHEDULE)
+        applied = result.events.of_type("fault_applied")
+        journal = [tuple(e["window"]) for e in applied]
+        assert journal == [(0.002, 0.004), (0.006, 0.008)]
+
+        report = result.health
+        collapses = report.windows_for("hit-rate-collapse")
+        flagged = [
+            (round(w.t_start / INTERVAL), round(w.t_end / INTERVAL))
+            for w in collapses
+        ]
+        expected = [
+            (round(start / INTERVAL), round(end / INTERVAL))
+            for start, end in journal
+        ]
+        assert flagged == expected
+        # Every other verdict (the loss spike) sits inside a journal
+        # window too — nothing fired outside the injected chaos.
+        for window in report.windows:
+            assert any(
+                window.t_start < end and window.t_end > start
+                for start, end in journal
+            ), window
+        assert len(result.events.of_type("health_degraded")) == (
+            len(report.windows)
+        )
+
+
+class TestFlightRecorder:
+    def _recorder(self, tmp_path, **kwargs):
+        return FlightRecorder(str(tmp_path), campaign_id="t1", **kwargs)
+
+    def test_trigger_event_dumps_bundle(self, tmp_path):
+        recorder = self._recorder(tmp_path)
+        log = EventLog(campaign_id="t1")
+        recorder.attach(log)
+        log.emit("shard_finished", job_id="j0")
+        assert not recorder.bundles
+        log.emit("watchdog_timeout", job_id="j1")
+        (path,) = recorder.bundles
+        bundle = load_bundle(path)
+        assert bundle["reason"] == "watchdog_timeout"
+        assert [e["type"] for e in bundle["events"]] == [
+            "shard_finished", "watchdog_timeout",
+        ]
+
+    def test_all_trigger_types_dump(self, tmp_path):
+        for trigger in sorted(TRIGGER_EVENTS):
+            recorder = self._recorder(tmp_path / trigger)
+            log = EventLog()
+            recorder.attach(log)
+            log.emit(trigger)
+            assert len(recorder.bundles) == 1, trigger
+
+    def test_bundle_carries_metrics_and_series(self, tmp_path):
+        recorder = self._recorder(tmp_path)
+        series = SeriesSet(INTERVAL)
+        series.record("scanner_probes_sent", (), 0, 4)
+        recorder.series = series
+        path = recorder.dump("manual")
+        bundle = load_bundle(path)
+        assert bundle["timeseries"]["interval"] == INTERVAL
+        assert bundle["format"] == "repro-flight-recorder"
+
+    def test_max_bundles_evicts_oldest(self, tmp_path):
+        import pathlib
+
+        recorder = self._recorder(tmp_path, max_bundles=2)
+        paths = [recorder.dump(f"r{i}") for i in range(3)]
+        assert recorder.bundles == paths[1:]
+        assert not pathlib.Path(paths[0]).exists()
+        assert all(pathlib.Path(p).exists() for p in paths[1:])
+
+    def test_load_bundle_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "not-a-bundle.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro-flight-recorder"):
+            load_bundle(str(path))
+
+    def test_sigterm_scope_dumps_and_chains(self, tmp_path):
+        recorder = self._recorder(tmp_path)
+        chained = []
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: chained.append(signum)
+        )
+        try:
+            with recorder.sigterm_scope():
+                handler = signal.getsignal(signal.SIGTERM)
+                handler(signal.SIGTERM, None)
+            # Scope exited: the chained handler is restored verbatim.
+            assert signal.getsignal(signal.SIGTERM) is not handler
+            assert chained == [signal.SIGTERM]
+            assert len(recorder.bundles) == 1
+            assert load_bundle(recorder.bundles[0])["reason"] == "sigterm"
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+
+class TestWatchdogPostMortem:
+    """A watchdog-killed shard leaves a bundle ``health`` can read."""
+
+    def test_killed_shard_produces_readable_bundle(self, tmp_path, capsys):
+        hung = {"chaos.s01of02": 1}
+
+        def hook(job):
+            if hung.get(job.job_id, 0) > 0:
+                hung[job.job_id] -= 1
+                time.sleep(1.5)  # well past the shard deadline
+
+        config = ScanConfig(scan_range=ScanRange.parse(SPEC), seed=1,
+                            rate_pps=RATE, timeseries_interval=INTERVAL)
+        campaign = Campaign(
+            TopologySpec.mini(seed=1),
+            {"chaos": config},
+            probe=ProbeSpec.for_seed(1),
+            shards=2,
+            executor=ThreadPoolBackend(workers=2, fault_hook=hook,
+                                       shard_timeout=0.25),
+            max_retries=2,
+            backoff_base=0.0,
+            health=True,
+            flight_dir=str(tmp_path / "flight"),
+        )
+        result = campaign.run()
+        assert result.metrics.value("campaign_watchdog_kills") == 1
+        # The timeout tripped an automatic dump mid-campaign.
+        assert result.flight_bundles
+        bundle = load_bundle(result.flight_bundles[0])
+        assert bundle["reason"] == "watchdog_timeout"
+        assert any(
+            e["type"] == "watchdog_timeout" for e in bundle["events"]
+        )
+
+        from repro.cli import main
+        assert main(["health", result.flight_bundles[0]]) == 0
+        out = capsys.readouterr().out
+        assert "watchdog_timeout" in out
+        assert "flight recorder" in out
+
+    def test_health_cli_rejects_unreadable_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+        missing = str(tmp_path / "nope.json")
+        assert main(["health", missing]) == 1
+        assert "nope.json" in capsys.readouterr().err

@@ -125,6 +125,51 @@ class TestMetricsPrimitives:
         assert len(NULL_REGISTRY) == 0
         assert list(NULL_REGISTRY.ndjson_lines()) == []
         assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.histogram("z").quantile(0.5) == 0.0
+
+
+class TestHistogramQuantile:
+    def _uniform(self):
+        # One observation per integer 1..10 over unit-wide buckets: every
+        # rank interpolates exactly, so quantiles are textbook.
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat", bounds=tuple(float(b) for b in range(1, 11))
+        )
+        for value in range(1, 11):
+            hist.observe(float(value))
+        return hist
+
+    def test_known_distribution(self):
+        hist = self._uniform()
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(0.9) == pytest.approx(9.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_empty_histogram_and_domain(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        assert hist.quantile(0.5) == 0.0
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                hist.quantile(bad)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        hist.observe(100.0)  # overflow bucket
+        assert hist.quantile(0.99) == 2.0
+
+    def test_bucket_resolution_caveat(self):
+        # Ten identical observations smear uniformly across their bucket:
+        # the estimate is bucket-resolution, not value-resolution.
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(4.0, 8.0))
+        for _ in range(10):
+            hist.observe(5.0)
+        assert hist.quantile(0.5) == pytest.approx(6.0)  # mid-bucket
+        assert 4.0 < hist.quantile(0.1) < hist.quantile(0.9) <= 8.0
 
 
 class TestScannerMetrics:
@@ -336,6 +381,23 @@ class TestEventLog:
         assert event["campaign"] == "abc"
         assert event["job_id"] == "j0"
         assert "worker_t" in event
+
+    def test_ingest_preserves_worker_sequence(self):
+        # Outcomes arrive batched, so the campaign log's own ordering
+        # cannot reconstruct the worker's: the per-buffer sequence number
+        # must survive ingestion as ``worker_seq``.
+        buffer = WorkerEventBuffer()
+        for i in range(3):
+            buffer.emit("tick", i=i)
+        log = EventLog()
+        log.ingest(reversed(buffer.records))  # arrival order scrambled
+        ticks = log.of_type("tick")
+        assert [e["worker_seq"] for e in ticks] == [2, 1, 0]
+        assert [e["i"] for e in ticks] == [2, 1, 0]
+        # The campaign log re-stamps its own seq in arrival order.
+        assert [e["seq"] for e in ticks] == sorted(
+            e["seq"] for e in ticks
+        )
 
     def test_write_ndjson(self, tmp_path):
         log = EventLog()
