@@ -31,10 +31,18 @@ and fails when a headline metric regressed beyond tolerance:
   throughput with ``--timeseries`` sampling armed; the bench's own <5%
   sampled-vs-plain assertion bounds the relative cost, this gate catches
   an absolute slowdown of the sampled path itself.
+* ``forwarding`` — ``columnar_pps`` (higher is better): the columnar
+  forwarding engine on the loop-amplification workload
+  (``bench_perf_forwarding.py``); the bench itself also asserts the >=10x
+  columnar-vs-scalar speedup and bit-identical results.
 
-Runs where the baseline is missing (a brand-new bench) or was recorded at
-a different ``REPRO_SCALE``/``REPRO_SEED`` are skipped with a note rather
-than failed — the numbers aren't comparable.
+Skips must be honest: a fresh record whose committed baseline is absent
+is a hard failure (commit the regenerated ``BENCH_*.json`` with the PR),
+as is selecting an unknown gate name or selecting a gate explicitly (via
+``--gates``) whose bench produced no fresh record.  Only two cases skip:
+a gate left unselected whose bench simply didn't run in this CI job, and
+records recorded at a different ``REPRO_SCALE``/``REPRO_SEED`` — those
+numbers aren't comparable.
 
 Re-baselining: when a PR legitimately changes performance, run the perf
 benches locally (``python -m pytest benchmarks/bench_perf_scanner.py ...``)
@@ -163,41 +171,95 @@ def check_metric(
     return Verdict(bench, metric, base, new, failure)
 
 
+#: The gate registry: (gate name, bench record name, metric selector).
+#: The gate name is what ``--gates`` selects; the bench name is the
+#: ``BENCH_<name>.json`` record the gate compares.  They coincide except
+#: for ``forwarding``, whose records live in ``BENCH_perf_forwarding.json``.
+Selector = Callable[[dict, dict], Tuple[str, bool]]
+GATES: Tuple[Tuple[str, str, Selector], ...] = (
+    ("perf_scanner", "perf_scanner", lambda b, f: ("wall_pps", True)),
+    ("perf_flowcache", "perf_flowcache",
+     lambda b, f: ("cached_wall_pps", True)),
+    ("perf_parallel", "perf_parallel", parallel_metric),
+    ("faults_overhead", "faults_overhead",
+     lambda b, f: ("disabled_pps", True)),
+    ("store_ingest", "store_ingest",
+     lambda b, f: ("ingest_rows_per_sec", True)),
+    ("store_query", "store_query",
+     lambda b, f: ("query_rows_per_sec", True)),
+    ("bgp", "bgp", lambda b, f: ("full_solve_prefixes_per_sec", True)),
+    ("timeseries_overhead", "timeseries_overhead",
+     lambda b, f: ("sampled_pps", True)),
+    ("forwarding", "perf_forwarding", lambda b, f: ("columnar_pps", True)),
+)
+
+
+class UnknownGateError(ValueError):
+    """``--gates`` named a gate that isn't in the registry."""
+
+
+def resolve_gates(names: Optional[List[str]]
+                  ) -> List[Tuple[str, str, Selector]]:
+    """The registry rows for ``names`` (all of them when None)."""
+    if names is None:
+        return list(GATES)
+    by_name = {gate: row for row in GATES for gate in (row[0],)}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise UnknownGateError(
+            f"unknown gate(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(row[0] for row in GATES)}"
+        )
+    return [by_name[name] for name in names]
+
+
 def run_gate(
     results_dir: pathlib.Path = RESULTS_DIR,
     ref: str = "HEAD",
     tolerance: float = DEFAULT_TOLERANCE,
     baseline_loader: Optional[Callable[[str], Optional[dict]]] = None,
+    gates: Optional[List[str]] = None,
 ) -> List[Verdict]:
-    """Evaluate every gated bench; returns one verdict per comparison."""
-    loader = baseline_loader or (lambda name: load_baseline(name, ref=ref))
-    verdicts: List[Verdict] = []
+    """Evaluate the selected gates (all when ``gates`` is None).
 
-    def gate(bench: str,
-             select: Callable[[dict, dict], Tuple[str, bool]]) -> None:
+    Raises :class:`UnknownGateError` on a bad gate name.  An explicitly
+    selected gate whose bench produced no fresh record is a failure (the
+    CI job asked for a comparison that never happened); in all-gates mode
+    a missing fresh record means the bench didn't run in this job and
+    skips.  A fresh record whose committed baseline is absent always
+    fails: the bench is gated, so its baseline must be committed.
+    """
+    loader = baseline_loader or (lambda name: load_baseline(name, ref=ref))
+    explicit = gates is not None
+    verdicts: List[Verdict] = []
+    for gate_name, bench, select in resolve_gates(gates):
         fresh = load_fresh(bench, results_dir)
         baseline = loader(bench)
         if fresh is None:
-            verdicts.append(Verdict(bench, "-", None, None, None,
-                                    note="skipped: no fresh record"))
-            return
+            if explicit:
+                verdicts.append(Verdict(
+                    bench, "-", None, None,
+                    failure=(f"{gate_name}: selected via --gates but no "
+                             f"fresh BENCH_{bench}.json was produced — did "
+                             "the bench run?"),
+                ))
+            else:
+                verdicts.append(Verdict(bench, "-", None, None, None,
+                                        note="skipped: no fresh record"))
+            continue
         if baseline is None:
-            verdicts.append(Verdict(bench, "-", None, None, None,
-                                    note="skipped: no committed baseline"))
-            return
+            verdicts.append(Verdict(
+                bench, "-", None, None,
+                failure=(f"{gate_name}: fresh record present but no "
+                         f"committed BENCH_{bench}.json baseline at "
+                         f"{ref!r} — run the bench locally and commit "
+                         "the baseline"),
+            ))
+            continue
         metric, higher = select(baseline, fresh)
         verdicts.append(
             check_metric(bench, metric, higher, baseline, fresh, tolerance)
         )
-
-    gate("perf_scanner", lambda b, f: ("wall_pps", True))
-    gate("perf_flowcache", lambda b, f: ("cached_wall_pps", True))
-    gate("perf_parallel", parallel_metric)
-    gate("faults_overhead", lambda b, f: ("disabled_pps", True))
-    gate("store_ingest", lambda b, f: ("ingest_rows_per_sec", True))
-    gate("store_query", lambda b, f: ("query_rows_per_sec", True))
-    gate("bgp", lambda b, f: ("full_solve_prefixes_per_sec", True))
-    gate("timeseries_overhead", lambda b, f: ("sampled_pps", True))
     return verdicts
 
 
@@ -213,9 +275,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="git ref providing the committed baselines")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--gates", default=None, metavar="NAME[,NAME...]",
+                        help="comma-separated gate names to enforce "
+                             "(default: every registered gate; with an "
+                             "explicit selection, a missing fresh record "
+                             "is a failure, not a skip)")
     args = parser.parse_args(argv)
 
-    verdicts = run_gate(args.results_dir, args.ref, args.tolerance)
+    selected = None
+    if args.gates is not None:
+        selected = [name.strip() for name in args.gates.split(",")
+                    if name.strip()]
+    try:
+        verdicts = run_gate(args.results_dir, args.ref, args.tolerance,
+                            gates=selected)
+    except UnknownGateError as exc:
+        print(f"ERROR {exc}", file=sys.stderr)
+        return 2
     failures = [v for v in verdicts if v.failure]
     for verdict in verdicts:
         if verdict.failure:

@@ -244,6 +244,16 @@ class ScanConfig:
     #: Dispatch :meth:`Scanner.run_batched` instead of :meth:`Scanner.run`
     #: (the engine worker and CLI honour this; results are identical).
     batched: bool = False
+    #: Forward probe blocks through the columnar engine
+    #: (:mod:`repro.net.columnar`): the batched loop paces and builds a
+    #: chunk of probes up front, then :meth:`Network.inject_block` advances
+    #: them with masked vector ops, ejecting to the scalar engine for
+    #: anything stateful.  Implies the batched loop; results are asserted
+    #: bit-identical to the scalar oracle by ``tests/test_columnar.py``.
+    #: Scans that must observe individual hops (wire mode, probe tracing,
+    #: retransmit/adaptive hardening) fall back to the scalar loop, as does
+    #: any environment without numpy.
+    columnar: bool = False
     #: Deterministic chaos: a :class:`repro.faults.schedule.FaultSchedule`
     #: armed against the network for the duration of the scan (None = no
     #: fault layer at all — the default costs nothing on the hot path).
@@ -481,6 +491,10 @@ class Scanner:
 
     def run(self) -> ScanResult:
         config = self.config
+        if config.columnar:
+            # The columnar engine only exists in the batched loop (it needs
+            # probe blocks to vectorise over); the results are identical.
+            return self.run_batched()
         network = self.network
         saved_flow = network.flow_cache
         network.flow_cache = saved_flow and config.flow_cache
@@ -845,6 +859,18 @@ class Scanner:
         hardened = controller is not None or policy is not None
         sent_before = val_before = 0
 
+        # The columnar path hands whole probe chunks to the network; paths
+        # that must interleave per-probe work with forwarding (wire codecs,
+        # lifecycle spans, retransmit/AIMD reactions) keep the scalar loop.
+        # Unsafe *network* states (traces, loss models, pending fault
+        # transitions, no numpy) degrade inside inject_block itself, so a
+        # fault schedule mid-scan simply runs those blocks sequentially.
+        use_columnar = (
+            config.columnar and not wire and not tracing and not hardened
+        )
+        flush = (stats, c_sent, c_received, c_validated, c_invalid,
+                 c_duplicate)
+
         saved_flow = network.flow_cache
         network.flow_cache = saved_flow and config.flow_cache
         injector = self._arm_faults()
@@ -852,6 +878,17 @@ class Scanner:
             for block in self._target_blocks(size):
                 if primer is not None:
                     primer([target.value for target in block])
+                if use_columnar:
+                    self._columnar_block(
+                        block, copies, seen, reply_counters, flush,
+                        observe_hops, results_append,
+                    )
+                    if self.on_progress is not None:
+                        stats.blocked = self.blocked_count
+                        stats.virtual_end = network.clock
+                        stats.wall_seconds = time.perf_counter() - started
+                        self.on_progress(self)
+                    continue
                 n_sent = n_received = n_validated = 0
                 n_invalid = n_duplicate = 0
                 for target in block:
@@ -995,3 +1032,123 @@ class Scanner:
         metrics.gauge("scanner_stream_position").set(self.position)
         metrics.gauge("virtual_clock_seconds").set(network.clock)
         return result
+
+    def _columnar_block(
+        self,
+        block: List[IPv6Addr],
+        copies: int,
+        seen: Set[tuple],
+        reply_counters: Dict[tuple, object],
+        flush: tuple,
+        observe_hops: Callable[[int], None],
+        results_append: Callable[[ProbeResult], None],
+    ) -> None:
+        """Process one target block through :meth:`Network.inject_block`.
+
+        Pacing still happens per probe copy (device-side ICMPv6 limiters
+        read the virtual clock, so send times must be exactly the scalar
+        loop's); each probe's post-pace clock rides along so the engine
+        replays stateful work under the right timestamp.  When a series
+        sampler is armed, the block is split into sub-chunks guaranteed not
+        to cross the next bucket boundary — a cut can then only fire at a
+        chunk's first target, where the flushed counters match what the
+        scalar loop's per-target flush would show at the same send.
+        """
+        config = self.config
+        network = self.network
+        vantage = self.vantage
+        source = vantage.primary_address
+        pace = self.pacer.pace
+        bucket = self.pacer.bucket
+        build = self.probe.build
+        classify = self.probe.classify
+        inject_block = network.inject_block
+        metrics = self.metrics
+        dedup = config.dedup_replies
+        sampler = self.sampler
+        stats, c_sent, c_received, c_validated, c_invalid, c_duplicate = flush
+
+        total = len(block)
+        i = 0
+        while i < total:
+            packets: List[Packet] = []
+            clocks: List[float] = []
+            chunk_start = i
+            while i < total:
+                if sampler is not None and i > chunk_start:
+                    # Worst-case last send of this target's copies: the
+                    # bucket's next send plus one saturated inter-send gap
+                    # per copy (burst sends only come sooner).  If that
+                    # could reach the boundary, cut the chunk here so the
+                    # sampler tick happens with fully flushed counters.
+                    horizon = (
+                        bucket.next_send_time(network.clock)
+                        + copies / self.pacer.rate
+                    )
+                    if horizon >= sampler.boundary:
+                        break
+                target = block[i]
+                for _copy in range(copies):
+                    pace()
+                    packets.append(build(source, target))
+                    clocks.append(network.clock)
+                i += 1
+            outcomes = inject_block(packets, vantage, clocks)
+            n_received = n_validated = n_invalid = n_duplicate = 0
+            r = 0
+            for _target in range(chunk_start, i):
+                replies = []
+                for _copy in range(copies):
+                    inbox, delivery = outcomes[r]
+                    r += 1
+                    observe_hops(delivery.hops)
+                    replies.extend(inbox)
+                for reply in replies:
+                    n_received += 1
+                    classified = classify(reply)
+                    if classified is None:
+                        n_invalid += 1
+                        continue
+                    if dedup:
+                        key = (
+                            classified.responder.value,
+                            classified.target.value,
+                            classified.kind,
+                        )
+                        if key in seen:
+                            n_duplicate += 1
+                            continue
+                        seen.add(key)
+                    n_validated += 1
+                    reply_key = (
+                        classified.kind.value,
+                        classified.icmp_type,
+                        classified.icmp_code,
+                    )
+                    counter = reply_counters.get(reply_key)
+                    if counter is None:
+                        counter = reply_counters[reply_key] = metrics.counter(
+                            "scanner_replies",
+                            kind=classified.kind.value,
+                            icmp_type=classified.icmp_type,
+                            icmp_code=classified.icmp_code,
+                        )
+                    counter.inc()  # type: ignore[union-attr]
+                    results_append(
+                        ProbeResult(
+                            target=classified.target,
+                            responder=classified.responder,
+                            kind=classified.kind,
+                            icmp_type=classified.icmp_type,
+                            icmp_code=classified.icmp_code,
+                        )
+                    )
+            stats.sent += len(packets)
+            stats.received += n_received
+            stats.validated += n_validated
+            stats.discarded += n_invalid + n_duplicate
+            c_sent.inc(len(packets))
+            c_received.inc(n_received)
+            c_validated.inc(n_validated)
+            c_invalid.inc(n_invalid)
+            c_duplicate.inc(n_duplicate)

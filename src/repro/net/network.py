@@ -139,6 +139,9 @@ class Network:
         #: Flow-cache effectiveness counters (read by benches and tests).
         self.flow_hits = 0
         self.flow_misses = 0
+        #: Cached :class:`~repro.net.columnar.ColumnarFib`; rebuilt whenever
+        #: ``generation`` or any table version moves (see ``columnar_fib``).
+        self._columnar_fib = None
         #: The probe-lifecycle span currently being recorded, if any.  The
         #: scanner sets this around :meth:`inject` for sampled probes; every
         #: other injection pays one ``is not None`` check per hop and
@@ -218,7 +221,24 @@ class Network:
             faults.sync(self.clock)
 
         self._originate(vantage, packet, queue, trace)
+        self._drain(queue, vantage, inbox, trace)
+        return inbox, trace
 
+    def _drain(
+        self,
+        queue: Deque[Tuple[Device, Packet]],
+        vantage: Device,
+        inbox: List[Packet],
+        trace: DeliveryTrace,
+    ) -> None:
+        """Run the forwarding engine until every queued packet settles.
+
+        Factored out of :meth:`inject` so the columnar engine can resume
+        scalar forwarding mid-flight: it seeds ``trace`` with the hops the
+        vectorised phase already took, queues the packet at its ejection
+        device, and re-enters here for the stateful tail (NDP, error rate
+        limiting, subclass hooks) with bit-identical semantics.
+        """
         # Hot-loop hoists: every per-hop attribute/constant below is looked
         # up once per injection instead of once per hop.
         fast = self.flow_cache and self.active_trace is None
@@ -339,7 +359,40 @@ class Network:
             result = device.receive(current, self)
             self._apply(device, result, queue, trace)
 
-        return inbox, trace
+    def inject_block(
+        self,
+        packets: List[Packet],
+        vantage: Device,
+        clocks: Optional[List[float]] = None,
+    ) -> List[Tuple[List[Packet], DeliveryTrace]]:
+        """Inject a batch of packets, returning one ``inject`` result each.
+
+        Observably identical to calling :meth:`inject` per packet with
+        ``self.clock`` set to the matching ``clocks`` entry first (the
+        entry clock is restored afterwards).  When the columnar engine is
+        usable (numpy present, no tracing/loss/fault window active) the
+        batch advances through pure forwarding hops as struct-of-arrays
+        vector ops and only ejects to the scalar engine for stateful work;
+        otherwise this is literally the sequential loop.
+        """
+        from repro.net import columnar
+
+        return columnar.inject_block(self, packets, vantage, clocks)
+
+    def columnar_fib(self):
+        """The cached columnar FIB for the current topology generation.
+
+        Recompiled lazily whenever the generation counter or any device
+        routing-table version moved — the same invalidation protocol the
+        per-device flow caches use.
+        """
+        from repro.net import columnar
+
+        fib = self._columnar_fib
+        if fib is None or not fib.valid(self):
+            fib = columnar.ColumnarFib.compile(self)
+            self._columnar_fib = fib
+        return fib
 
     def _apply(
         self,

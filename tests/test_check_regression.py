@@ -4,12 +4,17 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from benchmarks.check_regression import (
+    GATES,
+    UnknownGateError,
     check_metric,
     load_fresh,
     main,
     parallel_metric,
     per_worker_efficiency,
+    resolve_gates,
     run_gate,
 )
 
@@ -141,13 +146,16 @@ class TestRunGate:
         assert failures[0].bench == "faults_overhead"
         assert "disabled_pps" in failures[0].failure
 
-    def test_missing_baseline_is_a_skip(self, tmp_path):
+    def test_missing_baseline_is_a_hard_failure(self, tmp_path):
+        # A fresh record for a gated bench whose baseline was never
+        # committed must fail loudly, not vanish into a skip line.
         self._write(tmp_path, "perf_scanner", _record())
         verdicts = run_gate(results_dir=tmp_path,
                             baseline_loader=lambda name: None)
-        assert not [v for v in verdicts if v.failure]
-        assert all("baseline" in (v.note or "") or "fresh" in (v.note or "")
-                   for v in verdicts)
+        failures = [v for v in verdicts if v.failure]
+        assert len(failures) == 1
+        assert failures[0].bench == "perf_scanner"
+        assert "baseline" in failures[0].failure
 
     def test_load_fresh_absent(self, tmp_path):
         assert load_fresh("perf_scanner", tmp_path) is None
@@ -157,3 +165,48 @@ class TestRunGate:
         assert main(["--results-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "perf gate clean" in out
+
+
+class TestGateSelection:
+    def _write(self, tmp_path, name, record):
+        (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(record))
+
+    def test_registry_covers_forwarding(self):
+        rows = {gate: bench for gate, bench, _ in GATES}
+        assert rows["forwarding"] == "perf_forwarding"
+
+    def test_unknown_gate_name_raises(self):
+        with pytest.raises(UnknownGateError, match="meteor"):
+            resolve_gates(["meteor"])
+
+    def test_unknown_gate_name_is_cli_error(self, tmp_path, capsys):
+        assert main(["--results-dir", str(tmp_path),
+                     "--gates", "perf_scanner,meteor"]) == 2
+        assert "meteor" in capsys.readouterr().err
+
+    def test_selected_gate_without_fresh_record_fails(self, tmp_path):
+        verdicts = run_gate(results_dir=tmp_path,
+                            baseline_loader=lambda name: None,
+                            gates=["forwarding"])
+        assert len(verdicts) == 1
+        assert verdicts[0].failure is not None
+        assert "fresh" in verdicts[0].failure
+
+    def test_selected_gate_passes_and_ignores_others(self, tmp_path):
+        record = _record(bench="perf_forwarding", columnar_pps=50_000.0)
+        self._write(tmp_path, "perf_forwarding", record)
+        verdicts = run_gate(results_dir=tmp_path,
+                            baseline_loader={"perf_forwarding": record}.get,
+                            gates=["forwarding"])
+        assert len(verdicts) == 1
+        assert verdicts[0].failure is None and verdicts[0].note is None
+
+    def test_forwarding_gate_catches_columnar_slowdown(self, tmp_path):
+        baseline = _record(bench="perf_forwarding", columnar_pps=50_000.0)
+        self._write(tmp_path, "perf_forwarding",
+                    _record(bench="perf_forwarding", columnar_pps=30_000.0))
+        verdicts = run_gate(results_dir=tmp_path,
+                            baseline_loader={"perf_forwarding": baseline}.get,
+                            gates=["forwarding"])
+        assert len(verdicts) == 1
+        assert "columnar_pps" in (verdicts[0].failure or "")

@@ -1,0 +1,405 @@
+"""Columnar forwarding engine equivalence and invalidation tests.
+
+The columnar engine (:mod:`repro.net.columnar`) is a pure performance
+feature: every observable output — reply bytes, ordered results, engine
+stats, store rows, telemetry counters — must be bit-identical to the
+scalar oracle.  These tests pin that contract at three levels (raw
+``inject_block`` vs sequential ``inject``, single scans, campaigns across
+executors), on three worlds (the mini testbed, the Table-IX-style BGP
+internet, the route-leak demo), plus the safety properties the fast path
+depends on: generation/version stamp invalidation, fault-schedule
+fallback to scalar, and the no-numpy degradation path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.blocklist import Blocklist
+from repro.core.scanner import ScanConfig, Scanner
+from repro.core.target import ScanRange
+from repro.engine import Campaign, ProbeSpec
+from repro.faults import ROUTE_SET, FaultEvent, FaultSchedule
+from repro.net import columnar
+from repro.net.addr import IPv6Addr
+from repro.net.device import Host
+from repro.net.spec import TopologySpec
+from repro.net.testbed import MiniTopology
+from tests.topo import build_mini
+
+needs_numpy = pytest.mark.skipif(
+    columnar._np is None, reason="vector phase needs numpy; the no-numpy "
+    "CI leg still runs every fallback-equivalence test above"
+)
+
+SPEC = "2001:db8:1::/56-64"  # 256 sub-prefixes over both CPEs' LAN space
+LOOP_SPEC = "2001:db8:1:60::/60-64"  # the vulnerable CPE's looping /60
+
+
+def _config(spec: str = SPEC, **kwargs) -> ScanConfig:
+    return ScanConfig(scan_range=ScanRange.parse(spec), seed=5, **kwargs)
+
+
+def _scan(run_batched: bool = False, **config_kwargs):
+    """One full scan on a fresh mini topology; returns (result, metrics)."""
+    topo = build_mini()
+    scanner = Scanner(
+        topo.network, topo.vantage, ProbeSpec.for_seed(5).build(),
+        _config(**config_kwargs),
+    )
+    result = scanner.run_batched() if run_batched else scanner.run()
+    return result, scanner.metrics
+
+
+def _observables(result, metrics):
+    """Everything a scan run promises to keep identical across paths."""
+    stats = result.stats.to_dict()
+    stats.pop("wall_seconds")  # the only legitimately nondeterministic field
+    return (
+        result.dedup_digest(),
+        [r.to_dict() for r in result.results],
+        stats,
+        metrics.to_dict(),
+    )
+
+
+def _outcome_key(outcomes):
+    """Byte-level projection of inject/inject_block results."""
+    return [
+        (
+            [p.encode() for p in inbox],
+            trace.hops,
+            trace.drops,
+            trace.delivered,
+            trace.errors_generated,
+            sorted(trace.link_counts.items()),
+            trace.path,
+        )
+        for inbox, trace in outcomes
+    ]
+
+
+class TestInjectBlockEquivalence:
+    """Raw ``Network.inject_block`` vs a sequential ``inject`` loop."""
+
+    def _mixed_packets(self, topo):
+        probe = ProbeSpec.for_seed(5).build()
+        source = topo.vantage.primary_address
+        targets = [
+            # Delivered: the CPEs' own WAN addresses (echo replies).
+            MiniTopology.WAN_OK.address(0xDEADBEEF),
+            MiniTopology.WAN_VULN.address(0x1234),
+            # LAN space behind the healthy CPE (on-link NDP miss).
+            MiniTopology.SUBNET_OK.address(0x1),
+            # The forwarding loop: bounces isp <-> cpe-vuln until the hop
+            # limit dies (time-exceeded from whichever router holds it).
+            IPv6Addr.from_string("2001:db8:1:61::5"),
+            IPv6Addr.from_string("2001:db8:1:62::9"),
+            # The UE prefix and unrouted space outside the ISP block.
+            MiniTopology.UE_PREFIX.address(0x77),
+            IPv6Addr.from_string("2001:db9::1"),
+            # The vantage's own address (degenerate local delivery).
+            source,
+        ]
+        packets = []
+        for hop_limit in (64, 4, 2, 1):
+            packets.extend(
+                probe.build(source, dst).with_hop_limit(hop_limit)
+                for dst in targets
+            )
+        return packets
+
+    def _compare(self, packets_for, clocks_present: bool):
+        topo_a, topo_b = build_mini(), build_mini()
+        packets = packets_for(self, topo_a)
+        clocks = (
+            [i * 0.0005 for i in range(len(packets))]
+            if clocks_present else None
+        )
+        fast = columnar.inject_block(
+            topo_a.network, packets, topo_a.vantage, clocks
+        )
+        slow = columnar._sequential(
+            topo_b.network, packets_for(self, topo_b), topo_b.vantage, clocks
+        )
+        assert _outcome_key(fast) == _outcome_key(slow)
+        assert topo_a.network.total_injected == topo_b.network.total_injected
+        assert topo_a.network.total_hops == topo_b.network.total_hops
+        assert topo_a.network.clock == topo_b.network.clock
+
+    def test_mixed_targets_match_sequential(self):
+        self._compare(TestInjectBlockEquivalence._mixed_packets, True)
+
+    def test_without_clocks_matches_sequential(self):
+        self._compare(TestInjectBlockEquivalence._mixed_packets, False)
+
+    def test_clock_restored_after_block(self):
+        topo = build_mini()
+        topo.network.clock = 1.25
+        packets = self._mixed_packets(topo)
+        columnar.inject_block(
+            topo.network, packets, topo.vantage,
+            [2.0 + i for i in range(len(packets))],
+        )
+        assert topo.network.clock == 1.25
+
+    def test_clock_list_must_match_packets(self):
+        topo = build_mini()
+        packets = self._mixed_packets(topo)
+        with pytest.raises(ValueError):
+            columnar.inject_block(
+                topo.network, packets, topo.vantage, [0.0]
+            )
+
+
+class TestScanEquivalence:
+    """Columnar scans reproduce scalar scans bit-for-bit on the mini net."""
+
+    def test_columnar_matches_scalar_batched(self):
+        scalar = _observables(*_scan(run_batched=True, batched=True))
+        fast = _observables(*_scan(run_batched=True, batched=True,
+                                   columnar=True))
+        assert scalar == fast
+        assert fast[1]  # the scan actually produced replies
+
+    def test_columnar_matches_serial(self):
+        serial = _observables(*_scan())
+        fast = _observables(*_scan(run_batched=True, columnar=True))
+        assert serial == fast
+
+    def test_run_redirects_to_batched_when_columnar(self):
+        # The engine worker dispatches run() unless config.batched; the
+        # columnar flag must reach the block loop through either entry.
+        serial = _observables(*_scan())
+        redirected = _observables(*_scan(run_batched=False, columnar=True))
+        assert serial == redirected
+
+    def test_columnar_with_flow_cache_off(self):
+        serial = _observables(*_scan(flow_cache=False))
+        fast = _observables(*_scan(run_batched=True, columnar=True,
+                                   flow_cache=False))
+        assert serial == fast
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 256, 10_000])
+    def test_batch_size_does_not_change_results(self, batch_size):
+        serial = _observables(*_scan())
+        fast = _observables(*_scan(run_batched=True, columnar=True,
+                                   batch_size=batch_size))
+        assert serial == fast
+
+    def test_columnar_with_blocklist_skip_and_cap(self):
+        blocklist = Blocklist(blocked=["2001:db8:1:60::/60"])
+        kwargs = dict(blocklist=blocklist, skip=17, max_probes=100)
+        serial = _observables(*_scan(**kwargs))
+        fast = _observables(*_scan(run_batched=True, columnar=True,
+                                   batch_size=32, **kwargs))
+        assert serial == fast
+        assert serial[2]["blocked"] > 0
+
+    def test_multi_probe_loop_range_with_timeseries(self):
+        # Heavy per-target amplification over the looping /60 plus an armed
+        # time-series sampler: exercises the 2-cycle fast-forward and the
+        # chunk-boundary horizon that keeps sampler flushes scalar-exact.
+        def run(columnar_on: bool):
+            topo = build_mini()
+            scanner = Scanner(
+                topo.network, topo.vantage, ProbeSpec.for_seed(5).build(),
+                _config(spec=LOOP_SPEC, probes_per_target=5,
+                        timeseries_interval=0.001, batched=True,
+                        columnar=columnar_on),
+            )
+            result = scanner.run_batched()
+            assert scanner.sampler is not None
+            return (_observables(result, scanner.metrics),
+                    scanner.sampler.to_dict())
+
+        serial_obs, serial_series = run(False)
+        fast_obs, fast_series = run(True)
+        assert serial_obs == fast_obs
+        assert serial_series == fast_series
+        assert serial_series["series"]
+
+
+class TestWorldEquivalence:
+    """The contract holds on the compiled-BGP worlds, not just the testbed."""
+
+    def _world_scan(self, spec, columnar_on: bool):
+        built = spec.build()
+        config = ScanConfig(
+            scan_range=ScanRange.parse(built.handle.edges[0].scan_spec),
+            seed=5,
+            batch_size=64,
+            columnar=columnar_on,
+        )
+        scanner = Scanner(
+            built.network, built.vantage, ProbeSpec.for_seed(5).build(),
+            config,
+        )
+        return _observables(scanner.run_batched(), scanner.metrics)
+
+    def test_internet_world(self):
+        spec = TopologySpec.internet(seed=3, scale=20_000, n_tail_ases=20)
+        scalar = self._world_scan(spec, False)
+        fast = self._world_scan(spec, True)
+        assert scalar == fast
+        assert scalar[1]
+
+    def test_leak_demo_world(self):
+        spec = TopologySpec.leak_demo(seed=5)
+        scalar = self._world_scan(spec, False)
+        fast = self._world_scan(spec, True)
+        assert scalar == fast
+        assert scalar[1]
+
+
+class TestCampaignEquivalence:
+    """Thread/process shards use the columnar engine transparently."""
+
+    def _run(self, executor: str, workers=None, **config_kwargs):
+        campaign = Campaign(
+            TopologySpec.mini(),
+            {"wide": _config(**config_kwargs)},
+            probe=ProbeSpec.for_seed(5),
+            shards=2,
+            executor=executor,
+            workers=workers,
+        )
+        outcome = campaign.run()
+        merged = outcome.results["wide"]
+        stats = merged.stats.to_dict()
+        stats.pop("wall_seconds")
+        return merged.dedup_digest(), stats
+
+    @pytest.mark.parametrize("executor,workers", [
+        ("serial", None), ("thread", 2), ("process", 2),
+    ])
+    def test_columnar_matches_scalar_per_executor(self, executor, workers):
+        scalar = self._run(executor, workers, batched=True)
+        fast = self._run(executor, workers, columnar=True)
+        assert scalar == fast
+
+
+class TestFaultFallback:
+    """Active fault windows force scalar forwarding, bit-identically."""
+
+    SCHEDULE = FaultSchedule(
+        seed=3,
+        events=(
+            FaultEvent(
+                kind=ROUTE_SET, start=0.002, end=0.02, device="isp",
+                prefix=str(MiniTopology.LAN_OK),
+                next_hop=str(MiniTopology.WAN_VULN.address(0x1234)),
+            ),
+        ),
+    )
+
+    def _faulted(self, columnar_on: bool, schedule):
+        return _observables(*_scan(
+            run_batched=True, batched=True, columnar=columnar_on,
+            rate_pps=2000.0, fault_schedule=schedule,
+        ))
+
+    def test_route_set_window_matches_scalar(self):
+        scalar = self._faulted(False, self.SCHEDULE)
+        fast = self._faulted(True, self.SCHEDULE)
+        assert scalar == fast
+        # The fault actually fired: the rerouted window changes the scan.
+        assert scalar != self._faulted(False, None)
+
+    @needs_numpy
+    def test_exhausted_schedule_revectorises(self):
+        # While a transition is pending the vector phase must stand down;
+        # once every window has fired and reverted, _usable flips back on
+        # and the remaining blocks go through the vector phase again.
+        from repro.faults.injector import FaultInjector
+
+        topo = build_mini()
+        injector = FaultInjector(topo.network, self.SCHEDULE,
+                                 protected=(topo.vantage.name,))
+        injector.arm()
+        assert not columnar._usable(topo.network)
+        injector.sync(1.0)  # virtual time far past the last window edge
+        assert injector.next_transition == math.inf
+        assert columnar._usable(topo.network)
+
+
+class TestStampInvalidation:
+    """Route churn invalidates the compiled columns, like the flow cache."""
+
+    def test_fib_is_cached_per_stamp(self):
+        net = build_mini().network
+        fib = net.columnar_fib()
+        assert net.columnar_fib() is fib
+
+    def test_table_version_bump_recompiles(self):
+        topo = build_mini()
+        net = topo.network
+        fib = net.columnar_fib()
+        topo.isp.table.remove(MiniTopology.LAN_OK)
+        assert not fib.valid(net)
+        assert net.columnar_fib() is not fib
+
+    def test_generation_bump_recompiles(self):
+        topo = build_mini()
+        net = topo.network
+        fib = net.columnar_fib()
+        net.register(Host("late", IPv6Addr.from_string("2001:db8:2:7::99")))
+        assert not fib.valid(net)
+        assert net.columnar_fib() is not fib
+
+    def test_scan_after_rotation_sees_new_world(self):
+        """End-to-end: a mid-campaign delegation swap must reroute the
+        columnar scan exactly as it reroutes the scalar scan."""
+
+        def run(columnar_on: bool):
+            topo = build_mini()
+            config = _config(max_probes=40, batched=True,
+                             columnar=columnar_on)
+            before = Scanner(
+                topo.network, topo.vantage, ProbeSpec.for_seed(5).build(),
+                config,
+            ).run_batched().dedup_digest()
+            topo.isp.delegate(MiniTopology.LAN_OK,
+                              MiniTopology.WAN_VULN.address(0x1234))
+            topo.isp.delegate(MiniTopology.LAN_VULN,
+                              MiniTopology.WAN_OK.address(0xDEADBEEF))
+            after = Scanner(
+                topo.network, topo.vantage, ProbeSpec.for_seed(5).build(),
+                config,
+            ).run_batched().dedup_digest()
+            return before, after
+
+        assert run(columnar_on=True) == run(columnar_on=False)
+        before, after = run(columnar_on=True)
+        assert before != after  # rotation changed the answers
+
+
+class TestScalarFallbacks:
+    """Every precondition failure degrades to the scalar loop unchanged."""
+
+    def test_no_numpy_scan_is_identical(self, monkeypatch):
+        scalar = _observables(*_scan(run_batched=True, batched=True))
+        monkeypatch.setattr(columnar, "_np", None)
+        fallback = _observables(*_scan(run_batched=True, batched=True,
+                                       columnar=True))
+        assert scalar == fallback
+
+    def test_no_numpy_compile_reports_not_ok(self, monkeypatch):
+        monkeypatch.setattr(columnar, "_np", None)
+        net = build_mini().network
+        assert not columnar._usable(net)
+        assert not columnar.ColumnarFib.compile(net).ok
+
+    @needs_numpy
+    def test_usable_preconditions(self):
+        net = build_mini().network
+        assert columnar._usable(net)
+        net.loss_rate = 0.1
+        assert not columnar._usable(net)
+        net.loss_rate = 0.0
+        net.record_paths = True
+        assert not columnar._usable(net)
+        net.record_paths = False
+        assert columnar._usable(net)
