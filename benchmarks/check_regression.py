@@ -31,6 +31,11 @@ and fails when a headline metric regressed beyond tolerance:
   throughput with ``--timeseries`` sampling armed; the bench's own <5%
   sampled-vs-plain assertion bounds the relative cost, this gate catches
   an absolute slowdown of the sampled path itself.
+* ``supervisor_overhead`` — ``disabled_pps`` (higher is better): campaign
+  throughput with the crash-recovery supervisor compiled in but disabled
+  (the stock dispatch loop), so dead-path cost added to the campaign loop
+  shows up even though the bench's own <2% enabled-vs-disabled assertion
+  would not catch it.
 * ``forwarding`` — ``columnar_pps`` (higher is better): the columnar
   forwarding engine on the loop-amplification workload
   (``bench_perf_forwarding.py``); the bench itself also asserts the >=10x
@@ -190,6 +195,8 @@ GATES: Tuple[Tuple[str, str, Selector], ...] = (
     ("bgp", "bgp", lambda b, f: ("full_solve_prefixes_per_sec", True)),
     ("timeseries_overhead", "timeseries_overhead",
      lambda b, f: ("sampled_pps", True)),
+    ("supervisor_overhead", "supervisor_overhead",
+     lambda b, f: ("disabled_pps", True)),
     ("forwarding", "perf_forwarding", lambda b, f: ("columnar_pps", True)),
 )
 

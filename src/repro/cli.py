@@ -164,22 +164,65 @@ def cmd_scan(args) -> int:
         print("error: --health needs --timeseries (health rules evaluate "
               "the sampled series)", file=sys.stderr)
         return 2
+    if args.retry_budget is not None and args.retry_budget < 0:
+        print("error: --retry-budget must be >= 0", file=sys.stderr)
+        return 2
+    if args.drain_timeout is not None and args.drain_timeout <= 0:
+        print("error: --drain-timeout must be positive", file=sys.stderr)
+        return 2
     fault_schedule = None
-    if args.fault_schedule:
+    if args.fault_schedule or args.host_faults:
         from repro.faults import FaultSchedule, ScheduleError
 
+        def load_schedule(flag: str, path: str):
+            try:
+                return FaultSchedule.from_file(path)
+            except OSError as exc:
+                print(f"error: cannot read {flag} {path!r}: {exc}",
+                      file=sys.stderr)
+            except ScheduleError as exc:
+                print(f"error: invalid {flag} {path!r}: {exc}",
+                      file=sys.stderr)
+            return None
+
+        parts = []
+        for flag, path in (("--fault-schedule", args.fault_schedule),
+                           ("--host-faults", args.host_faults)):
+            if not path:
+                continue
+            schedule = load_schedule(flag, path)
+            if schedule is None:
+                return 2
+            parts.append(schedule)
         try:
-            fault_schedule = FaultSchedule.from_file(args.fault_schedule)
-        except OSError as exc:
-            print(f"error: cannot read --fault-schedule "
-                  f"{args.fault_schedule!r}: {exc}", file=sys.stderr)
-            return 2
+            # One merged schedule: the worker splits the domains itself
+            # (network events arm the topology injector, host events the
+            # storage shim).  Overlap validation reruns on the union.
+            fault_schedule = FaultSchedule(
+                events=sum((p.events for p in parts), ()),
+                seed=parts[0].seed,
+            )
         except ScheduleError as exc:
-            print(f"error: invalid --fault-schedule "
-                  f"{args.fault_schedule!r}: {exc}", file=sys.stderr)
+            print(f"error: --fault-schedule and --host-faults conflict: "
+                  f"{exc}", file=sys.stderr)
             return 2
-        print(f"fault schedule armed: {len(fault_schedule)} event(s), "
+        hosts = len(fault_schedule.host_events())
+        print(f"fault schedule armed: {len(fault_schedule)} event(s) "
+              f"({hosts} host, {len(fault_schedule) - hosts} network), "
               f"seed {fault_schedule.seed}", file=sys.stderr)
+
+    supervisor_policy = None
+    if args.supervise or args.retry_budget is not None \
+            or args.drain_timeout is not None:
+        from repro.engine import SupervisorPolicy
+
+        supervisor_policy = SupervisorPolicy(
+            enabled=True,
+            retry_budget=args.retry_budget,
+            drain_timeout=(args.drain_timeout
+                           if args.drain_timeout is not None
+                           else SupervisorPolicy.drain_timeout),
+        )
 
     profiles = _profiles(args)
     keys = tuple(p.key for p in profiles)
@@ -228,6 +271,7 @@ def cmd_scan(args) -> int:
         snapshot=args.snapshot,
         health=args.health,
         flight_dir=args.flight_recorder,
+        supervisor=supervisor_policy,
     )
     try:
         result = campaign.run()
@@ -259,6 +303,16 @@ def cmd_scan(args) -> int:
 
     if args.health and result.health is not None:
         print(result.health.summary(), file=sys.stderr)
+
+    # Supervised partial results still exit 0: the committed snapshot is
+    # annotated, the parked shards are named, and the operator decides.
+    if result.drained:
+        print("campaign drained on SIGTERM: completed shards committed",
+              file=sys.stderr)
+    for parked in result.degraded:
+        print(f"shard degraded: {parked['job_id']} ({parked['reason']}; "
+              f"signatures {', '.join(parked['signatures']) or 'none'})",
+              file=sys.stderr)
 
     for path in result.flight_bundles:
         print(f"flight-recorder bundle: {path}", file=sys.stderr)
@@ -848,6 +902,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON fault schedule (repro.faults) injected into "
                         "every shard's simulated network — deterministic "
                         "chaos testing")
+    p.add_argument("--host-faults", default=None, metavar="FILE",
+                   help="JSON fault schedule of host-domain events "
+                        "(fs-error/fs-torn-write/fs-crash) injected into "
+                        "every shard's checkpoint/store I/O; merges with "
+                        "--fault-schedule")
+    p.add_argument("--supervise", action="store_true",
+                   help="enable the campaign supervisor: park shards that "
+                        "keep failing (circuit breaker) and commit partial "
+                        "results instead of failing the whole campaign")
+    p.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                   help="global cap on shard retries across the campaign "
+                        "(implies --supervise)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="grace period for in-flight shards after a SIGTERM "
+                        "drain request (implies --supervise)")
     p.add_argument("--adaptive-rate", action="store_true",
                    help="AIMD probe-rate control: back off on reply-rate "
                         "collapse, creep back to --rate when healthy")

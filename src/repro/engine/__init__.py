@@ -30,6 +30,12 @@ from repro.engine.planner import (
     ShardJob,
     ShardPlanner,
 )
+from repro.engine.supervisor import (
+    ParkedShard,
+    Supervisor,
+    SupervisorPolicy,
+    failure_signature,
+)
 from repro.engine.worker import ShardOutcome, WorkerInterrupted, execute_job
 
 __all__ = [
@@ -39,6 +45,7 @@ __all__ = [
     "CheckpointStore",
     "CoverageError",
     "Executor",
+    "ParkedShard",
     "ProbeSpec",
     "ProcessPoolBackend",
     "ProgressMonitor",
@@ -47,9 +54,12 @@ __all__ = [
     "ShardOutcome",
     "ShardPlanner",
     "ShardState",
+    "Supervisor",
+    "SupervisorPolicy",
     "ThreadPoolBackend",
     "WatchdogTimeout",
     "WorkerInterrupted",
     "execute_job",
+    "failure_signature",
     "make_executor",
 ]

@@ -39,6 +39,7 @@ from repro.engine.checkpoint import CheckpointStore
 from repro.engine.executor import Executor, WatchdogTimeout, make_executor
 from repro.engine.monitor import ProgressMonitor
 from repro.engine.planner import ProbeSpec, ShardJob, ShardPlanner
+from repro.engine.supervisor import Supervisor, SupervisorPolicy
 from repro.engine.worker import ShardOutcome
 from repro.net.spec import BuiltTopology, TopologySpec
 from repro.telemetry.events import EventLog
@@ -81,6 +82,12 @@ class CampaignResult:
     health: Optional[HealthReport] = None
     #: Flight-recorder bundles written during this run (paths).
     flight_bundles: List[str] = field(default_factory=list)
+    #: Shards the supervisor parked (:meth:`ParkedShard.to_dict` dicts, in
+    #: parking order); always empty without a supervisor.
+    degraded: List[Dict[str, object]] = field(default_factory=list)
+    #: True when a SIGTERM drain cut the campaign short (graceful exit:
+    #: completed shards committed, undispatched shards parked as drained).
+    drained: bool = False
 
     @property
     def sent_this_run(self) -> int:
@@ -103,6 +110,8 @@ class CampaignResult:
             "hit_rate": self.stats.hit_rate,
             "wall_seconds": self.wall_seconds,
             "snapshot": self.snapshot or "",
+            "degraded": len(self.degraded),
+            "drained": self.drained,
         }
 
 
@@ -137,6 +146,7 @@ class Campaign:
         health: Union[bool, Sequence[HealthRule]] = False,
         flight_dir: Optional[str] = None,
         recorder: Optional[FlightRecorder] = None,
+        supervisor: Optional[SupervisorPolicy] = None,
     ) -> None:
         if isinstance(configs, Mapping):
             self.configs: Dict[str, ScanConfig] = dict(configs)
@@ -154,6 +164,18 @@ class Campaign:
         self.monitor = monitor
         self.max_retries = max_retries
         self.backoff_base = backoff_base
+        #: Degraded-mode supervision (see :mod:`repro.engine.supervisor`);
+        #: a policy with ``enabled=False`` — the default — is equivalent to
+        #: no supervisor at all: the stock fail-fast retry loop runs.
+        self.supervisor_policy = (
+            supervisor if supervisor is not None and supervisor.enabled
+            else None
+        )
+        #: Set by :meth:`_prepare_result_store` on resume when this round's
+        #: snapshot already committed (the crash happened after the manifest
+        #: rewrite); :meth:`_commit_segments` then verifies instead of
+        #: committing twice.
+        self._snapshot_preexists = False
         #: Structured journal of everything the campaign does.  The monitor
         #: renders status lines as a subscriber, so the log is the single
         #: source of truth for progress reporting.
@@ -265,23 +287,53 @@ class Campaign:
             raise CampaignError(f"result store unusable: {exc}") from exc
         assert self.snapshot is not None
         if self.snapshot in store.snapshots:
+            if self.resume:
+                # The previous invocation died *after* its manifest rewrite
+                # landed: the round is already durable.  Workers will
+                # re-seal byte-identical segments over the committed files
+                # (their content is a pure function of the checkpoint
+                # state), so the run proceeds and the commit step verifies
+                # rather than double-committing.
+                self._snapshot_preexists = True
+                self.events.emit(
+                    "store_snapshot_resumed", snapshot=self.snapshot
+                )
+                return store
             raise CampaignError(
                 f"snapshot {self.snapshot!r} already exists in "
                 f"{self.store_dir}; pick a different round name"
             )
         return store
 
+    def _segment_prefix(self) -> str:
+        """This round's segment-file namespace (for the orphan sweep)."""
+        from repro.store.store import ResultStore
+
+        assert self.snapshot is not None
+        return ResultStore.segment_name(self.snapshot + ".")[: -len(".seg")]
+
     def _commit_segments(
         self,
         store,
         ordered: List[ShardOutcome],
         result: CampaignResult,
+        supervisor: Optional[Supervisor] = None,
     ) -> None:
         """One manifest rewrite makes every shard's sealed segment — and the
         round's snapshot — visible atomically.  Workers only ever sealed
         files; nothing was queryable until now."""
         from repro.store.store import StoreError
 
+        assert self.snapshot is not None
+        if self._snapshot_preexists:
+            # Already committed by the invocation that died after its
+            # manifest rewrite; this run's re-sealed segments replaced the
+            # committed files byte-for-byte.  Sweep any sealed-but-never-
+            # committed leftovers in this round's namespace and move on.
+            store.sweep_orphans(prefix=self._segment_prefix())
+            result.snapshot = self.snapshot
+            result.store_info = store.info()
+            return
         metas = [o.segment for o in ordered if o.segment is not None]
         labels: Dict[str, List[str]] = {}
         for outcome in ordered:
@@ -289,21 +341,28 @@ class Campaign:
                 labels.setdefault(outcome.label, []).append(
                     str(outcome.segment["name"])
                 )
-        assert self.snapshot is not None
+        snapshot_meta: Dict[str, object] = {
+            "campaign": self.events.campaign_id,
+            "shards": self.shards,
+            "labels": labels,
+        }
+        if supervisor is not None and supervisor.parked:
+            # A partial commit: the snapshot says so, queryably, forever.
+            snapshot_meta["degraded"] = supervisor.degraded_ids
         try:
             store.commit(
                 metas,
                 snapshot=self.snapshot,
-                snapshot_meta={
-                    "campaign": self.events.campaign_id,
-                    "shards": self.shards,
-                    "labels": labels,
-                },
+                snapshot_meta=snapshot_meta,
             )
         except StoreError as exc:
             raise CampaignError(
                 f"committing shard segments failed: {exc}"
             ) from exc
+        # Crash-recovery janitor: segments a *previous* invocation sealed
+        # but never committed (killed between seal and manifest rewrite)
+        # are garbage now that this round's commit landed.
+        store.sweep_orphans(prefix=self._segment_prefix())
         result.snapshot = self.snapshot
         result.store_info = store.info()
         self.events.emit(
@@ -337,19 +396,57 @@ class Campaign:
         outcomes: Dict[str, ShardOutcome] = {}
         pending = list(jobs)
         wave = 0
+        supervisor = (
+            Supervisor(self.supervisor_policy, events=self.events,
+                       metrics=metrics)
+            if self.supervisor_policy is not None
+            else None
+        )
         scope = (
             recorder.sigterm_scope() if recorder is not None
             else contextlib.nullcontext()
         )
-        with scope:
+        # The supervisor's drain handler installs *inside* the recorder's
+        # scope, so it is the live SIGTERM handler: the first SIGTERM
+        # requests a graceful drain, a second chains through to the
+        # recorder's dump-and-die handler (operator escalation).
+        drain_scope = (
+            supervisor.drain_scope() if supervisor is not None
+            else contextlib.nullcontext()
+        )
+        with scope, drain_scope:
             while pending:
+                if supervisor is not None and supervisor.draining:
+                    for job in pending:
+                        supervisor.park_drained(
+                            job.job_id, attempts[job.job_id]
+                        )
+                    pending = []
+                    break
                 if wave and self.backoff_base:
                     delay = self.backoff_base * (2 ** (wave - 1))
                     self.events.emit("backoff", wave=wave, delay=delay)
                     time.sleep(delay)
                 retry: List[ShardJob] = []
                 failures: Dict[str, Exception] = {}
-                for job, outcome in self.executor.run_jobs(pending):
+                # With a supervisor on the serial backend, dispatch one job
+                # at a time so a drain request takes effect between shards;
+                # pooled backends dispatch the whole wave and drain at its
+                # barrier (in-flight shards run to completion either way).
+                if supervisor is not None and self.executor.name == "serial":
+                    batches: List[List[ShardJob]] = [[j] for j in pending]
+                else:
+                    batches = [list(pending)]
+                returns = []
+                for batch in batches:
+                    if supervisor is not None and supervisor.draining:
+                        for job in batch:
+                            supervisor.park_drained(
+                                job.job_id, attempts[job.job_id]
+                            )
+                        continue
+                    returns.extend(self.executor.run_jobs(batch))
+                for job, outcome in returns:
                     attempts[job.job_id] += 1
                     if isinstance(outcome, Exception):
                         if isinstance(outcome, WatchdogTimeout):
@@ -362,7 +459,22 @@ class Campaign:
                                 attempt=attempts[job.job_id],
                                 error=str(outcome),
                             )
-                        if attempts[job.job_id] > self.max_retries:
+                        if supervisor is not None:
+                            verdict = supervisor.note_failure(
+                                job.job_id, outcome,
+                                attempts[job.job_id], self.max_retries,
+                            )
+                            if verdict == "retry":
+                                retry.append(job)
+                                self.events.emit(
+                                    "shard_retry",
+                                    job_id=job.job_id,
+                                    attempt=attempts[job.job_id],
+                                    error=str(outcome),
+                                )
+                            # Parked shards leave the rotation; the
+                            # supervisor already journalled why.
+                        elif attempts[job.job_id] > self.max_retries:
                             failures[job.job_id] = outcome
                         else:
                             retry.append(job)
@@ -419,7 +531,11 @@ class Campaign:
                 pending = retry
                 wave += 1
 
-        ordered = [outcomes[job.job_id] for job in jobs]
+        # Without a supervisor every job has an outcome here (or the run
+        # raised); with one, parked shards are simply absent.
+        ordered = [
+            outcomes[job.job_id] for job in jobs if job.job_id in outcomes
+        ]
         result = CampaignResult(results={})
         result.outcomes = ordered
         result.metrics = metrics
@@ -440,8 +556,25 @@ class Campaign:
             metrics.counter("campaign_health_windows").inc(
                 len(report.windows)
             )
+        if supervisor is not None:
+            result.degraded = [s.to_dict() for s in supervisor.parked]
+            result.drained = supervisor.draining
+            if supervisor.parked:
+                self.events.emit(
+                    "campaign_degraded",
+                    shards=supervisor.degraded_ids,
+                    completed=len(ordered),
+                )
+            if supervisor.draining:
+                self.events.emit(
+                    "campaign_drained",
+                    completed=len(ordered),
+                    parked=len(supervisor.parked),
+                )
         if result_store is not None:
-            self._commit_segments(result_store, ordered, result)
+            self._commit_segments(
+                result_store, ordered, result, supervisor=supervisor
+            )
         result.wall_seconds = time.perf_counter() - started
         metrics.counter("campaign_shards_completed").inc(len(ordered))
         metrics.counter("campaign_shards_from_checkpoint").inc(

@@ -107,10 +107,16 @@ class CheckpointStore:
         self,
         directory: "str | os.PathLike[str]",
         on_event: "Optional[callable]" = None,
+        os_layer=None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.on_event = on_event
+        #: Durability syscall surface (see :mod:`repro.store.oslayer`);
+        #: swapped for a shim by the host fault domain / kill harness.
+        from repro.store.oslayer import get_default_os
+
+        self.os = os_layer if os_layer is not None else get_default_os()
 
     def _event(self, event_type: str, **fields: object) -> None:
         if self.on_event is not None:
@@ -170,8 +176,11 @@ class CheckpointStore:
         tmp = path.with_name(
             f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
         )
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        with open(tmp, "wb") as handle:
+            self.os.write(handle, json.dumps(payload).encode())
+            handle.flush()
+            self.os.fsync(handle)
+        self.os.replace(tmp, path)
 
     # -- shard state -----------------------------------------------------------
 

@@ -74,7 +74,7 @@ class ShardOutcome:
         return self.job.label
 
 
-def _segment_writer(job: ShardJob):
+def _segment_writer(job: ShardJob, os_layer=None):
     """A :class:`~repro.store.segment.SegmentWriter` for this shard's rows.
 
     Each shard writes its own uniquely named file under the store's segment
@@ -88,7 +88,7 @@ def _segment_writer(job: ShardJob):
     assert job.store_dir is not None
     name = ResultStore.segment_name(f"{job.store_prefix}{job.job_id}")
     path = os.path.join(job.store_dir, ResultStore.SEGMENT_DIR, name)
-    return SegmentWriter(path)
+    return SegmentWriter(path, os_layer=os_layer)
 
 
 def _combined(prior: Optional[ScanResult], current: ScanResult) -> ScanResult:
@@ -148,6 +148,25 @@ def execute_job(
     config = dataclasses.replace(job.config, skip=skip)
     registry = MetricsRegistry() if config.collect_metrics else None
     tracer = ProbeTracer.from_spec(config.trace)
+    # Host fault domain: a schedule with fs-error / fs-torn-write /
+    # fs-crash events arms against this worker's durability syscalls — the
+    # checkpoint store and segment writer below go through the shim, keyed
+    # to the same virtual clock the network faults ride.
+    host_injector = None
+    host_os = None
+    if config.fault_schedule is not None and (
+        config.fault_schedule.host_events()
+    ):
+        from repro.faults.host import HostFaultInjector
+
+        host_injector = HostFaultInjector(
+            config.fault_schedule,
+            clock=lambda: built.network.clock,
+            metrics=registry,
+        )
+        host_os = host_injector.os_layer()
+        if store is not None:
+            store.os = host_os
     sink = None
     if job.store_dir and store is None:
         # No checkpointing: stream rows straight into the shard's segment so
@@ -156,7 +175,7 @@ def execute_job(
         # persistence; the segment is written once at the end instead.
         from repro.store.sink import SegmentSink
 
-        sink = SegmentSink(_segment_writer(job))
+        sink = SegmentSink(_segment_writer(job, host_os))
     scanner = Scanner(built.network, built.vantage, probe, config,
                       metrics=registry, tracer=tracer, sink=sink)
     prior_result = prior.result if prior is not None else None
@@ -245,7 +264,7 @@ def execute_job(
         sink.close()
         segment_meta = sink.meta
     elif job.store_dir:
-        writer = _segment_writer(job)
+        writer = _segment_writer(job, host_os)
         writer.append_many(merged.results)
         segment_meta = writer.seal()
     if segment_meta is not None:
@@ -253,6 +272,14 @@ def execute_job(
             "segment_sealed", job_id=job.job_id,
             segment=segment_meta["name"], rows=segment_meta["rows"],
         )
+    if host_injector is not None:
+        # Revert any still-open windows and ship the host-fault journal
+        # home alongside the network fault records.  Faults stayed live
+        # through the final checkpoint write and segment seal above —
+        # those are exactly the writes worth failing.
+        host_injector.restore()
+        for fault_record in host_injector.records:
+            buffer.record(fault_record)
     return ShardOutcome(
         job=job,
         result=merged,

@@ -10,17 +10,32 @@ list of time-windowed :class:`FaultEvent`\\ s keyed off the network's
 :class:`~repro.net.network.Network` — applying each fault when the clock
 enters its window and reverting it when the clock leaves.
 
+The schedule carries two fault **domains** on one timeline.  Network-domain
+events (loss bursts, router crashes, rate limiting, routing mutations) arm
+against the simulated Internet via :class:`FaultInjector`; host-domain
+events (``fs-error`` / ``fs-torn-write`` / ``fs-crash``) arm against the
+*scanner host's* storage syscalls via :class:`HostFaultInjector`, which
+wraps the store's :class:`~repro.store.oslayer.OsLayer` in a
+:class:`FaultyOs` shim.  A mixed schedule is split automatically: each
+injector arms only its own domain's events.
+
 Determinism is the design constraint: every random draw the fault layer
 makes comes from its own ``random.Random(schedule.seed)``, never from the
-network's topology RNG, so the same seed + schedule reproduces the
-identical packet-level outcome regardless of executor backend (asserted by
-the cross-backend determinism suite).
+network's topology RNG (host faults draw no randomness at all), so the
+same seed + schedule reproduces the identical packet-level — and
+syscall-level — outcome regardless of executor backend (asserted by the
+cross-backend determinism suite).
 """
 
 from repro.faults.schedule import (
     BLACKHOLE,
     FAULT_KINDS,
+    FS_CRASH,
+    FS_ERROR,
+    FS_TORN_WRITE,
+    HOST_FAULT_KINDS,
     LOSS_BURST,
+    NETWORK_FAULT_KINDS,
     RATE_LIMIT,
     ROUTE_FLAP,
     ROUTE_SET,
@@ -30,11 +45,21 @@ from repro.faults.schedule import (
     ScheduleError,
 )
 from repro.faults.injector import FaultError, FaultInjector
+from repro.faults.host import (
+    FaultyOs,
+    HostFaultInjector,
+    SimulatedCrash,
+)
 
 __all__ = [
     "BLACKHOLE",
     "FAULT_KINDS",
+    "FS_CRASH",
+    "FS_ERROR",
+    "FS_TORN_WRITE",
+    "HOST_FAULT_KINDS",
     "LOSS_BURST",
+    "NETWORK_FAULT_KINDS",
     "RATE_LIMIT",
     "ROUTE_FLAP",
     "ROUTE_SET",
@@ -43,5 +68,8 @@ __all__ = [
     "FaultSchedule",
     "FaultError",
     "FaultInjector",
+    "FaultyOs",
+    "HostFaultInjector",
     "ScheduleError",
+    "SimulatedCrash",
 ]

@@ -1,0 +1,273 @@
+"""The host fault domain: storage failures under the scanner itself.
+
+PR 4's :class:`~repro.faults.injector.FaultInjector` shakes the simulated
+Internet; this module shakes the *host* — the disk under the result store
+and the checkpoint directory, which real campaigns lose to far more often
+than to packet loss (disk-full mid-segment, torn writes on power loss,
+operator kill -9 between a seal and the manifest commit).
+
+:class:`HostFaultInjector` mirrors the network injector's discipline
+exactly: it arms a :class:`~repro.faults.schedule.FaultSchedule`'s
+host-domain events (``fs-error`` / ``fs-torn-write`` / ``fs-crash``) as a
+sorted apply/revert timeline on the **virtual clock**, exposes
+``next_transition``, journals every transition into :attr:`records`
+(``fault_applied`` / ``fault_reverted`` — the same record shape the
+campaign EventLog ingests), and reverts everything on :meth:`restore`.
+The difference is the attachment point: instead of a ``Network`` it
+produces a :class:`FaultyOs` — an :class:`~repro.store.oslayer.OsLayer`
+shim the store's writers call — so scheduled windows intercept exactly
+the four durability syscalls the crash-safety claims rest on.
+
+Determinism: host faults draw no randomness at all.  Whether an operation
+fails is a pure function of (virtual clock, op, path, bytes-written-so-
+far), so the same schedule over the same scan reproduces the identical
+failure — and the identical recovery — on every backend.
+
+``fs-crash`` raises :class:`SimulatedCrash`, a ``BaseException`` like
+``KeyboardInterrupt``: nothing on the worker path may swallow it, so it
+propagates out exactly as far as a real process death would, leaving only
+what was already durable.  (The kill-anywhere harness in
+:mod:`repro.engine.killtest` goes one step further and uses real SIGKILL;
+this in-process variant is what makes the crash *windows* unit-testable.)
+"""
+
+from __future__ import annotations
+
+import errno
+import math
+from pathlib import Path
+from typing import Callable, Dict, IO, List, Optional, Tuple
+
+from repro.faults.schedule import (
+    FS_CRASH,
+    FS_ERROR,
+    FS_TORN_WRITE,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.store.oslayer import OsLayer, get_default_os
+
+_ERRNOS = {"EIO": errno.EIO, "ENOSPC": errno.ENOSPC}
+
+
+class SimulatedCrash(BaseException):
+    """An injected ``fs-crash``: the process is considered dead here.
+
+    A ``BaseException`` deliberately (like
+    :class:`~repro.engine.worker.WorkerInterrupted`): executor retry
+    handling catches ``Exception`` only, so a simulated crash aborts the
+    campaign the way a real SIGKILL would instead of being politely
+    retried.
+    """
+
+
+def _os_error(err: str, path: str, op: str) -> OSError:
+    code = _ERRNOS[err]
+    return OSError(code, f"injected {err} on {op}", path)
+
+
+class FaultyOs(OsLayer):
+    """The shim an armed :class:`HostFaultInjector` hands to the store."""
+
+    def __init__(self, injector: "HostFaultInjector", base: OsLayer) -> None:
+        self.injector = injector
+        self.base = base
+
+    def write(self, handle: IO[bytes], data: bytes) -> None:
+        event = self.injector.match("write", handle.name)
+        if event is None:
+            self.base.write(handle, data)
+            return
+        if event.kind == FS_TORN_WRITE:
+            self.injector.tear(event, handle, data, self.base)
+            return
+        self.injector.fail(event, "write", handle.name)
+
+    def fsync(self, handle: IO) -> None:
+        event = self.injector.match("fsync", handle.name)
+        if event is not None:
+            self.injector.fail(event, "fsync", handle.name)
+        self.base.fsync(handle)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        crash = self.injector.match("before-rename", str(dst))
+        if crash is not None:
+            self.injector.crash(crash, "before-rename", str(dst))
+        event = self.injector.match("rename", str(dst))
+        if event is not None:
+            self.injector.fail(event, "rename", str(dst))
+        self.base.replace(src, dst)
+        crash = self.injector.match("after-rename", str(dst))
+        if crash is not None:
+            self.injector.crash(crash, "after-rename", str(dst))
+
+    def fsync_dir(self, path: Path) -> None:
+        # Directory fsync is the fsync op's other face: an fs-error on
+        # fsync whose path filter matches the directory degrades rename
+        # durability — the satellite the store must *report*, not hide.
+        event = self.injector.match("fsync", str(path))
+        if event is not None:
+            self.injector.fail(event, "fsync", str(path))
+        self.base.fsync_dir(path)
+
+
+class HostFaultInjector:
+    """Drives a schedule's host-domain events against the OS layer.
+
+    ``clock`` is a zero-argument callable returning the current *virtual*
+    time — in a worker, ``lambda: network.clock`` — so host windows share
+    the timeline (and the journal timestamps) of the network faults they
+    ride alongside.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        clock: Callable[[], float],
+        base: Optional[OsLayer] = None,
+        metrics=None,
+    ) -> None:
+        self.schedule = schedule
+        self.clock = clock
+        self.base = base if base is not None else get_default_os()
+        if metrics is None:
+            from repro.telemetry.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        #: Structured journal records (same shape as the network injector's)
+        #: for the worker event buffer / campaign EventLog.
+        self.records: List[Dict[str, object]] = []
+        #: Virtual time of the next apply/revert; +inf once exhausted.
+        self.next_transition = math.inf
+        timeline: List[Tuple[float, int, int, str, FaultEvent]] = []
+        for seq, event in enumerate(schedule.host_events()):
+            timeline.append((event.start, 1, seq, "apply", event))
+            timeline.append((event.end, 0, seq, "revert", event))
+        self._timeline = sorted(timeline)
+        self._cursor = 0
+        self._active: List[FaultEvent] = []
+        #: Per-torn-write-event bytes already allowed through (the tear
+        #: point is cumulative over the window, not per call).
+        self._torn: Dict[int, int] = {}
+        if self._timeline:
+            self.next_transition = self._timeline[0][0]
+
+    def os_layer(self) -> FaultyOs:
+        """The shim to install under a store/segment/checkpoint writer."""
+        return FaultyOs(self, self.base)
+
+    # -- timeline ----------------------------------------------------------
+
+    def sync(self, clock: float) -> None:
+        """Apply/revert every transition due at or before ``clock``."""
+        timeline = self._timeline
+        cursor = self._cursor
+        while cursor < len(timeline) and timeline[cursor][0] <= clock:
+            _t, _phase, _seq, action, event = timeline[cursor]
+            cursor += 1
+            if action == "apply":
+                self._active.append(event)
+                self._record("applied", event, clock)
+            else:
+                self._active.remove(event)
+                self._torn.pop(id(event), None)
+                self._record("reverted", event, clock, reason="window-end")
+        self._cursor = cursor
+        self.next_transition = (
+            timeline[cursor][0] if cursor < len(timeline) else math.inf
+        )
+
+    def restore(self) -> None:
+        """Revert anything still active (scan ended mid-window)."""
+        clock = self.clock()
+        for event in list(reversed(self._active)):
+            self._active.remove(event)
+            self._torn.pop(id(event), None)
+            self._record("reverted", event, clock, reason="scan-end")
+        self.next_transition = math.inf
+
+    # -- op hooks ----------------------------------------------------------
+
+    def match(self, op: str, path: str) -> Optional[FaultEvent]:
+        """The first active event intercepting ``op`` on ``path``, if any."""
+        clock = self.clock()
+        if clock >= self.next_transition:
+            self.sync(clock)
+        if not self._active:
+            return None
+        for event in self._active:
+            if event.path is not None and event.path not in path:
+                continue
+            if event.kind == FS_ERROR and event.op == op:
+                return event
+            if event.kind == FS_TORN_WRITE and op == "write":
+                return event
+            if event.kind == FS_CRASH and event.op == op:
+                return event
+        return None
+
+    def fail(self, event: FaultEvent, op: str, path: str) -> None:
+        """Inject an ``fs-error``: journal it and raise its errno."""
+        assert event.err is not None
+        self._injected(event, op, path, err=event.err)
+        raise _os_error(event.err, path, op)
+
+    def tear(self, event: FaultEvent, handle: IO[bytes], data: bytes,
+             base: OsLayer) -> None:
+        """Inject an ``fs-torn-write``: bytes up to the tear point land,
+        the rest vanish, and the crossing (and every later) write errors."""
+        assert event.offset is not None
+        passed = self._torn.get(id(event), 0)
+        remaining = event.offset - passed
+        if remaining > 0:
+            chunk = data[: min(remaining, len(data))]
+            base.write(handle, chunk)
+            self._torn[id(event)] = passed + len(chunk)
+            if len(chunk) == len(data):
+                return  # still below the tear point: the write succeeds
+        self._injected(event, "write", handle.name, torn_at=event.offset)
+        raise OSError(
+            errno.EIO,
+            f"injected torn write at byte {event.offset}",
+            handle.name,
+        )
+
+    def crash(self, event: FaultEvent, op: str, path: str) -> None:
+        """Inject an ``fs-crash``: journal it and die (by BaseException)."""
+        self._injected(event, op, path)
+        raise SimulatedCrash(f"injected crash {op} of {path}")
+
+    # -- journal -----------------------------------------------------------
+
+    def _record(self, phase: str, event: FaultEvent, clock: float,
+                **extra: object) -> None:
+        record: Dict[str, object] = {
+            "type": f"fault_{phase}",
+            "kind": event.kind,
+            "t_virtual": clock,
+            "window": [event.start, event.end],
+        }
+        if event.op is not None:
+            record["op"] = event.op
+        if event.path is not None:
+            record["path"] = event.path
+        record.update(extra)
+        self.records.append(record)
+        self.metrics.counter("fault_events", kind=event.kind,
+                             phase=phase).inc()
+
+    def _injected(self, event: FaultEvent, op: str, path: str,
+                  **extra: object) -> None:
+        record: Dict[str, object] = {
+            "type": "host_fault_injected",
+            "kind": event.kind,
+            "op": op,
+            "file": path,
+            "t_virtual": self.clock(),
+            "window": [event.start, event.end],
+        }
+        record.update(extra)
+        self.records.append(record)
+        self.metrics.counter("host_faults_injected", kind=event.kind,
+                             op=op).inc()

@@ -81,8 +81,12 @@ class FaultInjector:
         self.next_transition = math.inf
         # (time, phase, seq, action, event): reverts sort before applies at
         # the same instant so back-to-back windows hand over cleanly.
+        # Host-domain events are not ours — they arm against the store's OS
+        # layer via a HostFaultInjector; a mixed schedule is split here.
         timeline: List[Tuple[float, int, int, str, FaultEvent]] = []
         for seq, event in enumerate(schedule.events):
+            if event.host_domain:
+                continue
             timeline.append((event.start, 1, seq, "apply", event))
             timeline.append((event.end, 0, seq, "revert", event))
         self._timeline = sorted(timeline)

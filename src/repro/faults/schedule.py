@@ -27,6 +27,27 @@ the BGP fabric compiles down to route operations:
                 diff-applies a reconverged RIB mid-scan.
 ============== =============================================================
 
+Three further kinds cover the **host fault domain** — failures of the
+scanner host's own storage, armed against the store's
+:class:`~repro.store.oslayer.OsLayer` by a
+:class:`~repro.faults.host.HostFaultInjector` instead of the network:
+
+=================== ========================================================
+``fs-error``         The durability syscall ``op`` (write/fsync/rename)
+                     fails with errno ``err`` (EIO/ENOSPC) on files whose
+                     path contains ``path`` (None = all).
+``fs-torn-write``    Writes tear at byte ``offset``: bytes up to the offset
+                     reach the file, the rest are lost, and the write
+                     raises EIO — a disk going bad mid-segment.
+``fs-crash``         The process "dies" at a rename boundary: ``op``
+                     ``before-rename`` crashes with the tmp file written
+                     but the rename not performed; ``after-rename`` crashes
+                     with the rename durable but nothing after it.
+=================== ========================================================
+
+One schedule may mix network and host events: each injector arms only its
+own domain (:attr:`FaultEvent.host_domain` is the discriminator).
+
 Events carry only primitives (names, prefix strings, floats) so a schedule
 pickles into :class:`~repro.core.scanner.ScanConfig` and ships to process
 pool workers unchanged; JSON round-trips via :meth:`FaultSchedule.to_json`
@@ -46,8 +67,23 @@ BLACKHOLE = "blackhole"
 ROUTE_FLAP = "route-flap"
 ROUTE_SET = "route-set"
 
-FAULT_KINDS = (LOSS_BURST, ROUTER_CRASH, RATE_LIMIT, BLACKHOLE, ROUTE_FLAP,
-               ROUTE_SET)
+#: Host-domain kinds: faults under the *scanner host* rather than the
+#: simulated Internet.  They arm against the store's
+#: :class:`~repro.store.oslayer.OsLayer` (via
+#: :class:`~repro.faults.host.HostFaultInjector`), not the network.
+FS_ERROR = "fs-error"
+FS_TORN_WRITE = "fs-torn-write"
+FS_CRASH = "fs-crash"
+
+NETWORK_FAULT_KINDS = (LOSS_BURST, ROUTER_CRASH, RATE_LIMIT, BLACKHOLE,
+                       ROUTE_FLAP, ROUTE_SET)
+HOST_FAULT_KINDS = (FS_ERROR, FS_TORN_WRITE, FS_CRASH)
+FAULT_KINDS = NETWORK_FAULT_KINDS + HOST_FAULT_KINDS
+
+#: ``fs-error`` operations / errnos and ``fs-crash`` phases.
+FS_OPS = ("write", "fsync", "rename")
+FS_ERRNOS = ("EIO", "ENOSPC")
+FS_CRASH_OPS = ("before-rename", "after-rename")
 
 
 class ScheduleError(ValueError):
@@ -71,6 +107,16 @@ class FaultEvent:
     burst: Optional[float] = None
     #: Next-hop address text for ``route-set`` (primitive for pickling).
     next_hop: Optional[str] = None
+    #: Host-domain fields.  ``op``: which durability syscall the fault
+    #: intercepts (``fs-error``: write/fsync/rename; ``fs-crash``:
+    #: before-rename/after-rename).  ``err``: the errno name raised by
+    #: ``fs-error`` (EIO/ENOSPC).  ``path``: substring filter — the fault
+    #: only fires on files whose path contains it (None = every file).
+    #: ``offset``: the byte position an ``fs-torn-write`` tears at.
+    op: Optional[str] = None
+    err: Optional[str] = None
+    path: Optional[str] = None
+    offset: Optional[int] = None
 
     def validate(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -106,6 +152,34 @@ class FaultEvent:
                 raise ScheduleError(f"{self.kind}: prefix is required")
             if self.kind == ROUTE_SET and not self.next_hop:
                 raise ScheduleError(f"{self.kind}: next_hop is required")
+        elif self.kind == FS_ERROR:
+            if self.op not in FS_OPS:
+                raise ScheduleError(
+                    f"{self.kind}: op must be one of {', '.join(FS_OPS)}, "
+                    f"got {self.op!r}"
+                )
+            if self.err not in FS_ERRNOS:
+                raise ScheduleError(
+                    f"{self.kind}: err must be one of "
+                    f"{', '.join(FS_ERRNOS)}, got {self.err!r}"
+                )
+        elif self.kind == FS_TORN_WRITE:
+            if self.offset is None or self.offset < 0:
+                raise ScheduleError(
+                    f"{self.kind}: offset (bytes, >= 0) is required, got "
+                    f"{self.offset!r}"
+                )
+        elif self.kind == FS_CRASH:
+            if self.op not in FS_CRASH_OPS:
+                raise ScheduleError(
+                    f"{self.kind}: op must be one of "
+                    f"{', '.join(FS_CRASH_OPS)}, got {self.op!r}"
+                )
+
+    @property
+    def host_domain(self) -> bool:
+        """True for faults that arm against the OS layer, not the network."""
+        return self.kind in HOST_FAULT_KINDS
 
     def resource(self) -> tuple:
         """The exclusive resource this event occupies (overlap checking)."""
@@ -115,6 +189,14 @@ class FaultEvent:
             return ("device", self.device)
         if self.kind == RATE_LIMIT:
             return ("limiter", self.device)
+        if self.kind == FS_ERROR:
+            return ("host", self.op, self.path)
+        if self.kind == FS_TORN_WRITE:
+            # A torn write is a write-path fault: it may not share a window
+            # with an fs-error on write for the same files.
+            return ("host", "write", self.path)
+        if self.kind == FS_CRASH:
+            return ("host", self.op, self.path)
         return ("route", self.device, self.prefix)
 
     def to_dict(self) -> Dict[str, object]:
@@ -133,6 +215,14 @@ class FaultEvent:
             data["burst"] = self.burst
         if self.next_hop is not None:
             data["next_hop"] = self.next_hop
+        if self.op is not None:
+            data["op"] = self.op
+        if self.err is not None:
+            data["err"] = self.err
+        if self.path is not None:
+            data["path"] = self.path
+        if self.offset is not None:
+            data["offset"] = self.offset
         return data
 
     @classmethod
@@ -140,7 +230,7 @@ class FaultEvent:
         if not isinstance(data, dict):
             raise ScheduleError(f"fault event must be an object, got {data!r}")
         known = {"kind", "start", "end", "device", "link", "prefix", "rate",
-                 "burst", "next_hop"}
+                 "burst", "next_hop", "op", "err", "path", "offset"}
         unknown = set(data) - known
         if unknown:
             raise ScheduleError(
@@ -175,6 +265,16 @@ class FaultEvent:
                 next_hop=(
                     str(data["next_hop"])
                     if data.get("next_hop") is not None else None
+                ),
+                op=str(data["op"]) if data.get("op") is not None else None,
+                err=str(data["err"]) if data.get("err") is not None else None,
+                path=(
+                    str(data["path"]) if data.get("path") is not None
+                    else None
+                ),
+                offset=(
+                    int(data["offset"])  # type: ignore[arg-type]
+                    if data.get("offset") is not None else None
                 ),
             )
         except (KeyError, TypeError, IndexError) as exc:
@@ -222,6 +322,14 @@ class FaultSchedule:
                 yield event.device
             if event.link is not None:
                 yield from event.link
+
+    def host_events(self) -> Tuple[FaultEvent, ...]:
+        """The host-domain subset (what a HostFaultInjector arms)."""
+        return tuple(e for e in self.events if e.host_domain)
+
+    def network_events(self) -> Tuple[FaultEvent, ...]:
+        """The network-domain subset (what a FaultInjector arms)."""
+        return tuple(e for e in self.events if not e.host_domain)
 
     # -- (de)serialisation -------------------------------------------------
 

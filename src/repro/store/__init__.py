@@ -13,9 +13,17 @@ the store without rescanning anything.
 * :mod:`repro.store.index`    — per-segment /32→/48→/64 prefix buckets;
 * :mod:`repro.store.snapshot` — named round → segment-set bindings;
 * :mod:`repro.store.query`    — iterator queries and :func:`diff` churn;
-* :mod:`repro.store.sink`     — streaming sinks (segment, CSV, JSONL, tee).
+* :mod:`repro.store.sink`     — streaming sinks (segment, CSV, JSONL, tee);
+* :mod:`repro.store.oslayer`  — the pluggable durability syscall surface
+  (write/fsync/rename/dir-fsync) the host fault domain injects under.
 """
 
+from repro.store.oslayer import (
+    OsLayer,
+    RealOs,
+    get_default_os,
+    set_default_os,
+)
 from repro.store.query import ChurnReport, diff, query
 from repro.store.segment import (
     SegmentCorrupt,
@@ -38,6 +46,8 @@ __all__ = [
     "CsvSink",
     "JsonlSink",
     "ListSink",
+    "OsLayer",
+    "RealOs",
     "ResultSink",
     "ResultStore",
     "SegmentCorrupt",
@@ -49,5 +59,7 @@ __all__ = [
     "StoreError",
     "TeeSink",
     "diff",
+    "get_default_os",
     "query",
+    "set_default_os",
 ]

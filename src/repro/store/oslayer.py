@@ -1,0 +1,100 @@
+"""The pluggable OS layer under the store's durability operations.
+
+Everything the result path promises about crash safety rests on four
+syscalls: ``write`` (segment bytes and manifest JSON reach the kernel),
+``fsync`` (they reach the platter), ``rename`` (they become visible
+atomically), and the directory fsync that makes the rename itself durable.
+:class:`OsLayer` names exactly those four operations, and every component
+with a durability claim — :class:`~repro.store.segment.SegmentWriter`,
+:class:`~repro.store.store.ResultStore`'s manifest writer, and the
+engine's :class:`~repro.engine.checkpoint.CheckpointStore` — routes its
+calls through one.
+
+Two implementations ship:
+
+* :class:`RealOs` (the default) delegates straight to ``os`` / the file
+  object — byte-identical behaviour and indistinguishable cost; and
+* :class:`~repro.faults.host.FaultyOs`, the host fault domain's shim,
+  which fails scheduled operations with EIO/ENOSPC, tears writes at byte
+  offsets, and crashes before/after renames on the virtual clock.
+
+The **process default** is a module global so a harness can swap the
+layer for every store opened afterwards in this process — including
+forked pool workers, which inherit it — without threading a parameter
+through every constructor.  The kill-anywhere harness
+(:mod:`repro.engine.killtest`) installs its SIGKILL-counting layer this
+way before the campaign starts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO
+
+
+class OsLayer:
+    """The durability syscall surface; subclass to intercept.
+
+    The base class *is* the real implementation — :class:`RealOs` exists
+    only as a named alias so call sites read honestly.  Methods take the
+    open file object (not a path) where the real call would, so a shim
+    sees exactly what the kernel would.
+    """
+
+    def write(self, handle: IO[bytes], data: bytes) -> None:
+        """Append ``data`` to an open binary file."""
+        handle.write(data)
+
+    def fsync(self, handle: IO) -> None:
+        """Flush OS buffers for an open file to stable storage."""
+        os.fsync(handle.fileno())
+
+    def replace(self, src: Path, dst: Path) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        """Fsync a directory so a rename inside it survives power loss.
+
+        Raises :class:`OSError` when the fsync itself fails — the caller
+        decides whether degraded rename durability is fatal or merely
+        observable.  Platforms that cannot open a directory read-only
+        (no such fd semantics) are silently excused: there is nothing
+        to sync there, not a failure to report.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic platforms
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+class RealOs(OsLayer):
+    """The passthrough layer: exactly the syscalls, nothing else."""
+
+
+#: The process-wide default layer.  Mutated only via :func:`set_default_os`;
+#: components capture it at construction time via :func:`get_default_os`.
+_DEFAULT: OsLayer = RealOs()
+
+
+def get_default_os() -> OsLayer:
+    """The layer a store/segment/checkpoint opened *now* would use."""
+    return _DEFAULT
+
+
+def set_default_os(layer: "OsLayer | None") -> OsLayer:
+    """Install a process-wide layer (None restores the real one).
+
+    Returns the previous layer so a test can restore it in a finally.
+    Affects components constructed *after* the call; existing writers
+    keep the layer they captured.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = layer if layer is not None else RealOs()
+    return previous

@@ -43,6 +43,7 @@ from repro.core.probes.base import ReplyKind
 from repro.core.scanner import ProbeResult
 from repro.net.addr import IPv6Addr
 from repro.store.index import SegmentIndex, SegmentIndexBuilder
+from repro.store.oslayer import OsLayer, get_default_os
 
 MAGIC = b"RPS1"
 SEGMENT_VERSION = 1
@@ -87,17 +88,21 @@ class SegmentWriter:
     """
 
     def __init__(self, path: "str | os.PathLike[str]",
-                 block_rows: int = DEFAULT_BLOCK_ROWS) -> None:
+                 block_rows: int = DEFAULT_BLOCK_ROWS,
+                 os_layer: Optional[OsLayer] = None) -> None:
         if block_rows < 1:
             raise ValueError("block_rows must be positive")
         self.path = Path(path)
         self.block_rows = block_rows
+        #: Durability syscall surface; the host fault domain swaps this for
+        #: a shim that fails/tears/crashes scheduled operations.
+        self.os = os_layer if os_layer is not None else get_default_os()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._tmp = self.path.with_name(
             f"{self.path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
         )
         self._fh = open(self._tmp, "wb")
-        self._fh.write(HEADER)
+        self.os.write(self._fh, HEADER)
         self._crc = zlib.crc32(HEADER)
         self._bytes = len(HEADER)
         self._buffer: List[bytes] = []
@@ -124,7 +129,7 @@ class SegmentWriter:
             self.append(result)
 
     def _write(self, data: bytes) -> None:
-        self._fh.write(data)
+        self.os.write(self._fh, data)
         self._crc = zlib.crc32(data, self._crc)
         self._bytes += len(data)
 
@@ -149,9 +154,9 @@ class SegmentWriter:
             raise RuntimeError(f"segment {self.path.name} already sealed")
         self._flush_block()
         self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self.os.fsync(self._fh)
         self._fh.close()
-        self._tmp.replace(self.path)
+        self.os.replace(self._tmp, self.path)
         self.sealed = True
         return {
             "name": self.path.name,

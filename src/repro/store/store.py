@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.scanner import ProbeResult
+from repro.store.oslayer import OsLayer, get_default_os
 from repro.store.segment import (
     DEFAULT_BLOCK_ROWS,
     SegmentCorrupt,
@@ -73,18 +74,6 @@ def _checksum(payload: Dict[str, object]) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _fsync_dir(path: Path) -> None:
-    """Best-effort directory fsync so renames survive power loss."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic platforms
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover
-        pass
-    finally:
-        os.close(fd)
 
 
 class ResultStore:
@@ -99,12 +88,16 @@ class ResultStore:
         metrics: Optional[MetricsRegistry] = None,
         use_mmap: bool = True,
         on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+        os_layer: Optional[OsLayer] = None,
     ) -> None:
         self.directory = Path(directory)
         self.segment_dir = self.directory / self.SEGMENT_DIR
         self.segment_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.use_mmap = use_mmap
+        #: Durability syscall surface for manifest writes and the writers
+        #: this store hands out; the host fault domain swaps in a shim.
+        self.os = os_layer if os_layer is not None else get_default_os()
         #: Optional telemetry hook: corruption/quarantine transitions are
         #: reported as plain event dicts (the campaign routes them into its
         #: EventLog, where ``store_quarantined`` trips the flight recorder).
@@ -142,12 +135,24 @@ class ResultStore:
         tmp = self.manifest_path.with_name(
             f"{self.MANIFEST}.{os.getpid()}.tmp"
         )
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle)
+        text = json.dumps(payload)
+        with open(tmp, "wb") as handle:
+            self.os.write(handle, text.encode())
             handle.flush()
-            os.fsync(handle.fileno())
-        tmp.replace(self.manifest_path)
-        _fsync_dir(self.directory)
+            self.os.fsync(handle)
+        self.os.replace(tmp, self.manifest_path)
+        # A failed directory fsync degrades rename durability (a power cut
+        # could resurrect the previous manifest) but the data is intact —
+        # observable, not fatal.  Swallowing it silently was the old bug.
+        try:
+            self.os.fsync_dir(self.directory)
+        except OSError as exc:
+            self.metrics.counter("store_fsync_failures").inc()
+            self._emit_event(
+                "store_fsync_failed",
+                path=str(self.directory),
+                error=str(exc),
+            )
 
     def _emit_event(self, event_type: str, **fields: object) -> None:
         if self.on_event is not None:
@@ -288,7 +293,8 @@ class ResultStore:
             name = f"seg-{self._commits:04d}-{len(self.segments):06d}.seg"
         if not name.endswith(".seg"):
             name += ".seg"
-        return SegmentWriter(self.segment_path(name), block_rows=block_rows)
+        return SegmentWriter(self.segment_path(name), block_rows=block_rows,
+                             os_layer=self.os)
 
     def reader(self, name: str) -> SegmentReader:
         meta = self.segments.get(name)
@@ -402,6 +408,28 @@ class ResultStore:
             if path.name not in known
         )
 
+    def sweep_orphans(self, prefix: Optional[str] = None) -> List[str]:
+        """Delete sealed-but-unreferenced segment files; returns their names.
+
+        The crash-recovery janitor: a campaign killed between sealing its
+        shard segments and the manifest commit leaves orphans under
+        deterministic names; the resumed run re-seals over them, but a
+        campaign whose shard set shrank (or a rename that never committed)
+        can strand files forever.  ``prefix`` restricts the sweep to one
+        round's namespace so concurrent rounds sharing a store never sweep
+        each other's in-flight segments.
+        """
+        swept: List[str] = []
+        for name in self.orphans():
+            if prefix is not None and not name.startswith(prefix):
+                continue
+            (self.segment_dir / name).unlink(missing_ok=True)
+            swept.append(name)
+        if swept:
+            self.metrics.counter("store_orphans_swept").inc(len(swept))
+            self._emit_event("store_orphans_swept", segments=swept)
+        return swept
+
     def info(self) -> Dict[str, object]:
         return {
             "directory": str(self.directory),
@@ -463,6 +491,7 @@ class ResultStore:
             writer = SegmentWriter(
                 self.segment_path(f"compact-{self._commits:04d}-{index:03d}.seg"),
                 block_rows=block_rows,
+                os_layer=self.os,
             )
             seen: set = set()
             for name in names:

@@ -36,6 +36,7 @@ from repro.telemetry.health import (
     HealthRule,
     HealthWindow,
     default_rules,
+    hardening_rules,
 )
 from repro.telemetry.recorder import (
     BUNDLE_FORMAT,
@@ -87,6 +88,7 @@ __all__ = [
     "WAIT_BUCKETS",
     "WorkerEventBuffer",
     "default_rules",
+    "hardening_rules",
     "load_bundle",
     "make_campaign_id",
     "sparkline",

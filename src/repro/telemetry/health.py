@@ -119,6 +119,41 @@ def default_rules() -> List[HealthRule]:
     ]
 
 
+def hardening_rules() -> List[HealthRule]:
+    """Detectors over the host-fault / supervision counter families.
+
+    Chaos campaigns (:mod:`repro.faults` host domain, the engine
+    supervisor) journal their interventions as plain counters, so the
+    same bucket-by-bucket machinery that spots organic degradation also
+    localises *injected* storage trouble on the virtual-clock axis.
+    Compose with :func:`default_rules` — these fire only when the
+    corresponding counters exist, so they are free on clean runs.
+    """
+    return [
+        # Any bucket where the host-fault shim failed/tore/crashed a
+        # storage op: the labelled window ground truth for chaos runs.
+        HealthRule("host-fault-pressure", signal="host_faults_injected",
+                   kind="threshold", op=">=", threshold=1.0,
+                   severity="warning"),
+        # The supervisor parked a shard: partial results were committed
+        # and an operator decision (retry the parked shards?) is pending.
+        HealthRule("shard-degradation",
+                   signal="supervisor_shards_degraded",
+                   kind="threshold", op=">=", threshold=1.0,
+                   severity="critical"),
+        # The store's manifest-directory fsync failed: commits remain
+        # atomic but durability of the *rename* is no longer guaranteed.
+        HealthRule("store-fsync-failure", signal="store_fsync_failures",
+                   kind="threshold", op=">=", threshold=1.0,
+                   severity="critical"),
+        # The flight recorder could not land a post-mortem bundle — the
+        # disk is failing underneath the failure-path telemetry itself.
+        HealthRule("recorder-degraded", signal="recorder_dump_failures",
+                   kind="threshold", op=">=", threshold=1.0,
+                   severity="warning"),
+    ]
+
+
 @dataclass
 class HealthWindow:
     """A coalesced run of buckets where one rule fired."""

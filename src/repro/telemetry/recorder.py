@@ -70,6 +70,10 @@ class FlightRecorder:
         self.max_bundles = max_bundles
         #: Paths of bundles written, oldest first.
         self.bundles: List[str] = []
+        #: True once a dump failed at the OS level (disk full, I/O error):
+        #: the recorder keeps collecting and keeps trying, but callers can
+        #: see the post-mortem trail is incomplete.
+        self.degraded = False
         self._dumping = False
         self._seq = 0
 
@@ -114,6 +118,13 @@ class FlightRecorder:
         Guarded against re-entry: the act of dumping may itself be
         observed (e.g. a subscriber emitting), and one failure must not
         cascade into a bundle storm.
+
+        Never raises for storage failures: the recorder runs on the
+        campaign's *failure* paths, where the disk may be the very thing
+        that is broken (ENOSPC, EIO).  A dump that cannot land is recorded
+        in the event tail as ``recorder_dump_failed``, :attr:`degraded`
+        flips, and ``""`` is returned — losing a post-mortem bundle must
+        not turn a degraded campaign into a crashed one.
         """
         self._dumping = True
         try:
@@ -136,6 +147,18 @@ class FlightRecorder:
                 with contextlib.suppress(OSError):
                     os.remove(stale)
             return path
+        except OSError as exc:
+            self.degraded = True
+            self.events.append({
+                "type": "recorder_dump_failed",
+                "reason": reason,
+                "error": str(exc),
+            })
+            if self.metrics is not None:
+                self.metrics.counter("recorder_dump_failures").inc()
+            with contextlib.suppress(OSError, UnboundLocalError):
+                os.remove(tmp)
+            return ""
         finally:
             self._dumping = False
 

@@ -35,6 +35,7 @@ from repro.telemetry import (
     HealthRule,
     SeriesSet,
     default_rules,
+    hardening_rules,
     load_bundle,
 )
 from repro.telemetry.recorder import TRIGGER_EVENTS
@@ -343,3 +344,87 @@ class TestWatchdogPostMortem:
         missing = str(tmp_path / "nope.json")
         assert main(["health", missing]) == 1
         assert "nope.json" in capsys.readouterr().err
+
+
+class TestHardeningRules:
+    """Detectors over the host-fault / supervision counter families."""
+
+    def test_hardening_rules_name_the_chaos_counters(self):
+        rules = {rule.name: rule for rule in hardening_rules()}
+        assert set(rules) == {"host-fault-pressure", "shard-degradation",
+                              "store-fsync-failure", "recorder-degraded"}
+        assert rules["shard-degradation"].severity == "critical"
+
+    def test_host_fault_buckets_localised(self):
+        series = SeriesSet(INTERVAL)
+        series.record("scanner_probes_sent", (), 0, 2)
+        series.record("scanner_probes_sent", (), 5, 2)
+        # Two labelled variants of the family, summed by named().
+        series.record("host_faults_injected",
+                      (("kind", "fs-error"), ("op", "write")), 2, 1)
+        series.record("host_faults_injected",
+                      (("kind", "fs-crash"), ("op", "rename")), 3, 2)
+        report = HealthEngine(hardening_rules()).evaluate(series)
+        (window,) = report.windows
+        assert window.rule == "host-fault-pressure"
+        assert window.buckets == (2, 4)
+        assert window.value == 2.0
+
+    def test_degraded_shard_is_critical(self):
+        series = SeriesSet(INTERVAL)
+        series.record("scanner_probes_sent", (), 0, 2)
+        series.record("supervisor_shards_degraded",
+                      (("reason", "breaker-open"),), 1, 1)
+        report = HealthEngine(hardening_rules()).evaluate(series)
+        (window,) = report.windows
+        assert window.rule == "shard-degradation"
+        assert window.severity == "critical"
+
+    def test_clean_series_never_fires(self):
+        series = _series({0: (2, 2), 1: (2, 2)})
+        rules = default_rules() + hardening_rules()
+        assert HealthEngine(rules).evaluate(series).windows == []
+
+
+class TestRecorderDegradation:
+    """Dumps never raise on storage failure: the recorder runs on the
+    campaign's failure paths, where the disk may be the broken part."""
+
+    def test_failed_dump_flags_degraded_not_raises(self, tmp_path):
+        blocker = tmp_path / "flight"
+        blocker.write_text("a file where the bundle dir should be")
+        recorder = FlightRecorder(str(blocker), campaign_id="t1")
+        from repro.telemetry import MetricsRegistry
+
+        recorder.metrics = MetricsRegistry()
+        assert recorder.dump("manual") == ""
+        assert recorder.degraded
+        assert recorder.bundles == []
+        (record,) = [e for e in recorder.events
+                     if e["type"] == "recorder_dump_failed"]
+        assert record["reason"] == "manual"
+        assert recorder.metrics.counter("recorder_dump_failures").value == 1
+
+    def test_trigger_on_dead_disk_does_not_kill_the_campaign(self, tmp_path):
+        blocker = tmp_path / "flight"
+        blocker.write_text("still a file")
+        recorder = FlightRecorder(str(blocker))
+        log = EventLog()
+        recorder.attach(log)
+        log.emit("watchdog_timeout", job_id="j1")  # must not raise
+        assert recorder.degraded and recorder.bundles == []
+        # The recorder keeps collecting after the failed dump.
+        log.emit("shard_finished", job_id="j2")
+        assert [e["type"] for e in recorder.events][-1] == "shard_finished"
+
+    def test_successful_dump_after_failure_clears_nothing_but_lands(
+        self, tmp_path
+    ):
+        blocker = tmp_path / "flight"
+        blocker.write_text("file")
+        recorder = FlightRecorder(str(blocker))
+        assert recorder.dump("first") == ""
+        blocker.unlink()  # the disk comes back
+        path = recorder.dump("second")
+        assert path and load_bundle(path)["reason"] == "second"
+        assert recorder.degraded  # sticky: the trail has a hole
