@@ -40,6 +40,11 @@ and fails when a headline metric regressed beyond tolerance:
   forwarding engine on the loop-amplification workload
   (``bench_perf_forwarding.py``); the bench itself also asserts the >=10x
   columnar-vs-scalar speedup and bit-identical results.
+* ``service`` — ``accepted_per_sec`` (higher is better): scan-service
+  admission throughput, each submission paying tenant-policy checks plus
+  one durable queue-state write (``bench_service.py``); the record also
+  carries the multi-tenant burst's wall time and p99 TTFR, recorded but
+  not gated (bucket-quantised).
 
 Skips must be honest: a fresh record whose committed baseline is absent
 is a hard failure (commit the regenerated ``BENCH_*.json`` with the PR),
@@ -198,6 +203,7 @@ GATES: Tuple[Tuple[str, str, Selector], ...] = (
     ("supervisor_overhead", "supervisor_overhead",
      lambda b, f: ("disabled_pps", True)),
     ("forwarding", "perf_forwarding", lambda b, f: ("columnar_pps", True)),
+    ("service", "service", lambda b, f: ("accepted_per_sec", True)),
 )
 
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Scan-as-a-service walkthrough: three tenants share one daemon.
+
+Starts a :class:`~repro.service.ScanService` with its HTTP API in
+process, then plays the full tenant lifecycle through the client:
+
+1. three tenants submit six campaigns over the mini testbed's responsive
+   windows, with different priorities (``interactive`` / ``normal`` /
+   ``batch``) — the WDRR scheduler interleaves them fairly;
+2. a tenant with a deliberately tight backlog policy gets a submission
+   rejected with HTTP 429 (admission control is synchronous, nothing is
+   silently dropped);
+3. one queued campaign is cancelled before it ever leases;
+4. the daemon runs the queue to idle on a two-thread fleet, then the
+   script prints every campaign's terminal state, the per-tenant
+   time-to-first-result quantiles from ``/v1/status``, and a result
+   sample fetched over HTTP;
+5. isolation is asserted: each tenant's rows live in that tenant's own
+   store namespace, every line of a campaign's event log carries the
+   tenant label, and the cancelled campaign committed nothing.
+
+Everything is seeded, so re-running prints the same campaign ids, the
+same row counts, and the same digest-stable stores every time.
+
+Run:  python examples/service_campaigns.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.service import (
+    ApiError,
+    ScanService,
+    ServiceClient,
+    ServiceServer,
+    TenantPolicy,
+)
+from repro.store import ResultStore
+
+#: (tenant, name, window, seed, priority) — windows the mini topology
+#: answers, so every campaign commits real periphery rows.
+WORK = [
+    ("mapper", "backbone", "2001:db8:1:40::/58-64", 3, "interactive"),
+    ("mapper", "wan-east", "2001:db8:0::/61-64", 4, "normal"),
+    ("census", "lan-5", "2001:db8:1:50::/60-64", 5, "normal"),
+    ("census", "lan-6", "2001:db8:1:60::/60-64", 6, "batch"),
+    ("audit", "ue-range", "2001:db8:2::/61-64", 7, "batch"),
+    ("audit", "core", "2001:db8:1::/59-64", 8, "normal"),
+]
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="repro-service-"))
+    service = ScanService(
+        str(root),
+        policies={
+            # audit is a good citizen: small backlog, bounded probes.
+            "audit": TenantPolicy(max_in_flight=1, max_queued=2,
+                                  probe_budget=64),
+        },
+        default_policy=TenantPolicy(max_in_flight=2),
+        max_workers=2,
+        seed=1,
+        scope="demo",
+    )
+    server = ServiceServer(service).start()
+    client = ServiceClient(server.address)
+    print(f"service listening on {server.address} (root {root})\n")
+
+    for tenant, name, window, seed, priority in WORK:
+        record = client.submit({
+            "tenant": tenant, "name": name, "scan_range": window,
+            "seed": seed, "priority": priority, "shards": 2,
+        })
+        print(f"accepted {record['campaign_id']}  {tenant:<7} {name:<9} "
+              f"{priority:<12} budget {record['spec']['scan_range']}")
+
+    # Admission control: audit's backlog policy caps it at two queued
+    # campaigns, so a third submission bounces with HTTP 429.
+    rejected = None
+    try:
+        client.submit({"tenant": "audit", "name": "extra",
+                       "scan_range": "2001:db8:2::/61-64"})
+    except ApiError as exc:
+        rejected = exc
+        print(f"\nadmission rejected (HTTP {exc.status}): {exc}")
+    assert rejected is not None and rejected.status == 429
+
+    # Cancel one queued campaign before the scheduler ever leases it.
+    cancelled = client.cancel("demo-0003")
+    print(f"cancelled {cancelled['campaign_id']} "
+          f"({cancelled['spec']['tenant']}/{cancelled['spec']['name']}) "
+          f"while {cancelled['state']}\n")
+
+    service.run_until_idle()
+
+    for record in client.list_campaigns():
+        spec = record["spec"]
+        meta = record.get("result") or {}
+        print(f"{record['campaign_id']}  {spec['tenant']:<7} "
+              f"{spec['name']:<9} -> {record['state']:<9} "
+              f"validated {meta.get('validated', '-')}")
+
+    status = client.service_status()
+    print("\nper-tenant time to first result:")
+    for tenant, quantiles in sorted(status["ttfr_seconds"].items()):
+        print(f"  {tenant:<7} p50 <= {quantiles['p50']:.2f}s  "
+              f"p99 <= {quantiles['p99']:.2f}s  "
+              f"({quantiles['count']} campaigns)")
+
+    rows = client.results("demo-0000", limit=3)
+    print(f"\nfirst rows of demo-0000 over HTTP ({len(rows)} shown):")
+    for row in rows:
+        print(f"  {row['target']} -> {row['responder']} ({row['kind']})")
+
+    # --- the isolation contract, asserted -----------------------------
+    # Per-tenant stores: every tenant's rows live under its own
+    # namespace, and the cancelled campaign committed nothing anywhere.
+    states = {r["campaign_id"]: r["state"] for r in client.list_campaigns()}
+    assert states["demo-0003"] == "cancelled"
+    done = [cid for cid, state in states.items() if state == "done"]
+    assert len(done) == len(WORK) - 1
+    for tenant in ("mapper", "census", "audit"):
+        store = ResultStore(service.stores.store_dir(tenant))
+        expected = {
+            r["campaign_id"] for r in client.list_campaigns(tenant=tenant)
+            if r["state"] == "done"
+        }
+        assert {s.split("round-")[1] for s in store.snapshots} == expected
+        assert store.total_rows > 0
+    # Tenant labels: every record of a campaign's log names its tenant.
+    log_path = root / "logs" / "demo-0000.ndjson"
+    records = [json.loads(line) for line in log_path.read_text().splitlines()]
+    assert records and all(r.get("tenant") == "mapper" for r in records)
+
+    server.stop()
+    print("\nPer-tenant stores are disjoint, the cancelled campaign "
+          "committed nothing,\nand every event-log line carries its "
+          "tenant label — all asserted above.")
+
+
+if __name__ == "__main__":
+    main()

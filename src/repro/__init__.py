@@ -71,6 +71,7 @@ from repro.bgp import (
     compute_delta,
 )
 from repro.net import IPv6Addr, IPv6Prefix, MacAddress, Network
+from repro.service import CampaignSpec, ScanService, TenantPolicy
 from repro.services import AppScanner, DEFAULT_CVE_DB
 from repro.store import ResultStore, diff, query
 from repro.telemetry import (
@@ -137,4 +138,8 @@ __all__ = [
     "HealthReport",
     "HealthRule",
     "FlightRecorder",
+    # scan service
+    "ScanService",
+    "CampaignSpec",
+    "TenantPolicy",
 ]

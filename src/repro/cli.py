@@ -11,7 +11,10 @@ Installed as ``repro-xmap``.  Subcommands mirror the paper's experiments:
 * ``internet``   — compile the AS-level BGP fabric; inspect route-leak /
   hijack / flap / failover deltas;
 * ``health``     — summarise flight-recorder bundles / time-series files;
-* ``feasibility``— §III-B: scan-duration projections for a given bandwidth.
+* ``feasibility``— §III-B: scan-duration projections for a given bandwidth;
+* ``serve``      — the multi-tenant scan-service daemon (HTTP API,
+  fair-share scheduler, drain/restart-safe queue);
+* ``submit`` / ``status`` / ``cancel`` — clients for a running daemon.
 
 Examples::
 
@@ -27,6 +30,11 @@ Examples::
     repro-xmap store diff results/ round-1 round-2
     repro-xmap scan --timeseries 0.01 --health --flight-recorder flight/
     repro-xmap health flight/flight-*.json
+    repro-xmap serve --root svc/ --port 8640 --workers 4
+    repro-xmap submit --url http://127.0.0.1:8640 --tenant alice \
+        --range 2001:db8:1::/56-64 --priority interactive
+    repro-xmap status --url http://127.0.0.1:8640
+    repro-xmap cancel --url http://127.0.0.1:8640 alice-0003
 """
 
 from __future__ import annotations
@@ -809,6 +817,115 @@ def cmd_feasibility(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service import ScanService, ServiceServer, TenantPolicy
+
+    policies = {}
+    if args.policies:
+        with open(args.policies) as handle:
+            policies = {
+                tenant: TenantPolicy.from_dict(policy)
+                for tenant, policy in json.load(handle).items()
+            }
+    service = ScanService(
+        args.root,
+        policies=policies,
+        default_policy=TenantPolicy(max_in_flight=args.max_in_flight),
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port).start()
+    # The address line is the contract scripts wait on (port 0 is valid).
+    print(json.dumps({"address": server.address,
+                      "scope": service.queue.allocator.scope,
+                      "recovered": service.queue.recovered_leases}),
+          flush=True)
+    try:
+        with service.sigterm_scope():
+            if args.once:
+                service.run_until_idle()
+            else:
+                asyncio.run(service.run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(json.dumps({"stopped": True, "drained": service.draining,
+                      "queue_depth": service.queue.depth}), flush=True)
+    return 0
+
+
+def _service_client(args):
+    from repro.service.api import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.service.api import ApiError
+
+    spec = {
+        "tenant": args.tenant,
+        "name": args.name or args.scan_range,
+        "scan_range": args.scan_range,
+        "topology": args.topology,
+        "seed": args.seed,
+        "shards": args.shards,
+        "executor": args.executor,
+        "priority": args.priority,
+        "rate_pps": args.rate,
+        "max_probes": args.max_probes,
+    }
+    try:
+        record = _service_client(args).submit(spec)
+    except ApiError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from repro.service.api import ApiError
+
+    client = _service_client(args)
+    try:
+        if args.id is None:
+            payload: object = client.service_status()
+            if args.tenant is not None:
+                payload = {"campaigns": client.list_campaigns(args.tenant)}
+        elif args.results:
+            payload = {"rows": client.results(args.id, limit=args.limit)}
+        else:
+            payload = client.status(args.id)
+    except ApiError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    import json
+
+    from repro.service.api import ApiError
+
+    try:
+        record = _service_client(args).cancel(args.id)
+    except ApiError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xmap",
@@ -1054,6 +1171,69 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("feasibility", help="§III-B projections")
     p.add_argument("--gbps", type=float, default=1.0)
     p.set_defaults(func=cmd_feasibility)
+
+    p = sub.add_parser("serve",
+                       help="run the multi-tenant scan-service daemon "
+                            "(HTTP API + fair-share scheduler)")
+    p.add_argument("--root", required=True,
+                   help="service state root (queue.json, tenants/, logs/)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="HTTP port (default 0 = ephemeral; the chosen "
+                        "address is printed as JSON on stdout)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker-fleet size (concurrent campaign leases)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scheduler tiebreak seed (replayable decisions)")
+    p.add_argument("--max-in-flight", type=int, default=2,
+                   help="default per-tenant concurrent-lease cap")
+    p.add_argument("--policies", default=None, metavar="FILE",
+                   help="JSON {tenant: policy} overriding the default "
+                        "(weight, max_in_flight, probe_budget, ...)")
+    p.add_argument("--once", action="store_true",
+                   help="drain the queue to idle, then exit (batch mode)")
+    p.set_defaults(func=cmd_serve)
+
+    def service_client_args(p):
+        p.add_argument("--url", required=True,
+                       help="daemon base URL, e.g. http://127.0.0.1:8640")
+
+    p = sub.add_parser("submit", help="submit a campaign to a daemon")
+    service_client_args(p)
+    p.add_argument("--tenant", required=True)
+    p.add_argument("--name", default=None,
+                   help="campaign label (default: the range spec)")
+    p.add_argument("--range", required=True, dest="scan_range",
+                   metavar="SPEC", help="e.g. 2001:db8:1::/56-64")
+    p.add_argument("--topology", default="mini",
+                   help="topology kind (default mini)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--executor", default="serial",
+                   choices=("serial", "thread", "process"))
+    p.add_argument("--priority", default="normal",
+                   choices=("interactive", "normal", "batch"))
+    p.add_argument("--rate", type=float, default=25_000.0)
+    p.add_argument("--max-probes", type=int, default=None)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status",
+                       help="service summary, or one campaign's record")
+    service_client_args(p)
+    p.add_argument("id", nargs="?", default=None,
+                   help="campaign id (omit for the service summary)")
+    p.add_argument("--tenant", default=None,
+                   help="list this tenant's campaigns instead")
+    p.add_argument("--results", action="store_true",
+                   help="fetch the campaign's committed rows")
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap --results rows")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a queued or leased campaign")
+    service_client_args(p)
+    p.add_argument("id")
+    p.set_defaults(func=cmd_cancel)
 
     return parser
 

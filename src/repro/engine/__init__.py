@@ -13,7 +13,14 @@ Every campaign journals its lifecycle into a
 campaign-wide registry (see :mod:`repro.telemetry`).
 """
 
-from repro.engine.campaign import Campaign, CampaignError, CampaignResult
+from repro.engine.campaign import (
+    Campaign,
+    CampaignAborted,
+    CampaignError,
+    CampaignResult,
+    CampaignSignals,
+    NullSignals,
+)
 from repro.engine.checkpoint import CheckpointStore, ShardState
 from repro.engine.executor import (
     Executor,
@@ -40,8 +47,11 @@ from repro.engine.worker import ShardOutcome, WorkerInterrupted, execute_job
 
 __all__ = [
     "Campaign",
+    "CampaignAborted",
     "CampaignError",
     "CampaignResult",
+    "CampaignSignals",
+    "NullSignals",
     "CheckpointStore",
     "CoverageError",
     "Executor",

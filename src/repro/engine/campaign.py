@@ -29,9 +29,10 @@ a subscriber of that log.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.core.scanner import ScanConfig, ScanResult
 from repro.core.stats import ScanStats
@@ -55,6 +56,67 @@ class CampaignError(RuntimeError):
     def __init__(self, message: str, failures: Optional[Dict[str, Exception]] = None):
         super().__init__(message)
         self.failures = failures or {}
+
+
+class CampaignAborted(RuntimeError):
+    """An injected abort tripped at a shard boundary; nothing committed.
+
+    Unlike the supervisor's SIGTERM drain — which *commits* whatever
+    completed as a degraded partial snapshot — an abort leaves the store
+    untouched: completed shards' checkpoints and sealed (uncommitted)
+    segments persist on disk, so re-running the same campaign with
+    ``resume=True`` skips every finished shard and converges to a store
+    bit-identical to an uninterrupted run.  This is the primitive a
+    scheduling daemon uses to preempt or drain a lease it intends to
+    resume later.
+    """
+
+
+class CampaignSignals:
+    """Process-lifetime signal registration, as an injectable hook.
+
+    The stock one-shot campaign owns its process, so it installs real
+    SIGTERM handlers for the run: the flight recorder's dump-on-SIGTERM
+    scope, with the supervisor's drain handler chained inside it.  A
+    daemon running many concurrent campaigns in one process must NOT let
+    each campaign clobber the process handler — it injects
+    :class:`NullSignals` and multiplexes its own single handler into each
+    campaign's :meth:`Campaign.request_abort` /
+    :meth:`Supervisor.request_drain` instead.
+    """
+
+    @contextlib.contextmanager
+    def scope(
+        self,
+        recorder: Optional[FlightRecorder],
+        supervisor: Optional[Supervisor],
+    ) -> Iterator[None]:
+        sigterm = (
+            recorder.sigterm_scope() if recorder is not None
+            else contextlib.nullcontext()
+        )
+        # The supervisor's drain handler installs *inside* the recorder's
+        # scope, so it is the live SIGTERM handler: the first SIGTERM
+        # requests a graceful drain, a second chains through to the
+        # recorder's dump-and-die handler (operator escalation).
+        drain = (
+            supervisor.drain_scope() if supervisor is not None
+            else contextlib.nullcontext()
+        )
+        with sigterm, drain:
+            yield
+
+
+class NullSignals(CampaignSignals):
+    """No process-level handlers: the embedding service owns signals."""
+
+    @contextlib.contextmanager
+    def scope(
+        self,
+        recorder: Optional[FlightRecorder],
+        supervisor: Optional[Supervisor],
+    ) -> Iterator[None]:
+        yield
 
 
 @dataclass
@@ -147,6 +209,8 @@ class Campaign:
         flight_dir: Optional[str] = None,
         recorder: Optional[FlightRecorder] = None,
         supervisor: Optional[SupervisorPolicy] = None,
+        signals: Optional[CampaignSignals] = None,
+        abort_check: Optional[Callable[[], bool]] = None,
     ) -> None:
         if isinstance(configs, Mapping):
             self.configs: Dict[str, ScanConfig] = dict(configs)
@@ -179,7 +243,9 @@ class Campaign:
         #: Structured journal of everything the campaign does.  The monitor
         #: renders status lines as a subscriber, so the log is the single
         #: source of truth for progress reporting.
-        self.events = events or EventLog()
+        # ``is not None``, not truthiness: an empty EventLog has len 0 and
+        # would be silently replaced, orphaning the caller's subscribers.
+        self.events = events if events is not None else EventLog()
         self.store_dir = store_dir
         #: The round name this run's segments commit under; every campaign
         #: run gets a distinct default so longitudinal rounds into one store
@@ -209,6 +275,15 @@ class Campaign:
             self.recorder.attach(self.events)
         if monitor is not None:
             self.events.subscribe(monitor.handle_event)
+        #: Signal registration hook: the default installs this process's
+        #: SIGTERM scopes for the run; a daemon injects :class:`NullSignals`
+        #: and multiplexes its one handler across campaigns itself.
+        self.signals = signals if signals is not None else CampaignSignals()
+        #: Optional external preemption probe, polled at shard boundaries;
+        #: returning True aborts the run (no commit) via
+        #: :class:`CampaignAborted`.
+        self.abort_check = abort_check
+        self._abort = threading.Event()
         if isinstance(executor, Executor):
             self.executor = executor
         else:
@@ -217,6 +292,31 @@ class Campaign:
                 shard_timeout=shard_timeout,
             )
         self.planner = ShardPlanner(shards)
+
+    # -- preemption ----------------------------------------------------------
+
+    def request_abort(self) -> None:
+        """Ask the run to stop at the next shard boundary (no commit).
+
+        Thread-safe; callable from any thread (a daemon's signal handler or
+        scheduler loop).  The run raises :class:`CampaignAborted` once the
+        in-flight shard batch completes.
+        """
+        self._abort.set()
+
+    def _should_abort(self) -> bool:
+        if self._abort.is_set():
+            return True
+        return self.abort_check is not None and bool(self.abort_check())
+
+    def _abort_now(self, pending: int, completed: int) -> None:
+        self.events.emit(
+            "campaign_aborted", pending=pending, completed=completed
+        )
+        raise CampaignAborted(
+            f"campaign aborted at shard boundary "
+            f"({completed} shards done, {pending} pending)"
+        )
 
     # -- planning ------------------------------------------------------------
 
@@ -402,20 +502,10 @@ class Campaign:
             if self.supervisor_policy is not None
             else None
         )
-        scope = (
-            recorder.sigterm_scope() if recorder is not None
-            else contextlib.nullcontext()
-        )
-        # The supervisor's drain handler installs *inside* the recorder's
-        # scope, so it is the live SIGTERM handler: the first SIGTERM
-        # requests a graceful drain, a second chains through to the
-        # recorder's dump-and-die handler (operator escalation).
-        drain_scope = (
-            supervisor.drain_scope() if supervisor is not None
-            else contextlib.nullcontext()
-        )
-        with scope, drain_scope:
+        with self.signals.scope(recorder, supervisor):
             while pending:
+                if self._should_abort():
+                    self._abort_now(len(pending), len(outcomes))
                 if supervisor is not None and supervisor.draining:
                     for job in pending:
                         supervisor.park_drained(
@@ -429,16 +519,26 @@ class Campaign:
                     time.sleep(delay)
                 retry: List[ShardJob] = []
                 failures: Dict[str, Exception] = {}
-                # With a supervisor on the serial backend, dispatch one job
-                # at a time so a drain request takes effect between shards;
-                # pooled backends dispatch the whole wave and drain at its
-                # barrier (in-flight shards run to completion either way).
-                if supervisor is not None and self.executor.name == "serial":
+                # With a supervisor (or an injected abort probe) on the
+                # serial backend, dispatch one job at a time so a drain or
+                # abort request takes effect between shards; pooled backends
+                # dispatch the whole wave and stop at its barrier (in-flight
+                # shards run to completion either way).
+                interruptible = (
+                    supervisor is not None
+                    or self.abort_check is not None
+                    or self._abort.is_set()
+                )
+                if interruptible and self.executor.name == "serial":
                     batches: List[List[ShardJob]] = [[j] for j in pending]
                 else:
                     batches = [list(pending)]
                 returns = []
+                aborted_boundary = False
                 for batch in batches:
+                    if self._should_abort():
+                        aborted_boundary = True
+                        break
                     if supervisor is not None and supervisor.draining:
                         for job in batch:
                             supervisor.park_drained(
@@ -527,6 +627,13 @@ class Campaign:
                         "shards failed after retries: "
                         + ", ".join(sorted(failures)),
                         failures,
+                    )
+                if aborted_boundary:
+                    # Completed batches were ingested above (their
+                    # checkpoints and sealed segments are durable); the
+                    # rest of the wave never dispatched.
+                    self._abort_now(
+                        len(jobs) - len(outcomes), len(outcomes)
                     )
                 pending = retry
                 wave += 1

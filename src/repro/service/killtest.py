@@ -1,0 +1,154 @@
+"""Kill-anywhere harness for the daemon's persisted queue state.
+
+The engine's harness (:mod:`repro.engine.killtest`) proves one campaign
+survives SIGKILL at any durability op.  This module lifts the property a
+level: a **daemon** driving a fixed multi-tenant workload is SIGKILLed
+at durability op N — which may land inside a campaign's checkpoint or
+segment write, inside a store commit, or inside one of the *queue's own
+state saves* between lease transitions — and a restarted daemon must
+finish the workload with **no lost and no duplicated campaigns**: every
+submitted (tenant, name) pair ends ``done`` exactly once, and each
+tenant's store holds exactly the rows of an uninterrupted run.
+
+Run as a module so tests/CI can drive real process deaths::
+
+    python -m repro.service.killtest --root R --count-ops     # baseline
+    python -m repro.service.killtest --root R --kill-after-ops 40  # dies
+    python -m repro.service.killtest --root R --resume        # recovers
+
+Determinism: the queue scope and seed are fixed, the fleet is one
+worker, and every spec is a seeded serial scan — so campaign ids, lease
+order, and row content are reproducible, and the summary's per-tenant
+row digests compare bit-for-bit across baseline and recovered runs.
+
+The workload intentionally submits *before* running, one durable save
+per submission: kills landing mid-submission are recovered by the
+``--resume`` invocation re-submitting only the missing pairs (the
+allocator watermark persisted with each record keeps ids aligned with
+the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Dict, List
+
+from repro.engine.killtest import KillSwitchOs
+from repro.service.daemon import ScanService
+from repro.service.spec import CampaignSpec, TenantPolicy
+from repro.store.oslayer import set_default_os
+
+SCOPE = "kill"
+SEED = 7
+
+#: The fixed workload: three tenants, two campaigns each, over windows
+#: the mini topology answers (its responsive /64s sit under
+#: ``2001:db8:0-2``), so every store ends up with real rows to digest.
+WORKLOAD: List[Dict[str, object]] = [
+    {"tenant": "alice", "name": "a0",
+     "scan_range": "2001:db8:1:40::/58-64", "seed": 3,
+     "priority": "interactive"},
+    {"tenant": "bob", "name": "b0", "scan_range": "2001:db8:0::/61-64",
+     "seed": 4},
+    {"tenant": "carol", "name": "c0",
+     "scan_range": "2001:db8:1:50::/60-64", "seed": 5,
+     "priority": "batch"},
+    {"tenant": "alice", "name": "a1",
+     "scan_range": "2001:db8:1:60::/60-64", "seed": 6},
+    {"tenant": "bob", "name": "b1", "scan_range": "2001:db8:2::/61-64",
+     "seed": 7, "priority": "batch"},
+    {"tenant": "carol", "name": "c1", "scan_range": "2001:db8:1::/59-64",
+     "seed": 8},
+]
+
+
+def build_service(root: str) -> ScanService:
+    return ScanService(
+        root,
+        default_policy=TenantPolicy(max_in_flight=1),
+        max_workers=1,
+        seed=SEED,
+        scope=SCOPE,
+    )
+
+
+def submit_missing(service: ScanService) -> int:
+    """Submit workload entries not yet in the queue (idempotent resume)."""
+    present = {
+        (r.tenant, r.spec.name)
+        for r in service.queue.records.values()
+    }
+    submitted = 0
+    for entry in WORKLOAD:
+        key = (str(entry["tenant"]), str(entry["name"]))
+        if key in present:
+            continue
+        spec = CampaignSpec.from_dict({"shards": 2, **entry})
+        service.submit(spec)
+        submitted += 1
+    return submitted
+
+
+def summarise(service: ScanService) -> Dict[str, object]:
+    states: Dict[str, str] = {}
+    for record in service.queue.records.values():
+        states[f"{record.tenant}/{record.spec.name}"] = record.state
+    tenants: Dict[str, object] = {}
+    for tenant in service.stores.tenants():
+        store = service.stores.open(tenant)
+        rows = sorted(
+            (str(r.target), str(r.responder), r.kind.value)
+            for r in store.iter_rows()
+        )
+        tenants[tenant] = {
+            "rows": len(rows),
+            "unique_rows": len(set(rows)),
+            "digest": hashlib.blake2b(
+                json.dumps(rows).encode(), digest_size=16
+            ).hexdigest(),
+            "snapshots": sorted(store.snapshots),
+        }
+    return {"states": dict(sorted(states.items())), "tenants": tenants}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL-the-daemon-anywhere crash-recovery harness"
+    )
+    parser.add_argument("--root", required=True,
+                        help="service root (queue.json + tenants/ created)")
+    parser.add_argument("--kill-after-ops", type=int, default=None,
+                        help="SIGKILL this process at durability op N")
+    parser.add_argument("--resume", action="store_true",
+                        help="recover an interrupted run (skip re-submits "
+                             "of already-queued work)")
+    parser.add_argument("--count-ops", action="store_true",
+                        help="report the total durability-op count")
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    if not args.resume and (Path(args.root) / "queue.json").exists():
+        parser.error(f"{args.root} already holds a run; pass --resume")
+
+    switch = KillSwitchOs(kill_after=args.kill_after_ops)
+    set_default_os(switch)
+    try:
+        service = build_service(args.root)
+        submit_missing(service)
+        service.run_until_idle()
+    finally:
+        set_default_os(None)
+
+    summary = summarise(service)
+    summary["ops"] = switch.ops if args.count_ops else None
+    summary["recovered"] = service.queue.recovered_leases
+    print(json.dumps(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,11 +39,18 @@ manifest), and after compaction see the same logical row set.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX: cross-process manifest lock for multi-writer stores
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.scanner import ProbeResult
 from repro.store.oslayer import OsLayer, get_default_os
@@ -57,6 +64,11 @@ from repro.store.snapshot import Snapshot
 from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry
 
 MANIFEST_VERSION = 1
+
+#: Fallback same-process locks when ``fcntl`` is unavailable, keyed by the
+#: store directory's resolved path.
+_FALLBACK_LOCKS: Dict[str, threading.Lock] = {}
+_FALLBACK_GUARD = threading.Lock()
 
 
 class StoreError(RuntimeError):
@@ -81,6 +93,7 @@ class ResultStore:
 
     MANIFEST = "manifest.json"
     SEGMENT_DIR = "segments"
+    LOCK_FILE = "manifest.lock"
 
     def __init__(
         self,
@@ -158,6 +171,54 @@ class ResultStore:
         if self.on_event is not None:
             self.on_event({"type": event_type, **fields})
 
+    @contextlib.contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """Exclusive manifest section for multi-writer stores.
+
+        Several store handles — different campaigns of one tenant inside a
+        daemon, or different processes — may commit into the same
+        directory.  The manifest rewrite is read-modify-write, so every
+        mutating entry point (:meth:`commit`, :meth:`create_snapshot`,
+        :meth:`drop_snapshot`, :meth:`compact`) takes this lock and calls
+        :meth:`refresh` before applying its change: commits from other
+        handles are picked up instead of silently overwritten.
+
+        ``flock`` excludes other processes *and* other handles in this
+        process (the lock rides the open file description, and every entry
+        opens its own).  Where ``fcntl`` is unavailable the fallback is a
+        per-directory in-process lock — same-process writers stay safe,
+        cross-process writers are on their own (as before this lock
+        existed).
+        """
+        if fcntl is not None:
+            handle = open(self.directory / self.LOCK_FILE, "a+b")
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                yield
+            finally:
+                handle.close()  # closing the fd releases the flock
+        else:  # pragma: no cover - non-POSIX platforms
+            key = str(self.directory.resolve())
+            with _FALLBACK_GUARD:
+                lock = _FALLBACK_LOCKS.setdefault(key, threading.Lock())
+            with lock:
+                yield
+
+    def refresh(self) -> "ResultStore":
+        """Re-read the manifest from disk, dropping in-memory state.
+
+        Multi-writer stores need this: a handle opened before another
+        handle's commit still sees the old manifest.  Mutating operations
+        refresh automatically (under :meth:`_exclusive`); readers that
+        want the latest committed state call it explicitly.
+        """
+        self.segments = {}
+        self.snapshots = {}
+        self.quarantined = []
+        self._commits = 0
+        self._load_manifest()
+        return self
+
     def _quarantine_manifest(self, reason: str) -> None:
         target = self.manifest_path.with_name(self.MANIFEST + ".corrupt")
         try:
@@ -203,12 +264,33 @@ class ResultStore:
 
     # -- integrity ---------------------------------------------------------------
 
+    #: Seconds a ``.tmp`` must sit untouched before an open sweeps it.  In
+    #: a multi-writer store (many campaigns of one tenant sharing a
+    #: directory) a *fresh* tmp belongs to a live writer mid-seal — only
+    #: genuinely stale ones are dead-writer litter.
+    TMP_SWEEP_GRACE = 300.0
+
     def _sweep_tmp(self) -> None:
-        """Delete stale ``.tmp`` files left by dead writers."""
-        for path in self.segment_dir.glob("*.tmp"):
-            path.unlink(missing_ok=True)
-        for path in self.directory.glob(f"{self.MANIFEST}.*.tmp"):
-            path.unlink(missing_ok=True)
+        """Delete stale ``.tmp`` files left by dead writers.
+
+        Age-gated so that opening a store while another handle is sealing
+        a segment (the daemon's concurrent-campaigns case) never deletes
+        the live writer's tmp out from under its rename.
+        """
+        import time as _time
+
+        cutoff = _time.time() - self.TMP_SWEEP_GRACE
+        for parent, pattern in (
+            (self.segment_dir, "*.tmp"),
+            (self.directory, f"{self.MANIFEST}.*.tmp"),
+        ):
+            for path in parent.glob(pattern):
+                try:
+                    if path.stat().st_mtime > cutoff:
+                        continue
+                except OSError:
+                    continue  # already gone (a racing sweep or seal)
+                path.unlink(missing_ok=True)
 
     def _quarantine_segment(self, name: str, reason: str) -> None:
         """Move a corrupt segment aside, drop it from manifest + snapshots."""
@@ -314,29 +396,33 @@ class ResultStore:
         ``metas`` are :meth:`SegmentWriter.seal` results.  The segments
         become queryable — and the snapshot exists — only once the single
         atomic manifest rewrite lands; a crash before that leaves orphans,
-        never partial state.
+        never partial state.  Safe under concurrent writers: the rewrite
+        happens under the store's exclusive lock against a refreshed view
+        of the manifest, so commits interleave instead of overwriting.
         """
-        names: List[str] = []
-        for meta in metas:
-            name = str(meta["name"])
-            if name in self.segments:
-                raise StoreError(f"segment {name!r} already committed")
-            if not self.segment_path(name).exists():
-                raise StoreError(f"segment file {name!r} was never sealed")
-            names.append(name)
-        for meta, name in zip(metas, names):
-            self.segments[name] = dict(meta)
-        self._commits += 1
-        if snapshot is not None:
-            if snapshot in self.snapshots:
-                raise StoreError(f"snapshot {snapshot!r} already exists")
-            self.snapshots[snapshot] = Snapshot(
-                name=snapshot,
-                segments=tuple(names),
-                rows=sum(self._rows_of(n) for n in names),
-                meta=dict(snapshot_meta or {}),
-            )
-        self._write_manifest()
+        with self._exclusive():
+            self.refresh()
+            names: List[str] = []
+            for meta in metas:
+                name = str(meta["name"])
+                if name in self.segments:
+                    raise StoreError(f"segment {name!r} already committed")
+                if not self.segment_path(name).exists():
+                    raise StoreError(f"segment file {name!r} was never sealed")
+                names.append(name)
+            for meta, name in zip(metas, names):
+                self.segments[name] = dict(meta)
+            self._commits += 1
+            if snapshot is not None:
+                if snapshot in self.snapshots:
+                    raise StoreError(f"snapshot {snapshot!r} already exists")
+                self.snapshots[snapshot] = Snapshot(
+                    name=snapshot,
+                    segments=tuple(names),
+                    rows=sum(self._rows_of(n) for n in names),
+                    meta=dict(snapshot_meta or {}),
+                )
+            self._write_manifest()
         rows = sum(int(m.get("rows", 0)) for m in metas)
         self.metrics.counter("store_segments_committed").inc(len(metas))
         self.metrics.counter("store_rows_ingested").inc(rows)
@@ -349,20 +435,59 @@ class ResultStore:
         meta: Optional[Dict[str, object]] = None,
     ) -> Snapshot:
         """Bind already-committed segments to a new named snapshot."""
-        if name in self.snapshots:
-            raise StoreError(f"snapshot {name!r} already exists")
-        for segment in segments:
-            if segment not in self.segments:
-                raise StoreError(f"unknown segment {segment!r}")
-        snapshot = Snapshot(
-            name=name,
-            segments=tuple(segments),
-            rows=sum(self._rows_of(s) for s in segments),
-            meta=dict(meta or {}),
-        )
-        self.snapshots[name] = snapshot
-        self._write_manifest()
+        with self._exclusive():
+            self.refresh()
+            if name in self.snapshots:
+                raise StoreError(f"snapshot {name!r} already exists")
+            for segment in segments:
+                if segment not in self.segments:
+                    raise StoreError(f"unknown segment {segment!r}")
+            snapshot = Snapshot(
+                name=name,
+                segments=tuple(segments),
+                rows=sum(self._rows_of(s) for s in segments),
+                meta=dict(meta or {}),
+            )
+            self.snapshots[name] = snapshot
+            self._write_manifest()
         return snapshot
+
+    def drop_snapshot(self, name: str) -> List[str]:
+        """Remove a snapshot; delete segments only it referenced.
+
+        The retention primitive: a round that aged out of a tenant's
+        retention window disappears from the manifest atomically; segments
+        referenced by no other snapshot are then deleted from disk (shared
+        segments survive untouched).  Returns the deleted segment names.
+        """
+        with self._exclusive():
+            self.refresh()
+            snap = self.snapshots.pop(name, None)
+            if snap is None:
+                raise StoreError(
+                    f"unknown snapshot {name!r}; have "
+                    f"{sorted(self.snapshots) or 'none'}"
+                )
+            still_referenced = {
+                segment
+                for other in self.snapshots.values()
+                for segment in other.segments
+            }
+            doomed = [
+                segment for segment in snap.segments
+                if segment not in still_referenced and segment in self.segments
+            ]
+            for segment in doomed:
+                del self.segments[segment]
+            self._commits += 1
+            self._write_manifest()
+            for segment in doomed:
+                self.segment_path(segment).unlink(missing_ok=True)
+        self.metrics.counter("store_snapshots_dropped").inc()
+        self._emit_event(
+            "store_snapshot_dropped", snapshot=name, segments=len(doomed)
+        )
+        return doomed
 
     def snapshot(self, name: str) -> Snapshot:
         snap = self.snapshots.get(name)
@@ -457,8 +582,15 @@ class ResultStore:
         new segment with ``dedup_key`` de-duplication, the manifest swaps
         atomically, and only then are the old files (and any orphans)
         deleted.  Snapshot row sets are preserved exactly — the groups are
-        the finest partition that keeps every snapshot expressible.
+        the finest partition that keeps every snapshot expressible.  Runs
+        under the store's exclusive lock against a refreshed manifest, so
+        a concurrent committer is never clobbered.
         """
+        with self._exclusive():
+            self.refresh()
+            return self._compact_locked(block_rows)
+
+    def _compact_locked(self, block_rows: int) -> Dict[str, object]:
         membership: Dict[str, Tuple[str, ...]] = {}
         for name in self.segments:
             owners = tuple(

@@ -16,6 +16,7 @@ send rate, hit rate, and reply mix *while the scan runs*.  Three pieces:
 
 from repro.telemetry.events import (
     DEFAULT_MAX_EVENTS,
+    CampaignIdAllocator,
     EventLog,
     WorkerEventBuffer,
     make_campaign_id,
@@ -61,6 +62,7 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "BUNDLE_FORMAT",
+    "CampaignIdAllocator",
     "Counter",
     "DEFAULT_MAX_BUCKETS",
     "DEFAULT_MAX_EVENTS",

@@ -19,10 +19,11 @@ worker-side relative timestamps under ``worker_t``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import uuid
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Mapping, Optional
 
 #: Default in-memory retention; the tail stays available for tests/views.
 DEFAULT_MAX_EVENTS = 10_000
@@ -35,6 +36,42 @@ def make_campaign_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
+class CampaignIdAllocator:
+    """Monotonic, collision-safe campaign ids for multi-campaign processes.
+
+    A one-shot CLI run can live with a random :func:`make_campaign_id`,
+    but a daemon minting ids for *many* campaigns wants two stronger
+    properties: ids are unique **across everything the daemon ever ran**
+    (the per-daemon ``scope`` is random, the counter is monotonic), and
+    they sort in submission order — so event streams, store snapshots, and
+    checkpoint directories from concurrent campaigns never collide and
+    stay greppable.  Thread-safe; a restarted daemon restores the counter
+    with :meth:`reserve` from its persisted state.
+    """
+
+    def __init__(self, scope: Optional[str] = None, start: int = 0) -> None:
+        self.scope = scope or uuid.uuid4().hex[:8]
+        self._next = int(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> str:
+        with self._lock:
+            n = self._next
+            self._next += 1
+        return f"{self.scope}-{n:04d}"
+
+    def reserve(self, floor: int) -> None:
+        """Never hand out a counter below ``floor`` (restart recovery)."""
+        with self._lock:
+            self._next = max(self._next, int(floor))
+
+    @property
+    def allocated(self) -> int:
+        """How many ids have been handed out (the persisted watermark)."""
+        with self._lock:
+            return self._next
+
+
 class EventLog:
     """Append-only, bounded journal of structured events."""
 
@@ -43,12 +80,19 @@ class EventLog:
         campaign_id: Optional[str] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
         sink: Optional[Callable[[str], None]] = None,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.campaign_id = campaign_id or make_campaign_id()
         self.events: Deque[Dict[str, object]] = deque(maxlen=max_events)
         self.subscribers: List[Subscriber] = []
         #: Optional line sink receiving each event as a JSON string.
         self.sink = sink
+        #: Ambient labels stamped onto every record (a daemon sets e.g.
+        #: ``{"tenant": ...}`` so multi-tenant streams stay attributable).
+        #: Explicit event fields win; :meth:`ingest` therefore preserves a
+        #: tenant label already present on a worker/campaign record instead
+        #: of overwriting it with this log's own.
+        self.labels: Dict[str, object] = dict(labels or {})
         self._seq = 0
         self._t0 = time.monotonic()
         self.started_at = time.time()  # wall anchor for the monotonic axis
@@ -65,6 +109,8 @@ class EventLog:
             "type": event_type,
         }
         record.update(fields)
+        for key, value in self.labels.items():
+            record.setdefault(key, value)
         self._seq += 1
         self.events.append(record)
         for subscriber in self.subscribers:

@@ -220,6 +220,14 @@ class MetricsRegistry:
         sampler walks to delta every counter at a bucket close."""
         return self._counters.items()
 
+    def histograms_named(self, name: str) -> Dict[LabelKey, Histogram]:
+        """All label-variants of one histogram family (latency summaries)."""
+        return {
+            labels: metric
+            for (n, labels), metric in self._histograms.items()
+            if n == name
+        }
+
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
 

@@ -26,7 +26,7 @@ class TestExamples:
             "exposed_services_audit.py", "routing_loop_attack.py",
             "bgp_survey.py", "longitudinal_churn.py", "custom_isp.py",
             "full_reproduction.py", "sharded_campaign.py",
-            "chaos_campaign.py",
+            "chaos_campaign.py", "service_campaigns.py",
         } <= names
 
     def test_quickstart(self):
@@ -47,6 +47,13 @@ class TestExamples:
         assert "chaos / naive" in out
         assert "chaos / hardened" in out
         assert "recovered" in out
+
+    def test_service_campaigns(self):
+        out = _run("service_campaigns.py")
+        assert "admission rejected (HTTP 429)" in out
+        assert "cancelled demo-0003" in out
+        assert "per-tenant time to first result" in out
+        assert "all asserted above" in out
 
     def test_custom_isp(self):
         out = _run("custom_isp.py")

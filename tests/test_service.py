@@ -1,0 +1,620 @@
+"""The scan service: admission, WDRR fairness, drain, crash recovery, API.
+
+The three satellite properties from the issue get dedicated classes:
+
+* **Determinism** — the same submission trace replays to the identical
+  lease order (fresh queue, and across a mid-trace save/load).
+* **Fairness** — a low-priority tenant under sustained interactive
+  pressure from another tenant provably keeps making progress.
+* **Kill-anywhere** — a daemon SIGKILLed between lease transitions (real
+  ``kill -9`` via ``python -m repro.service.killtest`` subprocesses)
+  restarts with no lost and no duplicated campaigns, converging to
+  stores digest-identical to an uninterrupted run.
+
+Plus the acceptance demo: three tenants × four campaigns through the
+daemon concurrently, per-tenant stores bit-identical to running the same
+specs standalone, and a mid-run drain that requeues leases a restarted
+daemon finishes.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.engine.campaign import Campaign, CampaignAborted, NullSignals
+from repro.service import (
+    AdmissionError,
+    CampaignQueue,
+    CampaignSpec,
+    QueueError,
+    ScanService,
+    ServiceClient,
+    ServiceServer,
+    SpecError,
+    TenantPolicy,
+)
+from repro.service.api import ApiError
+from repro.store import ResultStore
+from repro.telemetry.events import CampaignIdAllocator, EventLog
+
+ENV = {**os.environ, "PYTHONPATH": "src"}
+
+#: Seeded SIGKILL points for the daemon kill-anywhere class.
+SERVICE_KILL_POINTS = int(os.environ.get("REPRO_SERVICE_KILL_POINTS", "4"))
+
+#: Windows the mini topology answers, so stores are non-trivial.
+RESPONSIVE = [
+    "2001:db8:1:40::/58-64",
+    "2001:db8:0::/61-64",
+    "2001:db8:1:50::/60-64",
+    "2001:db8:1:60::/60-64",
+    "2001:db8:2::/61-64",
+    "2001:db8:1::/59-64",
+]
+
+
+def spec(tenant, name, rng="2001:db8:0::/61-64", **kw):
+    return CampaignSpec(tenant=tenant, name=name, scan_range=rng, **kw)
+
+
+def store_rows(store_dir):
+    store = ResultStore(store_dir)
+    return sorted(
+        (str(r.target), str(r.responder), r.kind.value)
+        for r in store.iter_rows()
+    )
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignSpec:
+    def test_round_trip(self):
+        s = spec("alice", "a0", "2001:db8:1::/56-64", priority="batch",
+                 shards=4, seed=9, topology_params=(("seed", 2),))
+        assert CampaignSpec.from_dict(s.to_dict()) == s
+        assert CampaignSpec.from_dict(
+            json.loads(json.dumps(s.to_dict()))
+        ) == s
+
+    def test_rejects_bad_submissions(self):
+        with pytest.raises(SpecError):
+            spec("alice", "x", "not-a-range")
+        with pytest.raises(SpecError):
+            spec("alice", "x", priority="urgent")
+        with pytest.raises(SpecError):
+            spec("", "x")
+        with pytest.raises(SpecError):
+            spec("../escape", "x")
+        with pytest.raises(SpecError):
+            TenantPolicy(weight=0)
+
+    def test_priority_scales_effective_cost(self):
+        interactive = spec("a", "i", "2001:db8::/58-64",
+                           priority="interactive")
+        batch = spec("a", "b", "2001:db8::/58-64", priority="batch")
+        normal = spec("a", "n", "2001:db8::/58-64")
+        assert normal.probe_budget == 64
+        assert interactive.effective_cost == normal.effective_cost / 4
+        assert batch.effective_cost == normal.effective_cost * 4
+
+    def test_max_probes_caps_budget(self):
+        assert spec("a", "m", "2001:db8::/56-64",
+                    max_probes=10).probe_budget == 10
+
+
+class TestAdmission:
+    def test_backlog_cap(self, tmp_path):
+        q = CampaignQueue(
+            str(tmp_path / "q.json"),
+            default_policy=TenantPolicy(max_queued=2),
+        )
+        q.submit(spec("alice", "a0"))
+        q.submit(spec("alice", "a1"))
+        with pytest.raises(AdmissionError):
+            q.submit(spec("alice", "a2"))
+        # Other tenants are unaffected.
+        q.submit(spec("bob", "b0"))
+
+    def test_probe_budget_quota(self, tmp_path):
+        q = CampaignQueue(
+            str(tmp_path / "q.json"),
+            default_policy=TenantPolicy(probe_budget=20),
+        )
+        q.submit(spec("alice", "a0"))  # 8 probes outstanding
+        q.submit(spec("alice", "a1"))  # 16 outstanding
+        with pytest.raises(AdmissionError):
+            q.submit(spec("alice", "a2"))  # would be 24 > 20
+        record = q.next_lease()
+        q.complete(record.campaign_id, {})
+        # Completion releases the budget.
+        q.submit(spec("alice", "a2"))
+
+    def test_cancel_states(self, tmp_path):
+        q = CampaignQueue(str(tmp_path / "q.json"))
+        a = q.submit(spec("alice", "a0"))
+        assert q.cancel(a.campaign_id).state == "cancelled"
+        b = q.submit(spec("alice", "b0"))
+        leased = q.next_lease()
+        assert leased.campaign_id == b.campaign_id
+        assert q.cancel(b.campaign_id).cancel_requested
+        # An aborted lease whose cancel landed mid-run ends terminal.
+        assert q.requeue(b.campaign_id).state == "cancelled"
+        with pytest.raises(QueueError):
+            q.cancel(a.campaign_id)
+
+
+class TestSchedulerDeterminism:
+    def submit_trace(self, q):
+        for i in range(3):
+            q.submit(spec("alice", f"a{i}", RESPONSIVE[0],
+                          priority="interactive"))
+            q.submit(spec("bob", f"b{i}", RESPONSIVE[1]))
+            q.submit(spec("carol", f"c{i}", RESPONSIVE[2],
+                          priority="batch"))
+
+    def drain_order(self, q):
+        order = []
+        while True:
+            record = q.next_lease()
+            if record is None:
+                break
+            order.append(f"{record.tenant}/{record.spec.name}")
+            q.complete(record.campaign_id, {})
+        return order
+
+    def drive(self, path, seed=3):
+        """One fixed submission trace; returns the full lease order."""
+        q = CampaignQueue(str(path), seed=seed, scope="det")
+        self.submit_trace(q)
+        return self.drain_order(q)
+
+    def test_same_trace_same_lease_order(self, tmp_path):
+        first = self.drive(tmp_path / "q1.json")
+        second = self.drive(tmp_path / "q2.json")
+        assert first == second
+        assert len(first) == 9
+
+    def test_seed_changes_the_tiebreaks(self, tmp_path):
+        assert self.drive(tmp_path / "q1.json", seed=3) != self.drive(
+            tmp_path / "q2.json", seed=4
+        )
+
+    def test_replay_survives_save_load(self, tmp_path):
+        """Restarting the queue mid-trace continues the same order."""
+        full = self.drive(tmp_path / "ref.json")
+        path = tmp_path / "q.json"
+        q = CampaignQueue(str(path), seed=3, scope="det")
+        self.submit_trace(q)
+        order = []
+        for _ in range(4):
+            record = q.next_lease()
+            order.append(f"{record.tenant}/{record.spec.name}")
+            q.complete(record.campaign_id, {})
+        # Reload from disk: records, deficits, and the round come back.
+        q2 = CampaignQueue(str(path))
+        order.extend(self.drain_order(q2))
+        assert order == full
+
+
+class TestFairness:
+    def test_starved_batch_tenant_progresses(self, tmp_path):
+        """A batch tenant keeps leasing under sustained interactive load.
+
+        ``big`` floods interactive campaigns (re-submitting after every
+        lease so its backlog never empties); ``small`` queues batch work
+        at 16x the effective cost.  WDRR accrues deficit to both every
+        round, so small must keep appearing in the lease order.
+        """
+        q = CampaignQueue(
+            str(tmp_path / "q.json"), seed=11, scope="fair", quantum=64.0,
+            default_policy=TenantPolicy(max_in_flight=4, max_queued=64),
+        )
+        for i in range(8):
+            q.submit(spec("small", f"s{i}", "2001:db8::/60-64",
+                          priority="batch"))  # cost 16 / 0.25 = 64
+        flood = 0
+        for _ in range(4):
+            q.submit(spec("big", f"f{flood}", "2001:db8::/60-64",
+                          priority="interactive"))  # cost 16 / 4 = 4
+            flood += 1
+        leases = []
+        for _ in range(60):
+            record = q.next_lease()
+            assert record is not None
+            leases.append(record.tenant)
+            q.complete(record.campaign_id, {})
+            if record.tenant == "big":
+                q.submit(spec("big", f"f{flood}", "2001:db8::/60-64",
+                              priority="interactive"))
+                flood += 1
+        small = leases.count("small")
+        assert small >= 3, f"batch tenant starved: {leases}"
+        # The interactive flood still dominates, as priced: big pays 4
+        # deficit per lease against small's 64.
+        assert leases.count("big") > small
+
+    def test_weights_shift_the_share(self, tmp_path):
+        q = CampaignQueue(
+            str(tmp_path / "q.json"), seed=2, scope="w", quantum=16.0,
+            policies={"heavy": TenantPolicy(weight=4.0, max_queued=128),
+                      "light": TenantPolicy(weight=1.0, max_queued=128)},
+        )
+        for i in range(40):
+            q.submit(spec("heavy", f"h{i}", "2001:db8::/60-64"))
+            q.submit(spec("light", f"l{i}", "2001:db8::/60-64"))
+        leases = []
+        for _ in range(30):
+            record = q.next_lease()
+            leases.append(record.tenant)
+            q.complete(record.campaign_id, {})
+        assert leases.count("heavy") >= 2 * leases.count("light")
+
+
+class TestQueuePersistence:
+    def test_leased_records_requeue_on_load(self, tmp_path):
+        path = tmp_path / "q.json"
+        q = CampaignQueue(str(path), scope="p")
+        q.submit(spec("alice", "a0"))
+        q.submit(spec("alice", "a1"))
+        leased = q.next_lease()
+        q2 = CampaignQueue(str(path))
+        record = q2.get(leased.campaign_id)
+        assert record.state == "queued"
+        assert record.resume is True
+        assert record.attempts == 1
+        assert q2.recovered_leases == [leased.campaign_id]
+        # Nothing lost, nothing duplicated, ids stay aligned.
+        assert len(q2.records) == 2
+        assert q2.allocator.allocated == 2
+        assert q2.allocator.scope == "p"
+
+    def test_cancel_requested_lease_cancels_on_load(self, tmp_path):
+        path = tmp_path / "q.json"
+        q = CampaignQueue(str(path), scope="p")
+        a = q.submit(spec("alice", "a0"))
+        q.next_lease()
+        q.cancel(a.campaign_id)
+        q2 = CampaignQueue(str(path))
+        assert q2.get(a.campaign_id).state == "cancelled"
+        assert q2.recovered_leases == []
+
+    def test_corrupt_state_refuses_loudly(self, tmp_path):
+        path = tmp_path / "q.json"
+        path.write_text("{not json")
+        with pytest.raises(QueueError):
+            CampaignQueue(str(path))
+
+
+class TestCampaignIdAllocator:
+    def test_monotonic_and_scoped(self):
+        alloc = CampaignIdAllocator(scope="svc")
+        ids = [alloc.next() for _ in range(3)]
+        assert ids == ["svc-0000", "svc-0001", "svc-0002"]
+        assert alloc.allocated == 3
+        alloc.reserve(10)
+        assert alloc.next() == "svc-0010"
+
+    def test_distinct_scopes_never_collide(self):
+        a, b = CampaignIdAllocator(), CampaignIdAllocator()
+        assert a.scope != b.scope
+        assert {a.next() for _ in range(4)}.isdisjoint(
+            {b.next() for _ in range(4)}
+        )
+
+
+class TestEventLogTenantLabels:
+    def test_labels_stamp_every_record(self):
+        log = EventLog(campaign_id="c0", labels={"tenant": "alice"})
+        log.emit("x")
+        log.ingest([{"type": "worker_event", "t": 0.1, "seq": 0}])
+        assert all(e["tenant"] == "alice" for e in log.events)
+
+    def test_ingest_preserves_existing_tenant(self):
+        log = EventLog(campaign_id="c0", labels={"tenant": "alice"})
+        log.ingest([{"type": "worker_event", "tenant": "bob"}])
+        assert log.events[-1]["tenant"] == "bob"
+
+    def test_explicit_field_wins(self):
+        log = EventLog(labels={"tenant": "alice"})
+        record = log.emit("x", tenant="carol")
+        assert record["tenant"] == "carol"
+
+
+class TestCampaignAbort:
+    def test_request_abort_before_run_commits_nothing(self, tmp_path):
+        s = spec("t", "x", RESPONSIVE[2])
+        campaign = Campaign(
+            s.topology_spec(), {"x": s.scan_config()}, shards=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            store_dir=str(tmp_path / "store"), snapshot="r0",
+            backoff_base=0.0, signals=NullSignals(),
+        )
+        campaign.request_abort()
+        with pytest.raises(CampaignAborted):
+            campaign.run()
+        assert ResultStore(str(tmp_path / "store")).snapshots == {}
+
+    def test_abort_at_boundary_then_resume_bitidentical(self, tmp_path):
+        s = spec("t", "x", RESPONSIVE[0])
+
+        def build(resume, abort_check=None):
+            return Campaign(
+                s.topology_spec(), {"x": s.scan_config()}, shards=4,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                checkpoint_every=8,
+                store_dir=str(tmp_path / "store"), snapshot="r0",
+                resume=resume, backoff_base=0.0,
+                signals=NullSignals(), abort_check=abort_check,
+            )
+
+        # The check runs at the top of the wave and before each serial
+        # batch: tripping on the third call aborts after exactly one of
+        # the four shards ran.
+        calls = []
+
+        def abort_after_one_shard():
+            calls.append(1)
+            return len(calls) > 2
+
+        aborted = build(False, abort_check=abort_after_one_shard)
+        with pytest.raises(CampaignAborted):
+            aborted.run()
+        # Nothing committed, but checkpoints persist for the resume.
+        assert ResultStore(str(tmp_path / "store")).snapshots == {}
+        result = build(True).run()
+        assert result.shards_from_checkpoint >= 1
+        assert result.snapshot == "r0"
+        # Baseline: the same spec uninterrupted in a fresh directory.
+        Campaign(
+            s.topology_spec(), {"x": s.scan_config()}, shards=4,
+            store_dir=str(tmp_path / "base"), snapshot="r0",
+            backoff_base=0.0, signals=NullSignals(),
+        ).run()
+        assert store_rows(str(tmp_path / "store")) == store_rows(
+            str(tmp_path / "base")
+        )
+
+
+WORK = [
+    ("alice", "a0", RESPONSIVE[0], 3, "interactive"),
+    ("alice", "a1", RESPONSIVE[3], 4, "normal"),
+    ("alice", "a2", RESPONSIVE[1], 5, "normal"),
+    ("alice", "a3", RESPONSIVE[4], 6, "batch"),
+    ("bob", "b0", RESPONSIVE[1], 7, "normal"),
+    ("bob", "b1", RESPONSIVE[2], 8, "interactive"),
+    ("bob", "b2", RESPONSIVE[4], 9, "batch"),
+    ("bob", "b3", RESPONSIVE[3], 10, "normal"),
+    ("carol", "c0", RESPONSIVE[2], 11, "batch"),
+    ("carol", "c1", RESPONSIVE[4], 12, "normal"),
+    ("carol", "c2", RESPONSIVE[1], 13, "interactive"),
+    ("carol", "c3", RESPONSIVE[5], 14, "normal"),
+]
+
+
+def submit_work(service):
+    for tenant, name, rng, seed, priority in WORK:
+        service.submit(CampaignSpec(
+            tenant=tenant, name=name, scan_range=rng, seed=seed,
+            priority=priority, shards=2,
+        ))
+
+
+def standalone_rows(tmp_path, service):
+    """Each done campaign re-run standalone (same snapshot name) into a
+    fresh per-tenant store; returns tenant -> sorted rows."""
+    for record in service.queue.in_state("done"):
+        s = record.spec
+        Campaign(
+            s.topology_spec(), {s.name: s.scan_config()}, shards=s.shards,
+            checkpoint_dir=str(
+                tmp_path / "solo" / s.tenant / "ckpt" / record.campaign_id
+            ),
+            store_dir=str(tmp_path / "solo" / s.tenant / "store"),
+            snapshot=record.snapshot, backoff_base=0.0,
+            signals=NullSignals(),
+        ).run()
+    return {
+        tenant: store_rows(str(tmp_path / "solo" / tenant / "store"))
+        for tenant in {w[0] for w in WORK}
+    }
+
+
+class TestServiceEndToEnd:
+    def test_three_tenants_twelve_campaigns_bitidentical(self, tmp_path):
+        """The acceptance demo: ≥3 tenants × ≥4 campaigns concurrently;
+        per-tenant stores bit-identical to standalone runs."""
+        service = ScanService(
+            str(tmp_path / "svc"), max_workers=3, seed=1, scope="e2e",
+            default_policy=TenantPolicy(max_in_flight=2),
+        )
+        submit_work(service)
+        service.run_until_idle()
+        records = service.queue.in_state("done")
+        assert len(records) == len(WORK)
+        solo = standalone_rows(tmp_path, service)
+        for tenant, expected in solo.items():
+            got = store_rows(service.stores.store_dir(tenant))
+            assert got == expected, f"tenant {tenant} diverged"
+            assert len(got) == len(set(got))  # no duplicated rows
+        # Snapshot membership matches the campaign set per tenant.
+        for tenant in solo:
+            store = ResultStore(service.stores.store_dir(tenant))
+            assert set(store.snapshots) == {
+                r.snapshot for r in records if r.tenant == tenant
+            }
+        # Service metrics saw every lease and first result.
+        status = service.service_status()
+        assert status["states"] == {"done": len(WORK)}
+        assert set(status["ttfr_seconds"]) == set(solo)
+        for summary in status["ttfr_seconds"].values():
+            assert summary["count"] >= 4
+            assert summary["p99"] >= summary["p50"] > 0
+
+    def test_retention_drops_old_rounds(self, tmp_path):
+        service = ScanService(
+            str(tmp_path / "svc"), max_workers=1, scope="ret",
+            default_policy=TenantPolicy(
+                max_in_flight=1, retain_snapshots=2
+            ),
+        )
+        for i, rng in enumerate(RESPONSIVE[:4]):
+            service.submit(spec("alice", f"a{i}", rng, seed=i))
+        service.run_until_idle()
+        store = ResultStore(service.stores.store_dir("alice"))
+        # Only the newest two rounds survive retention.
+        assert sorted(store.snapshots) == [
+            "round-ret-0002", "round-ret-0003"
+        ]
+
+
+class TestServiceDrain:
+    def test_drain_requeues_and_restart_finishes(self, tmp_path):
+        root = str(tmp_path / "svc")
+        service = ScanService(
+            root, max_workers=2, seed=5, scope="dr",
+            default_policy=TenantPolicy(max_in_flight=2),
+        )
+        submit_work(service)
+        drained = threading.Event()
+
+        def drain_soon(event):
+            # After the first lease completes, ask for a drain: remaining
+            # leases abort at their next shard boundary and requeue.
+            if event.get("type") == "service_lease_done" and (
+                not drained.is_set()
+            ):
+                drained.set()
+                service.request_drain()
+
+        service.events.subscribe(drain_soon)
+        service.run_until_idle()
+        assert service.draining
+        states = {r.state for r in service.queue.records.values()}
+        assert "leased" not in states  # every lease settled or requeued
+        assert "failed" not in states
+        remaining = service.queue.in_state("queued")
+        assert service.queue.in_state("done"), "drain beat every lease"
+        assert remaining, "drain left nothing to requeue"
+        assert all(r.resume for r in remaining if r.attempts)
+
+        # A successor daemon on the same root finishes the backlog.
+        successor = ScanService(
+            root, max_workers=2, seed=5,
+            default_policy=TenantPolicy(max_in_flight=2),
+        )
+        successor.run_until_idle()
+        assert len(successor.queue.in_state("done")) == len(WORK)
+        solo = standalone_rows(tmp_path, successor)
+        for tenant, expected in solo.items():
+            assert store_rows(
+                successor.stores.store_dir(tenant)
+            ) == expected
+
+
+class TestHttpApi:
+    def test_api_round_trip(self, tmp_path):
+        service = ScanService(str(tmp_path / "svc"), max_workers=1,
+                              scope="api")
+        server = ServiceServer(service).start()
+        try:
+            client = ServiceClient(server.address)
+            record = client.submit(
+                spec("alice", "a0", RESPONSIVE[2], seed=3).to_dict()
+            )
+            assert record["state"] == "queued"
+            assert record["campaign_id"] == "api-0000"
+            assert client.status("api-0000")["state"] == "queued"
+            with pytest.raises(ApiError) as bad:
+                client.submit({"tenant": "alice"})
+            assert bad.value.status == 400
+            with pytest.raises(ApiError) as missing:
+                client.status("nope-0000")
+            assert missing.value.status == 404
+            with pytest.raises(ApiError) as early:
+                client.results("api-0000")
+            assert early.value.status == 404
+            service.run_until_idle()
+            assert client.status("api-0000")["state"] == "done"
+            rows = client.results("api-0000", limit=5)
+            assert rows and len(rows) <= 5
+            assert {"target", "responder", "kind"} <= set(rows[0])
+            summary = client.service_status()
+            assert summary["states"] == {"done": 1}
+            listing = client.list_campaigns(tenant="alice")
+            assert [c["campaign_id"] for c in listing] == ["api-0000"]
+        finally:
+            server.stop()
+
+    def test_admission_maps_to_429_and_drain_to_503(self, tmp_path):
+        service = ScanService(
+            str(tmp_path / "svc"), scope="api2",
+            default_policy=TenantPolicy(max_queued=1),
+        )
+        server = ServiceServer(service).start()
+        try:
+            client = ServiceClient(server.address)
+            client.submit(spec("alice", "a0").to_dict())
+            with pytest.raises(ApiError) as full:
+                client.submit(spec("alice", "a1").to_dict())
+            assert full.value.status == 429
+            service.request_drain()
+            with pytest.raises(ApiError) as draining:
+                client.submit(spec("bob", "b0").to_dict())
+            assert draining.value.status == 503
+        finally:
+            server.stop()
+
+
+def _run_killtest(root, *flags, check=True):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.service.killtest", "--root",
+         str(root), *flags],
+        capture_output=True, text=True, env=ENV,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"service killtest failed ({proc.returncode}):\n{proc.stderr}"
+        )
+    return proc
+
+
+class TestServiceKillAnywhere:
+    """Real SIGKILLs between lease transitions; queue state must recover
+    with no lost or duplicated campaigns and digest-identical stores."""
+
+    def test_sigkill_at_seeded_ops_recovers_identical_state(self, tmp_path):
+        baseline = json.loads(
+            _run_killtest(tmp_path / "base", "--count-ops").stdout
+        )
+        total_ops = baseline["ops"]
+        assert total_ops > 50
+        assert set(baseline["states"].values()) == {"done"}
+        rng = random.Random(20260807)
+        points = sorted(
+            rng.sample(range(2, total_ops), SERVICE_KILL_POINTS)
+        )
+        for point in points:
+            root = tmp_path / f"kill-{point}"
+            proc = _run_killtest(
+                root, "--kill-after-ops", str(point), check=False
+            )
+            assert proc.returncode != 0, (
+                f"op {point}: expected a SIGKILL death"
+            )
+            out = json.loads(_run_killtest(root, "--resume").stdout)
+            assert out["states"] == baseline["states"], f"op {point}"
+            for tenant, expect in baseline["tenants"].items():
+                got = out["tenants"][tenant]
+                assert got["digest"] == expect["digest"], (
+                    f"op {point}: tenant {tenant} store diverged"
+                )
+                assert got["rows"] == got["unique_rows"], (
+                    f"op {point}: duplicated rows for {tenant}"
+                )

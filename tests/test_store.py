@@ -355,9 +355,18 @@ class TestResultStore:
         assert store.total_rows == 8
 
     def test_stale_tmp_swept_on_open(self, tmp_path):
+        import os as _os
+        import time as _time
+
         store = self._store_with(tmp_path, {"a": _rows(8)})
         junk = store.segment_dir / "dead.seg.123-456.tmp"
         junk.write_bytes(b"partial")
+        # A *fresh* tmp belongs to a live writer (multi-writer store) and
+        # must survive an open; only stale ones are dead-writer litter.
+        store = ResultStore(tmp_path / "store")
+        assert junk.exists()
+        stale = _time.time() - ResultStore.TMP_SWEEP_GRACE - 60
+        _os.utime(junk, (stale, stale))
         store = ResultStore(tmp_path / "store")
         assert not junk.exists()
         assert store.total_rows == 8
